@@ -1,0 +1,54 @@
+//! Ablation A1 (paper §4.3/§5.4) — batch size vs accuracy and call count.
+//!
+//! BlendSQL defaults to batch 5: fewer calls, but "processing multiple
+//! entries in a single call may lead to inaccuracies". This ablation
+//! sweeps the batch size on the Super Hero domain.
+
+use std::sync::Arc;
+
+use swan_core::experiment::{pct, render_table, Harness};
+use swan_core::metrics::{execution_match, sql_is_ordered, ExTally};
+use swan_core::udf::{UdfConfig, UdfRunner};
+use swan_llm::{LanguageModel, ModelKind, SimulatedModel};
+
+fn main() {
+    let h = Harness::from_env();
+    let domain = h.domain("superhero");
+
+    println!("Ablation A1: UDF batch size vs execution accuracy and LLM calls");
+    println!("(Super Hero, GPT-3.5 Turbo, 0-shot)");
+    println!();
+
+    let mut rows = Vec::new();
+    for batch in [1usize, 2, 5, 10, 20] {
+        let model = Arc::new(SimulatedModel::new(ModelKind::Gpt35Turbo, h.kb.clone()));
+        let mut runner = UdfRunner::new(
+            domain,
+            model.clone(),
+            UdfConfig { batch_size: batch, ..Default::default() },
+        );
+        let mut tally = ExTally::default();
+        for q in &domain.questions {
+            let ok = match runner.run_sql(&q.udf_sql) {
+                Ok(result) => {
+                    execution_match(h.gold.get(&q.id), &result, sql_is_ordered(&q.gold_sql))
+                }
+                Err(_) => false,
+            };
+            tally.record(ok);
+        }
+        let usage = model.usage();
+        rows.push(vec![
+            batch.to_string(),
+            pct(tally.accuracy()),
+            usage.calls.to_string(),
+            format!("{:.2} M", usage.input_tokens as f64 / 1e6),
+        ]);
+    }
+
+    println!(
+        "{}",
+        render_table(&["Batch size", "EX", "LLM calls", "Input tokens"], &rows)
+    );
+    println!("Expected shape: calls fall ~1/batch; accuracy degrades as batches grow.");
+}

@@ -1,0 +1,64 @@
+//! Ablation A3 (paper §6) — parallel LLM calls: HQDL materialization
+//! latency vs worker count, with a simulated per-call API latency.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use swan_core::experiment::{render_table, Harness};
+use swan_core::hqdl::{materialize, HqdlConfig};
+use swan_llm::{Completion, LanguageModel, LlmResult, ModelKind, SimulatedModel, UsageMeter};
+
+/// Wraps the simulator with a fixed per-call latency, emulating a remote
+/// API endpoint so parallelism has something to hide.
+struct RemoteLatency {
+    inner: SimulatedModel,
+    delay: Duration,
+}
+
+impl LanguageModel for RemoteLatency {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn complete(&self, prompt: &str) -> LlmResult<Completion> {
+        std::thread::sleep(self.delay);
+        self.inner.complete(prompt)
+    }
+    fn usage_meter(&self) -> &UsageMeter {
+        self.inner.usage_meter()
+    }
+}
+
+fn main() {
+    let h = Harness::from_env();
+    let domain = h.domain("superhero");
+    let heroes = domain.curated.catalog().get("superhero").unwrap().len();
+
+    println!("Ablation A3: HQDL materialization latency vs parallel workers");
+    println!("({heroes} heroes, simulated 2ms API latency per call)");
+    println!();
+
+    let mut rows = Vec::new();
+    let mut baseline = None;
+    for workers in [1usize, 2, 4, 8] {
+        let model = Arc::new(RemoteLatency {
+            inner: SimulatedModel::new(ModelKind::Gpt35Turbo, h.kb.clone()),
+            delay: Duration::from_millis(2),
+        });
+        let start = Instant::now();
+        let run = materialize(domain, model.as_ref(), &HqdlConfig { shots: 0, workers });
+        let elapsed = start.elapsed();
+        let base = *baseline.get_or_insert(elapsed.as_secs_f64());
+        rows.push(vec![
+            workers.to_string(),
+            format!("{:.2}s", elapsed.as_secs_f64()),
+            format!("{:.2}x", base / elapsed.as_secs_f64()),
+            run.generated_cells.to_string(),
+        ]);
+    }
+
+    println!(
+        "{}",
+        render_table(&["Workers", "Latency", "Speedup", "Cells generated"], &rows)
+    );
+    println!("Expected shape: near-linear speedup until call latency is hidden.");
+}

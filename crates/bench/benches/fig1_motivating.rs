@@ -1,0 +1,74 @@
+//! Figure 1 — the motivating example: answering a beyond-database
+//! question with the database alone (left side: no answer) versus hybrid
+//! querying over the database and an LLM (right side: the Marvel heroes).
+
+
+use swan_core::hqdl::{materialize, HqdlConfig};
+use swan_data::{GenConfig, SwanBenchmark};
+use swan_llm::{LanguageModel, ModelKind, SimulatedModel};
+use swan_sqlengine::display::format_table;
+use swan_sqlengine::exec::Relation;
+use swan_sqlengine::plan::RelSchema;
+
+fn main() {
+    let scale = std::env::var("SWAN_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.05);
+    let domain =
+        SwanBenchmark::generate_domain(&GenConfig::with_scale(scale), "superhero").unwrap();
+    let kb = swan_data::build_knowledge(std::slice::from_ref(&domain));
+
+    println!("Figure 1: answering \"List all hero names from the Marvel Universe\"");
+    println!();
+    println!("Schema: superhero(hero_name, full_name) — publisher info was curated away.");
+    println!();
+
+    // Left side: the database alone cannot answer.
+    println!("== Database only ==");
+    let direct = domain
+        .curated
+        .query("SELECT T1.superhero_name FROM superhero T1 JOIN publisher p ON 1 = 1");
+    match direct {
+        Ok(_) => println!("unexpectedly answered"),
+        Err(e) => println!("no answer: {e}"),
+    }
+    println!();
+
+    // Right side: hybrid querying — treat the LLM as a table and join.
+    println!("== Hybrid querying (database JOIN LLM) ==");
+    let model = SimulatedModel::new(ModelKind::Gpt4Turbo, kb);
+    let run = materialize(&domain, &model, &HqdlConfig { shots: 5, workers: 4 });
+    let result = run
+        .database
+        .query(
+            "SELECT T1.superhero_name, T1.full_name FROM superhero T1 \
+             JOIN llm_superhero L ON L.superhero_name = T1.superhero_name \
+             AND L.full_name = T1.full_name \
+             WHERE L.publisher_name = 'Marvel Comics' \
+             ORDER BY T1.superhero_name LIMIT 10",
+        )
+        .expect("hybrid query runs");
+    let rel = Relation {
+        schema: RelSchema::qualified(
+            "result",
+            result.columns.clone(),
+        ),
+        rows: result.rows.clone(),
+    };
+    println!("{}", format_table(&rel));
+    println!("({} rows shown; LLM usage: {:?})", result.rows.len(), model.usage());
+
+    // Ground truth for comparison.
+    let gold = domain
+        .original
+        .query(
+            "SELECT COUNT(*) FROM superhero s JOIN publisher p \
+             ON s.publisher_id = p.id WHERE p.publisher_name = 'Marvel Comics'",
+        )
+        .unwrap();
+    println!(
+        "ground truth: {} Marvel heroes in the original database",
+        gold.rows[0][0].render()
+    );
+}

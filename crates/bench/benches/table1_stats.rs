@@ -1,0 +1,58 @@
+//! Table 1 — statistics of the databases in SWAN.
+//!
+//! Regenerates the benchmark at `SWAN_SCALE` (default 1.0, the paper's
+//! scale) and prints tables / rows-per-table / dropped-column counts next
+//! to the paper's numbers.
+
+use swan_core::experiment::render_table;
+use swan_data::{GenConfig, SwanBenchmark};
+
+fn main() {
+    let scale = std::env::var("SWAN_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let start = std::time::Instant::now();
+    let bench = SwanBenchmark::generate(&GenConfig::with_scale(scale));
+    let gen_time = start.elapsed();
+
+    // Paper values: (db, tables, rows/table, dropped).
+    let paper = [
+        ("European Football", 7, 31_828, 12),
+        ("Formula One", 13, 39_561, 12),
+        ("California Schools", 3, 9_980, 12),
+        ("Super Hero", 10, 1_061, 11),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, p_tables, p_rows, p_dropped) in paper {
+        let d = bench
+            .domains
+            .iter()
+            .find(|d| d.display_name == name)
+            .expect("domain exists");
+        // Table 1 describes the databases before curation (its table
+        // count includes the later-dropped tables).
+        let names = d.original.catalog().table_names();
+        let total: usize = names
+            .iter()
+            .map(|n| d.original.catalog().get(n).map_or(0, |t| t.len()))
+            .sum();
+        rows.push(vec![
+            name.to_string(),
+            format!("{} (paper {})", names.len(), p_tables),
+            format!("{} (paper {})", total / names.len().max(1), p_rows),
+            format!("{} (paper {})", d.curation.dropped_count(), p_dropped),
+        ]);
+    }
+
+    println!("Table 1: Statistics of databases in SWAN (scale = {scale})");
+    println!("(statistics of the original databases, before curation, as in the paper)");
+    println!();
+    println!(
+        "{}",
+        render_table(&["Database", "Tables", "Rows/Table", "Cols Dropped"], &rows)
+    );
+    println!("questions: {} (30 per database)", bench.question_count());
+    println!("generation time: {gen_time:?}");
+}

@@ -1,0 +1,41 @@
+//! Table 4 — average F1 factuality of HQDL-generated data,
+//! model × {0,1,3,5}-shot.
+
+use swan_core::experiment::{evaluate_hqdl, pct, render_table, Harness};
+use swan_llm::ModelKind;
+
+/// Paper Table 4 averages.
+const PAPER: &[(ModelKind, usize, f64)] = &[
+    (ModelKind::Gpt35Turbo, 0, 0.209),
+    (ModelKind::Gpt35Turbo, 1, 0.373),
+    (ModelKind::Gpt35Turbo, 3, 0.414),
+    (ModelKind::Gpt35Turbo, 5, 0.427),
+    (ModelKind::Gpt4Turbo, 0, 0.293),
+    (ModelKind::Gpt4Turbo, 1, 0.470),
+    (ModelKind::Gpt4Turbo, 3, 0.471),
+    (ModelKind::Gpt4Turbo, 5, 0.482),
+];
+
+fn main() {
+    let h = Harness::from_env();
+    println!("Table 4: average F1 factuality of HQDL-generated data (measured vs paper)");
+    println!();
+
+    let mut rows = Vec::new();
+    for (model, shots, paper) in PAPER {
+        let e = evaluate_hqdl(&h.benchmark, h.kb.clone(), &h.gold, *model, *shots, 4);
+        rows.push(vec![
+            model.label().to_string(),
+            format!("{shots}-shot"),
+            pct(e.average_f1()),
+            pct(*paper),
+        ]);
+    }
+
+    println!(
+        "{}",
+        render_table(&["Model", "Demos", "Average F1 (measured)", "Paper"], &rows)
+    );
+    println!("Shape checks: F1 rises steeply 0->1 shot then plateaus; GPT-4 > GPT-3.5");
+    println!("at every shot count (paper 5.3).");
+}

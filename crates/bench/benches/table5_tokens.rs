@@ -1,0 +1,88 @@
+//! Table 5 — total input/output tokens used by HQDL vs HQ UDFs for the
+//! zero-shot experiments, with a scale-adjusted comparison against the
+//! paper's totals (6.3M/1.5M for HQDL; 23M/2M for UDFs).
+
+use swan_core::experiment::{evaluate_hqdl, evaluate_udf, render_table, Harness};
+use swan_core::udf::UdfConfig;
+use swan_llm::{ModelKind, Pricing};
+
+fn fmt_m(tokens: u64) -> String {
+    format!("{:.2} M", tokens as f64 / 1e6)
+}
+
+fn main() {
+    let scale = std::env::var("SWAN_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.05);
+    let h = Harness::new(scale);
+
+    let hqdl = evaluate_hqdl(&h.benchmark, h.kb.clone(), &h.gold, ModelKind::Gpt35Turbo, 0, 4);
+    let udf = evaluate_udf(
+        &h.benchmark,
+        h.kb.clone(),
+        &h.gold,
+        ModelKind::Gpt35Turbo,
+        UdfConfig::default(),
+    );
+
+    // Token volume scales with entity count, i.e. linearly with scale.
+    let scaled = |t: u64| (t as f64 / scale) as u64;
+
+    println!("Table 5: total tokens for the zero-shot experiments (scale = {scale})");
+    println!();
+    let rows = vec![
+        vec![
+            "HQDL".to_string(),
+            fmt_m(hqdl.usage.input_tokens),
+            fmt_m(hqdl.usage.output_tokens),
+            format!(
+                "{} / {}",
+                fmt_m(scaled(hqdl.usage.input_tokens)),
+                fmt_m(scaled(hqdl.usage.output_tokens))
+            ),
+            "6.30 M / 1.50 M".to_string(),
+            format!("{}", hqdl.usage.calls),
+        ],
+        vec![
+            "HQ UDFs".to_string(),
+            fmt_m(udf.usage.input_tokens),
+            fmt_m(udf.usage.output_tokens),
+            format!(
+                "{} / {}",
+                fmt_m(scaled(udf.usage.input_tokens)),
+                fmt_m(scaled(udf.usage.output_tokens))
+            ),
+            "23.00 M / 2.00 M".to_string(),
+            format!("{}", udf.usage.calls),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Algorithm",
+                "Input",
+                "Output",
+                "Scale-adjusted in/out",
+                "Paper in/out",
+                "LLM calls",
+            ],
+            &rows,
+        )
+    );
+
+    let ratio_in = udf.usage.input_tokens as f64 / hqdl.usage.input_tokens.max(1) as f64;
+    let ratio_out = udf.usage.output_tokens as f64 / hqdl.usage.output_tokens.max(1) as f64;
+    println!("UDF / HQDL input-token ratio:  {ratio_in:.1}x (paper: 3.6x)");
+    println!("UDF / HQDL output-token ratio: {ratio_out:.1}x (paper: 1.3x)");
+    println!(
+        "GPT-3.5 cost at paper pricing: HQDL ${:.2}, UDFs ${:.2}",
+        hqdl.usage.cost(&Pricing::GPT35_TURBO),
+        udf.usage.cost(&Pricing::GPT35_TURBO)
+    );
+    println!();
+    println!("Why UDFs cost more (paper 5.5): prompts repeat the question and examples");
+    println!("per batch, and cross-question reuse only works for identical prompt text —");
+    println!("e.g. the tallest-player heights cannot answer the taller-than-180cm question.");
+}

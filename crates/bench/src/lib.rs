@@ -1,0 +1,1 @@
+//! swan-bench has no library code; all content lives in the bench targets.

@@ -1,0 +1,296 @@
+//! HQDL — Hybrid Query over Database and LLM (paper §4.1).
+//!
+//! The schema-expansion solution: for every expansion the benchmark
+//! defines, HQDL prompts the language model once per entity with the
+//! §4.1.1 row-completion prompt (zero- or few-shot), extracts the
+//! returned row CSV-style, and materializes the rows into `llm_*` tables
+//! inside the curated database. One-to-many values arrive condensed
+//! ("Agility, Super Strength, Super Speed"). After materialization the
+//! hybrid SQL of each question is an ordinary query.
+
+use std::collections::HashMap;
+
+use swan_data::{DomainData, Expansion};
+use swan_llm::{
+    parallel, LanguageModel, KnownValue, RowCompletionPrompt, RowExample,
+};
+use swan_sqlengine::{Column, Database, Table, Value};
+
+/// HQDL configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HqdlConfig {
+    /// Few-shot demonstration count (0, 1, 3, 5 in the paper).
+    pub shots: usize,
+    /// Worker threads for parallel LLM calls (§6 future work; 1 =
+    /// sequential, the paper's setting).
+    pub workers: usize,
+}
+
+impl Default for HqdlConfig {
+    fn default() -> Self {
+        HqdlConfig { shots: 0, workers: 1 }
+    }
+}
+
+/// Outcome of materializing one domain.
+#[derive(Debug)]
+pub struct HqdlRun {
+    /// Curated database plus the materialized `llm_*` tables.
+    pub database: Database,
+    /// Rows whose response could not be aligned to the schema (format
+    /// errors, §5.3) — they are dropped by extraction.
+    pub malformed_rows: usize,
+    /// Total cells generated (excluding keys).
+    pub generated_cells: usize,
+}
+
+/// Materialize every expansion of `domain` using `model`.
+///
+/// This is the expensive step whose token usage Table 5 reports; read the
+/// model's [`UsageMeter`](swan_llm::UsageMeter) before/after to account
+/// for it.
+pub fn materialize(
+    domain: &DomainData,
+    model: &dyn LanguageModel,
+    config: &HqdlConfig,
+) -> HqdlRun {
+    let mut database = domain.curated.clone();
+    let mut malformed = 0usize;
+    let mut cells = 0usize;
+
+    let truth = TruthIndex::build(domain);
+
+    for expansion in &domain.curation.expansions {
+        let keys = expansion_keys(&domain.curated, expansion);
+        let examples = truth.examples(expansion, config.shots);
+
+        // Render one prompt per entity.
+        let prompts: Vec<String> = keys
+            .iter()
+            .map(|key| {
+                RowCompletionPrompt {
+                    db: domain.name.clone(),
+                    columns: expansion.all_columns(),
+                    key_len: expansion.key_columns.len(),
+                    value_lists: expansion
+                        .generated
+                        .iter()
+                        .filter_map(|g| {
+                            g.value_list.as_ref().map(|vs| (g.name.clone(), vs.clone()))
+                        })
+                        .collect(),
+                    examples: examples.clone(),
+                    target_key: key.clone(),
+                }
+                .render()
+            })
+            .collect();
+
+        let completions = parallel::complete_many(model, &prompts, config.workers);
+
+        // Data extraction (§4.1): parse each response as a quoted row and
+        // keep only rows with the right arity and matching keys.
+        let width = expansion.all_columns().len();
+        let mut table = Table::new(
+            expansion.table.clone(),
+            expansion.all_columns().into_iter().map(Column::new).collect(),
+            &[],
+        )
+        .expect("expansion schema is valid");
+
+        for (key, completion) in keys.iter().zip(completions) {
+            let Ok(completion) = completion else {
+                malformed += 1;
+                continue;
+            };
+            let fields =
+                swan_llm::prompt::row_values(&swan_llm::prompt::parse_row(&completion.text));
+            if fields.len() != width {
+                malformed += 1;
+                continue;
+            }
+            let mut row: Vec<Value> = Vec::with_capacity(width);
+            // Trust the *database's* key values over the model's echo so
+            // joins stay sound even when the model mangles the key.
+            for k in key {
+                row.push(infer_value(k));
+            }
+            for field in &fields[expansion.key_columns.len()..] {
+                row.push(infer_value(field));
+                cells += 1;
+            }
+            table.insert_row(row).expect("expansion rows are unconstrained");
+        }
+        database.catalog_mut().put_table(table);
+    }
+
+    HqdlRun { database, malformed_rows: malformed, generated_cells: cells }
+}
+
+/// Distinct key tuples of an expansion's base table, in storage order.
+pub fn expansion_keys(curated: &Database, expansion: &Expansion) -> Vec<Vec<String>> {
+    let table = curated
+        .catalog()
+        .get(&expansion.base_table)
+        .expect("expansion base table exists in curated db");
+    let idx: Vec<usize> = expansion
+        .key_columns
+        .iter()
+        .map(|c| table.column_index(c).expect("key column exists"))
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for row in &table.rows {
+        let key: Vec<String> = idx.iter().map(|&i| row[i].render()).collect();
+        if key.iter().any(String::is_empty) {
+            continue; // NULL keys cannot anchor a PK-FK relationship (§3.4).
+        }
+        if seen.insert(key.clone()) {
+            out.push(key);
+        }
+    }
+    out
+}
+
+/// Parse a generated text cell into a typed value, so materialized
+/// numerics (heights, years) join and compare against integer columns.
+pub fn infer_value(s: &str) -> Value {
+    let t = s.trim();
+    if t.is_empty() {
+        return Value::Null;
+    }
+    if let Ok(i) = t.parse::<i64>() {
+        return Value::Integer(i);
+    }
+    if let Ok(f) = t.parse::<f64>() {
+        return Value::Real(f);
+    }
+    Value::Text(t.to_string())
+}
+
+/// Ground-truth index for constructing few-shot example rows (§5.2:
+/// "static examples randomly selected from the original database").
+struct TruthIndex {
+    map: HashMap<(Vec<String>, String), KnownValue>,
+}
+
+impl TruthIndex {
+    fn build(domain: &DomainData) -> Self {
+        let mut map = HashMap::with_capacity(domain.facts.len());
+        for f in &domain.facts {
+            map.insert((f.key.clone(), f.attribute.clone()), f.value.clone());
+        }
+        TruthIndex { map }
+    }
+
+    /// `shots` fully-truthful example rows taken from the tail of the key
+    /// space (deterministic "random" sample).
+    fn examples(&self, expansion: &Expansion, shots: usize) -> Vec<RowExample> {
+        if shots == 0 {
+            return Vec::new();
+        }
+        // Collect the distinct keys present in the truth map for this
+        // expansion's attributes.
+        let first_attr = match expansion.generated.first() {
+            Some(g) => &g.name,
+            None => return Vec::new(),
+        };
+        let mut keys: Vec<&Vec<String>> = self
+            .map
+            .keys()
+            .filter(|(_, a)| a == first_attr)
+            .map(|(k, _)| k)
+            .filter(|k| k.len() == expansion.key_columns.len())
+            .collect();
+        keys.sort();
+        keys.reverse();
+        keys.truncate(shots);
+
+        keys.into_iter()
+            .map(|key| {
+                let mut answer = key.clone();
+                for g in &expansion.generated {
+                    let cell = self
+                        .map
+                        .get(&(key.clone(), g.name.clone()))
+                        .map(|v| v.condensed())
+                        .unwrap_or_default();
+                    answer.push(cell);
+                }
+                RowExample { key: key.clone(), answer }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swan_data::{GenConfig, SwanBenchmark};
+    use swan_llm::{ModelKind, SimulatedModel};
+
+    fn domain() -> DomainData {
+        SwanBenchmark::generate_domain(&GenConfig::with_scale(0.05), "superhero").unwrap()
+    }
+
+    #[test]
+    fn infer_value_types() {
+        assert_eq!(infer_value("42"), Value::Integer(42));
+        assert_eq!(infer_value("3.5"), Value::Real(3.5));
+        assert_eq!(infer_value(" DC Comics "), Value::text("DC Comics"));
+        assert!(infer_value("").is_null());
+        assert!(infer_value("  ").is_null());
+    }
+
+    #[test]
+    fn expansion_keys_distinct_and_ordered() {
+        let d = domain();
+        let keys = expansion_keys(&d.curated, &d.curation.expansions[0]);
+        let heroes = d.curated.catalog().get("superhero").unwrap().len();
+        assert_eq!(keys.len(), heroes, "hero keys are unique");
+        assert!(keys.iter().all(|k| k.len() == 2));
+    }
+
+    #[test]
+    fn materialize_creates_llm_table() {
+        let d = domain();
+        let kb = swan_data::build_knowledge(std::slice::from_ref(&d));
+        let model = SimulatedModel::new(ModelKind::Gpt4Turbo, kb);
+        let run = materialize(&d, &model, &HqdlConfig { shots: 5, workers: 1 });
+        let t = run.database.catalog().get("llm_superhero").expect("materialized");
+        assert_eq!(t.width(), 10);
+        let heroes = d.curated.catalog().get("superhero").unwrap().len();
+        assert!(t.len() + run.malformed_rows >= heroes);
+        assert!(run.generated_cells > 0);
+        // Usage was recorded.
+        assert!(model.usage().input_tokens > 0);
+        assert_eq!(model.usage().calls as usize, heroes);
+    }
+
+    #[test]
+    fn few_shot_examples_are_truthful_rows() {
+        let d = domain();
+        let truth = TruthIndex::build(&d);
+        let ex = truth.examples(&d.curation.expansions[0], 3);
+        assert_eq!(ex.len(), 3);
+        for e in &ex {
+            assert_eq!(e.answer.len(), 10);
+            assert_eq!(&e.answer[..2], &e.key[..]);
+            // The publisher field is a real publisher.
+            assert!(swan_data::superhero::PUBLISHERS.contains(&e.answer[5].as_str()));
+        }
+    }
+
+    #[test]
+    fn parallel_materialization_same_rows_as_sequential() {
+        let d = SwanBenchmark::generate_domain(&GenConfig::with_scale(0.02), "superhero").unwrap();
+        let kb = swan_data::build_knowledge(std::slice::from_ref(&d));
+        let m1 = SimulatedModel::new(ModelKind::Gpt35Turbo, kb.clone());
+        let m2 = SimulatedModel::new(ModelKind::Gpt35Turbo, kb);
+        let seq = materialize(&d, &m1, &HqdlConfig { shots: 1, workers: 1 });
+        let par = materialize(&d, &m2, &HqdlConfig { shots: 1, workers: 4 });
+        let a = seq.database.catalog().get("llm_superhero").unwrap();
+        let b = par.database.catalog().get("llm_superhero").unwrap();
+        assert_eq!(a.rows, b.rows, "parallelism must not change results");
+    }
+}

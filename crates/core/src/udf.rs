@@ -1,0 +1,630 @@
+//! Hybrid-query UDFs (paper §4.2) — the BlendSQL-style solution.
+//!
+//! `llm_map('question', key...)` is registered as an *expensive* scalar
+//! UDF on the curated database. Before executing a question's SQL, the
+//! [`UdfRunner`] performs the BlendSQL-style pre-pass:
+//!
+//! 1. find every `llm_map` call in the statement;
+//! 2. determine the key columns' base table and — when predicate
+//!    pushdown is enabled (§4.2: "pushing down predicates to avoid
+//!    generating unnecessary data entries") — the cheap WHERE conjuncts
+//!    that restrict it;
+//! 3. collect the distinct key tuples, batch them (BlendSQL's default
+//!    batch size is 5, §5.4) into [`UdfPrompt`]s, and fill the answer
+//!    store.
+//!
+//! During execution, `llm_map` reads the store; a missing key falls back
+//! to a single-key model call. The answer-store key policy implements the
+//! caching spectrum of §4.3/§5.5 (see [`CacheScope`]).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use swan_data::DomainData;
+use swan_llm::knowledge::normalize_question;
+use swan_llm::{parallel, LanguageModel, UdfExample, UdfPrompt};
+use swan_sqlengine::ast::{
+    Expr, SelectBody, SelectItem, SelectStmt, Statement, TableRef,
+};
+use swan_sqlengine::exec::{run_select, ExecCtx};
+use swan_sqlengine::plan::{split_conjuncts, RelSchema};
+use swan_sqlengine::{parser, Database, Error, QueryResult, Result, ScalarUdf, Value};
+
+use crate::hqdl::infer_value;
+
+/// How the answer store keys cached LLM results across questions (§5.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheScope {
+    /// No reuse at all: the store is cleared before every question.
+    PerQuestion,
+    /// BlendSQL's behaviour: reuse only when the prompt's question text
+    /// is (modulo whitespace/case) identical. Paraphrases miss.
+    ExactPrompt,
+    /// §4.3's query-rewriting idea: resolve the question to a canonical
+    /// attribute first, so paraphrases share entries.
+    Semantic,
+}
+
+/// UDF-solution configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct UdfConfig {
+    /// Few-shot demonstrations in each prompt (0 or 5 in Table 3).
+    pub shots: usize,
+    /// Keys per batched prompt (BlendSQL default: 5).
+    pub batch_size: usize,
+    /// Pre-pass predicate pushdown on/off (ablation A4).
+    pub pushdown: bool,
+    /// Cross-question caching policy (ablation A2).
+    pub cache: CacheScope,
+    /// Parallel LLM workers for the pre-pass.
+    pub workers: usize,
+}
+
+impl Default for UdfConfig {
+    fn default() -> Self {
+        UdfConfig {
+            shots: 0,
+            batch_size: 5,
+            pushdown: true,
+            cache: CacheScope::ExactPrompt,
+            workers: 1,
+        }
+    }
+}
+
+/// Execution statistics for cost analysis.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UdfStats {
+    /// Keys answered through batched pre-pass calls.
+    pub prefetched_keys: u64,
+    /// Keys already present in the answer store when prefetch ran.
+    pub cache_hits: u64,
+    /// Per-row fallback model calls during execution.
+    pub fallback_calls: u64,
+}
+
+/// Domain metadata the runner needs (question → attribute, value lists,
+/// few-shot pools). This is the hybrid system's own metadata, provided by
+/// the benchmark (§3.5), not the model's knowledge.
+struct DomainMeta {
+    db: String,
+    question_attr: HashMap<String, String>,
+    value_lists: HashMap<String, Vec<String>>,
+    examples: HashMap<String, Vec<UdfExample>>,
+}
+
+impl DomainMeta {
+    fn build(domain: &DomainData, max_examples: usize) -> Self {
+        let mut question_attr = HashMap::new();
+        for p in &domain.phrases {
+            question_attr.insert(normalize_question(&p.text), p.attribute.clone());
+        }
+        let mut value_lists = HashMap::new();
+        for e in &domain.curation.expansions {
+            for g in &e.generated {
+                if let Some(vs) = &g.value_list {
+                    value_lists.insert(g.name.clone(), vs.clone());
+                }
+            }
+        }
+        let mut examples: HashMap<String, Vec<UdfExample>> = HashMap::new();
+        for f in &domain.facts {
+            let pool = examples.entry(f.attribute.clone()).or_default();
+            if pool.len() < max_examples {
+                pool.push(UdfExample { key: f.key.clone(), answer: f.value.condensed() });
+            }
+        }
+        DomainMeta {
+            db: domain.name.clone(),
+            question_attr,
+            value_lists,
+            examples,
+        }
+    }
+
+    fn attribute_of(&self, question: &str) -> Option<&String> {
+        self.question_attr.get(&normalize_question(question))
+    }
+}
+
+/// Shared state between the runner and the registered `llm_map` UDF.
+struct Shared {
+    meta: DomainMeta,
+    model: Arc<dyn LanguageModel>,
+    config: UdfConfig,
+    answers: Mutex<HashMap<(String, Vec<String>), Value>>,
+    stats: Mutex<UdfStats>,
+    fallback_calls: AtomicU64,
+}
+
+impl Shared {
+    /// Store key under the configured cache scope.
+    fn cache_key(&self, question: &str, key: &[String]) -> (String, Vec<String>) {
+        let part = match self.config.cache {
+            CacheScope::Semantic => self
+                .meta
+                .attribute_of(question)
+                .cloned()
+                .unwrap_or_else(|| normalize_question(question)),
+            // Prompt-text identity (BlendSQL): the "[qNN]" tag marking
+            // which question produced the prompt stays in the key, so
+            // per-question phrasings never share entries (§5.5).
+            _ => question.trim().to_ascii_lowercase(),
+        };
+        (part, key.to_vec())
+    }
+
+    fn prompt_for(&self, question: &str, keys: Vec<Vec<String>>) -> UdfPrompt {
+        let attr = self.meta.attribute_of(question);
+        let value_list = attr.and_then(|a| self.meta.value_lists.get(a)).cloned();
+        let examples = attr
+            .and_then(|a| self.meta.examples.get(a))
+            .map(|pool| pool.iter().take(self.config.shots).cloned().collect())
+            .unwrap_or_default();
+        UdfPrompt {
+            db: self.meta.db.clone(),
+            question: question.to_string(),
+            value_list,
+            examples,
+            keys,
+        }
+    }
+
+    /// Single-key fallback call (cache miss during execution).
+    fn fetch_single(&self, question: &str, key: &[String]) -> Result<Value> {
+        let prompt = self.prompt_for(question, vec![key.to_vec()]).render();
+        let completion = self
+            .model
+            .complete(&prompt)
+            .map_err(|e| Error::Udf { name: "llm_map".into(), message: e.to_string() })?;
+        let answer = swan_llm::prompt::parse_udf_response(&completion.text)
+            .into_iter()
+            .next()
+            .unwrap_or_default();
+        self.fallback_calls.fetch_add(1, Ordering::Relaxed);
+        let value = infer_value(&answer);
+        self.answers
+            .lock()
+            .insert(self.cache_key(question, key), value.clone());
+        Ok(value)
+    }
+}
+
+/// The `llm_map` scalar function.
+struct LlmMapUdf {
+    shared: Arc<Shared>,
+}
+
+impl ScalarUdf for LlmMapUdf {
+    fn name(&self) -> &str {
+        "llm_map"
+    }
+
+    fn invoke(&self, args: &[Value]) -> Result<Value> {
+        if args.len() < 2 {
+            return Err(Error::Udf {
+                name: "llm_map".into(),
+                message: "usage: llm_map(question, key, ...)".into(),
+            });
+        }
+        let question = args[0]
+            .as_str()
+            .ok_or_else(|| Error::Udf {
+                name: "llm_map".into(),
+                message: "first argument must be the question text".into(),
+            })?
+            .to_string();
+        if args[1..].iter().any(Value::is_null) {
+            return Ok(Value::Null); // NULL keys have no LLM answer.
+        }
+        let key: Vec<String> = args[1..].iter().map(Value::render).collect();
+        let cache_key = self.shared.cache_key(&question, &key);
+        if let Some(v) = self.shared.answers.lock().get(&cache_key) {
+            return Ok(v.clone());
+        }
+        self.shared.fetch_single(&question, &key)
+    }
+
+    fn is_expensive(&self) -> bool {
+        true
+    }
+}
+
+/// Runs the benchmark's UDF-form hybrid queries over one domain.
+pub struct UdfRunner {
+    db: Database,
+    shared: Arc<Shared>,
+}
+
+impl UdfRunner {
+    pub fn new(domain: &DomainData, model: Arc<dyn LanguageModel>, config: UdfConfig) -> Self {
+        let shared = Arc::new(Shared {
+            meta: DomainMeta::build(domain, config.shots.max(5)),
+            model,
+            config,
+            answers: Mutex::new(HashMap::new()),
+            stats: Mutex::new(UdfStats::default()),
+            fallback_calls: AtomicU64::new(0),
+        });
+        let mut db = domain.curated.clone();
+        db.register_udf(Arc::new(LlmMapUdf { shared: shared.clone() }));
+        UdfRunner { db, shared }
+    }
+
+    /// Execute one UDF-form hybrid query. Non-SELECT statements (useful
+    /// in the interactive shell) execute directly without a pre-pass.
+    pub fn run_sql(&mut self, udf_sql: &str) -> Result<QueryResult> {
+        if self.shared.config.cache == CacheScope::PerQuestion {
+            self.shared.answers.lock().clear();
+        }
+        let stmt = parser::parse_statement(udf_sql)?;
+        let Statement::Select(select) = &stmt else {
+            return self.db.execute(udf_sql);
+        };
+        self.prefetch(select)?;
+        self.db.query(udf_sql)
+    }
+
+    /// The curated database this runner queries (with `llm_map` registered).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access (e.g. to overlay HQDL-materialized tables).
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> UdfStats {
+        let mut s = *self.shared.stats.lock();
+        s.fallback_calls = self.shared.fallback_calls.load(Ordering::Relaxed);
+        s
+    }
+
+    /// Number of distinct cached answers.
+    pub fn cached_answers(&self) -> usize {
+        self.shared.answers.lock().len()
+    }
+
+    // ---- pre-pass ----------------------------------------------------------
+
+    fn prefetch(&self, stmt: &SelectStmt) -> Result<()> {
+        let SelectBody::Simple(core) = &stmt.body else {
+            return Ok(()); // compound UDF queries: rely on fallback calls
+        };
+        let mut calls: Vec<(String, Vec<Expr>)> = Vec::new();
+        let mut collect = |e: &Expr| {
+            e.walk(&mut |x| {
+                if let Expr::Function { name, args, .. } = x {
+                    if name.eq_ignore_ascii_case("llm_map") && args.len() >= 2 {
+                        if let Expr::Literal(Value::Text(q)) = &args[0] {
+                            let key = (q.clone(), args[1..].to_vec());
+                            if !calls.contains(&key) {
+                                calls.push(key);
+                            }
+                        }
+                    }
+                }
+            });
+        };
+        for item in &core.projection {
+            if let SelectItem::Expr { expr, .. } = item {
+                collect(expr);
+            }
+        }
+        if let Some(f) = &core.filter {
+            collect(f);
+        }
+        for g in &core.group_by {
+            collect(g);
+        }
+        if let Some(h) = &core.having {
+            collect(h);
+        }
+        for o in &stmt.order_by {
+            collect(&o.expr);
+        }
+
+        for (question, key_exprs) in calls {
+            self.prefetch_call(core, &question, &key_exprs)?;
+        }
+        Ok(())
+    }
+
+    fn prefetch_call(
+        &self,
+        core: &swan_sqlengine::ast::SelectCore,
+        question: &str,
+        key_exprs: &[Expr],
+    ) -> Result<()> {
+        // The key columns must all be plain column references over one
+        // table alias; otherwise fall back to per-row calls.
+        let mut qualifier: Option<String> = None;
+        for e in key_exprs {
+            match e {
+                Expr::Column { table: Some(t), .. } => {
+                    if let Some(q) = &qualifier {
+                        if !q.eq_ignore_ascii_case(t) {
+                            return Ok(());
+                        }
+                    } else {
+                        qualifier = Some(t.clone());
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+        let Some(qualifier) = qualifier else { return Ok(()) };
+        let Some(from) = &core.from else { return Ok(()) };
+        let Some((table_name, alias)) = find_table(from, &qualifier) else {
+            return Ok(());
+        };
+
+        // Pushdown: cheap conjuncts fully resolvable against this table.
+        let filter = if self.shared.config.pushdown {
+            let table = self.db.catalog().get_required(&table_name)?;
+            let schema = RelSchema::qualified(&alias, table.column_names());
+            let pushable: Vec<Expr> = core
+                .filter
+                .iter()
+                .flat_map(split_conjuncts)
+                .filter(|c| !contains_function(c) && schema.covers(c))
+                .collect();
+            swan_sqlengine::plan::conjoin(pushable)
+        } else {
+            None
+        };
+
+        // SELECT DISTINCT <keys> FROM <table> AS <alias> [WHERE pushable]
+        let key_query = SelectStmt {
+            body: SelectBody::Simple(Box::new(swan_sqlengine::ast::SelectCore {
+                distinct: true,
+                projection: key_exprs
+                    .iter()
+                    .map(|e| SelectItem::Expr { expr: e.clone(), alias: None })
+                    .collect(),
+                from: Some(TableRef::Table {
+                    name: table_name,
+                    alias: Some(alias),
+                }),
+                filter,
+                group_by: vec![],
+                having: None,
+            })),
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        };
+        let ctx = ExecCtx::new(self.db.catalog(), self.db.udfs());
+        let keys_rel = run_select(&key_query, &ctx, None)?;
+
+        // Split into cached / needed.
+        let mut needed: Vec<Vec<String>> = Vec::new();
+        {
+            let answers = self.shared.answers.lock();
+            let mut stats = self.shared.stats.lock();
+            for row in &keys_rel.rows {
+                if row.iter().any(Value::is_null) {
+                    continue;
+                }
+                let key: Vec<String> = row.iter().map(Value::render).collect();
+                if answers.contains_key(&self.shared.cache_key(question, &key)) {
+                    stats.cache_hits += 1;
+                } else {
+                    needed.push(key);
+                }
+            }
+        }
+        if needed.is_empty() {
+            return Ok(());
+        }
+
+        // Batch and fan out.
+        let batch = self.shared.config.batch_size.max(1);
+        let chunks: Vec<Vec<Vec<String>>> =
+            needed.chunks(batch).map(|c| c.to_vec()).collect();
+        let prompts: Vec<String> = chunks
+            .iter()
+            .map(|keys| self.shared.prompt_for(question, keys.clone()).render())
+            .collect();
+        let completions =
+            parallel::complete_many(self.shared.model.as_ref(), &prompts, self.shared.config.workers);
+
+        let mut answers = self.shared.answers.lock();
+        let mut stats = self.shared.stats.lock();
+        for (keys, completion) in chunks.iter().zip(completions) {
+            let Ok(completion) = completion else { continue };
+            let lines = swan_llm::prompt::parse_udf_response(&completion.text);
+            // Align line i with key i; short responses (batch glitches,
+            // §5.4) leave trailing keys unanswered — execution falls back.
+            for (key, line) in keys.iter().zip(lines) {
+                answers.insert(self.shared.cache_key(question, key), infer_value(&line));
+                stats.prefetched_keys += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Find the `(table_name, alias)` in a FROM tree answering to `qualifier`.
+fn find_table(t: &TableRef, qualifier: &str) -> Option<(String, String)> {
+    match t {
+        TableRef::Table { name, alias } => {
+            let a = alias.as_deref().unwrap_or(name);
+            if a.eq_ignore_ascii_case(qualifier) {
+                Some((name.clone(), a.to_string()))
+            } else {
+                None
+            }
+        }
+        TableRef::Subquery { .. } => None,
+        TableRef::Join { left, right, .. } => {
+            find_table(left, qualifier).or_else(|| find_table(right, qualifier))
+        }
+    }
+}
+
+fn contains_function(e: &Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |x| {
+        if matches!(x, Expr::Function { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swan_data::{GenConfig, SwanBenchmark};
+    use swan_llm::{ModelKind, SimulatedModel};
+
+    fn runner(scale: f64, config: UdfConfig) -> (swan_data::DomainData, UdfRunner) {
+        let d = SwanBenchmark::generate_domain(&GenConfig::with_scale(scale), "superhero").unwrap();
+        let kb = swan_data::build_knowledge(std::slice::from_ref(&d));
+        let model = Arc::new(SimulatedModel::new(ModelKind::Gpt4Turbo, kb));
+        let r = UdfRunner::new(&d, model, config);
+        (d, r)
+    }
+
+    #[test]
+    fn runs_a_simple_udf_question() {
+        let (d, mut r) = runner(0.05, UdfConfig::default());
+        let q = &d.questions[0]; // publisher membership
+        let result = r.run_sql(&q.udf_sql).expect("udf query runs");
+        assert!(!result.columns.is_empty());
+        let stats = r.stats();
+        assert!(stats.prefetched_keys > 0, "pre-pass fetched keys in batch");
+    }
+
+    #[test]
+    fn batching_reduces_model_calls() {
+        let d = SwanBenchmark::generate_domain(&GenConfig::with_scale(0.05), "superhero").unwrap();
+        let kb = swan_data::build_knowledge(std::slice::from_ref(&d));
+        let heroes = d.curated.catalog().get("superhero").unwrap().len() as u64;
+
+        let model = Arc::new(SimulatedModel::new(ModelKind::Gpt4Turbo, kb.clone()));
+        let mut r = UdfRunner::new(
+            &d,
+            model.clone(),
+            UdfConfig { batch_size: 5, ..Default::default() },
+        );
+        r.run_sql(&d.questions[0].udf_sql).unwrap();
+        let batched_calls = model.usage().calls;
+        assert!(batched_calls >= heroes / 5, "at least ceil(n/5) calls");
+        assert!(
+            batched_calls < heroes,
+            "batching must reduce calls: {batched_calls} vs {heroes} heroes"
+        );
+    }
+
+    #[test]
+    fn exact_cache_reuses_identical_prompts_only() {
+        let (d, mut r) = runner(0.05, UdfConfig::default());
+        // Re-running the same question hits the cache for every hero...
+        r.run_sql(&d.questions[0].udf_sql).unwrap();
+        let after_first = r.stats();
+        assert_eq!(after_first.cache_hits, 0);
+        r.run_sql(&d.questions[0].udf_sql).unwrap();
+        let after_rerun = r.stats();
+        assert!(after_rerun.cache_hits > 0, "identical prompt text reuses");
+        // ...but a different question about the same attribute (different
+        // "[qNN]" tag, i.e. different prompt text) misses entirely —
+        // BlendSQL's weakness from paper §5.5.
+        let hits_before_q2 = after_rerun.cache_hits;
+        r.run_sql(&d.questions[1].udf_sql).unwrap();
+        assert_eq!(
+            r.stats().cache_hits,
+            hits_before_q2,
+            "per-question prompts cannot share cache entries"
+        );
+    }
+
+    #[test]
+    fn per_question_scope_never_reuses() {
+        let (d, mut r) = runner(
+            0.05,
+            UdfConfig { cache: CacheScope::PerQuestion, ..Default::default() },
+        );
+        r.run_sql(&d.questions[0].udf_sql).unwrap();
+        r.run_sql(&d.questions[1].udf_sql).unwrap();
+        assert_eq!(r.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn pushdown_restricts_point_lookups() {
+        // Formula 1 q01 is a point lookup (WHERE forename/surname =
+        // constants): with pushdown only 1 key is fetched.
+        let d = SwanBenchmark::generate_domain(&GenConfig::with_scale(0.05), "formula_1").unwrap();
+        let kb = swan_data::build_knowledge(std::slice::from_ref(&d));
+
+        let model = Arc::new(SimulatedModel::new(ModelKind::Gpt4Turbo, kb.clone()));
+        let mut with = UdfRunner::new(&d, model, UdfConfig::default());
+        with.run_sql(&d.questions[0].udf_sql).unwrap();
+        assert_eq!(with.stats().prefetched_keys, 1, "pushdown narrows to one driver");
+
+        let model = Arc::new(SimulatedModel::new(ModelKind::Gpt4Turbo, kb));
+        let mut without =
+            UdfRunner::new(&d, model, UdfConfig { pushdown: false, ..Default::default() });
+        without.run_sql(&d.questions[0].udf_sql).unwrap();
+        let drivers = d.curated.catalog().get("drivers").unwrap().len() as u64;
+        assert_eq!(
+            without.stats().prefetched_keys,
+            drivers,
+            "without pushdown every driver is generated (§5.5)"
+        );
+    }
+
+    #[test]
+    fn semantic_scope_shares_paraphrases() {
+        // Two football questions use different height phrasings; the
+        // semantic scope resolves both to `height`.
+        let d =
+            SwanBenchmark::generate_domain(&GenConfig::with_scale(0.02), "european_football").unwrap();
+        let kb = swan_data::build_knowledge(std::slice::from_ref(&d));
+        let model = Arc::new(SimulatedModel::new(ModelKind::Gpt4Turbo, kb));
+        let mut r = UdfRunner::new(
+            &d,
+            model,
+            UdfConfig { cache: CacheScope::Semantic, ..Default::default() },
+        );
+        let players = d.curated.catalog().get("player").unwrap().len() as u64;
+        // q01 asks MAX height with one phrasing.
+        r.run_sql(&d.questions[0].udf_sql).unwrap();
+        assert_eq!(r.stats().prefetched_keys, players);
+        // A paraphrased sweep over the same attribute: all hits.
+        let paraphrase = "SELECT T1.player_name FROM player T1 \
+             WHERE llm_map('How tall is the player in centimeters?', T1.player_name) > 180";
+        r.run_sql(paraphrase).unwrap();
+        assert_eq!(r.stats().cache_hits, players, "paraphrase fully reused");
+    }
+
+    #[test]
+    fn fallback_single_call_on_unprefetchable_key() {
+        let (_, mut r) = runner(0.05, UdfConfig::default());
+        // llm_map over a literal key: the pre-pass cannot see a table, so
+        // invoke() falls back to a single call.
+        let out = r
+            .run_sql(
+                "SELECT llm_map('Which publisher published the superhero?', 'Nobody', 'No One')",
+            )
+            .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(r.stats().fallback_calls, 1);
+    }
+
+    #[test]
+    fn null_keys_yield_null() {
+        let (_, mut r) = runner(0.05, UdfConfig::default());
+        let out = r
+            .run_sql("SELECT llm_map('Which publisher published the superhero?', NULL, 'x')")
+            .unwrap();
+        assert!(out.rows[0][0].is_null());
+        assert_eq!(r.stats().fallback_calls, 0, "no model call for NULL keys");
+    }
+}

@@ -1,0 +1,34 @@
+//! # swan-data
+//!
+//! The SWAN benchmark (paper §3): four cross-domain databases —
+//! California Schools, Super Hero, Formula One, European Football — with
+//! 30 beyond-database questions each.
+//!
+//! For every domain this crate provides:
+//!
+//! * a deterministic **synthetic generator** for the *original* database
+//!   (the ground truth the paper takes from Bird/Kaggle — see DESIGN.md
+//!   for the substitution argument), scaled by [`GenConfig::scale`] with
+//!   scale 1.0 matching Table 1's statistics;
+//! * the **curation** step (§3.2): dropped columns/tables, retained value
+//!   lists (§3.3), and meaningful LLM-facing keys (§3.4);
+//! * the **schema expansions** HQDL materializes (§4.1);
+//! * **30 questions** with gold SQL, schema-expansion hybrid SQL, and
+//!   UDF hybrid SQL (§3.5);
+//! * ground-truth **facts + popularity + question phrasings** from which
+//!   [`benchmark::build_knowledge`] assembles the simulated model's
+//!   knowledge base.
+
+pub mod benchmark;
+pub mod builder;
+pub mod football;
+pub mod formula1;
+pub mod namegen;
+pub mod schools;
+pub mod superhero;
+pub mod types;
+
+pub use benchmark::{build_knowledge, SwanBenchmark};
+pub use types::{
+    CurationSpec, DomainData, Expansion, Fact, GenColumn, GenConfig, Question, QuestionPhrase,
+};

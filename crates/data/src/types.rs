@@ -1,0 +1,232 @@
+//! Shared benchmark types: domains, curation specs, expansions, questions.
+
+use swan_llm::{AttrClass, KnownValue};
+use swan_sqlengine::Database;
+
+/// Benchmark generation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Row-count multiplier. 1.0 reproduces the Table 1 statistics;
+    /// tests use small fractions for speed. Per-table minimums keep tiny
+    /// scales structurally valid.
+    pub scale: f64,
+    /// RNG seed for the synthetic data.
+    pub seed: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { scale: 1.0, seed: 0xB12D } // "BIRD"
+    }
+}
+
+impl GenConfig {
+    pub fn with_scale(scale: f64) -> Self {
+        GenConfig { scale, ..Default::default() }
+    }
+
+    /// Scale a paper-level row count, with a floor so small scales still
+    /// exercise every code path.
+    pub fn rows(&self, paper_rows: usize, min_rows: usize) -> usize {
+        ((paper_rows as f64 * self.scale) as usize).max(min_rows)
+    }
+}
+
+/// One column an expansion asks the LLM to generate.
+#[derive(Debug, Clone)]
+pub struct GenColumn {
+    pub name: String,
+    pub class: AttrClass,
+    /// Retained distinct values (paper §3.3 "value selection"); `None`
+    /// for free-form columns.
+    pub value_list: Option<Vec<String>>,
+}
+
+impl GenColumn {
+    pub fn selection(name: impl Into<String>, values: Vec<String>) -> Self {
+        GenColumn { name: name.into(), class: AttrClass::ValueSelection, value_list: Some(values) }
+    }
+
+    pub fn free_form(name: impl Into<String>) -> Self {
+        GenColumn { name: name.into(), class: AttrClass::FreeForm, value_list: None }
+    }
+
+    pub fn multi(name: impl Into<String>, values: Vec<String>) -> Self {
+        GenColumn { name: name.into(), class: AttrClass::MultiValue, value_list: Some(values) }
+    }
+}
+
+/// One LLM-generated table in the expanded schema (paper §4.1): the key
+/// attributes come from an existing curated table; the generated columns
+/// are the information the curation removed.
+#[derive(Debug, Clone)]
+pub struct Expansion {
+    /// Name of the materialized table, e.g. `llm_superhero`.
+    pub table: String,
+    /// Curated table supplying the key values.
+    pub base_table: String,
+    /// Meaningful key columns (§3.4), in order.
+    pub key_columns: Vec<String>,
+    /// Columns the LLM fills in.
+    pub generated: Vec<GenColumn>,
+}
+
+impl Expansion {
+    /// Full column list of the materialized table (keys first) — the
+    /// order used in row-completion prompts.
+    pub fn all_columns(&self) -> Vec<String> {
+        let mut cols = self.key_columns.clone();
+        cols.extend(self.generated.iter().map(|g| g.name.clone()));
+        cols
+    }
+}
+
+/// What curation removed from the original database (paper §3.2).
+#[derive(Debug, Clone, Default)]
+pub struct CurationSpec {
+    /// Columns dropped from surviving tables: (table, column).
+    pub dropped_columns: Vec<(String, String)>,
+    /// Tables dropped entirely (their column count still counts toward
+    /// the Table 1 "Dropped" statistic).
+    pub dropped_tables: Vec<(String, usize)>,
+    /// The schema expansions that re-introduce the dropped information.
+    pub expansions: Vec<Expansion>,
+}
+
+impl CurationSpec {
+    /// Total dropped-column count as reported in Table 1.
+    pub fn dropped_count(&self) -> usize {
+        self.dropped_columns.len() + self.dropped_tables.iter().map(|(_, n)| n).sum::<usize>()
+    }
+}
+
+/// A ground-truth fact: `attribute` of the entity identified by `key`.
+#[derive(Debug, Clone)]
+pub struct Fact {
+    pub key: Vec<String>,
+    pub attribute: String,
+    pub value: KnownValue,
+}
+
+/// A natural-language question one can register for UDF resolution,
+/// optionally with paraphrases (the caching ablation uses these).
+#[derive(Debug, Clone)]
+pub struct QuestionPhrase {
+    pub text: String,
+    pub attribute: String,
+}
+
+/// One beyond-database question with its three query forms (paper §3.5).
+#[derive(Debug, Clone)]
+pub struct Question {
+    /// Stable identifier, e.g. `superhero_q07`.
+    pub id: String,
+    /// Database key, e.g. `superhero`.
+    pub db: String,
+    /// The natural-language question.
+    pub text: String,
+    /// Gold SQL: runs on the *original* database; its result is the
+    /// ground-truth answer.
+    pub gold_sql: String,
+    /// Hybrid SQL for HQDL: runs on the curated database after the
+    /// `llm_*` tables are materialized.
+    pub hybrid_sql: String,
+    /// Hybrid SQL for the UDF solution: runs on the curated database with
+    /// `llm_map(...)` calls inline (BlendSQL style).
+    pub udf_sql: String,
+    /// Whether the gold query has a LIMIT clause (§5.3 discusses how this
+    /// skews execution accuracy).
+    pub has_limit: bool,
+    /// Generated attributes this question depends on.
+    pub attributes: Vec<String>,
+}
+
+/// Everything about one benchmark domain.
+#[derive(Debug, Clone)]
+pub struct DomainData {
+    /// Database key (`superhero`, `california_schools`, `formula_1`,
+    /// `european_football`).
+    pub name: String,
+    /// Pretty name for tables ("Super Hero").
+    pub display_name: String,
+    /// The original database — ground truth, target of gold SQL.
+    pub original: Database,
+    /// The curated database — what a hybrid-querying system gets.
+    pub curated: Database,
+    pub curation: CurationSpec,
+    /// Ground-truth facts for every (entity, generated attribute) pair.
+    pub facts: Vec<Fact>,
+    /// Entity popularity in [0,1], keyed the same way as facts.
+    pub popularity: Vec<(Vec<String>, f64)>,
+    /// NL question phrasings mapped to attributes (incl. paraphrases).
+    pub phrases: Vec<QuestionPhrase>,
+    /// The 30 beyond-database questions.
+    pub questions: Vec<Question>,
+}
+
+impl DomainData {
+    /// Table count of the curated database (Table 1 "Tables").
+    pub fn table_count(&self) -> usize {
+        self.curated.catalog().len()
+    }
+
+    /// Average rows per table of the curated database (Table 1).
+    pub fn avg_rows_per_table(&self) -> usize {
+        let names = self.curated.catalog().table_names();
+        if names.is_empty() {
+            return 0;
+        }
+        let total: usize = names
+            .iter()
+            .map(|n| self.curated.catalog().get(n).map_or(0, |t| t.len()))
+            .sum();
+        total / names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_config_scaling_with_floor() {
+        let c = GenConfig::with_scale(0.01);
+        assert_eq!(c.rows(10_000, 50), 100);
+        assert_eq!(c.rows(100, 50), 50, "floor applies");
+        let full = GenConfig::default();
+        assert_eq!(full.rows(9980, 50), 9980);
+    }
+
+    #[test]
+    fn expansion_column_order_keys_first() {
+        let e = Expansion {
+            table: "llm_t".into(),
+            base_table: "t".into(),
+            key_columns: vec!["a".into(), "b".into()],
+            generated: vec![GenColumn::free_form("c")],
+        };
+        assert_eq!(e.all_columns(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn dropped_count_includes_dropped_tables() {
+        let spec = CurationSpec {
+            dropped_columns: vec![("t".into(), "x".into()), ("t".into(), "y".into())],
+            dropped_tables: vec![("p".into(), 2), ("q".into(), 3)],
+            expansions: vec![],
+        };
+        assert_eq!(spec.dropped_count(), 7);
+    }
+
+    #[test]
+    fn gen_column_constructors() {
+        let s = GenColumn::selection("publisher", vec!["M".into()]);
+        assert_eq!(s.class, AttrClass::ValueSelection);
+        assert!(s.value_list.is_some());
+        let f = GenColumn::free_form("url");
+        assert_eq!(f.class, AttrClass::FreeForm);
+        assert!(f.value_list.is_none());
+        let m = GenColumn::multi("powers", vec!["Flight".into()]);
+        assert_eq!(m.class, AttrClass::MultiValue);
+    }
+}

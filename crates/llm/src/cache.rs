@@ -1,0 +1,228 @@
+//! LLM response caching.
+//!
+//! BlendSQL "caches LLM-generated content as a mapping from input prompts
+//! to LLM output answers" (§5.5), which the paper shows is too weak:
+//! semantically equivalent prompts miss. This module provides both that
+//! exact-prompt cache and the normalized "semantic" variant discussed in
+//! §4.3, so the caching ablation can compare policies.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::model::{Completion, LanguageModel, LlmResult};
+use crate::usage::UsageReport;
+
+/// Cache key policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// No caching: every call goes to the model.
+    None,
+    /// Exact prompt-string match (BlendSQL's behaviour).
+    Exact,
+    /// Case/punctuation/whitespace-normalized prompt match — a cheap
+    /// stand-in for the §4.3 "query rewriting to reuse cached data" idea.
+    Normalized,
+}
+
+/// Statistics for one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheStats {
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// A prompt→completion cache wrapping a model.
+pub struct CachedModel<M> {
+    inner: M,
+    policy: CachePolicy,
+    state: Mutex<CacheState>,
+}
+
+#[derive(Default)]
+struct CacheState {
+    entries: HashMap<String, Completion>,
+    stats: CacheStats,
+}
+
+impl<M: LanguageModel> CachedModel<M> {
+    pub fn new(inner: M, policy: CachePolicy) -> Self {
+        CachedModel { inner, policy, state: Mutex::new(CacheState::default()) }
+    }
+
+    fn key(&self, prompt: &str) -> String {
+        match self.policy {
+            CachePolicy::None | CachePolicy::Exact => prompt.to_string(),
+            CachePolicy::Normalized => normalize_prompt(prompt),
+        }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().stats
+    }
+
+    pub fn clear(&self) {
+        let mut st = self.state.lock();
+        st.entries.clear();
+        st.stats = CacheStats::default();
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for CachedModel<M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn complete(&self, prompt: &str) -> LlmResult<Completion> {
+        if self.policy == CachePolicy::None {
+            return self.inner.complete(prompt);
+        }
+        let key = self.key(prompt);
+        {
+            let mut st = self.state.lock();
+            if let Some(hit) = st.entries.get(&key).cloned() {
+                st.stats.hits += 1;
+                // A cache hit costs no tokens: return the text with zero
+                // marginal usage (the inner meter is not touched).
+                return Ok(Completion { text: hit.text, tokens: Default::default() });
+            }
+            st.stats.misses += 1;
+        }
+        let out = self.inner.complete(prompt)?;
+        self.state.lock().entries.insert(key, out.clone());
+        Ok(out)
+    }
+
+    fn usage_meter(&self) -> &crate::usage::UsageMeter {
+        self.inner.usage_meter()
+    }
+
+    fn usage(&self) -> UsageReport {
+        self.inner.usage()
+    }
+}
+
+/// Normalize a prompt: lowercase, collapse non-alphanumerics to single
+/// spaces. Two phrasings that differ only in casing/punctuation share a
+/// cache entry.
+pub fn normalize_prompt(p: &str) -> String {
+    crate::knowledge::normalize_question(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::TokenCount;
+    use crate::usage::UsageMeter;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct CountingModel {
+        calls: AtomicU64,
+        meter: UsageMeter,
+    }
+
+    impl CountingModel {
+        fn new() -> Self {
+            CountingModel { calls: AtomicU64::new(0), meter: UsageMeter::new() }
+        }
+    }
+
+    impl LanguageModel for CountingModel {
+        fn name(&self) -> &str {
+            "counting"
+        }
+        fn complete(&self, prompt: &str) -> LlmResult<Completion> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            let tokens = TokenCount::of(prompt, "ok");
+            self.meter.record(tokens);
+            Ok(Completion { text: format!("answer to: {prompt}"), tokens })
+        }
+        fn usage_meter(&self) -> &UsageMeter {
+            &self.meter
+        }
+    }
+
+    #[test]
+    fn exact_cache_hits_identical_prompts_only() {
+        let m = CachedModel::new(CountingModel::new(), CachePolicy::Exact);
+        m.complete("Is the player taller than 180cm?").unwrap();
+        m.complete("Is the player taller than 180cm?").unwrap();
+        m.complete("is the player TALLER than 180cm???").unwrap();
+        assert_eq!(m.inner().calls.load(Ordering::Relaxed), 2);
+        assert_eq!(m.stats(), CacheStats { hits: 1, misses: 2 });
+    }
+
+    #[test]
+    fn normalized_cache_hits_paraphrases_modulo_punctuation() {
+        let m = CachedModel::new(CountingModel::new(), CachePolicy::Normalized);
+        m.complete("Is the player taller than 180cm?").unwrap();
+        m.complete("is the player TALLER than 180cm???").unwrap();
+        assert_eq!(m.inner().calls.load(Ordering::Relaxed), 1);
+        assert_eq!(m.stats().hits, 1);
+    }
+
+    #[test]
+    fn none_policy_never_caches() {
+        let m = CachedModel::new(CountingModel::new(), CachePolicy::None);
+        m.complete("x").unwrap();
+        m.complete("x").unwrap();
+        assert_eq!(m.inner().calls.load(Ordering::Relaxed), 2);
+        assert_eq!(m.stats().lookups(), 0);
+    }
+
+    #[test]
+    fn cache_hits_cost_zero_tokens() {
+        let m = CachedModel::new(CountingModel::new(), CachePolicy::Exact);
+        let first = m.complete("pricey prompt").unwrap();
+        assert!(first.tokens.input > 0);
+        let before = m.usage();
+        let second = m.complete("pricey prompt").unwrap();
+        assert_eq!(second.tokens, TokenCount::default());
+        assert_eq!(m.usage(), before, "no new usage on a hit");
+        assert_eq!(second.text, first.text);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let m = CachedModel::new(CountingModel::new(), CachePolicy::Exact);
+        m.complete("a").unwrap();
+        assert_eq!(m.len(), 1);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert_eq!(s.lookups(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

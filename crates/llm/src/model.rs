@@ -1,0 +1,156 @@
+//! The language-model abstraction.
+//!
+//! Everything downstream (HQDL, hybrid-query UDFs, the benchmarks) talks to
+//! a [`LanguageModel`]: text prompt in, text completion out, token usage
+//! recorded. The production implementation in this repository is the
+//! calibrated simulator in [`crate::sim`]; a real OpenAI-backed client
+//! would implement the same trait.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::tokenizer::TokenCount;
+use crate::usage::{UsageMeter, UsageReport};
+
+/// Model families the benchmark evaluates (paper §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Simulates `gpt-3.5-turbo`.
+    Gpt35Turbo,
+    /// Simulates `gpt-4-turbo`.
+    Gpt4Turbo,
+}
+
+impl ModelKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Gpt35Turbo => "gpt-3.5-turbo-sim",
+            ModelKind::Gpt4Turbo => "gpt-4-turbo-sim",
+        }
+    }
+
+    /// Display label used in the result tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelKind::Gpt35Turbo => "GPT-3.5 Turbo",
+            ModelKind::Gpt4Turbo => "GPT-4 Turbo",
+        }
+    }
+
+    pub const ALL: [ModelKind; 2] = [ModelKind::Gpt35Turbo, ModelKind::Gpt4Turbo];
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One completion: the generated text and the tokens it cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    pub text: String,
+    pub tokens: TokenCount,
+}
+
+/// Errors a model call can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LlmError {
+    /// The prompt did not match any format the model can serve.
+    BadPrompt(String),
+    /// Transport/internal failure (unused by the simulator, present for
+    /// API parity with a real client).
+    Backend(String),
+}
+
+impl fmt::Display for LlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LlmError::BadPrompt(m) => write!(f, "bad prompt: {m}"),
+            LlmError::Backend(m) => write!(f, "backend error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}
+
+pub type LlmResult<T> = Result<T, LlmError>;
+
+/// A text-in / text-out language model with usage accounting.
+///
+/// Implementations must be `Send + Sync`: the parallel executor fans
+/// prompts out across threads (paper §6's "parallel hybrid query
+/// execution").
+pub trait LanguageModel: Send + Sync {
+    /// Model identifier (e.g. `gpt-4-turbo-sim`).
+    fn name(&self) -> &str;
+
+    /// Complete a prompt at temperature 0 (all benchmark calls use
+    /// temperature 0, §5.2). Must record usage on the meter.
+    fn complete(&self, prompt: &str) -> LlmResult<Completion>;
+
+    /// The usage meter for this model instance.
+    fn usage_meter(&self) -> &UsageMeter;
+
+    /// Convenience: current usage totals.
+    fn usage(&self) -> UsageReport {
+        self.usage_meter().snapshot()
+    }
+}
+
+/// A shareable model handle.
+pub type ModelHandle = Arc<dyn LanguageModel>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::count_tokens;
+
+    /// A trivial echo model used by unit tests elsewhere in the crate.
+    pub struct EchoModel {
+        meter: UsageMeter,
+    }
+
+    impl EchoModel {
+        pub fn new() -> Self {
+            EchoModel { meter: UsageMeter::new() }
+        }
+    }
+
+    impl LanguageModel for EchoModel {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn complete(&self, prompt: &str) -> LlmResult<Completion> {
+            let tokens = TokenCount { input: count_tokens(prompt), output: count_tokens(prompt) };
+            self.meter.record(tokens);
+            Ok(Completion { text: prompt.to_string(), tokens })
+        }
+        fn usage_meter(&self) -> &UsageMeter {
+            &self.meter
+        }
+    }
+
+    #[test]
+    fn model_kind_names() {
+        assert_eq!(ModelKind::Gpt35Turbo.name(), "gpt-3.5-turbo-sim");
+        assert_eq!(ModelKind::Gpt4Turbo.label(), "GPT-4 Turbo");
+        assert_eq!(ModelKind::ALL.len(), 2);
+    }
+
+    #[test]
+    fn echo_model_records_usage() {
+        let m = EchoModel::new();
+        m.complete("hello world").unwrap();
+        m.complete("again").unwrap();
+        let u = m.usage();
+        assert_eq!(u.calls, 2);
+        assert!(u.input_tokens > 0);
+        assert_eq!(u.input_tokens, u.output_tokens);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(LlmError::BadPrompt("x".into()).to_string(), "bad prompt: x");
+    }
+}

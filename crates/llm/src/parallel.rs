@@ -1,0 +1,149 @@
+//! Parallel LLM call execution.
+//!
+//! The paper's future-work list (§6) calls for "asynchronous and parallel
+//! hybrid query execution". This module provides the building block: fan a
+//! batch of prompts across worker threads against one (thread-safe) model,
+//! preserving input order in the output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::model::{Completion, LanguageModel, LlmResult};
+
+/// Execute `prompts` against `model` on up to `workers` threads.
+///
+/// Results come back in prompt order. With `workers <= 1` the calls run
+/// inline (the sequential baseline for the parallelism ablation).
+pub fn complete_many(
+    model: &dyn LanguageModel,
+    prompts: &[String],
+    workers: usize,
+) -> Vec<LlmResult<Completion>> {
+    if prompts.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(prompts.len());
+    if workers == 1 {
+        return prompts.iter().map(|p| model.complete(p)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<LlmResult<Completion>>> =
+        (0..prompts.len()).map(|_| None).collect();
+
+    crossbeam::scope(|scope| {
+        // Each worker pulls indices from a shared atomic counter
+        // (work-stealing by contention) and returns its local results.
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= prompts.len() {
+                            break;
+                        }
+                        local.push((i, model.complete(&prompts[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("LLM worker thread panicked") {
+                results[i] = Some(r);
+            }
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every prompt slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::TokenCount;
+    use crate::usage::UsageMeter;
+    use std::sync::atomic::AtomicU64;
+
+    struct SlowEcho {
+        meter: UsageMeter,
+        max_in_flight: AtomicU64,
+        in_flight: AtomicU64,
+    }
+
+    impl SlowEcho {
+        fn new() -> Self {
+            SlowEcho {
+                meter: UsageMeter::new(),
+                max_in_flight: AtomicU64::new(0),
+                in_flight: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl LanguageModel for SlowEcho {
+        fn name(&self) -> &str {
+            "slow-echo"
+        }
+        fn complete(&self, prompt: &str) -> LlmResult<Completion> {
+            let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+            self.max_in_flight.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            let tokens = TokenCount::of(prompt, prompt);
+            self.meter.record(tokens);
+            Ok(Completion { text: prompt.to_string(), tokens })
+        }
+        fn usage_meter(&self) -> &UsageMeter {
+            &self.meter
+        }
+    }
+
+    #[test]
+    fn preserves_order() {
+        let model = SlowEcho::new();
+        let prompts: Vec<String> = (0..20).map(|i| format!("p{i}")).collect();
+        let out = complete_many(&model, &prompts, 4);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap().text, format!("p{i}"));
+        }
+        assert_eq!(model.usage().calls, 20);
+    }
+
+    #[test]
+    fn actually_runs_concurrently() {
+        let model = SlowEcho::new();
+        let prompts: Vec<String> = (0..16).map(|i| format!("p{i}")).collect();
+        complete_many(&model, &prompts, 8);
+        assert!(
+            model.max_in_flight.load(Ordering::SeqCst) >= 2,
+            "no concurrency observed"
+        );
+    }
+
+    #[test]
+    fn sequential_path_for_one_worker() {
+        let model = SlowEcho::new();
+        let prompts: Vec<String> = (0..4).map(|i| format!("p{i}")).collect();
+        complete_many(&model, &prompts, 1);
+        assert_eq!(model.max_in_flight.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let model = SlowEcho::new();
+        assert!(complete_many(&model, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn workers_capped_to_prompt_count() {
+        let model = SlowEcho::new();
+        let prompts = vec!["only".to_string()];
+        let out = complete_many(&model, &prompts, 64);
+        assert_eq!(out.len(), 1);
+    }
+}

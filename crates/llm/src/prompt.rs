@@ -1,0 +1,551 @@
+//! Prompt templates and their inverse parsers.
+//!
+//! Two prompt families, mirroring the paper:
+//!
+//! * [`RowCompletionPrompt`] — HQDL's schema-expansion prompt (§4.1.1):
+//!   given the key attributes of one entity, the model fills in every
+//!   missing column of the row ("Target Entry: 'A','B',?,?,…").
+//! * [`UdfPrompt`] — the hybrid-query-UDF prompt (§4.2/§5.2): a natural
+//!   language question plus a *batch* of keys (BlendSQL's default batch
+//!   size is 5); the model answers one value per key.
+//!
+//! Because the repository's language model is a simulator, each template
+//! has a strict `parse` inverse: render → text → parse must round-trip.
+//! A real LLM sees exactly the same text.
+
+use crate::model::{LlmError, LlmResult};
+
+// ---- quoted-CSV row handling ----------------------------------------------
+
+/// One field of a quoted row: a value or a `?` placeholder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Field {
+    Value(String),
+    Missing,
+}
+
+/// Render fields as `'a', 'b''c', ?` (single quotes doubled).
+pub fn render_row(fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| match f {
+            Field::Value(v) => format!("'{}'", v.replace('\'', "''")),
+            Field::Missing => "?".to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Render a row of plain values.
+pub fn render_value_row(values: &[String]) -> String {
+    let fields: Vec<Field> = values.iter().map(|v| Field::Value(v.clone())).collect();
+    render_row(&fields)
+}
+
+/// Parse a quoted row. Tolerates unquoted bare fields (LLM sloppiness),
+/// empty fields, and missing markers.
+pub fn parse_row(line: &str) -> Vec<Field> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    let n = bytes.len();
+    while i < n {
+        // Skip leading whitespace.
+        while i < n && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        if i >= n {
+            // Trailing comma produced an empty final field.
+            out.push(Field::Value(String::new()));
+            break;
+        }
+        if bytes[i] == b'\'' {
+            // Quoted field with '' escaping.
+            let mut val = String::new();
+            i += 1;
+            loop {
+                if i >= n {
+                    break; // Unterminated quote: accept what we have.
+                }
+                if bytes[i] == b'\'' {
+                    if i + 1 < n && bytes[i + 1] == b'\'' {
+                        val.push('\'');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    let len = utf8_len(bytes[i]);
+                    val.push_str(&line[i..i + len]);
+                    i += len;
+                }
+            }
+            out.push(Field::Value(val));
+            // Skip to the next comma.
+            while i < n && bytes[i] != b',' {
+                i += 1;
+            }
+        } else {
+            // Bare field up to the next comma.
+            let start = i;
+            while i < n && bytes[i] != b',' {
+                i += 1;
+            }
+            let raw = line[start..i].trim();
+            if raw == "?" {
+                out.push(Field::Missing);
+            } else {
+                out.push(Field::Value(raw.to_string()));
+            }
+        }
+        if i < n && bytes[i] == b',' {
+            i += 1;
+            if i >= n {
+                out.push(Field::Value(String::new()));
+            }
+        }
+    }
+    out
+}
+
+/// Extract the plain values of a parsed row (missing fields become empty).
+pub fn row_values(fields: &[Field]) -> Vec<String> {
+    fields
+        .iter()
+        .map(|f| match f {
+            Field::Value(v) => v.clone(),
+            Field::Missing => String::new(),
+        })
+        .collect()
+}
+
+#[inline]
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+// ---- row-completion prompt (HQDL) -----------------------------------------
+
+/// A few-shot demonstration for row completion: the key fields and the
+/// full answer row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowExample {
+    pub key: Vec<String>,
+    pub answer: Vec<String>,
+}
+
+/// The HQDL schema-expansion prompt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowCompletionPrompt {
+    /// Database the entity lives in (e.g. `superhero`).
+    pub db: String,
+    /// Full column list of the expanded row, key columns first.
+    pub columns: Vec<String>,
+    /// How many leading columns form the key.
+    pub key_len: usize,
+    /// Value lists for value-selection columns (paper §3.3).
+    pub value_lists: Vec<(String, Vec<String>)>,
+    /// Few-shot demonstrations (0 = zero-shot).
+    pub examples: Vec<RowExample>,
+    /// Key values of the target entity.
+    pub target_key: Vec<String>,
+}
+
+impl RowCompletionPrompt {
+    /// Render to the prompt text sent to the model.
+    pub fn render(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str(&format!(
+            "Your task is to fill in the missing values in the target entry from the `{}` database.\n",
+            self.db
+        ));
+        s.push_str("Return a single row with no explanation.\n");
+        let cols: Vec<String> = self.columns.iter().map(|c| format!("`{c}`")).collect();
+        s.push_str(&format!("The columns are: {}.\n", cols.join(", ")));
+        for (col, values) in &self.value_lists {
+            let vals: Vec<String> =
+                values.iter().map(|v| format!("'{}'", v.replace('\'', "''"))).collect();
+            s.push_str(&format!(
+                "The possible values for `{col}` are [{}].\n",
+                vals.join(", ")
+            ));
+        }
+        for ex in &self.examples {
+            s.push_str(&format!("Example Entry: {}\n", self.entry_row(&ex.key)));
+            s.push_str(&format!("Example Answer: {}\n", render_value_row(&ex.answer)));
+        }
+        s.push_str(&format!("Target Entry: {}\n", self.entry_row(&self.target_key)));
+        s.push_str(&format!(
+            "The output should consist of a single row containing {} fields.\n",
+            self.columns.len()
+        ));
+        s.push_str("Answer:");
+        s
+    }
+
+    fn entry_row(&self, key: &[String]) -> String {
+        let mut fields: Vec<Field> = key.iter().map(|k| Field::Value(k.clone())).collect();
+        fields.extend(std::iter::repeat_n(Field::Missing, self.columns.len() - self.key_len));
+        render_row(&fields)
+    }
+
+    /// Parse a rendered prompt back (the simulator's inverse).
+    pub fn parse(text: &str) -> LlmResult<RowCompletionPrompt> {
+        let mut db = None;
+        let mut columns: Vec<String> = Vec::new();
+        let mut value_lists = Vec::new();
+        let mut examples: Vec<RowExample> = Vec::new();
+        let mut pending_example_key: Option<Vec<String>> = None;
+        let mut target_key = None;
+        let mut key_len = 0usize;
+
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix(
+                "Your task is to fill in the missing values in the target entry from the `",
+            ) {
+                db = rest.split('`').next().map(str::to_string);
+            } else if let Some(rest) = line.strip_prefix("The columns are: ") {
+                columns = rest
+                    .trim_end_matches('.')
+                    .split(',')
+                    .map(|c| c.trim().trim_matches('`').to_string())
+                    .filter(|c| !c.is_empty())
+                    .collect();
+            } else if let Some(rest) = line.strip_prefix("The possible values for `") {
+                let mut parts = rest.splitn(2, "` are [");
+                let col = parts.next().unwrap_or_default().to_string();
+                let vals_raw = parts
+                    .next()
+                    .ok_or_else(|| LlmError::BadPrompt("malformed value list".into()))?
+                    .trim_end_matches(['.', ']'].as_ref());
+                let fields = parse_row(vals_raw);
+                value_lists.push((col, row_values(&fields)));
+            } else if let Some(rest) = line.strip_prefix("Example Entry: ") {
+                let fields = parse_row(rest);
+                let key: Vec<String> = fields
+                    .iter()
+                    .take_while(|f| matches!(f, Field::Value(_)))
+                    .map(|f| match f {
+                        Field::Value(v) => v.clone(),
+                        Field::Missing => unreachable!(),
+                    })
+                    .collect();
+                pending_example_key = Some(key);
+            } else if let Some(rest) = line.strip_prefix("Example Answer: ") {
+                let answer = row_values(&parse_row(rest));
+                if let Some(key) = pending_example_key.take() {
+                    examples.push(RowExample { key, answer });
+                }
+            } else if let Some(rest) = line.strip_prefix("Target Entry: ") {
+                let fields = parse_row(rest);
+                let key: Vec<String> = fields
+                    .iter()
+                    .take_while(|f| matches!(f, Field::Value(_)))
+                    .map(|f| match f {
+                        Field::Value(v) => v.clone(),
+                        Field::Missing => unreachable!(),
+                    })
+                    .collect();
+                key_len = key.len();
+                target_key = Some(key);
+            }
+        }
+
+        let db = db.ok_or_else(|| LlmError::BadPrompt("missing database line".into()))?;
+        if columns.is_empty() {
+            return Err(LlmError::BadPrompt("missing column list".into()));
+        }
+        let target_key =
+            target_key.ok_or_else(|| LlmError::BadPrompt("missing target entry".into()))?;
+        if key_len == 0 || key_len > columns.len() {
+            return Err(LlmError::BadPrompt("target entry has no key fields".into()));
+        }
+        Ok(RowCompletionPrompt { db, columns, key_len, value_lists, examples, target_key })
+    }
+
+    /// Is this prompt in row-completion format? (cheap sniff)
+    pub fn matches(text: &str) -> bool {
+        text.starts_with("Your task is to fill in the missing values")
+    }
+}
+
+// ---- UDF prompt (BlendSQL-style) ------------------------------------------
+
+/// A question/answer demonstration pair for the UDF prompt (§5.2: "a
+/// natural language question, an example database key, and the answer").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdfExample {
+    pub key: Vec<String>,
+    pub answer: String,
+}
+
+/// The hybrid-query-UDF prompt: one question, a batch of keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdfPrompt {
+    pub db: String,
+    /// The natural-language question, e.g. "What is the driver code?".
+    pub question: String,
+    /// Optional value list to select from.
+    pub value_list: Option<Vec<String>>,
+    /// Few-shot demonstrations.
+    pub examples: Vec<UdfExample>,
+    /// The batch of keys to answer for (BlendSQL default batch = 5).
+    pub keys: Vec<Vec<String>>,
+}
+
+impl UdfPrompt {
+    pub fn render(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str(&format!(
+            "You are answering a question about entities in the `{}` database.\n",
+            self.db
+        ));
+        s.push_str(&format!("Question: {}\n", self.question));
+        s.push_str("Answer with exactly one value per key line, in order, with no explanation.\n");
+        if let Some(values) = &self.value_list {
+            let vals: Vec<String> =
+                values.iter().map(|v| format!("'{}'", v.replace('\'', "''"))).collect();
+            s.push_str(&format!("The possible values are [{}].\n", vals.join(", ")));
+        }
+        for ex in &self.examples {
+            s.push_str(&format!("Example Key: {}\n", render_value_row(&ex.key)));
+            s.push_str(&format!("Example Answer: '{}'\n", ex.answer.replace('\'', "''")));
+        }
+        s.push_str("Keys:\n");
+        for k in &self.keys {
+            s.push_str(&format!("{}\n", render_value_row(k)));
+        }
+        s.push_str("Answer:");
+        s
+    }
+
+    pub fn parse(text: &str) -> LlmResult<UdfPrompt> {
+        let mut db = None;
+        let mut question = None;
+        let mut value_list = None;
+        let mut examples: Vec<UdfExample> = Vec::new();
+        let mut pending_key: Option<Vec<String>> = None;
+        let mut keys = Vec::new();
+        let mut in_keys = false;
+
+        for line in text.lines() {
+            let line = line.trim();
+            if in_keys {
+                if line == "Answer:" {
+                    break;
+                }
+                if !line.is_empty() {
+                    keys.push(row_values(&parse_row(line)));
+                }
+                continue;
+            }
+            if let Some(rest) =
+                line.strip_prefix("You are answering a question about entities in the `")
+            {
+                db = rest.split('`').next().map(str::to_string);
+            } else if let Some(rest) = line.strip_prefix("Question: ") {
+                question = Some(rest.to_string());
+            } else if let Some(rest) = line.strip_prefix("The possible values are [") {
+                let vals_raw = rest.trim_end_matches(['.', ']'].as_ref());
+                value_list = Some(row_values(&parse_row(vals_raw)));
+            } else if let Some(rest) = line.strip_prefix("Example Key: ") {
+                pending_key = Some(row_values(&parse_row(rest)));
+            } else if let Some(rest) = line.strip_prefix("Example Answer: ") {
+                if let Some(key) = pending_key.take() {
+                    let answer = row_values(&parse_row(rest))
+                        .into_iter()
+                        .next()
+                        .unwrap_or_default();
+                    examples.push(UdfExample { key, answer });
+                }
+            } else if line == "Keys:" {
+                in_keys = true;
+            }
+        }
+
+        let db = db.ok_or_else(|| LlmError::BadPrompt("missing database line".into()))?;
+        let question =
+            question.ok_or_else(|| LlmError::BadPrompt("missing question line".into()))?;
+        if keys.is_empty() {
+            return Err(LlmError::BadPrompt("no keys in batch".into()));
+        }
+        Ok(UdfPrompt { db, question, value_list, examples, keys })
+    }
+
+    pub fn matches(text: &str) -> bool {
+        text.starts_with("You are answering a question about entities in the `")
+    }
+}
+
+/// Parse a UDF completion: one value per line, optionally quoted.
+pub fn parse_udf_response(text: &str) -> Vec<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            row_values(&parse_row(l))
+                .into_iter()
+                .next()
+                .unwrap_or_default()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_roundtrip() {
+        let fields = vec![
+            Field::Value("3-D Man".into()),
+            Field::Value("Charles Chandler".into()),
+            Field::Missing,
+            Field::Value("it's".into()),
+        ];
+        let s = render_row(&fields);
+        assert_eq!(s, "'3-D Man', 'Charles Chandler', ?, 'it''s'");
+        assert_eq!(parse_row(&s), fields);
+    }
+
+    #[test]
+    fn parse_row_tolerates_bare_fields() {
+        let fields = parse_row("Marvel Comics, 'Good', ?");
+        assert_eq!(
+            fields,
+            vec![
+                Field::Value("Marvel Comics".into()),
+                Field::Value("Good".into()),
+                Field::Missing,
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_row_handles_empty_and_unicode() {
+        assert_eq!(parse_row(""), Vec::<Field>::new());
+        let f = parse_row("'héro — ok', ''");
+        assert_eq!(f[0], Field::Value("héro — ok".into()));
+        assert_eq!(f[1], Field::Value("".into()));
+    }
+
+    fn sample_prompt() -> RowCompletionPrompt {
+        RowCompletionPrompt {
+            db: "superhero".into(),
+            columns: vec![
+                "superhero_name".into(),
+                "full_name".into(),
+                "publisher_name".into(),
+                "moral_alignment".into(),
+            ],
+            key_len: 2,
+            value_lists: vec![(
+                "publisher_name".into(),
+                vec!["Marvel Comics".into(), "DC Comics".into()],
+            )],
+            examples: vec![RowExample {
+                key: vec!["3-D Man".into(), "Charles Chandler".into()],
+                answer: vec![
+                    "3-D Man".into(),
+                    "Charles Chandler".into(),
+                    "Marvel Comics".into(),
+                    "Good".into(),
+                ],
+            }],
+            target_key: vec!["Batman".into(), "Bruce Wayne".into()],
+        }
+    }
+
+    #[test]
+    fn row_completion_render_parse_roundtrip() {
+        let p = sample_prompt();
+        let text = p.render();
+        assert!(RowCompletionPrompt::matches(&text));
+        assert!(!UdfPrompt::matches(&text));
+        let back = RowCompletionPrompt::parse(&text).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn zero_shot_prompt_has_no_examples() {
+        let mut p = sample_prompt();
+        p.examples.clear();
+        let text = p.render();
+        assert!(!text.contains("Example"));
+        assert_eq!(RowCompletionPrompt::parse(&text).unwrap().examples.len(), 0);
+    }
+
+    #[test]
+    fn prompt_text_matches_paper_shape() {
+        let text = sample_prompt().render();
+        assert!(text.contains("fill in the missing values"));
+        assert!(text.contains("Return a single row with no explanation."), "No-Explanation rule");
+        assert!(text.contains("The possible values for `publisher_name`"));
+        assert!(text.contains("Target Entry: 'Batman', 'Bruce Wayne', ?, ?"));
+        assert!(text.ends_with("Answer:"));
+    }
+
+    fn sample_udf_prompt() -> UdfPrompt {
+        UdfPrompt {
+            db: "formula_1".into(),
+            question: "What is the driver code?".into(),
+            value_list: None,
+            examples: vec![UdfExample {
+                key: vec!["Lewis Hamilton".into()],
+                answer: "HAM".into(),
+            }],
+            keys: vec![
+                vec!["Max Verstappen".into()],
+                vec!["Fernando Alonso".into()],
+            ],
+        }
+    }
+
+    #[test]
+    fn udf_render_parse_roundtrip() {
+        let p = sample_udf_prompt();
+        let text = p.render();
+        assert!(UdfPrompt::matches(&text));
+        assert!(!RowCompletionPrompt::matches(&text));
+        let back = UdfPrompt::parse(&text).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn udf_prompt_with_value_list_roundtrip() {
+        let mut p = sample_udf_prompt();
+        p.value_list = Some(vec!["Marvel Comics".into(), "DC Comics".into()]);
+        let back = UdfPrompt::parse(&p.render()).unwrap();
+        assert_eq!(back.value_list, p.value_list);
+    }
+
+    #[test]
+    fn udf_response_parsing() {
+        let vals = parse_udf_response("'VER'\n'ALO'\n");
+        assert_eq!(vals, vec!["VER", "ALO"]);
+        let vals = parse_udf_response("plain\n'quoted'");
+        assert_eq!(vals, vec!["plain", "quoted"]);
+        assert!(parse_udf_response("").is_empty());
+    }
+
+    #[test]
+    fn composite_keys_roundtrip() {
+        let mut p = sample_udf_prompt();
+        p.keys = vec![vec!["Spider-Man".into(), "Peter Parker".into()]];
+        let back = UdfPrompt::parse(&p.render()).unwrap();
+        assert_eq!(back.keys[0], vec!["Spider-Man".to_string(), "Peter Parker".to_string()]);
+    }
+
+    #[test]
+    fn malformed_prompts_error() {
+        assert!(RowCompletionPrompt::parse("nonsense").is_err());
+        assert!(UdfPrompt::parse("Question: hmm").is_err());
+    }
+}

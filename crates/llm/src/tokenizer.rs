@@ -1,0 +1,122 @@
+//! Approximate sub-word tokenizer for cost accounting.
+//!
+//! The paper reports monetary cost via input/output token counts (§5.1,
+//! Table 5). We do not need byte-exact GPT tokenization — only a stable,
+//! deterministic count with the right order of magnitude. This tokenizer
+//! follows the common "≈4 characters per token, punctuation splits" rule
+//! that OpenAI documents as a rule of thumb, implemented as:
+//!
+//! * runs of alphanumerics become ceil(len/4) tokens (sub-word pieces);
+//! * every punctuation/symbol character is its own token;
+//! * whitespace separates but does not count.
+
+/// Count tokens in `text`.
+pub fn count_tokens(text: &str) -> u64 {
+    let mut tokens: u64 = 0;
+    let mut run_len: usize = 0;
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            run_len += 1;
+        } else {
+            if run_len > 0 {
+                tokens += run_len.div_ceil(4) as u64;
+                run_len = 0;
+            }
+            if !ch.is_whitespace() {
+                tokens += 1;
+            }
+        }
+    }
+    if run_len > 0 {
+        tokens += run_len.div_ceil(4) as u64;
+    }
+    tokens
+}
+
+/// Token counts for a prompt/response pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TokenCount {
+    pub input: u64,
+    pub output: u64,
+}
+
+impl TokenCount {
+    pub fn of(prompt: &str, response: &str) -> Self {
+        TokenCount { input: count_tokens(prompt), output: count_tokens(response) }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.input + self.output
+    }
+}
+
+impl std::ops::Add for TokenCount {
+    type Output = TokenCount;
+    fn add(self, rhs: TokenCount) -> TokenCount {
+        TokenCount { input: self.input + rhs.input, output: self.output + rhs.output }
+    }
+}
+
+impl std::ops::AddAssign for TokenCount {
+    fn add_assign(&mut self, rhs: TokenCount) {
+        self.input += rhs.input;
+        self.output += rhs.output;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert_eq!(count_tokens(""), 0);
+        assert_eq!(count_tokens("   \n\t"), 0);
+    }
+
+    #[test]
+    fn short_words_one_token() {
+        assert_eq!(count_tokens("the"), 1);
+        assert_eq!(count_tokens("a b c"), 3);
+    }
+
+    #[test]
+    fn long_words_split_into_pieces() {
+        assert_eq!(count_tokens("superhero"), 3, "9 chars -> ceil(9/4) = 3");
+        assert_eq!(count_tokens("supercalifragilistic"), 5, "20 chars -> 5");
+    }
+
+    #[test]
+    fn punctuation_counts_individually() {
+        assert_eq!(count_tokens("a,b"), 3);
+        assert_eq!(count_tokens("'x'"), 3);
+        // `SELECT * FROM t;` = 2 + 1 + 1 + 1 + 1
+        assert_eq!(count_tokens("SELECT * FROM t;"), 6);
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = "The quick brown fox jumps over 13 lazy dogs — twice!";
+        assert_eq!(count_tokens(s), count_tokens(s));
+    }
+
+    #[test]
+    fn roughly_four_chars_per_token_on_prose() {
+        let prose = "Your task is to fill in the missing values in the target entry \
+                     from the superhero database and return a single row";
+        let t = count_tokens(prose) as f64;
+        let chars = prose.len() as f64;
+        let ratio = chars / t;
+        assert!((3.0..6.5).contains(&ratio), "chars/token = {ratio}");
+    }
+
+    #[test]
+    fn token_count_arithmetic() {
+        let a = TokenCount { input: 10, output: 2 };
+        let b = TokenCount { input: 5, output: 1 };
+        assert_eq!((a + b).total(), 18);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.input, 15);
+    }
+}

@@ -1,0 +1,163 @@
+//! Token-usage and monetary-cost accounting.
+//!
+//! Every [`LanguageModel`](crate::model::LanguageModel) carries a
+//! [`UsageMeter`]; pipelines snapshot it before/after a run to report the
+//! Table 5 numbers (total input/output tokens) and a dollar estimate using
+//! the paper's §5.1 pricing ($3 / $6 per million tokens for GPT-3.5 Turbo).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::tokenizer::TokenCount;
+
+/// Thread-safe accumulator of LLM usage.
+#[derive(Debug, Default)]
+pub struct UsageMeter {
+    input_tokens: AtomicU64,
+    output_tokens: AtomicU64,
+    calls: AtomicU64,
+}
+
+impl UsageMeter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one call's token usage.
+    pub fn record(&self, tokens: TokenCount) {
+        self.input_tokens.fetch_add(tokens.input, Ordering::Relaxed);
+        self.output_tokens.fetch_add(tokens.output, Ordering::Relaxed);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current totals.
+    pub fn snapshot(&self) -> UsageReport {
+        UsageReport {
+            input_tokens: self.input_tokens.load(Ordering::Relaxed),
+            output_tokens: self.output_tokens.load(Ordering::Relaxed),
+            calls: self.calls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.input_tokens.store(0, Ordering::Relaxed);
+        self.output_tokens.store(0, Ordering::Relaxed);
+        self.calls.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time usage summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UsageReport {
+    pub input_tokens: u64,
+    pub output_tokens: u64,
+    pub calls: u64,
+}
+
+impl UsageReport {
+    pub fn total_tokens(&self) -> u64 {
+        self.input_tokens + self.output_tokens
+    }
+
+    /// Usage accumulated between two snapshots (`self` later than `start`).
+    pub fn since(&self, start: &UsageReport) -> UsageReport {
+        UsageReport {
+            input_tokens: self.input_tokens.saturating_sub(start.input_tokens),
+            output_tokens: self.output_tokens.saturating_sub(start.output_tokens),
+            calls: self.calls.saturating_sub(start.calls),
+        }
+    }
+
+    /// Dollar cost under a pricing scheme.
+    pub fn cost(&self, pricing: &Pricing) -> f64 {
+        self.input_tokens as f64 / 1e6 * pricing.usd_per_m_input
+            + self.output_tokens as f64 / 1e6 * pricing.usd_per_m_output
+    }
+}
+
+impl std::ops::Add for UsageReport {
+    type Output = UsageReport;
+    fn add(self, rhs: UsageReport) -> UsageReport {
+        UsageReport {
+            input_tokens: self.input_tokens + rhs.input_tokens,
+            output_tokens: self.output_tokens + rhs.output_tokens,
+            calls: self.calls + rhs.calls,
+        }
+    }
+}
+
+/// Per-million-token pricing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pricing {
+    pub usd_per_m_input: f64,
+    pub usd_per_m_output: f64,
+}
+
+impl Pricing {
+    /// GPT-3.5 Turbo pricing quoted in the paper (§5.1).
+    pub const GPT35_TURBO: Pricing = Pricing { usd_per_m_input: 3.0, usd_per_m_output: 6.0 };
+    /// GPT-4 Turbo public pricing at the time of the paper.
+    pub const GPT4_TURBO: Pricing = Pricing { usd_per_m_input: 10.0, usd_per_m_output: 30.0 };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let m = UsageMeter::new();
+        m.record(TokenCount { input: 100, output: 20 });
+        m.record(TokenCount { input: 50, output: 10 });
+        let s = m.snapshot();
+        assert_eq!(s.input_tokens, 150);
+        assert_eq!(s.output_tokens, 30);
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.total_tokens(), 180);
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let m = UsageMeter::new();
+        m.record(TokenCount { input: 10, output: 1 });
+        let start = m.snapshot();
+        m.record(TokenCount { input: 25, output: 5 });
+        let delta = m.snapshot().since(&start);
+        assert_eq!(delta, UsageReport { input_tokens: 25, output_tokens: 5, calls: 1 });
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let m = UsageMeter::new();
+        m.record(TokenCount { input: 10, output: 1 });
+        m.reset();
+        assert_eq!(m.snapshot(), UsageReport::default());
+    }
+
+    #[test]
+    fn cost_matches_paper_pricing() {
+        // 6.3M input + 1.5M output on GPT-3.5 = 6.3*3 + 1.5*6 = $27.90.
+        let r = UsageReport { input_tokens: 6_300_000, output_tokens: 1_500_000, calls: 0 };
+        let c = r.cost(&Pricing::GPT35_TURBO);
+        assert!((c - 27.9).abs() < 1e-9, "{c}");
+    }
+
+    #[test]
+    fn meter_is_thread_safe() {
+        let m = std::sync::Arc::new(UsageMeter::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    m.record(TokenCount { input: 1, output: 1 });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.snapshot().calls, 8000);
+        assert_eq!(m.snapshot().input_tokens, 8000);
+    }
+}

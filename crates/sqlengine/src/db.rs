@@ -1,0 +1,346 @@
+//! The public database facade.
+//!
+//! A [`Database`] owns a catalog and a UDF registry and executes SQL text.
+//! This is the substrate both hybrid-query solutions build on: HQDL
+//! materializes LLM-generated tables into it, and hybrid-query UDFs
+//! register LLM functions on it.
+
+use std::sync::Arc;
+
+use crate::ast::{InsertSource, Statement};
+use crate::error::{Error, Result};
+use crate::eval::{eval, RowCtx};
+use crate::exec::{run_select, ExecCtx, Relation};
+use crate::functions::{ScalarUdf, UdfRegistry};
+use crate::optimizer::OptimizerConfig;
+use crate::parser::{parse_script, parse_statement};
+use crate::plan::RelSchema;
+use crate::storage::{Catalog, Column, Table};
+use crate::value::Value;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    /// Output column names (empty for DDL/DML).
+    pub columns: Vec<String>,
+    /// Result rows (empty for DDL/DML).
+    pub rows: Vec<Vec<Value>>,
+    /// Rows inserted / updated / deleted for DML.
+    pub rows_affected: usize,
+}
+
+impl QueryResult {
+    fn from_relation(rel: Relation) -> Self {
+        QueryResult {
+            columns: rel.column_names(),
+            rows: rel.rows,
+            rows_affected: 0,
+        }
+    }
+
+    /// The single scalar of a one-row, one-column result.
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+/// An embedded, in-memory SQL database.
+#[derive(Default, Clone)]
+pub struct Database {
+    catalog: Catalog,
+    udfs: UdfRegistry,
+    optimizer: OptimizerConfig,
+}
+
+impl Database {
+    /// A fresh, empty database.
+    pub fn new() -> Self {
+        Database {
+            catalog: Catalog::new(),
+            udfs: UdfRegistry::new(),
+            optimizer: OptimizerConfig::default(),
+        }
+    }
+
+    /// Register a scalar UDF (e.g. an LLM function).
+    pub fn register_udf(&mut self, udf: Arc<dyn ScalarUdf>) {
+        self.udfs.register(udf);
+    }
+
+    /// Toggle optimizer rules (used by the ablation benchmarks).
+    pub fn set_optimizer(&mut self, config: OptimizerConfig) {
+        self.optimizer = config;
+    }
+
+    pub fn optimizer(&self) -> OptimizerConfig {
+        self.optimizer
+    }
+
+    /// Read access to the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog (bulk loading bypasses SQL).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    pub fn udfs(&self) -> &UdfRegistry {
+        &self.udfs
+    }
+
+    /// Execute one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute a semicolon-separated script; returns the last result.
+    pub fn execute_script(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmts = parse_script(sql)?;
+        let mut last = QueryResult::default();
+        for stmt in &stmts {
+            last = self.execute_statement(stmt)?;
+        }
+        Ok(last)
+    }
+
+    /// Execute a read-only query without `&mut self`.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        match &stmt {
+            Statement::Select(s) => {
+                let ctx = ExecCtx::new(&self.catalog, &self.udfs)
+                    .with_optimizer(self.optimizer);
+                Ok(QueryResult::from_relation(run_select(s, &ctx, None)?))
+            }
+            _ => Err(Error::Semantic("query() only accepts SELECT statements".into())),
+        }
+    }
+
+    fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::Select(s) => {
+                let ctx = ExecCtx::new(&self.catalog, &self.udfs)
+                    .with_optimizer(self.optimizer);
+                Ok(QueryResult::from_relation(run_select(s, &ctx, None)?))
+            }
+            Statement::CreateTable(ct) => {
+                if self.catalog.contains(&ct.name) {
+                    if ct.if_not_exists {
+                        return Ok(QueryResult::default());
+                    }
+                    return Err(Error::AlreadyExists(ct.name.clone()));
+                }
+                let mut pk: Vec<String> = ct.primary_key.clone();
+                let columns: Vec<Column> = ct
+                    .columns
+                    .iter()
+                    .map(|c| {
+                        if c.primary_key && !pk.iter().any(|p| p.eq_ignore_ascii_case(&c.name)) {
+                            pk.push(c.name.clone());
+                        }
+                        Column {
+                            name: c.name.clone(),
+                            decl_type: c.decl_type.clone(),
+                            not_null: c.not_null,
+                        }
+                    })
+                    .collect();
+                self.catalog.create_table(Table::new(ct.name.clone(), columns, &pk)?)?;
+                Ok(QueryResult::default())
+            }
+            Statement::DropTable { name, if_exists } => {
+                match self.catalog.drop_table(name) {
+                    Ok(()) => Ok(QueryResult::default()),
+                    Err(Error::NotFound(_)) if *if_exists => Ok(QueryResult::default()),
+                    Err(e) => Err(e),
+                }
+            }
+            Statement::AlterTableAddColumn { table, column } => {
+                let col = Column {
+                    name: column.name.clone(),
+                    decl_type: column.decl_type.clone(),
+                    not_null: column.not_null,
+                };
+                self.catalog.get_mut(table)?.add_column(col)?;
+                Ok(QueryResult::default())
+            }
+            Statement::Insert(ins) => self.execute_insert(ins),
+            Statement::Update(upd) => self.execute_update(upd),
+            Statement::Delete(del) => self.execute_delete(del),
+        }
+    }
+
+    fn execute_insert(&mut self, ins: &crate::ast::Insert) -> Result<QueryResult> {
+        // Compute the source rows first (they may SELECT from the target).
+        let source_rows: Vec<Vec<Value>> = match &ins.source {
+            InsertSource::Values(rows) => {
+                let ctx = ExecCtx::new(&self.catalog, &self.udfs)
+                    .with_optimizer(self.optimizer);
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut vals = Vec::with_capacity(row.len());
+                    for e in row {
+                        vals.push(eval(e, &ctx, None)?);
+                    }
+                    out.push(vals);
+                }
+                out
+            }
+            InsertSource::Select(sel) => {
+                let ctx = ExecCtx::new(&self.catalog, &self.udfs)
+                    .with_optimizer(self.optimizer);
+                run_select(sel, &ctx, None)?.rows
+            }
+        };
+
+        // Map the provided column list onto the table's full width.
+        let (width, col_map) = {
+            let table = self.catalog.get_required(&ins.table)?;
+            let width = table.width();
+            let col_map: Option<Vec<usize>> = if ins.columns.is_empty() {
+                None
+            } else {
+                let mut map = Vec::with_capacity(ins.columns.len());
+                for c in &ins.columns {
+                    map.push(table.column_index(c).ok_or_else(|| {
+                        Error::Unresolved(format!("{}.{}", ins.table, c))
+                    })?);
+                }
+                Some(map)
+            };
+            (width, col_map)
+        };
+
+        let table = self.catalog.get_mut(&ins.table)?;
+        let mut n = 0;
+        for vals in source_rows {
+            let row = match &col_map {
+                None => {
+                    if vals.len() != width {
+                        return Err(Error::Semantic(format!(
+                            "INSERT has {} values but table '{}' has {width} columns",
+                            vals.len(),
+                            ins.table
+                        )));
+                    }
+                    vals
+                }
+                Some(map) => {
+                    if vals.len() != map.len() {
+                        return Err(Error::Semantic(format!(
+                            "INSERT has {} values for {} named columns",
+                            vals.len(),
+                            map.len()
+                        )));
+                    }
+                    let mut row = vec![Value::Null; width];
+                    for (v, &i) in vals.into_iter().zip(map.iter()) {
+                        row[i] = v;
+                    }
+                    row
+                }
+            };
+            table.insert_row(row)?;
+            n += 1;
+        }
+        Ok(QueryResult { rows_affected: n, ..Default::default() })
+    }
+
+    fn execute_update(&mut self, upd: &crate::ast::Update) -> Result<QueryResult> {
+        // Resolve assignment targets and snapshot the evaluation context.
+        let (schema, assign_idx): (RelSchema, Vec<usize>) = {
+            let table = self.catalog.get_required(&upd.table)?;
+            let schema = RelSchema::qualified(&table.name.clone(), table.column_names());
+            let mut idx = Vec::with_capacity(upd.assignments.len());
+            for (col, _) in &upd.assignments {
+                idx.push(table.column_index(col).ok_or_else(|| {
+                    Error::Unresolved(format!("{}.{}", upd.table, col))
+                })?);
+            }
+            (schema, idx)
+        };
+
+        // Compute new rows against an immutable snapshot, then swap in.
+        let snapshot = self.catalog.get_required(&upd.table)?.clone();
+        let ctx = ExecCtx::new(&self.catalog, &self.udfs).with_optimizer(self.optimizer);
+        let mut new_rows = snapshot.rows.clone();
+        let mut n = 0;
+        for row in &mut new_rows {
+            let hit = match &upd.filter {
+                None => true,
+                Some(f) => {
+                    let rc = RowCtx::new(&schema, row);
+                    eval(f, &ctx, Some(&rc))?.truthiness() == Some(true)
+                }
+            };
+            if !hit {
+                continue;
+            }
+            let mut updated = row.clone();
+            for ((_, e), &i) in upd.assignments.iter().zip(assign_idx.iter()) {
+                let rc = RowCtx::new(&schema, row);
+                updated[i] = eval(e, &ctx, Some(&rc))?;
+            }
+            *row = updated;
+            n += 1;
+        }
+        drop(ctx);
+
+        // Rebuild the table to re-validate constraints.
+        let table = self.catalog.get_mut(&upd.table)?;
+        let old_rows = std::mem::take(&mut table.rows);
+        table.clear_rows();
+        for row in new_rows {
+            if let Err(e) = table.insert_row(row) {
+                // Restore on failure.
+                table.clear_rows();
+                for r in old_rows {
+                    table.insert_row(r).expect("restoring previously valid rows");
+                }
+                return Err(e);
+            }
+        }
+        Ok(QueryResult { rows_affected: n, ..Default::default() })
+    }
+
+    fn execute_delete(&mut self, del: &crate::ast::Delete) -> Result<QueryResult> {
+        let schema = {
+            let table = self.catalog.get_required(&del.table)?;
+            RelSchema::qualified(&table.name.clone(), table.column_names())
+        };
+        // Evaluate the filter against a snapshot to decide which rows go.
+        let keep: Vec<bool> = {
+            let table = self.catalog.get_required(&del.table)?.clone();
+            let ctx = ExecCtx::new(&self.catalog, &self.udfs)
+                .with_optimizer(self.optimizer);
+            let mut keep = Vec::with_capacity(table.rows.len());
+            for row in &table.rows {
+                let hit = match &del.filter {
+                    None => true,
+                    Some(f) => {
+                        let rc = RowCtx::new(&schema, row);
+                        eval(f, &ctx, Some(&rc))?.truthiness() == Some(true)
+                    }
+                };
+                keep.push(!hit);
+            }
+            keep
+        };
+        let table = self.catalog.get_mut(&del.table)?;
+        let mut it = keep.iter();
+        let removed = table.retain_rows(|_| *it.next().unwrap_or(&true));
+        Ok(QueryResult { rows_affected: removed, ..Default::default() })
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.catalog.table_names())
+            .field("udfs", &self.udfs)
+            .finish()
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types for the SQL engine.
+//!
+//! All fallible public APIs return [`Result<T>`](Result) with the crate-wide
+//! [`Error`] enum. Errors carry enough context (names, positions) to be
+//! actionable without needing a backtrace.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Every way a statement can fail, from tokenization through execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The lexer met a character or literal it cannot tokenize.
+    Lex { pos: usize, message: String },
+    /// The parser met an unexpected token.
+    Parse { pos: usize, message: String },
+    /// Name resolution failed: unknown table, column, alias or function.
+    Unresolved(String),
+    /// A table (or other catalog object) with this name already exists.
+    AlreadyExists(String),
+    /// The catalog has no object with this name.
+    NotFound(String),
+    /// A statement is well-formed but semantically invalid
+    /// (e.g. aggregate inside WHERE, arity mismatch on INSERT).
+    Semantic(String),
+    /// Runtime type error during expression evaluation.
+    Type(String),
+    /// Division by zero, numeric overflow, or other arithmetic failure.
+    Arithmetic(String),
+    /// A user-defined function reported a failure.
+    Udf { name: String, message: String },
+    /// A constraint (primary key, NOT NULL) was violated.
+    Constraint(String),
+    /// Feature recognized by the grammar but not supported by this engine.
+    Unsupported(String),
+}
+
+impl Error {
+    /// Convenience constructor for parse errors.
+    pub fn parse(pos: usize, message: impl Into<String>) -> Self {
+        Error::Parse { pos, message: message.into() }
+    }
+
+    /// Convenience constructor for lex errors.
+    pub fn lex(pos: usize, message: impl Into<String>) -> Self {
+        Error::Lex { pos, message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            Error::Parse { pos, message } => write!(f, "parse error at token {pos}: {message}"),
+            Error::Unresolved(name) => write!(f, "cannot resolve name: {name}"),
+            Error::AlreadyExists(name) => write!(f, "object already exists: {name}"),
+            Error::NotFound(name) => write!(f, "no such object: {name}"),
+            Error::Semantic(msg) => write!(f, "semantic error: {msg}"),
+            Error::Type(msg) => write!(f, "type error: {msg}"),
+            Error::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+            Error::Udf { name, message } => write!(f, "error in function {name}: {message}"),
+            Error::Constraint(msg) => write!(f, "constraint violation: {msg}"),
+            Error::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            Error::lex(3, "bad char").to_string(),
+            "lex error at byte 3: bad char"
+        );
+        assert_eq!(
+            Error::parse(7, "expected FROM").to_string(),
+            "parse error at token 7: expected FROM"
+        );
+        assert_eq!(
+            Error::Unresolved("t.x".into()).to_string(),
+            "cannot resolve name: t.x"
+        );
+        assert_eq!(
+            Error::Udf { name: "llm_map".into(), message: "boom".into() }.to_string(),
+            "error in function llm_map: boom"
+        );
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::NotFound("t".into()), Error::NotFound("t".into()));
+        assert_ne!(Error::NotFound("t".into()), Error::AlreadyExists("t".into()));
+    }
+}

@@ -1,0 +1,543 @@
+//! Row-level expression evaluation with SQL three-valued logic.
+//!
+//! Evaluation happens against a [`RowCtx`] chain: the innermost scope is the
+//! current row; outer scopes (for correlated subqueries) are linked via
+//! `outer`. Subqueries are executed through [`crate::exec::run_select`];
+//! uncorrelated subqueries are executed once per statement and cached in
+//! the [`ExecCtx`](crate::exec::ExecCtx).
+
+use std::cmp::Ordering;
+use std::rc::Rc;
+
+use crate::ast::{BinaryOp, Expr, SelectStmt, UnaryOp};
+use crate::error::{Error, Result};
+use crate::exec::{run_select, ExecCtx, Relation, SubqueryState};
+use crate::functions::{eval_builtin, glob_match, is_aggregate, like_match};
+use crate::plan::RelSchema;
+use crate::value::Value;
+
+/// One scope of row bindings. `outer` points at the enclosing query's scope
+/// for correlated subqueries.
+#[derive(Clone, Copy)]
+pub struct RowCtx<'a> {
+    pub schema: &'a RelSchema,
+    pub row: &'a [Value],
+    pub outer: Option<&'a RowCtx<'a>>,
+}
+
+impl<'a> RowCtx<'a> {
+    pub fn new(schema: &'a RelSchema, row: &'a [Value]) -> Self {
+        RowCtx { schema, row, outer: None }
+    }
+
+    pub fn with_outer(schema: &'a RelSchema, row: &'a [Value], outer: &'a RowCtx<'a>) -> Self {
+        RowCtx { schema, row, outer: Some(outer) }
+    }
+
+    /// Resolve a column through the scope chain, innermost first.
+    fn lookup(&self, qual: Option<&str>, name: &str) -> Result<Option<&Value>> {
+        if let Some(i) = self.schema.resolve(qual, name)? {
+            return Ok(Some(&self.row[i]));
+        }
+        match self.outer {
+            Some(o) => o.lookup(qual, name),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Evaluate `expr` for the given row scope (or no row, for constants).
+pub fn eval(expr: &Expr, ctx: &ExecCtx<'_>, row: Option<&RowCtx<'_>>) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+
+        Expr::Column { table, name } => {
+            let full = || match table {
+                Some(t) => format!("{t}.{name}"),
+                None => name.clone(),
+            };
+            match row {
+                None => Err(Error::Unresolved(full())),
+                Some(r) => r
+                    .lookup(table.as_deref(), name)?
+                    .cloned()
+                    .ok_or_else(|| Error::Unresolved(full())),
+            }
+        }
+
+        Expr::Unary { op, expr } => match op {
+            UnaryOp::Neg => eval(expr, ctx, row)?.neg(),
+            UnaryOp::Not => Ok(match eval(expr, ctx, row)?.truthiness() {
+                Some(b) => Value::Integer(!b as i64),
+                None => Value::Null,
+            }),
+        },
+
+        Expr::Binary { op, left, right } => eval_binary(*op, left, right, ctx, row),
+
+        Expr::Function { name, args, distinct: _, star: _ } => {
+            if is_aggregate(name) {
+                return Err(Error::Semantic(format!(
+                    "misuse of aggregate function {name}() outside GROUP BY context"
+                )));
+            }
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, ctx, row)?);
+            }
+            if let Some(res) = eval_builtin(name, &vals) {
+                return res;
+            }
+            match ctx.udfs.get(name) {
+                Some(udf) => {
+                    if let Some(n) = udf.arity() {
+                        if vals.len() != n {
+                            return Err(Error::Semantic(format!(
+                                "{name} expects {n} argument(s), got {}",
+                                vals.len()
+                            )));
+                        }
+                    }
+                    udf.invoke(&vals)
+                }
+                None => Err(Error::Unresolved(format!("function {name}"))),
+            }
+        }
+
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, ctx, row)?;
+            Ok(Value::Integer((v.is_null() != *negated) as i64))
+        }
+
+        Expr::Like { expr, pattern, negated, glob } => {
+            let v = eval(expr, ctx, row)?;
+            let p = eval(pattern, ctx, row)?;
+            if v.is_null() || p.is_null() {
+                return Ok(Value::Null);
+            }
+            let hit = if *glob {
+                glob_match(&v.render(), &p.render())
+            } else {
+                like_match(&v.render(), &p.render())
+            };
+            Ok(Value::Integer((hit != *negated) as i64))
+        }
+
+        Expr::Between { expr, low, high, negated } => {
+            let v = eval(expr, ctx, row)?;
+            let lo = eval(low, ctx, row)?;
+            let hi = eval(high, ctx, row)?;
+            let ge = v.sql_cmp(&lo).map(|o| o != Ordering::Less);
+            let le = v.sql_cmp(&hi).map(|o| o != Ordering::Greater);
+            Ok(match and3(ge, le) {
+                Some(b) => Value::Integer((b != *negated) as i64),
+                None => Value::Null,
+            })
+        }
+
+        Expr::InList { expr, list, negated } => {
+            let v = eval(expr, ctx, row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let iv = eval(item, ctx, row)?;
+                match v.sql_eq(&iv) {
+                    Some(true) => return Ok(Value::Integer(!*negated as i64)),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Integer(*negated as i64))
+            }
+        }
+
+        Expr::InSubquery { expr, query, negated } => {
+            let v = eval(expr, ctx, row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let rel = subquery_relation(query, ctx, row)?;
+            let mut saw_null = false;
+            for r in &rel.rows {
+                let item = r.first().cloned().unwrap_or(Value::Null);
+                match v.sql_eq(&item) {
+                    Some(true) => return Ok(Value::Integer(!*negated as i64)),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Integer(*negated as i64))
+            }
+        }
+
+        Expr::Exists { query, negated } => {
+            let rel = subquery_relation(query, ctx, row)?;
+            Ok(Value::Integer((rel.rows.is_empty() == *negated) as i64))
+        }
+
+        Expr::ScalarSubquery(query) => {
+            let rel = subquery_relation(query, ctx, row)?;
+            Ok(match rel.rows.first() {
+                Some(r) => r.first().cloned().unwrap_or(Value::Null),
+                None => Value::Null,
+            })
+        }
+
+        Expr::Case { operand, branches, else_expr } => {
+            match operand {
+                Some(op_expr) => {
+                    let op_val = eval(op_expr, ctx, row)?;
+                    for (when, then) in branches {
+                        let w = eval(when, ctx, row)?;
+                        if op_val.sql_eq(&w) == Some(true) {
+                            return eval(then, ctx, row);
+                        }
+                    }
+                }
+                None => {
+                    for (when, then) in branches {
+                        if eval(when, ctx, row)?.truthiness() == Some(true) {
+                            return eval(then, ctx, row);
+                        }
+                    }
+                }
+            }
+            match else_expr {
+                Some(e) => eval(e, ctx, row),
+                None => Ok(Value::Null),
+            }
+        }
+
+        Expr::Cast { expr, type_name } => Ok(cast_value(eval(expr, ctx, row)?, type_name)),
+    }
+}
+
+fn eval_binary(
+    op: BinaryOp,
+    left: &Expr,
+    right: &Expr,
+    ctx: &ExecCtx<'_>,
+    row: Option<&RowCtx<'_>>,
+) -> Result<Value> {
+    // AND/OR get Kleene short-circuit treatment.
+    match op {
+        BinaryOp::And => {
+            let l = eval(left, ctx, row)?.truthiness();
+            if l == Some(false) {
+                return Ok(Value::Integer(0));
+            }
+            let r = eval(right, ctx, row)?.truthiness();
+            return Ok(match and3(l, r) {
+                Some(b) => Value::Integer(b as i64),
+                None => Value::Null,
+            });
+        }
+        BinaryOp::Or => {
+            let l = eval(left, ctx, row)?.truthiness();
+            if l == Some(true) {
+                return Ok(Value::Integer(1));
+            }
+            let r = eval(right, ctx, row)?.truthiness();
+            return Ok(match or3(l, r) {
+                Some(b) => Value::Integer(b as i64),
+                None => Value::Null,
+            });
+        }
+        _ => {}
+    }
+    let a = eval(left, ctx, row)?;
+    let b = eval(right, ctx, row)?;
+    let as_bool = |o: Option<bool>| match o {
+        Some(t) => Value::Integer(t as i64),
+        None => Value::Null,
+    };
+    match op {
+        BinaryOp::Add => a.add(&b),
+        BinaryOp::Sub => a.sub(&b),
+        BinaryOp::Mul => a.mul(&b),
+        BinaryOp::Div => a.div(&b),
+        BinaryOp::Rem => a.rem(&b),
+        BinaryOp::Eq => Ok(as_bool(a.sql_eq(&b))),
+        BinaryOp::NotEq => Ok(as_bool(a.sql_eq(&b).map(|t| !t))),
+        BinaryOp::Lt => Ok(as_bool(a.sql_cmp(&b).map(|o| o == Ordering::Less))),
+        BinaryOp::LtEq => Ok(as_bool(a.sql_cmp(&b).map(|o| o != Ordering::Greater))),
+        BinaryOp::Gt => Ok(as_bool(a.sql_cmp(&b).map(|o| o == Ordering::Greater))),
+        BinaryOp::GtEq => Ok(as_bool(a.sql_cmp(&b).map(|o| o != Ordering::Less))),
+        BinaryOp::Concat => {
+            if a.is_null() || b.is_null() {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Text(format!("{}{}", a.render(), b.render())))
+            }
+        }
+        BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
+    }
+}
+
+/// Kleene AND over `Option<bool>` (None = unknown).
+fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+/// Kleene OR.
+fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+/// `CAST` semantics, SQLite-flavoured: unconvertible text casts to 0 /
+/// 0.0 rather than erroring; NULL stays NULL.
+pub fn cast_value(v: Value, type_name: &str) -> Value {
+    if v.is_null() {
+        return Value::Null;
+    }
+    let t = type_name.to_ascii_uppercase();
+    if t.contains("INT") {
+        Value::Integer(match &v {
+            Value::Integer(i) => *i,
+            Value::Real(r) => *r as i64,
+            Value::Text(s) => leading_number(s) as i64,
+            Value::Null => unreachable!(),
+        })
+    } else if t.contains("REAL") || t.contains("FLOA") || t.contains("DOUB") || t.contains("NUM")
+        || t.contains("DEC")
+    {
+        Value::Real(match &v {
+            Value::Integer(i) => *i as f64,
+            Value::Real(r) => *r,
+            Value::Text(s) => leading_number(s),
+            Value::Null => unreachable!(),
+        })
+    } else {
+        // TEXT, VARCHAR, CHAR, anything else: render to text.
+        Value::Text(v.render())
+    }
+}
+
+/// Parse the longest numeric prefix of `s` (SQLite CAST behaviour); 0.0 if
+/// none.
+fn leading_number(s: &str) -> f64 {
+    let t = s.trim_start();
+    let bytes = t.as_bytes();
+    let mut end = 0;
+    let mut seen_digit = false;
+    let mut seen_dot = false;
+    let mut seen_exp = false;
+    while end < bytes.len() {
+        let c = bytes[end] as char;
+        match c {
+            '+' | '-' if end == 0 => {}
+            '0'..='9' => seen_digit = true,
+            '.' if !seen_dot && !seen_exp => seen_dot = true,
+            'e' | 'E' if seen_digit && !seen_exp => {
+                // Only accept the exponent if digits follow.
+                let mut j = end + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j].is_ascii_digit() {
+                    seen_exp = true;
+                    end = j;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+        end += 1;
+    }
+    if !seen_digit {
+        return 0.0;
+    }
+    t[..end].parse::<f64>().unwrap_or(0.0)
+}
+
+/// Execute (or fetch the cached result of) a subquery.
+///
+/// The first execution is attempted without the outer scope; if it
+/// resolves, the subquery is uncorrelated and the result is cached for the
+/// rest of the statement. If it fails with an unresolved column and an
+/// outer scope exists, the subquery is correlated and is re-executed per
+/// outer row.
+fn subquery_relation(
+    query: &SelectStmt,
+    ctx: &ExecCtx<'_>,
+    row: Option<&RowCtx<'_>>,
+) -> Result<Rc<Relation>> {
+    let key = query as *const SelectStmt as usize;
+    {
+        let cache = ctx.subqueries.borrow();
+        match cache.get(&key) {
+            Some(SubqueryState::Uncorrelated(rel)) => return Ok(rel.clone()),
+            Some(SubqueryState::Correlated) => {
+                drop(cache);
+                return run_select(query, ctx, row).map(Rc::new);
+            }
+            None => {}
+        }
+    }
+    match run_select(query, ctx, None) {
+        Ok(rel) => {
+            let rel = Rc::new(rel);
+            ctx.subqueries
+                .borrow_mut()
+                .insert(key, SubqueryState::Uncorrelated(rel.clone()));
+            Ok(rel)
+        }
+        Err(Error::Unresolved(_)) if row.is_some() => {
+            ctx.subqueries.borrow_mut().insert(key, SubqueryState::Correlated);
+            run_select(query, ctx, row).map(Rc::new)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::UdfRegistry;
+    use crate::parser::parse_expression;
+    use crate::storage::Catalog;
+
+    fn const_eval(sql: &str) -> Result<Value> {
+        let catalog = Catalog::new();
+        let udfs = UdfRegistry::new();
+        let ctx = ExecCtx::new(&catalog, &udfs);
+        let e = parse_expression(sql)?;
+        eval(&e, &ctx, None)
+    }
+
+    fn v(sql: &str) -> Value {
+        const_eval(sql).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(v("1 + 2 * 3"), Value::Integer(7));
+        assert_eq!(v("(1 + 2) * 3"), Value::Integer(9));
+        assert_eq!(v("7 / 2"), Value::Integer(3));
+        assert_eq!(v("7.0 / 2"), Value::Real(3.5));
+        assert_eq!(v("7 % 3"), Value::Integer(1));
+        assert_eq!(v("-(3 + 4)"), Value::Integer(-7));
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        assert_eq!(v("NULL AND 0"), Value::Integer(0), "unknown AND false = false");
+        assert!(v("NULL AND 1").is_null());
+        assert_eq!(v("NULL OR 1"), Value::Integer(1), "unknown OR true = true");
+        assert!(v("NULL OR 0").is_null());
+        assert!(v("NOT NULL").is_null());
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(v("1 < 2"), Value::Integer(1));
+        assert_eq!(v("2 <= 2"), Value::Integer(1));
+        assert_eq!(v("'abc' = 'abc'"), Value::Integer(1));
+        assert_eq!(v("'abc' <> 'abd'"), Value::Integer(1));
+        assert!(v("NULL = NULL").is_null(), "NULL never equals anything");
+        assert_eq!(v("1 = 1.0"), Value::Integer(1));
+    }
+
+    #[test]
+    fn is_null_and_between_and_in() {
+        assert_eq!(v("NULL IS NULL"), Value::Integer(1));
+        assert_eq!(v("3 IS NOT NULL"), Value::Integer(1));
+        assert_eq!(v("5 BETWEEN 1 AND 10"), Value::Integer(1));
+        assert_eq!(v("5 NOT BETWEEN 6 AND 10"), Value::Integer(1));
+        assert_eq!(v("2 IN (1, 2, 3)"), Value::Integer(1));
+        assert_eq!(v("9 NOT IN (1, 2, 3)"), Value::Integer(1));
+        assert!(v("9 IN (1, NULL)").is_null(), "unknown membership");
+        assert_eq!(v("1 IN (1, NULL)"), Value::Integer(1));
+    }
+
+    #[test]
+    fn like_and_concat() {
+        assert_eq!(v("'Marvel Comics' LIKE 'marvel%'"), Value::Integer(1));
+        assert_eq!(v("'a' || 'b' || 'c'"), Value::text("abc"));
+        assert!(v("'a' || NULL").is_null());
+        assert!(v("NULL LIKE '%'").is_null());
+    }
+
+    #[test]
+    fn case_expressions() {
+        assert_eq!(v("CASE WHEN 1 > 0 THEN 'yes' ELSE 'no' END"), Value::text("yes"));
+        assert_eq!(v("CASE 3 WHEN 1 THEN 'a' WHEN 3 THEN 'c' END"), Value::text("c"));
+        assert!(v("CASE 9 WHEN 1 THEN 'a' END").is_null());
+        assert_eq!(v("CASE WHEN NULL THEN 'x' ELSE 'y' END"), Value::text("y"));
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(v("CAST('42abc' AS INTEGER)"), Value::Integer(42));
+        assert_eq!(v("CAST('abc' AS INTEGER)"), Value::Integer(0));
+        assert_eq!(v("CAST(3.9 AS INTEGER)"), Value::Integer(3));
+        assert_eq!(v("CAST(5 AS TEXT)"), Value::text("5"));
+        assert_eq!(v("CAST('3.5e2' AS REAL)"), Value::Real(350.0));
+        assert!(v("CAST(NULL AS INTEGER)").is_null());
+    }
+
+    #[test]
+    fn builtins_dispatch() {
+        assert_eq!(v("UPPER('abc')"), Value::text("ABC"));
+        assert_eq!(v("COALESCE(NULL, 2)"), Value::Integer(2));
+        assert_eq!(v("LENGTH('hero')"), Value::Integer(4));
+    }
+
+    #[test]
+    fn unknown_function_is_unresolved() {
+        assert!(matches!(const_eval("nope(1)"), Err(Error::Unresolved(_))));
+    }
+
+    #[test]
+    fn aggregate_outside_group_context_errors() {
+        assert!(matches!(const_eval("COUNT(1)"), Err(Error::Semantic(_))));
+    }
+
+    #[test]
+    fn column_without_row_is_unresolved() {
+        assert!(matches!(const_eval("some_col + 1"), Err(Error::Unresolved(_))));
+    }
+
+    #[test]
+    fn leading_number_parses_prefixes() {
+        assert_eq!(leading_number("42abc"), 42.0);
+        assert_eq!(leading_number("-3.5xyz"), -3.5);
+        assert_eq!(leading_number("  7e2!"), 700.0);
+        assert_eq!(leading_number("e5"), 0.0);
+        assert_eq!(leading_number("abc"), 0.0);
+        assert_eq!(leading_number("1e"), 1.0, "bare exponent marker is ignored");
+    }
+
+    #[test]
+    fn row_ctx_scope_chain() {
+        let outer_schema = RelSchema::qualified("o", vec!["x".to_string()]);
+        let outer_row = vec![Value::Integer(99)];
+        let outer = RowCtx::new(&outer_schema, &outer_row);
+        let inner_schema = RelSchema::qualified("i", vec!["y".to_string()]);
+        let inner_row = vec![Value::Integer(1)];
+        let inner = RowCtx::with_outer(&inner_schema, &inner_row, &outer);
+
+        let catalog = Catalog::new();
+        let udfs = UdfRegistry::new();
+        let ctx = ExecCtx::new(&catalog, &udfs);
+        let e = parse_expression("o.x + i.y").unwrap();
+        assert_eq!(eval(&e, &ctx, Some(&inner)).unwrap(), Value::Integer(100));
+    }
+}

@@ -1,0 +1,877 @@
+//! Query execution.
+//!
+//! `run_select` drives a SELECT end to end: the FROM/WHERE part is lowered
+//! to a [`Plan`], optimized, and executed (with a hash-join fast path for
+//! equi-joins); projection, aggregation, DISTINCT, compound operators,
+//! ORDER BY and LIMIT are applied on top.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::ast::{
+    CompoundOp, Expr, OrderItem, SelectBody, SelectCore, SelectItem, SelectStmt,
+};
+use crate::error::{Error, Result};
+use crate::eval::{eval, RowCtx};
+use crate::functions::{is_aggregate, UdfRegistry};
+use crate::optimizer::{optimize, OptimizerConfig};
+use crate::plan::{plan_from, ColRef, Plan, PlanJoinKind, RelSchema};
+use crate::storage::Catalog;
+use crate::value::{GroupKey, Value};
+
+/// Result rows paired with per-row ORDER BY sort keys.
+type RowsAndKeys = (Vec<Vec<Value>>, Vec<Vec<Value>>);
+
+/// A materialized intermediate or final relation.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    pub schema: RelSchema,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// Output column names (unqualified).
+    pub fn column_names(&self) -> Vec<String> {
+        self.schema.cols.iter().map(|c| c.name.clone()).collect()
+    }
+}
+
+/// Cached execution state of one subquery within a statement.
+#[derive(Debug, Clone)]
+pub enum SubqueryState {
+    /// Uncorrelated: executed once, result shared.
+    Uncorrelated(Rc<Relation>),
+    /// Correlated with the outer row: must re-execute per row.
+    Correlated,
+}
+
+/// Per-statement execution context.
+pub struct ExecCtx<'a> {
+    pub catalog: &'a Catalog,
+    pub udfs: &'a UdfRegistry,
+    pub optimizer: OptimizerConfig,
+    /// Subquery result cache keyed by the subquery's AST node address.
+    pub subqueries: RefCell<HashMap<usize, SubqueryState>>,
+}
+
+impl<'a> ExecCtx<'a> {
+    pub fn new(catalog: &'a Catalog, udfs: &'a UdfRegistry) -> Self {
+        ExecCtx {
+            catalog,
+            udfs,
+            optimizer: OptimizerConfig::default(),
+            subqueries: RefCell::new(HashMap::new()),
+        }
+    }
+
+    pub fn with_optimizer(mut self, config: OptimizerConfig) -> Self {
+        self.optimizer = config;
+        self
+    }
+
+    fn column_lookup(&self) -> impl Fn(&str) -> Result<Vec<String>> + '_ {
+        |name: &str| Ok(self.catalog.get_required(name)?.column_names())
+    }
+}
+
+/// Execute a full SELECT (body + ORDER BY + LIMIT/OFFSET).
+pub fn run_select(
+    stmt: &SelectStmt,
+    ctx: &ExecCtx<'_>,
+    outer: Option<&RowCtx<'_>>,
+) -> Result<Relation> {
+    let (mut rel, mut keys) = match &stmt.body {
+        SelectBody::Simple(core) => run_core(core, &stmt.order_by, ctx, outer)?,
+        SelectBody::Compound { .. } => {
+            let rel = run_body(&stmt.body, ctx, outer)?;
+            let keys = compound_sort_keys(&rel, &stmt.order_by, ctx, outer)?;
+            (rel, keys)
+        }
+    };
+
+    if !stmt.order_by.is_empty() {
+        sort_rows(&mut rel.rows, &mut keys, &stmt.order_by);
+    }
+    apply_limit_offset(&mut rel.rows, stmt, ctx)?;
+    Ok(rel)
+}
+
+fn run_body(
+    body: &SelectBody,
+    ctx: &ExecCtx<'_>,
+    outer: Option<&RowCtx<'_>>,
+) -> Result<Relation> {
+    match body {
+        SelectBody::Simple(core) => Ok(run_core(core, &[], ctx, outer)?.0),
+        SelectBody::Compound { op, left, right } => {
+            let l = run_body(left, ctx, outer)?;
+            let r = run_body(right, ctx, outer)?;
+            if l.schema.len() != r.schema.len() {
+                return Err(Error::Semantic(format!(
+                    "compound SELECT column count mismatch: {} vs {}",
+                    l.schema.len(),
+                    r.schema.len()
+                )));
+            }
+            let rows = match op {
+                CompoundOp::UnionAll => {
+                    let mut rows = l.rows;
+                    rows.extend(r.rows);
+                    rows
+                }
+                CompoundOp::Union => dedupe(l.rows.into_iter().chain(r.rows)),
+                CompoundOp::Except => {
+                    let exclude: std::collections::HashSet<Vec<GroupKey>> =
+                        r.rows.iter().map(|row| row_key(row)).collect();
+                    dedupe(l.rows.into_iter().filter(|row| !exclude.contains(&row_key(row))))
+                }
+                CompoundOp::Intersect => {
+                    let keep: std::collections::HashSet<Vec<GroupKey>> =
+                        r.rows.iter().map(|row| row_key(row)).collect();
+                    dedupe(l.rows.into_iter().filter(|row| keep.contains(&row_key(row))))
+                }
+            };
+            Ok(Relation { schema: l.schema, rows })
+        }
+    }
+}
+
+fn row_key(row: &[Value]) -> Vec<GroupKey> {
+    row.iter().map(Value::group_key).collect()
+}
+
+fn dedupe(rows: impl IntoIterator<Item = Vec<Value>>) -> Vec<Vec<Value>> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for row in rows {
+        if seen.insert(row_key(&row)) {
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// ORDER BY keys for a compound SELECT: ordinals or output column names.
+fn compound_sort_keys(
+    rel: &Relation,
+    order_by: &[OrderItem],
+    ctx: &ExecCtx<'_>,
+    outer: Option<&RowCtx<'_>>,
+) -> Result<Vec<Vec<Value>>> {
+    if order_by.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut keys = Vec::with_capacity(rel.rows.len());
+    for row in &rel.rows {
+        let rc = RowCtx { schema: &rel.schema, row, outer };
+        let mut k = Vec::with_capacity(order_by.len());
+        for item in order_by {
+            if let Some(i) = ordinal_index(&item.expr, rel.schema.len())? {
+                k.push(row[i].clone());
+            } else {
+                k.push(eval(&item.expr, ctx, Some(&rc))?);
+            }
+        }
+        keys.push(k);
+    }
+    Ok(keys)
+}
+
+/// `ORDER BY 2` style ordinals. Errors when out of range.
+fn ordinal_index(expr: &Expr, width: usize) -> Result<Option<usize>> {
+    if let Expr::Literal(Value::Integer(n)) = expr {
+        let n = *n;
+        if n < 1 || n as usize > width {
+            return Err(Error::Semantic(format!(
+                "ORDER BY position {n} is out of range (1..{width})"
+            )));
+        }
+        return Ok(Some(n as usize - 1));
+    }
+    Ok(None)
+}
+
+fn sort_rows(rows: &mut Vec<Vec<Value>>, keys: &mut Vec<Vec<Value>>, order_by: &[OrderItem]) {
+    let mut idx: Vec<usize> = (0..rows.len()).collect();
+    idx.sort_by(|&a, &b| {
+        for (k, item) in order_by.iter().enumerate() {
+            let ord = keys[a][k].sort_cmp(&keys[b][k]);
+            let ord = if item.desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    let mut new_rows = Vec::with_capacity(rows.len());
+    let mut new_keys = Vec::with_capacity(keys.len());
+    for i in idx {
+        new_rows.push(std::mem::take(&mut rows[i]));
+        new_keys.push(std::mem::take(&mut keys[i]));
+    }
+    *rows = new_rows;
+    *keys = new_keys;
+}
+
+fn apply_limit_offset(
+    rows: &mut Vec<Vec<Value>>,
+    stmt: &SelectStmt,
+    ctx: &ExecCtx<'_>,
+) -> Result<()> {
+    let eval_count = |e: &Expr| -> Result<Option<i64>> {
+        let v = eval(e, ctx, None)?;
+        Ok(v.as_i64())
+    };
+    let offset = match &stmt.offset {
+        Some(e) => eval_count(e)?.unwrap_or(0).max(0) as usize,
+        None => 0,
+    };
+    if offset > 0 {
+        if offset >= rows.len() {
+            rows.clear();
+        } else {
+            rows.drain(..offset);
+        }
+    }
+    if let Some(e) = &stmt.limit {
+        if let Some(n) = eval_count(e)? {
+            // Negative LIMIT means "no limit" in SQLite.
+            if n >= 0 {
+                rows.truncate(n as usize);
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---- simple SELECT core --------------------------------------------------
+
+/// Execute one SELECT core; returns the output relation plus one sort-key
+/// vector per row for the given ORDER BY items (empty when no ORDER BY).
+fn run_core(
+    core: &SelectCore,
+    order_by: &[OrderItem],
+    ctx: &ExecCtx<'_>,
+    outer: Option<&RowCtx<'_>>,
+) -> Result<(Relation, Vec<Vec<Value>>)> {
+    let plan = plan_from(core.from.as_ref(), core.filter.as_ref())?;
+    let lookup = ctx.column_lookup();
+    let plan = optimize(plan, ctx.udfs, &ctx.optimizer, &lookup)?;
+    let input = exec_plan(&plan, ctx, outer)?;
+
+    // Expand the projection into (expr, output column) pairs.
+    let projection = expand_projection(&core.projection, &input.schema)?;
+
+    let aggregated = !core.group_by.is_empty()
+        || projection.iter().any(|(e, _)| e.contains_aggregate())
+        || core.having.as_ref().is_some_and(|h| h.contains_aggregate());
+
+    // ORDER BY / HAVING may reference projection aliases; rewrite them to
+    // the underlying expressions (input columns win over aliases).
+    let order_exprs: Vec<Expr> = order_by
+        .iter()
+        .map(|o| resolve_output_ref(&o.expr, &projection, &input.schema))
+        .collect::<Result<_>>()?;
+    let having = core
+        .having
+        .as_ref()
+        .map(|h| resolve_output_ref(h, &projection, &input.schema))
+        .transpose()?;
+
+    if core.having.is_some() && !aggregated && core.group_by.is_empty() {
+        return Err(Error::Semantic("HAVING requires GROUP BY or an aggregate".into()));
+    }
+
+    let (mut rows, mut keys) = if aggregated {
+        run_aggregate(core, &projection, having.as_ref(), &order_exprs, &input, ctx, outer)?
+    } else {
+        let mut rows = Vec::with_capacity(input.rows.len());
+        let mut keys = Vec::with_capacity(if order_by.is_empty() { 0 } else { input.rows.len() });
+        for row in &input.rows {
+            let rc = RowCtx { schema: &input.schema, row, outer };
+            let mut out = Vec::with_capacity(projection.len());
+            for (e, _) in &projection {
+                out.push(eval(e, ctx, Some(&rc))?);
+            }
+            if !order_exprs.is_empty() {
+                let mut k = Vec::with_capacity(order_exprs.len());
+                for e in &order_exprs {
+                    if let Some(i) = ordinal_index(e, projection.len())? {
+                        k.push(out[i].clone());
+                    } else {
+                        k.push(eval(e, ctx, Some(&rc))?);
+                    }
+                }
+                keys.push(k);
+            }
+            rows.push(out);
+        }
+        (rows, keys)
+    };
+
+    if core.distinct {
+        distinct_in_place(&mut rows, &mut keys);
+    }
+
+    let schema = RelSchema::new(projection.into_iter().map(|(_, c)| c).collect());
+    Ok((Relation { schema, rows }, keys))
+}
+
+/// Expand wildcards and name each projected column.
+fn expand_projection(
+    items: &[SelectItem],
+    input: &RelSchema,
+) -> Result<Vec<(Expr, ColRef)>> {
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            SelectItem::Wildcard => {
+                if input.is_empty() {
+                    return Err(Error::Semantic("SELECT * with no FROM clause".into()));
+                }
+                for c in &input.cols {
+                    out.push((
+                        Expr::Column { table: c.qualifier.clone(), name: c.name.clone() },
+                        c.clone(),
+                    ));
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let mut any = false;
+                for c in &input.cols {
+                    if c.qualifier.as_deref().is_some_and(|x| x.eq_ignore_ascii_case(q)) {
+                        out.push((
+                            Expr::Column { table: c.qualifier.clone(), name: c.name.clone() },
+                            c.clone(),
+                        ));
+                        any = true;
+                    }
+                }
+                if !any {
+                    return Err(Error::Unresolved(format!("{q}.*")));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = match alias {
+                    Some(a) => a.clone(),
+                    None => match expr {
+                        Expr::Column { name, .. } => name.clone(),
+                        other => crate::display::expr_to_sql(other),
+                    },
+                };
+                let qualifier = match (alias, expr) {
+                    (None, Expr::Column { table, .. }) => table.clone(),
+                    _ => None,
+                };
+                out.push((expr.clone(), ColRef::new(qualifier, name)));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Rewrite a reference to a projection alias or ordinal into the underlying
+/// expression; leave genuine input-column references untouched.
+fn resolve_output_ref(
+    expr: &Expr,
+    projection: &[(Expr, ColRef)],
+    input: &RelSchema,
+) -> Result<Expr> {
+    if let Expr::Column { table: None, name } = expr {
+        // Input columns shadow aliases (SQL standard).
+        if input.resolve(None, name).unwrap_or(None).is_none() {
+            if let Some((e, _)) = projection
+                .iter()
+                .find(|(_, c)| c.name.eq_ignore_ascii_case(name))
+            {
+                return Ok(e.clone());
+            }
+        }
+    }
+    Ok(expr.clone())
+}
+
+fn distinct_in_place(rows: &mut Vec<Vec<Value>>, keys: &mut Vec<Vec<Value>>) {
+    let mut seen = std::collections::HashSet::new();
+    let mut kept_rows = Vec::with_capacity(rows.len());
+    let mut kept_keys = Vec::with_capacity(keys.len());
+    for (i, row) in rows.drain(..).enumerate() {
+        if seen.insert(row_key(&row)) {
+            if !keys.is_empty() {
+                kept_keys.push(std::mem::take(&mut keys[i]));
+            }
+            kept_rows.push(row);
+        }
+    }
+    *rows = kept_rows;
+    *keys = kept_keys;
+}
+
+// ---- aggregation ----------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn run_aggregate(
+    core: &SelectCore,
+    projection: &[(Expr, ColRef)],
+    having: Option<&Expr>,
+    order_exprs: &[Expr],
+    input: &Relation,
+    ctx: &ExecCtx<'_>,
+    outer: Option<&RowCtx<'_>>,
+) -> Result<RowsAndKeys> {
+    // Partition input rows into groups, preserving first-seen order.
+    let mut group_index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    if core.group_by.is_empty() {
+        groups.push((0..input.rows.len()).collect());
+    } else {
+        for (ri, row) in input.rows.iter().enumerate() {
+            let rc = RowCtx { schema: &input.schema, row, outer };
+            let mut key = Vec::with_capacity(core.group_by.len());
+            for g in &core.group_by {
+                key.push(eval(g, ctx, Some(&rc))?.group_key());
+            }
+            let gi = *group_index.entry(key).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[gi].push(ri);
+        }
+    }
+
+    // A row of NULLs stands in for column references over an empty group
+    // (only possible for the implicit single group of a table-less or
+    // fully-filtered aggregate).
+    let null_row: Vec<Value> = vec![Value::Null; input.schema.len()];
+
+    let mut rows = Vec::with_capacity(groups.len());
+    let mut keys = Vec::new();
+    for members in &groups {
+        let rep: &[Value] = match members.first() {
+            Some(&i) => &input.rows[i],
+            None => &null_row,
+        };
+        let rep_ctx = RowCtx { schema: &input.schema, row: rep, outer };
+
+        if let Some(h) = having {
+            let hv = materialize_and_eval(h, members, input, ctx, &rep_ctx)?;
+            if hv.truthiness() != Some(true) {
+                continue;
+            }
+        }
+
+        let mut out = Vec::with_capacity(projection.len());
+        for (e, _) in projection {
+            out.push(materialize_and_eval(e, members, input, ctx, &rep_ctx)?);
+        }
+        if !order_exprs.is_empty() {
+            let mut k = Vec::with_capacity(order_exprs.len());
+            for e in order_exprs {
+                if let Some(i) = ordinal_index(e, projection.len())? {
+                    k.push(out[i].clone());
+                } else {
+                    k.push(materialize_and_eval(e, members, input, ctx, &rep_ctx)?);
+                }
+            }
+            keys.push(k);
+        }
+        rows.push(out);
+    }
+    Ok((rows, keys))
+}
+
+/// Replace aggregate calls in `expr` with their computed literals, then
+/// evaluate the residual expression on the group's representative row.
+fn materialize_and_eval(
+    expr: &Expr,
+    members: &[usize],
+    input: &Relation,
+    ctx: &ExecCtx<'_>,
+    rep_ctx: &RowCtx<'_>,
+) -> Result<Value> {
+    let rewritten = replace_aggregates(expr, members, input, ctx, rep_ctx)?;
+    eval(&rewritten, ctx, Some(rep_ctx))
+}
+
+fn replace_aggregates(
+    expr: &Expr,
+    members: &[usize],
+    input: &Relation,
+    ctx: &ExecCtx<'_>,
+    rep_ctx: &RowCtx<'_>,
+) -> Result<Expr> {
+    Ok(match expr {
+        Expr::Function { name, args, distinct, star } if is_aggregate(name) => {
+            Expr::Literal(compute_aggregate(
+                name, args, *distinct, *star, members, input, ctx, rep_ctx,
+            )?)
+        }
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(replace_aggregates(left, members, input, ctx, rep_ctx)?),
+            right: Box::new(replace_aggregates(right, members, input, ctx, rep_ctx)?),
+        },
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(replace_aggregates(expr, members, input, ctx, rep_ctx)?),
+        },
+        Expr::Function { name, args, distinct, star } => Expr::Function {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| replace_aggregates(a, members, input, ctx, rep_ctx))
+                .collect::<Result<_>>()?,
+            distinct: *distinct,
+            star: *star,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(replace_aggregates(expr, members, input, ctx, rep_ctx)?),
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated, glob } => Expr::Like {
+            expr: Box::new(replace_aggregates(expr, members, input, ctx, rep_ctx)?),
+            pattern: Box::new(replace_aggregates(pattern, members, input, ctx, rep_ctx)?),
+            negated: *negated,
+            glob: *glob,
+        },
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(replace_aggregates(expr, members, input, ctx, rep_ctx)?),
+            low: Box::new(replace_aggregates(low, members, input, ctx, rep_ctx)?),
+            high: Box::new(replace_aggregates(high, members, input, ctx, rep_ctx)?),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(replace_aggregates(expr, members, input, ctx, rep_ctx)?),
+            list: list
+                .iter()
+                .map(|e| replace_aggregates(e, members, input, ctx, rep_ctx))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Case { operand, branches, else_expr } => Expr::Case {
+            operand: match operand {
+                Some(o) => Some(Box::new(replace_aggregates(o, members, input, ctx, rep_ctx)?)),
+                None => None,
+            },
+            branches: branches
+                .iter()
+                .map(|(w, t)| {
+                    Ok((
+                        replace_aggregates(w, members, input, ctx, rep_ctx)?,
+                        replace_aggregates(t, members, input, ctx, rep_ctx)?,
+                    ))
+                })
+                .collect::<Result<_>>()?,
+            else_expr: match else_expr {
+                Some(e) => Some(Box::new(replace_aggregates(e, members, input, ctx, rep_ctx)?)),
+                None => None,
+            },
+        },
+        Expr::Cast { expr, type_name } => Expr::Cast {
+            expr: Box::new(replace_aggregates(expr, members, input, ctx, rep_ctx)?),
+            type_name: type_name.clone(),
+        },
+        // Leaves and subqueries (own scope) pass through.
+        other => other.clone(),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compute_aggregate(
+    name: &str,
+    args: &[Expr],
+    distinct: bool,
+    star: bool,
+    members: &[usize],
+    input: &Relation,
+    ctx: &ExecCtx<'_>,
+    rep_ctx: &RowCtx<'_>,
+) -> Result<Value> {
+    let upper = name.to_ascii_uppercase();
+
+    if star {
+        if upper != "COUNT" {
+            return Err(Error::Semantic(format!("{name}(*) is not valid")));
+        }
+        return Ok(Value::Integer(members.len() as i64));
+    }
+
+    // Gather the argument values per group row (NULLs excluded, per SQL).
+    let arg = args
+        .first()
+        .ok_or_else(|| Error::Semantic(format!("{name}() requires an argument")))?;
+    let mut vals = Vec::with_capacity(members.len());
+    for &ri in members {
+        let rc = RowCtx { schema: &input.schema, row: &input.rows[ri], outer: rep_ctx.outer };
+        let v = eval(arg, ctx, Some(&rc))?;
+        if !v.is_null() {
+            vals.push(v);
+        }
+    }
+    if distinct {
+        let mut seen = std::collections::HashSet::new();
+        vals.retain(|v| seen.insert(v.group_key()));
+    }
+
+    match upper.as_str() {
+        "COUNT" => Ok(Value::Integer(vals.len() as i64)),
+        "SUM" | "TOTAL" => {
+            if vals.is_empty() {
+                return Ok(if upper == "TOTAL" { Value::Real(0.0) } else { Value::Null });
+            }
+            if upper == "SUM" && vals.iter().all(|v| matches!(v, Value::Integer(_))) {
+                let mut acc: i64 = 0;
+                for v in &vals {
+                    if let Value::Integer(i) = v {
+                        acc = acc
+                            .checked_add(*i)
+                            .ok_or_else(|| Error::Arithmetic("integer overflow in SUM".into()))?;
+                    }
+                }
+                Ok(Value::Integer(acc))
+            } else {
+                let mut acc = 0.0;
+                for v in &vals {
+                    acc += v.as_f64().unwrap_or(0.0);
+                }
+                Ok(Value::Real(acc))
+            }
+        }
+        "AVG" => {
+            if vals.is_empty() {
+                return Ok(Value::Null);
+            }
+            let sum: f64 = vals.iter().map(|v| v.as_f64().unwrap_or(0.0)).sum();
+            Ok(Value::Real(sum / vals.len() as f64))
+        }
+        "MIN" => Ok(vals
+            .into_iter()
+            .min_by(|a, b| a.sort_cmp(b))
+            .unwrap_or(Value::Null)),
+        "MAX" => Ok(vals
+            .into_iter()
+            .max_by(|a, b| a.sort_cmp(b))
+            .unwrap_or(Value::Null)),
+        "GROUP_CONCAT" => {
+            if vals.is_empty() {
+                return Ok(Value::Null);
+            }
+            let sep = match args.get(1) {
+                Some(e) => eval(e, ctx, Some(rep_ctx))?.render(),
+                None => ",".to_string(),
+            };
+            Ok(Value::Text(
+                vals.iter().map(Value::render).collect::<Vec<_>>().join(&sep),
+            ))
+        }
+        other => Err(Error::Unresolved(format!("aggregate function {other}"))),
+    }
+}
+
+// ---- plan execution --------------------------------------------------------
+
+/// Materialize a plan into a relation.
+pub fn exec_plan(
+    plan: &Plan,
+    ctx: &ExecCtx<'_>,
+    outer: Option<&RowCtx<'_>>,
+) -> Result<Relation> {
+    match plan {
+        Plan::Empty => Ok(Relation { schema: RelSchema::default(), rows: vec![vec![]] }),
+
+        Plan::Scan { table, qualifier } => {
+            let t = ctx.catalog.get_required(table)?;
+            Ok(Relation {
+                schema: RelSchema::qualified(qualifier, t.column_names()),
+                rows: t.rows.clone(),
+            })
+        }
+
+        Plan::Derived { query, qualifier } => {
+            let inner = run_select(query, ctx, outer)?;
+            // Re-qualify every output column with the derived-table alias.
+            let cols = inner
+                .schema
+                .cols
+                .into_iter()
+                .map(|c| ColRef::new(Some(qualifier.clone()), c.name))
+                .collect();
+            Ok(Relation { schema: RelSchema::new(cols), rows: inner.rows })
+        }
+
+        Plan::Filter { input, predicate } => {
+            let rel = exec_plan(input, ctx, outer)?;
+            let mut rows = Vec::with_capacity(rel.rows.len());
+            for row in rel.rows {
+                let rc = RowCtx { schema: &rel.schema, row: &row, outer };
+                if eval(predicate, ctx, Some(&rc))?.truthiness() == Some(true) {
+                    rows.push(row);
+                }
+            }
+            Ok(Relation { schema: rel.schema, rows })
+        }
+
+        Plan::Join { left, right, kind, on } => {
+            let l = exec_plan(left, ctx, outer)?;
+            let r = exec_plan(right, ctx, outer)?;
+            exec_join(l, r, *kind, on.as_ref(), ctx, outer)
+        }
+    }
+}
+
+fn exec_join(
+    left: Relation,
+    right: Relation,
+    kind: PlanJoinKind,
+    on: Option<&Expr>,
+    ctx: &ExecCtx<'_>,
+    outer: Option<&RowCtx<'_>>,
+) -> Result<Relation> {
+    let schema = left.schema.join(&right.schema);
+
+    // Try to split the ON predicate into hashable equi-pairs + residual.
+    let (equi, residual) = match on {
+        Some(pred) if kind != PlanJoinKind::Cross => {
+            split_equi_join(pred, &left.schema, &right.schema)
+        }
+        Some(pred) => (Vec::new(), Some(pred.clone())),
+        None => (Vec::new(), None),
+    };
+
+    let rows = if equi.is_empty() {
+        nested_loop_join(&left, &right, kind, residual.as_ref(), &schema, ctx, outer)?
+    } else {
+        hash_join(&left, &right, kind, &equi, residual.as_ref(), &schema, ctx, outer)?
+    };
+    Ok(Relation { schema, rows })
+}
+
+/// Extract `l_expr = r_expr` conjuncts where each side is computable from
+/// one input. Returns (pairs, residual predicate).
+fn split_equi_join(
+    pred: &Expr,
+    left: &RelSchema,
+    right: &RelSchema,
+) -> (Vec<(Expr, Expr)>, Option<Expr>) {
+    use crate::ast::BinaryOp;
+    let mut pairs = Vec::new();
+    let mut residual = Vec::new();
+    for c in crate::plan::split_conjuncts(pred) {
+        if let Expr::Binary { op: BinaryOp::Eq, left: a, right: b } = &c {
+            if left.covers(a) && right.covers(b) {
+                pairs.push(((**a).clone(), (**b).clone()));
+                continue;
+            }
+            if left.covers(b) && right.covers(a) {
+                pairs.push(((**b).clone(), (**a).clone()));
+                continue;
+            }
+        }
+        residual.push(c);
+    }
+    (pairs, crate::plan::conjoin(residual))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    kind: PlanJoinKind,
+    equi: &[(Expr, Expr)],
+    residual: Option<&Expr>,
+    schema: &RelSchema,
+    ctx: &ExecCtx<'_>,
+    outer: Option<&RowCtx<'_>>,
+) -> Result<Vec<Vec<Value>>> {
+    // Build on the right side.
+    let mut table: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+    'build: for (ri, row) in right.rows.iter().enumerate() {
+        let rc = RowCtx { schema: &right.schema, row, outer };
+        let mut key = Vec::with_capacity(equi.len());
+        for (_, re) in equi {
+            let v = eval(re, ctx, Some(&rc))?;
+            if v.is_null() {
+                continue 'build; // NULL keys never join.
+            }
+            key.push(v.group_key());
+        }
+        table.entry(key).or_default().push(ri);
+    }
+
+    let mut out = Vec::new();
+    for lrow in &left.rows {
+        let lc = RowCtx { schema: &left.schema, row: lrow, outer };
+        let mut key = Vec::with_capacity(equi.len());
+        let mut null_key = false;
+        for (le, _) in equi {
+            let v = eval(le, ctx, Some(&lc))?;
+            if v.is_null() {
+                null_key = true;
+                break;
+            }
+            key.push(v.group_key());
+        }
+        let mut matched = false;
+        if !null_key {
+            if let Some(cands) = table.get(&key) {
+                for &ri in cands {
+                    let mut combined = Vec::with_capacity(schema.len());
+                    combined.extend(lrow.iter().cloned());
+                    combined.extend(right.rows[ri].iter().cloned());
+                    if let Some(res) = residual {
+                        let cc = RowCtx { schema, row: &combined, outer };
+                        if eval(res, ctx, Some(&cc))?.truthiness() != Some(true) {
+                            continue;
+                        }
+                    }
+                    matched = true;
+                    out.push(combined);
+                }
+            }
+        }
+        if !matched && kind == PlanJoinKind::Left {
+            let mut combined = Vec::with_capacity(schema.len());
+            combined.extend(lrow.iter().cloned());
+            combined.extend(std::iter::repeat_n(Value::Null, right.schema.len()));
+            out.push(combined);
+        }
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn nested_loop_join(
+    left: &Relation,
+    right: &Relation,
+    kind: PlanJoinKind,
+    on: Option<&Expr>,
+    schema: &RelSchema,
+    ctx: &ExecCtx<'_>,
+    outer: Option<&RowCtx<'_>>,
+) -> Result<Vec<Vec<Value>>> {
+    let mut out = Vec::new();
+    for lrow in &left.rows {
+        let mut matched = false;
+        for rrow in &right.rows {
+            let mut combined = Vec::with_capacity(schema.len());
+            combined.extend(lrow.iter().cloned());
+            combined.extend(rrow.iter().cloned());
+            if let Some(pred) = on {
+                let cc = RowCtx { schema, row: &combined, outer };
+                if eval(pred, ctx, Some(&cc))?.truthiness() != Some(true) {
+                    continue;
+                }
+            }
+            matched = true;
+            out.push(combined);
+        }
+        if !matched && kind == PlanJoinKind::Left {
+            let mut combined = Vec::with_capacity(schema.len());
+            combined.extend(lrow.iter().cloned());
+            combined.extend(std::iter::repeat_n(Value::Null, right.schema.len()));
+            out.push(combined);
+        }
+    }
+    Ok(out)
+}

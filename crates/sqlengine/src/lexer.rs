@@ -1,0 +1,382 @@
+//! SQL tokenizer.
+//!
+//! Produces a flat `Vec<Token>` for the recursive-descent parser. Keywords
+//! are case-insensitive; identifiers may be quoted with double quotes or
+//! backticks; string literals use single quotes with `''` escaping, as in
+//! SQLite.
+
+use crate::error::{Error, Result};
+
+/// A lexical token plus its byte offset in the source (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// Token classes. Keywords are folded to uppercase in `Keyword`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Reserved word, uppercased (`SELECT`, `FROM`, ...).
+    Keyword(String),
+    /// Bare or quoted identifier, original case preserved.
+    Ident(String),
+    /// Integer literal.
+    Integer(i64),
+    /// Floating-point literal.
+    Real(f64),
+    /// Single-quoted string literal, escapes resolved.
+    Str(String),
+    /// Punctuation / operator.
+    Symbol(Symbol),
+    /// End of input sentinel.
+    Eof,
+}
+
+/// Operator and punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Concat,
+}
+
+/// Words treated as keywords by the parser. Anything else is an identifier.
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET", "AS", "ON",
+    "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "AND", "OR", "NOT", "NULL", "IS", "IN",
+    "LIKE", "BETWEEN", "EXISTS", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "DISTINCT", "ALL",
+    "ASC", "DESC", "UNION", "EXCEPT", "INTERSECT", "CREATE", "TABLE", "DROP", "ALTER", "ADD",
+    "COLUMN", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "PRIMARY", "KEY", "UNIQUE",
+    "IF", "TRUE", "FALSE", "GLOB",
+];
+
+/// Tokenize `sql` into a vector ending with an [`TokenKind::Eof`] token.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::with_capacity(sql.len() / 4 + 4);
+    let mut i = 0;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment: skip to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(Error::lex(start, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (s, next) = lex_single_quoted(sql, i)?;
+                tokens.push(Token { kind: TokenKind::Str(s), offset: i });
+                i = next;
+            }
+            '"' | '`' => {
+                let (s, next) = lex_quoted_ident(sql, i, c)?;
+                tokens.push(Token { kind: TokenKind::Ident(s), offset: i });
+                i = next;
+            }
+            '0'..='9' => {
+                let (kind, next) = lex_number(sql, i)?;
+                tokens.push(Token { kind, offset: i });
+                i = next;
+            }
+            '.' if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) => {
+                let (kind, next) = lex_number(sql, i)?;
+                tokens.push(Token { kind, offset: i });
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &sql[start..i];
+                let upper = word.to_ascii_uppercase();
+                let kind = if KEYWORDS.contains(&upper.as_str()) {
+                    TokenKind::Keyword(upper)
+                } else {
+                    TokenKind::Ident(word.to_string())
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            _ => {
+                let (sym, width) = lex_symbol(bytes, i)?;
+                tokens.push(Token { kind: TokenKind::Symbol(sym), offset: i });
+                i += width;
+            }
+        }
+    }
+
+    tokens.push(Token { kind: TokenKind::Eof, offset: sql.len() });
+    Ok(tokens)
+}
+
+fn lex_single_quoted(sql: &str, start: usize) -> Result<(String, usize)> {
+    let bytes = sql.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    loop {
+        if i >= bytes.len() {
+            return Err(Error::lex(start, "unterminated string literal"));
+        }
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // Copy one UTF-8 character.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&sql[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+}
+
+fn lex_quoted_ident(sql: &str, start: usize, quote: char) -> Result<(String, usize)> {
+    let bytes = sql.as_bytes();
+    let q = quote as u8;
+    let mut out = String::new();
+    let mut i = start + 1;
+    loop {
+        if i >= bytes.len() {
+            return Err(Error::lex(start, "unterminated quoted identifier"));
+        }
+        if bytes[i] == q {
+            if bytes.get(i + 1) == Some(&q) {
+                out.push(quote);
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&sql[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+}
+
+fn lex_number(sql: &str, start: usize) -> Result<(TokenKind, usize)> {
+    let bytes = sql.as_bytes();
+    let mut i = start;
+    let mut is_real = false;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'.' {
+        is_real = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            is_real = true;
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &sql[start..i];
+    if is_real {
+        let v = text
+            .parse::<f64>()
+            .map_err(|_| Error::lex(start, format!("bad real literal '{text}'")))?;
+        Ok((TokenKind::Real(v), i))
+    } else {
+        match text.parse::<i64>() {
+            Ok(v) => Ok((TokenKind::Integer(v), i)),
+            // Overflowing integer literals degrade to real, as in SQLite.
+            Err(_) => {
+                let v = text
+                    .parse::<f64>()
+                    .map_err(|_| Error::lex(start, format!("bad numeric literal '{text}'")))?;
+                Ok((TokenKind::Real(v), i))
+            }
+        }
+    }
+}
+
+fn lex_symbol(bytes: &[u8], i: usize) -> Result<(Symbol, usize)> {
+    let two = |a: u8, b: u8| bytes[i] == a && bytes.get(i + 1) == Some(&b);
+    if two(b'<', b'=') {
+        return Ok((Symbol::LtEq, 2));
+    }
+    if two(b'>', b'=') {
+        return Ok((Symbol::GtEq, 2));
+    }
+    if two(b'<', b'>') || two(b'!', b'=') {
+        return Ok((Symbol::NotEq, 2));
+    }
+    if two(b'|', b'|') {
+        return Ok((Symbol::Concat, 2));
+    }
+    if two(b'=', b'=') {
+        return Ok((Symbol::Eq, 2));
+    }
+    let sym = match bytes[i] {
+        b'(' => Symbol::LParen,
+        b')' => Symbol::RParen,
+        b',' => Symbol::Comma,
+        b'.' => Symbol::Dot,
+        b';' => Symbol::Semicolon,
+        b'+' => Symbol::Plus,
+        b'-' => Symbol::Minus,
+        b'*' => Symbol::Star,
+        b'/' => Symbol::Slash,
+        b'%' => Symbol::Percent,
+        b'=' => Symbol::Eq,
+        b'<' => Symbol::Lt,
+        b'>' => Symbol::Gt,
+        other => {
+            return Err(Error::lex(i, format!("unexpected character '{}'", other as char)));
+        }
+    };
+    Ok((sym, 1))
+}
+
+#[inline]
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_fold_case_identifiers_keep_case() {
+        let k = kinds("select Hero_Name from Superhero");
+        assert_eq!(k[0], TokenKind::Keyword("SELECT".into()));
+        assert_eq!(k[1], TokenKind::Ident("Hero_Name".into()));
+        assert_eq!(k[2], TokenKind::Keyword("FROM".into()));
+        assert_eq!(k[3], TokenKind::Ident("Superhero".into()));
+    }
+
+    #[test]
+    fn string_literals_escape_quotes() {
+        let k = kinds("'it''s'");
+        assert_eq!(k[0], TokenKind::Str("it's".into()));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let k = kinds("\"weird name\" `back tick`");
+        assert_eq!(k[0], TokenKind::Ident("weird name".into()));
+        assert_eq!(k[1], TokenKind::Ident("back tick".into()));
+    }
+
+    #[test]
+    fn numbers_integer_real_exponent() {
+        let k = kinds("42 3.5 1e3 .25 10000000000000000000");
+        assert_eq!(k[0], TokenKind::Integer(42));
+        assert_eq!(k[1], TokenKind::Real(3.5));
+        assert_eq!(k[2], TokenKind::Real(1000.0));
+        assert_eq!(k[3], TokenKind::Real(0.25));
+        // Too big for i64: degrades to real.
+        assert!(matches!(k[4], TokenKind::Real(_)));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let k = kinds("<= >= <> != || ==");
+        assert_eq!(
+            k[..6],
+            [
+                TokenKind::Symbol(Symbol::LtEq),
+                TokenKind::Symbol(Symbol::GtEq),
+                TokenKind::Symbol(Symbol::NotEq),
+                TokenKind::Symbol(Symbol::NotEq),
+                TokenKind::Symbol(Symbol::Concat),
+                TokenKind::Symbol(Symbol::Eq),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("SELECT -- the works\n 1 /* inline */ + 2");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Integer(1),
+                TokenKind::Symbol(Symbol::Plus),
+                TokenKind::Integer(2),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        match tokenize("SELECT 'oops") {
+            Err(Error::Lex { pos, .. }) => assert_eq!(pos, 7),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+        assert!(tokenize("SELECT #").is_err());
+        assert!(tokenize("/* never closed").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings_survives() {
+        let k = kinds("'héroïne — ok'");
+        assert_eq!(k[0], TokenKind::Str("héroïne — ok".into()));
+    }
+
+    #[test]
+    fn eof_is_always_last() {
+        assert_eq!(kinds("").last(), Some(&TokenKind::Eof));
+        assert_eq!(kinds("   ").last(), Some(&TokenKind::Eof));
+    }
+}

@@ -1,0 +1,49 @@
+//! # swan-sqlengine
+//!
+//! An embedded, in-memory relational SQL engine built as the substrate for
+//! *hybrid querying over relational databases and large language models*
+//! (the SWAN benchmark / HQDL paper, CIDR 2025).
+//!
+//! The engine plays the role SQLite plays in the paper:
+//!
+//! * a SQLite-flavoured SQL dialect — dynamic typing, `LIKE`/`GLOB`,
+//!   three-valued logic, joins, grouping, compound selects, subqueries;
+//! * DDL/DML (`CREATE`/`DROP`/`ALTER TABLE`, `INSERT`, `UPDATE`, `DELETE`)
+//!   so HQDL can *materialize* LLM-generated tables (schema expansion);
+//! * a scalar-UDF registry with an *expensive-function* cost hint, so
+//!   BlendSQL-style LLM functions participate in optimization — the
+//!   optimizer pushes cheap predicates down and orders LLM predicates last
+//!   to minimize calls (paper §4.2–4.3).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use swan_sqlengine::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE superhero (hero_name TEXT PRIMARY KEY, full_name TEXT)").unwrap();
+//! db.execute("INSERT INTO superhero VALUES ('Spider-Man', 'Peter Parker')").unwrap();
+//! let r = db.query("SELECT full_name FROM superhero WHERE hero_name = 'Spider-Man'").unwrap();
+//! assert_eq!(r.rows[0][0].render(), "Peter Parker");
+//! ```
+
+pub mod ast;
+pub mod db;
+pub mod display;
+pub mod error;
+pub mod eval;
+pub mod exec;
+pub mod functions;
+pub mod lexer;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+pub mod storage;
+pub mod value;
+
+pub use db::{Database, QueryResult};
+pub use error::{Error, Result};
+pub use functions::{ScalarUdf, UdfRegistry};
+pub use optimizer::OptimizerConfig;
+pub use storage::{Catalog, Column, Table};
+pub use value::Value;

@@ -1,0 +1,410 @@
+//! Rule-based plan optimizer.
+//!
+//! Three rules matter for hybrid queries:
+//!
+//! 1. **Predicate pushdown** — WHERE conjuncts move below joins to the side
+//!    that can evaluate them, shrinking join inputs.
+//! 2. **Expensive-predicate ordering** — within a filter, conjuncts that
+//!    call expensive UDFs (LLM functions) are evaluated *last*, so cheap
+//!    database predicates prune rows before any LLM call happens. This is
+//!    the §4.2 optimization ("pushing down predicates to avoid generating
+//!    unnecessary data entries").
+//! 3. **Constant folding** — literal arithmetic/comparisons collapse, which
+//!    also lets trivially-true filters disappear.
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::functions::UdfRegistry;
+use crate::plan::{conjoin, split_conjuncts, Plan, PlanJoinKind};
+use crate::value::Value;
+use crate::error::Result;
+
+/// Optimizer configuration; rules can be toggled for ablation benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizerConfig {
+    pub pushdown: bool,
+    pub order_expensive_last: bool,
+    pub fold_constants: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig { pushdown: true, order_expensive_last: true, fold_constants: true }
+    }
+}
+
+/// Optimize a plan. `lookup` resolves table names to column lists for
+/// schema reasoning (needed to decide which join side covers a predicate).
+pub fn optimize(
+    plan: Plan,
+    udfs: &UdfRegistry,
+    config: &OptimizerConfig,
+    lookup: &dyn Fn(&str) -> Result<Vec<String>>,
+) -> Result<Plan> {
+    let plan = if config.fold_constants { fold_plan(plan) } else { plan };
+    let plan = if config.pushdown { pushdown(plan, lookup)? } else { plan };
+    let plan = if config.order_expensive_last { order_filters(plan, udfs) } else { plan };
+    Ok(plan)
+}
+
+// ---- rule 1: predicate pushdown ---------------------------------------
+
+fn pushdown(plan: Plan, lookup: &dyn Fn(&str) -> Result<Vec<String>>) -> Result<Plan> {
+    match plan {
+        Plan::Filter { input, predicate } => {
+            let input = pushdown(*input, lookup)?;
+            push_predicate_into(input, split_conjuncts(&predicate), lookup)
+        }
+        Plan::Join { left, right, kind, on } => Ok(Plan::Join {
+            left: Box::new(pushdown(*left, lookup)?),
+            right: Box::new(pushdown(*right, lookup)?),
+            kind,
+            on,
+        }),
+        other => Ok(other),
+    }
+}
+
+/// Push each conjunct as deep as it can go; conjuncts that cannot move stay
+/// in a filter above `plan`.
+fn push_predicate_into(
+    plan: Plan,
+    conjuncts: Vec<Expr>,
+    lookup: &dyn Fn(&str) -> Result<Vec<String>>,
+) -> Result<Plan> {
+    match plan {
+        Plan::Join { left, right, kind, on } => {
+            let left_schema = left.schema(lookup)?;
+            let right_schema = right.schema(lookup)?;
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut stay = Vec::new();
+            for c in conjuncts {
+                if expr_has_subquery(&c) {
+                    // Subqueries may be correlated with the full row; keep up top.
+                    stay.push(c);
+                } else if left_schema.covers(&c) {
+                    to_left.push(c);
+                } else if right_schema.covers(&c) {
+                    // Pushing below the null-supplying side of a LEFT join
+                    // changes semantics (it would filter before padding);
+                    // keep such predicates above the join.
+                    if kind == PlanJoinKind::Left {
+                        stay.push(c);
+                    } else {
+                        to_right.push(c);
+                    }
+                } else {
+                    stay.push(c);
+                }
+            }
+            let new_left = if to_left.is_empty() {
+                *left
+            } else {
+                push_predicate_into(*left, to_left, lookup)?
+            };
+            let new_right = if to_right.is_empty() {
+                *right
+            } else {
+                push_predicate_into(*right, to_right, lookup)?
+            };
+            let joined = Plan::Join {
+                left: Box::new(new_left),
+                right: Box::new(new_right),
+                kind,
+                on,
+            };
+            Ok(wrap_filter(joined, stay))
+        }
+        Plan::Filter { input, predicate } => {
+            // Merge with an existing filter and keep pushing.
+            let mut all = split_conjuncts(&predicate);
+            all.extend(conjuncts);
+            push_predicate_into(*input, all, lookup)
+        }
+        leaf @ (Plan::Scan { .. } | Plan::Derived { .. } | Plan::Empty) => {
+            Ok(wrap_filter(leaf, conjuncts))
+        }
+    }
+}
+
+fn wrap_filter(plan: Plan, conjuncts: Vec<Expr>) -> Plan {
+    match conjoin(conjuncts) {
+        Some(pred) => Plan::Filter { input: Box::new(plan), predicate: pred },
+        None => plan,
+    }
+}
+
+fn expr_has_subquery(e: &Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |x| {
+        if matches!(
+            x,
+            Expr::ScalarSubquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. }
+        ) {
+            found = true;
+        }
+    });
+    found
+}
+
+// ---- rule 2: expensive predicates last ---------------------------------
+
+fn order_filters(plan: Plan, udfs: &UdfRegistry) -> Plan {
+    match plan {
+        Plan::Filter { input, predicate } => {
+            let input = Box::new(order_filters(*input, udfs));
+            let mut parts = split_conjuncts(&predicate);
+            // Stable partition: cheap predicates first, expensive last,
+            // preserving the relative order inside each class.
+            parts.sort_by_key(|p| expr_cost(p, udfs));
+            Plan::Filter { input, predicate: conjoin(parts).expect("non-empty") }
+        }
+        Plan::Join { left, right, kind, on } => Plan::Join {
+            left: Box::new(order_filters(*left, udfs)),
+            right: Box::new(order_filters(*right, udfs)),
+            kind,
+            on,
+        },
+        other => other,
+    }
+}
+
+/// Cost class of a predicate: 0 = cheap, 1 = contains a subquery,
+/// 2 = calls an expensive UDF.
+pub fn expr_cost(e: &Expr, udfs: &UdfRegistry) -> u8 {
+    let mut cost = 0u8;
+    e.walk(&mut |x| match x {
+        Expr::Function { name, .. } if udfs.is_expensive(name) => cost = cost.max(2),
+        Expr::ScalarSubquery(_) | Expr::InSubquery { .. } | Expr::Exists { .. } => {
+            cost = cost.max(1)
+        }
+        _ => {}
+    });
+    cost
+}
+
+// ---- rule 3: constant folding ------------------------------------------
+
+fn fold_plan(plan: Plan) -> Plan {
+    match plan {
+        Plan::Filter { input, predicate } => {
+            let folded = fold_expr(predicate);
+            // A literally-true filter disappears.
+            if let Expr::Literal(v) = &folded {
+                if v.truthiness() == Some(true) {
+                    return fold_plan(*input);
+                }
+            }
+            Plan::Filter { input: Box::new(fold_plan(*input)), predicate: folded }
+        }
+        Plan::Join { left, right, kind, on } => Plan::Join {
+            left: Box::new(fold_plan(*left)),
+            right: Box::new(fold_plan(*right)),
+            kind,
+            on: on.map(fold_expr),
+        },
+        other => other,
+    }
+}
+
+/// Fold literal subtrees bottom-up. Only pure, error-free operations fold;
+/// anything that could raise (overflow, type error) is left for runtime.
+pub fn fold_expr(e: Expr) -> Expr {
+    match e {
+        Expr::Binary { op, left, right } => {
+            let left = fold_expr(*left);
+            let right = fold_expr(*right);
+            if let (Expr::Literal(a), Expr::Literal(b)) = (&left, &right) {
+                if let Some(v) = fold_binary(op, a, b) {
+                    return Expr::Literal(v);
+                }
+            }
+            Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        }
+        Expr::Unary { op, expr } => {
+            let inner = fold_expr(*expr);
+            if let Expr::Literal(v) = &inner {
+                match op {
+                    UnaryOp::Neg => {
+                        if let Ok(out) = v.neg() {
+                            return Expr::Literal(out);
+                        }
+                    }
+                    UnaryOp::Not => match v.truthiness() {
+                        Some(b) => return Expr::Literal(Value::Integer(!b as i64)),
+                        None => return Expr::Literal(Value::Null),
+                    },
+                }
+            }
+            Expr::Unary { op, expr: Box::new(inner) }
+        }
+        Expr::Case { operand, branches, else_expr } => Expr::Case {
+            operand: operand.map(|b| Box::new(fold_expr(*b))),
+            branches: branches
+                .into_iter()
+                .map(|(w, t)| (fold_expr(w), fold_expr(t)))
+                .collect(),
+            else_expr: else_expr.map(|b| Box::new(fold_expr(*b))),
+        },
+        Expr::Function { name, args, distinct, star } => Expr::Function {
+            name,
+            args: args.into_iter().map(fold_expr).collect(),
+            distinct,
+            star,
+        },
+        other => other,
+    }
+}
+
+fn fold_binary(op: BinaryOp, a: &Value, b: &Value) -> Option<Value> {
+    let bool_val = |o: Option<bool>| match o {
+        Some(t) => Value::Integer(t as i64),
+        None => Value::Null,
+    };
+    match op {
+        BinaryOp::Add => a.add(b).ok(),
+        BinaryOp::Sub => a.sub(b).ok(),
+        BinaryOp::Mul => a.mul(b).ok(),
+        BinaryOp::Div => a.div(b).ok(),
+        BinaryOp::Rem => a.rem(b).ok(),
+        BinaryOp::Eq => Some(bool_val(a.sql_eq(b))),
+        BinaryOp::NotEq => Some(bool_val(a.sql_eq(b).map(|t| !t))),
+        BinaryOp::Lt => Some(bool_val(a.sql_cmp(b).map(|o| o.is_lt()))),
+        BinaryOp::LtEq => Some(bool_val(a.sql_cmp(b).map(|o| o.is_le()))),
+        BinaryOp::Gt => Some(bool_val(a.sql_cmp(b).map(|o| o.is_gt()))),
+        BinaryOp::GtEq => Some(bool_val(a.sql_cmp(b).map(|o| o.is_ge()))),
+        BinaryOp::Concat => {
+            if a.is_null() || b.is_null() {
+                Some(Value::Null)
+            } else {
+                Some(Value::Text(format!("{}{}", a.render(), b.render())))
+            }
+        }
+        // AND/OR folding would need three-valued short-circuit care with
+        // non-literal siblings; the gain is negligible, so skip.
+        BinaryOp::And | BinaryOp::Or => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expression;
+    use crate::plan::{plan_from, ColRef};
+    use crate::ast::{Statement, SelectBody};
+    use crate::parser::parse_statement;
+    use std::sync::Arc;
+
+    fn lookup(name: &str) -> Result<Vec<String>> {
+        match name {
+            "a" => Ok(vec!["x".into(), "ax".into()]),
+            "b" => Ok(vec!["y".into(), "bz".into()]),
+            other => Err(crate::error::Error::NotFound(other.into())),
+        }
+    }
+
+    fn plan_of(sql: &str) -> Plan {
+        let Statement::Select(s) = parse_statement(sql).unwrap() else { panic!() };
+        let SelectBody::Simple(core) = s.body else { panic!() };
+        plan_from(core.from.as_ref(), core.filter.as_ref()).unwrap()
+    }
+
+    #[test]
+    fn pushdown_splits_filter_across_join() {
+        let p = plan_of("SELECT * FROM a JOIN b ON a.x = b.y WHERE a.ax = 1 AND b.bz = 2");
+        let opt = optimize(p, &UdfRegistry::new(), &OptimizerConfig::default(), &lookup).unwrap();
+        // Both conjuncts moved below the join: top node is the join itself.
+        let Plan::Join { left, right, .. } = opt else { panic!("expected join on top, got filter") };
+        assert!(matches!(*left, Plan::Filter { .. }));
+        assert!(matches!(*right, Plan::Filter { .. }));
+    }
+
+    #[test]
+    fn cross_side_predicate_stays_above() {
+        let p = plan_of("SELECT * FROM a JOIN b ON a.x = b.y WHERE a.ax = b.bz");
+        let opt = optimize(p, &UdfRegistry::new(), &OptimizerConfig::default(), &lookup).unwrap();
+        let Plan::Filter { input, .. } = opt else { panic!("cross predicate must stay") };
+        assert!(matches!(*input, Plan::Join { .. }));
+    }
+
+    #[test]
+    fn left_join_right_side_predicate_not_pushed() {
+        let p = plan_of("SELECT * FROM a LEFT JOIN b ON a.x = b.y WHERE b.bz = 2");
+        let opt = optimize(p, &UdfRegistry::new(), &OptimizerConfig::default(), &lookup).unwrap();
+        let Plan::Filter { input, .. } = opt else {
+            panic!("predicate on null-supplying side must stay above the join")
+        };
+        assert!(matches!(*input, Plan::Join { .. }));
+    }
+
+    #[test]
+    fn pushdown_disabled_keeps_filter_on_top() {
+        let p = plan_of("SELECT * FROM a JOIN b ON a.x = b.y WHERE a.ax = 1");
+        let cfg = OptimizerConfig { pushdown: false, ..Default::default() };
+        let opt = optimize(p, &UdfRegistry::new(), &cfg, &lookup).unwrap();
+        assert!(matches!(opt, Plan::Filter { .. }));
+    }
+
+    #[test]
+    fn expensive_udf_predicate_ordered_last() {
+        struct Llm;
+        impl crate::functions::ScalarUdf for Llm {
+            fn name(&self) -> &str {
+                "llm"
+            }
+            fn invoke(&self, _: &[Value]) -> Result<Value> {
+                Ok(Value::Null)
+            }
+            fn is_expensive(&self) -> bool {
+                true
+            }
+        }
+        let mut udfs = UdfRegistry::new();
+        udfs.register(Arc::new(Llm));
+        let p = plan_of("SELECT * FROM a WHERE llm(a.x) = 'Yes' AND a.ax = 1");
+        let opt = optimize(p, &udfs, &OptimizerConfig::default(), &lookup).unwrap();
+        let Plan::Filter { predicate, .. } = opt else { panic!() };
+        let parts = split_conjuncts(&predicate);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(expr_cost(&parts[0], &udfs), 0, "cheap predicate first");
+        assert_eq!(expr_cost(&parts[1], &udfs), 2, "LLM predicate last");
+    }
+
+    #[test]
+    fn constant_folding_collapses_literals() {
+        let e = fold_expr(parse_expression("1 + 2 * 3").unwrap());
+        assert_eq!(e, Expr::Literal(Value::Integer(7)));
+        let e = fold_expr(parse_expression("'a' || 'b'").unwrap());
+        assert_eq!(e, Expr::Literal(Value::text("ab")));
+        let e = fold_expr(parse_expression("1 < 2").unwrap());
+        assert_eq!(e, Expr::Literal(Value::Integer(1)));
+        // Columns do not fold.
+        let e = fold_expr(parse_expression("x + 1").unwrap());
+        assert!(matches!(e, Expr::Binary { .. }));
+    }
+
+    #[test]
+    fn trivially_true_filter_removed() {
+        let p = plan_of("SELECT * FROM a WHERE 1 = 1");
+        let opt = optimize(p, &UdfRegistry::new(), &OptimizerConfig::default(), &lookup).unwrap();
+        assert!(matches!(opt, Plan::Scan { .. }));
+    }
+
+    #[test]
+    fn subquery_predicates_are_not_pushed() {
+        let p = plan_of(
+            "SELECT * FROM a JOIN b ON a.x = b.y WHERE a.ax IN (SELECT y FROM b)",
+        );
+        let opt = optimize(p, &UdfRegistry::new(), &OptimizerConfig::default(), &lookup).unwrap();
+        let Plan::Filter { input, .. } = opt else { panic!("subquery predicate must stay") };
+        assert!(matches!(*input, Plan::Join { .. }));
+    }
+
+    #[test]
+    fn schema_of_plan_tracks_join() {
+        let p = plan_of("SELECT * FROM a JOIN b ON a.x = b.y");
+        let schema = p.schema(&lookup).unwrap();
+        assert_eq!(schema.len(), 4);
+        assert_eq!(schema.cols[0], ColRef::new(Some("a".into()), "x"));
+    }
+}

@@ -1,0 +1,427 @@
+//! In-memory row storage and the catalog.
+//!
+//! Tables are row-oriented (`Vec<Vec<Value>>`) with a column-name index for
+//! O(1) resolution and an optional unique-key hash index used both for
+//! constraint enforcement and as a join fast path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::value::{GroupKey, Value};
+
+/// Schema + data for one table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub name: String,
+    pub columns: Vec<Column>,
+    /// Lowercased column name -> index.
+    col_index: HashMap<String, usize>,
+    pub rows: Vec<Vec<Value>>,
+    /// Column indexes forming the primary key (may be empty).
+    pub primary_key: Vec<usize>,
+    /// Unique index over the primary key columns; maintained on insert.
+    pk_index: HashMap<Vec<GroupKey>, usize>,
+}
+
+/// One column's metadata. Declared types are advisory, SQLite-style.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    pub name: String,
+    pub decl_type: Option<String>,
+    pub not_null: bool,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>) -> Self {
+        Column { name: name.into(), decl_type: None, not_null: false }
+    }
+
+    pub fn typed(name: impl Into<String>, ty: impl Into<String>) -> Self {
+        Column { name: name.into(), decl_type: Some(ty.into()), not_null: false }
+    }
+}
+
+impl Table {
+    /// Create an empty table. Fails on duplicate column names or a primary
+    /// key referencing an unknown column.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<Column>,
+        primary_key_cols: &[String],
+    ) -> Result<Self> {
+        let name = name.into();
+        let mut col_index = HashMap::with_capacity(columns.len());
+        for (i, c) in columns.iter().enumerate() {
+            if col_index.insert(c.name.to_ascii_lowercase(), i).is_some() {
+                return Err(Error::Semantic(format!(
+                    "duplicate column '{}' in table '{}'",
+                    c.name, name
+                )));
+            }
+        }
+        let mut primary_key = Vec::with_capacity(primary_key_cols.len());
+        for pk in primary_key_cols {
+            let idx = col_index
+                .get(&pk.to_ascii_lowercase())
+                .copied()
+                .ok_or_else(|| Error::Unresolved(format!("primary key column '{pk}'")))?;
+            primary_key.push(idx);
+        }
+        Ok(Table { name, columns, col_index, rows: Vec::new(), primary_key, pk_index: HashMap::new() })
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Resolve a column name (case-insensitive) to its index.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.col_index.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Column names in declaration order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Append a row, enforcing arity, NOT NULL, and primary-key uniqueness.
+    pub fn insert_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(Error::Semantic(format!(
+                "table '{}' expects {} values, got {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        for (i, col) in self.columns.iter().enumerate() {
+            if col.not_null && row[i].is_null() {
+                return Err(Error::Constraint(format!(
+                    "NOT NULL violated for {}.{}",
+                    self.name, col.name
+                )));
+            }
+        }
+        if !self.primary_key.is_empty() {
+            let key: Vec<GroupKey> =
+                self.primary_key.iter().map(|&i| row[i].group_key()).collect();
+            if self.pk_index.contains_key(&key) {
+                return Err(Error::Constraint(format!(
+                    "duplicate primary key in table '{}'",
+                    self.name
+                )));
+            }
+            self.pk_index.insert(key, self.rows.len());
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Bulk insert; stops at the first constraint violation.
+    pub fn insert_rows(&mut self, rows: impl IntoIterator<Item = Vec<Value>>) -> Result<usize> {
+        let mut n = 0;
+        for row in rows {
+            self.insert_row(row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Look up a row by primary-key values (for point queries and tests).
+    pub fn find_by_pk(&self, key_values: &[Value]) -> Option<&Vec<Value>> {
+        if self.primary_key.is_empty() || key_values.len() != self.primary_key.len() {
+            return None;
+        }
+        let key: Vec<GroupKey> = key_values.iter().map(Value::group_key).collect();
+        self.pk_index.get(&key).map(|&i| &self.rows[i])
+    }
+
+    /// Add a column to the schema, filling existing rows with NULL
+    /// (ALTER TABLE ADD COLUMN).
+    pub fn add_column(&mut self, column: Column) -> Result<()> {
+        if self.column_index(&column.name).is_some() {
+            return Err(Error::AlreadyExists(format!("{}.{}", self.name, column.name)));
+        }
+        if column.not_null && !self.rows.is_empty() {
+            return Err(Error::Constraint(
+                "cannot add NOT NULL column to a non-empty table".into(),
+            ));
+        }
+        self.col_index.insert(column.name.to_ascii_lowercase(), self.columns.len());
+        self.columns.push(column);
+        for row in &mut self.rows {
+            row.push(Value::Null);
+        }
+        Ok(())
+    }
+
+    /// Drop a column (used by benchmark schema curation). Rebuilds the
+    /// name index and the PK index; dropping a PK column clears the PK.
+    pub fn drop_column(&mut self, name: &str) -> Result<()> {
+        let idx = self
+            .column_index(name)
+            .ok_or_else(|| Error::NotFound(format!("{}.{}", self.name, name)))?;
+        self.columns.remove(idx);
+        for row in &mut self.rows {
+            row.remove(idx);
+        }
+        if self.primary_key.contains(&idx) {
+            self.primary_key.clear();
+            self.pk_index.clear();
+        } else {
+            for pk in &mut self.primary_key {
+                if *pk > idx {
+                    *pk -= 1;
+                }
+            }
+            self.rebuild_pk_index();
+        }
+        self.col_index.clear();
+        for (i, c) in self.columns.iter().enumerate() {
+            self.col_index.insert(c.name.to_ascii_lowercase(), i);
+        }
+        Ok(())
+    }
+
+    /// Remove all rows (and the PK index) while keeping the schema.
+    pub fn clear_rows(&mut self) {
+        self.rows.clear();
+        self.pk_index.clear();
+    }
+
+    /// Remove rows matching `pred`; returns how many were removed.
+    pub fn retain_rows(&mut self, mut keep: impl FnMut(&[Value]) -> bool) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|r| keep(r));
+        let removed = before - self.rows.len();
+        if removed > 0 {
+            self.rebuild_pk_index();
+        }
+        removed
+    }
+
+    fn rebuild_pk_index(&mut self) {
+        self.pk_index.clear();
+        if self.primary_key.is_empty() {
+            return;
+        }
+        let pk = self.primary_key.clone();
+        for (i, row) in self.rows.iter().enumerate() {
+            let key: Vec<GroupKey> = pk.iter().map(|&c| row[c].group_key()).collect();
+            self.pk_index.insert(key, i);
+        }
+    }
+}
+
+/// The catalog: a name -> table map. Tables are stored behind `Arc` so
+/// query execution can snapshot them without copying data; mutation uses
+/// copy-on-write via [`Arc::make_mut`].
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, Arc<Table>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table. Errors if a table with this name exists.
+    pub fn create_table(&mut self, table: Table) -> Result<()> {
+        let key = table.name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(Error::AlreadyExists(table.name));
+        }
+        self.tables.insert(key, Arc::new(table));
+        Ok(())
+    }
+
+    /// Replace or insert a table unconditionally.
+    pub fn put_table(&mut self, table: Table) {
+        self.tables.insert(table.name.to_ascii_lowercase(), Arc::new(table));
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        self.tables
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| Error::NotFound(name.to_string()))
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Arc<Table>> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    pub fn get_required(&self, name: &str) -> Result<&Arc<Table>> {
+        self.get(name).ok_or_else(|| Error::NotFound(name.to_string()))
+    }
+
+    /// Mutable access with copy-on-write semantics.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Table> {
+        let arc = self
+            .tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| Error::NotFound(name.to_string()))?;
+        Ok(Arc::make_mut(arc))
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Table names, sorted for deterministic iteration.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.tables.values().map(|t| t.name.clone()).collect();
+        names.sort();
+        names
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hero_table() -> Table {
+        let mut t = Table::new(
+            "superhero",
+            vec![Column::new("hero_name"), Column::new("full_name")],
+            &["hero_name".to_string()],
+        )
+        .unwrap();
+        t.insert_row(vec!["Spider-Man".into(), "Peter Parker".into()]).unwrap();
+        t.insert_row(vec!["Batman".into(), "Bruce Wayne".into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn column_resolution_is_case_insensitive() {
+        let t = hero_table();
+        assert_eq!(t.column_index("HERO_NAME"), Some(0));
+        assert_eq!(t.column_index("Full_Name"), Some(1));
+        assert_eq!(t.column_index("nope"), None);
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = hero_table();
+        let err = t.insert_row(vec!["Batman".into(), "Someone Else".into()]).unwrap_err();
+        assert!(matches!(err, Error::Constraint(_)));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn pk_lookup() {
+        let t = hero_table();
+        let row = t.find_by_pk(&["Batman".into()]).unwrap();
+        assert_eq!(row[1], Value::text("Bruce Wayne"));
+        assert!(t.find_by_pk(&["Nobody".into()]).is_none());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = hero_table();
+        assert!(t.insert_row(vec!["X".into()]).is_err());
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut cols = vec![Column::new("a")];
+        cols[0].not_null = true;
+        let mut t = Table::new("t", cols, &[]).unwrap();
+        assert!(t.insert_row(vec![Value::Null]).is_err());
+        assert!(t.insert_row(vec![1.into()]).is_ok());
+    }
+
+    #[test]
+    fn add_column_backfills_null() {
+        let mut t = hero_table();
+        t.add_column(Column::new("publisher")).unwrap();
+        assert_eq!(t.width(), 3);
+        assert!(t.rows[0][2].is_null());
+        assert!(t.add_column(Column::new("publisher")).is_err(), "duplicate");
+    }
+
+    #[test]
+    fn drop_column_shifts_pk_and_reindexes() {
+        let mut t = Table::new(
+            "t",
+            vec![Column::new("a"), Column::new("b"), Column::new("c")],
+            &["c".to_string()],
+        )
+        .unwrap();
+        t.insert_row(vec![1.into(), 2.into(), 3.into()]).unwrap();
+        t.drop_column("a").unwrap();
+        assert_eq!(t.column_names(), vec!["b", "c"]);
+        assert_eq!(t.primary_key, vec![1]);
+        assert!(t.find_by_pk(&[3.into()]).is_some());
+    }
+
+    #[test]
+    fn drop_pk_column_clears_pk() {
+        let mut t = hero_table();
+        t.drop_column("hero_name").unwrap();
+        assert!(t.primary_key.is_empty());
+        // Inserting a former duplicate now succeeds.
+        t.insert_row(vec!["Peter Parker".into()]).unwrap();
+    }
+
+    #[test]
+    fn retain_rows_rebuilds_index() {
+        let mut t = hero_table();
+        let removed = t.retain_rows(|r| r[0].as_str() != Some("Batman"));
+        assert_eq!(removed, 1);
+        assert!(t.find_by_pk(&["Batman".into()]).is_none());
+        assert!(t.find_by_pk(&["Spider-Man".into()]).is_some());
+    }
+
+    #[test]
+    fn catalog_create_drop() {
+        let mut cat = Catalog::new();
+        cat.create_table(hero_table()).unwrap();
+        assert!(cat.contains("SUPERHERO"), "case-insensitive");
+        assert!(cat.create_table(hero_table()).is_err());
+        cat.drop_table("superhero").unwrap();
+        assert!(cat.drop_table("superhero").is_err());
+    }
+
+    #[test]
+    fn catalog_cow_mutation_does_not_affect_snapshots() {
+        let mut cat = Catalog::new();
+        cat.create_table(hero_table()).unwrap();
+        let snapshot = cat.get("superhero").unwrap().clone();
+        cat.get_mut("superhero")
+            .unwrap()
+            .insert_row(vec!["Hulk".into(), "Bruce Banner".into()])
+            .unwrap();
+        assert_eq!(snapshot.len(), 2, "snapshot unchanged");
+        assert_eq!(cat.get("superhero").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let mut cat = Catalog::new();
+        cat.create_table(Table::new("zeta", vec![Column::new("a")], &[]).unwrap()).unwrap();
+        cat.create_table(Table::new("alpha", vec![Column::new("a")], &[]).unwrap()).unwrap();
+        assert_eq!(cat.table_names(), vec!["alpha", "zeta"]);
+    }
+}

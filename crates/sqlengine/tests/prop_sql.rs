@@ -1,0 +1,192 @@
+//! Property-based tests for the SQL engine (proptest).
+
+use proptest::prelude::*;
+use swan_sqlengine::optimizer::fold_expr;
+use swan_sqlengine::parser::{parse_expression, parse_statement};
+use swan_sqlengine::value::Value;
+use swan_sqlengine::{Database, OptimizerConfig};
+
+/// Build a small database with a deterministic content derived from the
+/// proptest-generated rows.
+fn db_with_rows(rows: &[(i64, i64, String)]) -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, n INTEGER, s TEXT)").unwrap();
+    let table = db.catalog_mut().get_mut("t").unwrap();
+    for (i, (_, n, s)) in rows.iter().enumerate() {
+        table
+            .insert_row(vec![
+                Value::Integer(i as i64),
+                Value::Integer(*n),
+                Value::Text(s.clone()),
+            ])
+            .unwrap();
+    }
+    db
+}
+
+proptest! {
+    /// The parser must never panic, on any input.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse_statement(&input);
+        let _ = parse_expression(&input);
+    }
+
+    /// Parse(expr) must never panic on structured SQL-ish strings either.
+    #[test]
+    fn parser_handles_sqlish_tokens(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_string()),
+                Just("FROM".to_string()),
+                Just("WHERE".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(",".to_string()),
+                Just("*".to_string()),
+                Just("'x'".to_string()),
+                Just("1".to_string()),
+                Just("t".to_string()),
+                Just("=".to_string()),
+                Just("AND".to_string()),
+            ],
+            0..24,
+        )
+    ) {
+        let sql = parts.join(" ");
+        let _ = parse_statement(&sql);
+    }
+
+    /// ORDER BY returns a permutation of the unordered result, sorted.
+    #[test]
+    fn order_by_is_a_sorted_permutation(
+        rows in proptest::collection::vec((any::<i64>(), -100i64..100, "[a-z]{0,6}"), 0..40)
+    ) {
+        let db = db_with_rows(&rows);
+        let unordered = db.query("SELECT n FROM t").unwrap();
+        let ordered = db.query("SELECT n FROM t ORDER BY n").unwrap();
+        prop_assert_eq!(unordered.rows.len(), ordered.rows.len());
+        let mut expect: Vec<i64> = unordered.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        expect.sort();
+        let got: Vec<i64> = ordered.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        prop_assert_eq!(expect, got);
+    }
+
+    /// LIMIT never yields more rows than asked, and is a prefix of the
+    /// ordered result.
+    #[test]
+    fn limit_is_a_prefix(
+        rows in proptest::collection::vec((any::<i64>(), -100i64..100, "[a-z]{0,6}"), 0..40),
+        k in 0usize..10
+    ) {
+        let db = db_with_rows(&rows);
+        let all = db.query("SELECT id FROM t ORDER BY n, id").unwrap();
+        let limited = db.query(&format!("SELECT id FROM t ORDER BY n, id LIMIT {k}")).unwrap();
+        prop_assert_eq!(limited.rows.len(), k.min(all.rows.len()));
+        for (a, b) in all.rows.iter().zip(&limited.rows) {
+            prop_assert_eq!(&a[0], &b[0]);
+        }
+    }
+
+    /// The optimizer must not change query results (pushdown + folding
+    /// vs nothing), across a family of filters.
+    #[test]
+    fn optimizer_preserves_semantics(
+        rows in proptest::collection::vec((any::<i64>(), -50i64..50, "[a-z]{0,4}"), 0..30),
+        threshold in -50i64..50
+    ) {
+        let sql = format!(
+            "SELECT t1.id FROM t t1 JOIN t t2 ON t1.id = t2.id \
+             WHERE t1.n > {threshold} AND t2.s LIKE 'a%' ORDER BY t1.id"
+        );
+        let mut on = db_with_rows(&rows);
+        on.set_optimizer(OptimizerConfig::default());
+        let mut off = db_with_rows(&rows);
+        off.set_optimizer(OptimizerConfig {
+            pushdown: false,
+            order_expensive_last: false,
+            fold_constants: false,
+        });
+        let a = on.query(&sql).unwrap();
+        let b = off.query(&sql).unwrap();
+        prop_assert_eq!(a.rows, b.rows);
+    }
+
+    /// COUNT(*) equals the number of inserted rows; WHERE partitions it.
+    #[test]
+    fn count_partitions(
+        rows in proptest::collection::vec((any::<i64>(), -50i64..50, "[a-z]{0,4}"), 0..40),
+        pivot in -50i64..50
+    ) {
+        let db = db_with_rows(&rows);
+        let total = db.query("SELECT COUNT(*) FROM t").unwrap().rows[0][0].as_i64().unwrap();
+        prop_assert_eq!(total as usize, rows.len());
+        let above = db
+            .query(&format!("SELECT COUNT(*) FROM t WHERE n > {pivot}"))
+            .unwrap()
+            .rows[0][0].as_i64().unwrap();
+        let below_eq = db
+            .query(&format!("SELECT COUNT(*) FROM t WHERE n <= {pivot}"))
+            .unwrap()
+            .rows[0][0].as_i64().unwrap();
+        prop_assert_eq!(above + below_eq, total, "no NULLs, so the two halves partition");
+    }
+
+    /// DISTINCT yields unique rows and preserves membership.
+    #[test]
+    fn distinct_unique_and_complete(
+        rows in proptest::collection::vec((any::<i64>(), -8i64..8, "[ab]{0,2}"), 0..40)
+    ) {
+        let db = db_with_rows(&rows);
+        let d = db.query("SELECT DISTINCT n FROM t").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for r in &d.rows {
+            prop_assert!(seen.insert(r[0].as_i64().unwrap()), "duplicate in DISTINCT");
+        }
+        let all: std::collections::HashSet<i64> =
+            rows.iter().map(|(_, n, _)| *n).collect();
+        prop_assert_eq!(seen, all);
+    }
+
+    /// Constant folding agrees with direct evaluation on literal trees.
+    #[test]
+    fn fold_agrees_with_eval(a in -1000i64..1000, b in -1000i64..1000, c in -1000i64..1000) {
+        let sql = format!("({a} + {b}) * {c} - {a}");
+        let folded = fold_expr(parse_expression(&sql).unwrap());
+        let db = Database::new();
+        let direct = db.query(&format!("SELECT {sql}")).unwrap();
+        if let swan_sqlengine::ast::Expr::Literal(v) = folded {
+            prop_assert_eq!(v, direct.rows[0][0].clone());
+        } else {
+            // Overflow prevented folding; direct evaluation must also be
+            // checked (query would error) — nothing to compare.
+        }
+    }
+
+    /// UNION is idempotent: `q UNION q` has the same rows as `SELECT DISTINCT q`.
+    #[test]
+    fn union_idempotent(
+        rows in proptest::collection::vec((any::<i64>(), -10i64..10, "[a-z]{0,3}"), 0..30)
+    ) {
+        let db = db_with_rows(&rows);
+        let twice = db
+            .query("SELECT n FROM t UNION SELECT n FROM t ORDER BY 1")
+            .unwrap();
+        let once = db.query("SELECT DISTINCT n FROM t ORDER BY 1").unwrap();
+        prop_assert_eq!(twice.rows, once.rows);
+    }
+
+    /// LIKE with a literal substring pattern agrees with str::contains.
+    #[test]
+    fn like_contains_agreement(
+        rows in proptest::collection::vec((any::<i64>(), 0i64..2, "[a-c]{0,5}"), 0..30),
+        needle in "[a-c]{1,2}"
+    ) {
+        let db = db_with_rows(&rows);
+        let got = db
+            .query(&format!("SELECT s FROM t WHERE s LIKE '%{needle}%'"))
+            .unwrap();
+        let expect = rows.iter().filter(|(_, _, s)| s.contains(&needle)).count();
+        prop_assert_eq!(got.rows.len(), expect);
+    }
+}

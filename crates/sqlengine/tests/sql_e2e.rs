@@ -1,0 +1,450 @@
+//! End-to-end SQL execution tests for the engine: every operator the SWAN
+//! benchmark queries rely on, exercised through the public `Database` API.
+
+use std::sync::Arc;
+
+use swan_sqlengine::value::Value;
+use swan_sqlengine::{Database, Error, OptimizerConfig, ScalarUdf};
+
+/// A small two-table fixture mirroring the paper's motivating example.
+fn hero_db() -> Database {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE superhero (
+             id INTEGER PRIMARY KEY,
+             hero_name TEXT,
+             full_name TEXT,
+             publisher_id INTEGER,
+             height_cm INTEGER
+         );
+         CREATE TABLE publisher (id INTEGER PRIMARY KEY, publisher_name TEXT);
+         INSERT INTO publisher VALUES (1, 'Marvel Comics'), (2, 'DC Comics'), (3, 'Dark Horse Comics');
+         INSERT INTO superhero VALUES
+             (1, 'Spider-Man', 'Peter Parker', 1, 178),
+             (2, 'Batman', 'Bruce Wayne', 2, 188),
+             (3, 'Superman', 'Clark Kent', 2, 191),
+             (4, 'Hellboy', 'Anung Un Rama', 3, 180),
+             (5, 'Iron Man', 'Tony Stark', 1, 185),
+             (6, 'Mystery', NULL, NULL, NULL);",
+    )
+    .unwrap();
+    db
+}
+
+fn texts(db: &Database, sql: &str) -> Vec<String> {
+    db.query(sql)
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r.iter().map(|v| v.render()).collect::<Vec<_>>().join("|"))
+        .collect()
+}
+
+#[test]
+fn select_where_order_limit() {
+    let db = hero_db();
+    let rows = texts(
+        &db,
+        "SELECT hero_name FROM superhero WHERE height_cm > 180 ORDER BY height_cm DESC LIMIT 2",
+    );
+    assert_eq!(rows, vec!["Superman", "Batman"]);
+}
+
+#[test]
+fn inner_join_with_alias() {
+    let db = hero_db();
+    let rows = texts(
+        &db,
+        "SELECT T1.hero_name FROM superhero AS T1 \
+         JOIN publisher AS T2 ON T1.publisher_id = T2.id \
+         WHERE T2.publisher_name = 'Marvel Comics' ORDER BY T1.hero_name",
+    );
+    assert_eq!(rows, vec!["Iron Man", "Spider-Man"]);
+}
+
+#[test]
+fn left_join_pads_nulls() {
+    let db = hero_db();
+    let r = db
+        .query(
+            "SELECT s.hero_name, p.publisher_name FROM superhero s \
+             LEFT JOIN publisher p ON s.publisher_id = p.id \
+             WHERE p.publisher_name IS NULL",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0].render(), "Mystery");
+    assert!(r.rows[0][1].is_null());
+}
+
+#[test]
+fn group_by_having_count() {
+    let db = hero_db();
+    let rows = texts(
+        &db,
+        "SELECT p.publisher_name, COUNT(*) FROM superhero s \
+         JOIN publisher p ON s.publisher_id = p.id \
+         GROUP BY p.publisher_name HAVING COUNT(*) >= 2 \
+         ORDER BY p.publisher_name",
+    );
+    assert_eq!(rows, vec!["DC Comics|2", "Marvel Comics|2"]);
+}
+
+#[test]
+fn aggregates_over_whole_table() {
+    let db = hero_db();
+    let r = db
+        .query(
+            "SELECT COUNT(*), COUNT(height_cm), AVG(height_cm), MIN(height_cm), \
+             MAX(height_cm), SUM(height_cm) FROM superhero",
+        )
+        .unwrap();
+    let row = &r.rows[0];
+    assert_eq!(row[0], Value::Integer(6));
+    assert_eq!(row[1], Value::Integer(5), "COUNT(col) skips NULL");
+    assert_eq!(row[2], Value::Real(184.4));
+    assert_eq!(row[3], Value::Integer(178));
+    assert_eq!(row[4], Value::Integer(191));
+    assert_eq!(row[5], Value::Integer(922));
+}
+
+#[test]
+fn aggregate_on_empty_input_yields_one_row() {
+    let db = hero_db();
+    let r = db.query("SELECT COUNT(*), MAX(height_cm) FROM superhero WHERE id > 100").unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Integer(0));
+    assert!(r.rows[0][1].is_null());
+}
+
+#[test]
+fn count_distinct_and_group_concat() {
+    let db = hero_db();
+    let r = db.query("SELECT COUNT(DISTINCT publisher_id) FROM superhero").unwrap();
+    assert_eq!(r.rows[0][0], Value::Integer(3));
+    let r = db
+        .query(
+            "SELECT GROUP_CONCAT(hero_name, ', ') FROM superhero WHERE publisher_id = 1",
+        )
+        .unwrap();
+    assert_eq!(r.rows[0][0].render(), "Spider-Man, Iron Man");
+}
+
+#[test]
+fn distinct_dedupes() {
+    let db = hero_db();
+    let rows = texts(
+        &db,
+        "SELECT DISTINCT publisher_id FROM superhero WHERE publisher_id IS NOT NULL ORDER BY publisher_id",
+    );
+    assert_eq!(rows, vec!["1", "2", "3"]);
+}
+
+#[test]
+fn order_by_alias_and_ordinal() {
+    let db = hero_db();
+    let rows = texts(&db, "SELECT hero_name AS h FROM superhero WHERE id <= 3 ORDER BY h");
+    assert_eq!(rows, vec!["Batman", "Spider-Man", "Superman"]);
+    let rows = texts(&db, "SELECT hero_name, height_cm FROM superhero WHERE id <= 3 ORDER BY 2 DESC");
+    assert_eq!(rows[0], "Superman|191");
+}
+
+#[test]
+fn order_by_expression_not_in_projection() {
+    let db = hero_db();
+    let rows = texts(
+        &db,
+        "SELECT hero_name FROM superhero WHERE height_cm IS NOT NULL ORDER BY height_cm LIMIT 1",
+    );
+    assert_eq!(rows, vec!["Spider-Man"]);
+}
+
+#[test]
+fn limit_offset_both_forms() {
+    let db = hero_db();
+    let a = texts(&db, "SELECT id FROM superhero ORDER BY id LIMIT 2 OFFSET 1");
+    let b = texts(&db, "SELECT id FROM superhero ORDER BY id LIMIT 1, 2");
+    assert_eq!(a, vec!["2", "3"]);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn in_subquery_and_scalar_subquery() {
+    let db = hero_db();
+    let rows = texts(
+        &db,
+        "SELECT hero_name FROM superhero WHERE publisher_id IN \
+         (SELECT id FROM publisher WHERE publisher_name LIKE '%Marvel%') ORDER BY id",
+    );
+    assert_eq!(rows, vec!["Spider-Man", "Iron Man"]);
+    let rows = texts(
+        &db,
+        "SELECT hero_name FROM superhero WHERE height_cm = \
+         (SELECT MAX(height_cm) FROM superhero)",
+    );
+    assert_eq!(rows, vec!["Superman"]);
+}
+
+#[test]
+fn correlated_subquery() {
+    let db = hero_db();
+    // Heroes taller than the average height of their own publisher.
+    let rows = texts(
+        &db,
+        "SELECT s.hero_name FROM superhero s WHERE s.height_cm > \
+         (SELECT AVG(h.height_cm) FROM superhero h WHERE h.publisher_id = s.publisher_id) \
+         ORDER BY s.hero_name",
+    );
+    assert_eq!(rows, vec!["Iron Man", "Superman"]);
+}
+
+#[test]
+fn exists_and_not_exists() {
+    let db = hero_db();
+    let rows = texts(
+        &db,
+        "SELECT p.publisher_name FROM publisher p WHERE EXISTS \
+         (SELECT 1 FROM superhero s WHERE s.publisher_id = p.id AND s.height_cm > 190)",
+    );
+    assert_eq!(rows, vec!["DC Comics"]);
+    let rows = texts(
+        &db,
+        "SELECT COUNT(*) FROM publisher p WHERE NOT EXISTS \
+         (SELECT 1 FROM superhero s WHERE s.publisher_id = p.id)",
+    );
+    assert_eq!(rows, vec!["0"]);
+}
+
+#[test]
+fn subquery_in_from() {
+    let db = hero_db();
+    let rows = texts(
+        &db,
+        "SELECT t.n FROM (SELECT publisher_id, COUNT(*) AS n FROM superhero \
+         GROUP BY publisher_id) AS t WHERE t.publisher_id = 2",
+    );
+    assert_eq!(rows, vec!["2"]);
+}
+
+#[test]
+fn compound_union_except_intersect() {
+    let db = hero_db();
+    let rows = texts(
+        &db,
+        "SELECT hero_name FROM superhero WHERE publisher_id = 1 \
+         UNION SELECT hero_name FROM superhero WHERE height_cm > 184 ORDER BY 1",
+    );
+    assert_eq!(rows, vec!["Batman", "Iron Man", "Spider-Man", "Superman"]);
+    let rows = texts(
+        &db,
+        "SELECT hero_name FROM superhero WHERE publisher_id = 2 \
+         EXCEPT SELECT hero_name FROM superhero WHERE height_cm > 190",
+    );
+    assert_eq!(rows, vec!["Batman"]);
+    let rows = texts(
+        &db,
+        "SELECT hero_name FROM superhero WHERE publisher_id = 2 \
+         INTERSECT SELECT hero_name FROM superhero WHERE height_cm > 190",
+    );
+    assert_eq!(rows, vec!["Superman"]);
+}
+
+#[test]
+fn case_when_in_projection() {
+    let db = hero_db();
+    let rows = texts(
+        &db,
+        "SELECT hero_name, CASE WHEN height_cm >= 185 THEN 'tall' \
+         WHEN height_cm IS NULL THEN 'unknown' ELSE 'short' END FROM superhero ORDER BY id",
+    );
+    assert_eq!(rows[0], "Spider-Man|short");
+    assert_eq!(rows[1], "Batman|tall");
+    assert_eq!(rows[5], "Mystery|unknown");
+}
+
+#[test]
+fn update_and_delete() {
+    let mut db = hero_db();
+    let r = db.execute("UPDATE superhero SET height_cm = height_cm + 1 WHERE publisher_id = 1").unwrap();
+    assert_eq!(r.rows_affected, 2);
+    assert_eq!(
+        db.query("SELECT height_cm FROM superhero WHERE hero_name = 'Spider-Man'").unwrap().rows[0][0],
+        Value::Integer(179)
+    );
+    let r = db.execute("DELETE FROM superhero WHERE publisher_id IS NULL").unwrap();
+    assert_eq!(r.rows_affected, 1);
+    assert_eq!(db.query("SELECT COUNT(*) FROM superhero").unwrap().rows[0][0], Value::Integer(5));
+}
+
+#[test]
+fn insert_select_and_alter() {
+    let mut db = hero_db();
+    db.execute("CREATE TABLE tall (name TEXT)").unwrap();
+    let r = db
+        .execute("INSERT INTO tall SELECT hero_name FROM superhero WHERE height_cm > 184")
+        .unwrap();
+    assert_eq!(r.rows_affected, 3);
+    db.execute("ALTER TABLE tall ADD COLUMN note TEXT").unwrap();
+    let r = db.query("SELECT name, note FROM tall ORDER BY name").unwrap();
+    assert_eq!(r.rows.len(), 3);
+    assert!(r.rows[0][1].is_null());
+}
+
+#[test]
+fn insert_named_columns_fills_null() {
+    let mut db = hero_db();
+    db.execute("INSERT INTO superhero (id, hero_name) VALUES (10, 'Flash')").unwrap();
+    let r = db.query("SELECT full_name FROM superhero WHERE id = 10").unwrap();
+    assert!(r.rows[0][0].is_null());
+}
+
+#[test]
+fn pk_violation_reported() {
+    let mut db = hero_db();
+    let err = db.execute("INSERT INTO superhero VALUES (1, 'Dup', 'Dup', 1, 100)").unwrap_err();
+    assert!(matches!(err, Error::Constraint(_)));
+}
+
+#[test]
+fn udf_callable_from_sql() {
+    struct Double;
+    impl ScalarUdf for Double {
+        fn name(&self) -> &str {
+            "double_it"
+        }
+        fn invoke(&self, args: &[Value]) -> swan_sqlengine::Result<Value> {
+            args[0].add(&args[0])
+        }
+        fn arity(&self) -> Option<usize> {
+            Some(1)
+        }
+    }
+    let mut db = hero_db();
+    db.register_udf(Arc::new(Double));
+    let r = db.query("SELECT double_it(height_cm) FROM superhero WHERE id = 1").unwrap();
+    assert_eq!(r.rows[0][0], Value::Integer(356));
+    assert!(db.query("SELECT double_it(1, 2)").is_err(), "arity enforced");
+}
+
+#[test]
+fn optimizer_toggles_do_not_change_results() {
+    let sql = "SELECT s.hero_name FROM superhero s \
+               JOIN publisher p ON s.publisher_id = p.id \
+               WHERE p.publisher_name LIKE '%Comics' AND s.height_cm > 180 \
+               ORDER BY s.hero_name";
+    let reference = texts(&hero_db(), sql);
+    for pushdown in [false, true] {
+        for fold in [false, true] {
+            let mut db = hero_db();
+            db.set_optimizer(OptimizerConfig {
+                pushdown,
+                order_expensive_last: false,
+                fold_constants: fold,
+            });
+            assert_eq!(texts(&db, sql), reference, "pushdown={pushdown} fold={fold}");
+        }
+    }
+}
+
+#[test]
+fn select_without_from() {
+    let db = Database::new();
+    let r = db.query("SELECT 1 + 1, 'x' || 'y'").unwrap();
+    assert_eq!(r.rows[0][0], Value::Integer(2));
+    assert_eq!(r.rows[0][1].render(), "xy");
+}
+
+#[test]
+fn three_table_join_chain() {
+    let mut db = hero_db();
+    db.execute_script(
+        "CREATE TABLE power (hero_id INTEGER, power_name TEXT);
+         INSERT INTO power VALUES (1, 'Wall Crawling'), (1, 'Spider Sense'),
+             (3, 'Flight'), (5, 'Powered Armor');",
+    )
+    .unwrap();
+    let rows = texts(
+        &db,
+        "SELECT s.hero_name, w.power_name, p.publisher_name \
+         FROM superhero s JOIN power w ON w.hero_id = s.id \
+         JOIN publisher p ON p.id = s.publisher_id \
+         WHERE p.publisher_name = 'Marvel Comics' ORDER BY s.hero_name, w.power_name",
+    );
+    assert_eq!(
+        rows,
+        vec![
+            "Iron Man|Powered Armor|Marvel Comics",
+            "Spider-Man|Spider Sense|Marvel Comics",
+            "Spider-Man|Wall Crawling|Marvel Comics",
+        ]
+    );
+}
+
+#[test]
+fn cross_join_and_comma_join() {
+    let db = hero_db();
+    let r = db.query("SELECT COUNT(*) FROM publisher a CROSS JOIN publisher b").unwrap();
+    assert_eq!(r.rows[0][0], Value::Integer(9));
+    let r = db
+        .query("SELECT COUNT(*) FROM publisher a, publisher b WHERE a.id = b.id")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::Integer(3));
+}
+
+#[test]
+fn null_handling_in_where() {
+    let db = hero_db();
+    // NULL height: neither > 100 nor <= 100.
+    let r = db.query("SELECT COUNT(*) FROM superhero WHERE height_cm > 100 OR height_cm <= 100").unwrap();
+    assert_eq!(r.rows[0][0], Value::Integer(5));
+}
+
+#[test]
+fn string_functions_in_queries() {
+    let db = hero_db();
+    let rows = texts(
+        &db,
+        "SELECT UPPER(SUBSTR(hero_name, 1, 3)) FROM superhero WHERE id = 1",
+    );
+    assert_eq!(rows, vec!["SPI"]);
+}
+
+#[test]
+fn result_column_naming() {
+    let db = hero_db();
+    let r = db.query("SELECT hero_name, hero_name AS h, COUNT(*) FROM superhero").unwrap();
+    assert_eq!(r.columns[0], "hero_name");
+    assert_eq!(r.columns[1], "h");
+    assert_eq!(r.columns[2], "COUNT(*)");
+}
+
+#[test]
+fn union_all_keeps_duplicates() {
+    let db = hero_db();
+    let r = db
+        .query("SELECT id FROM publisher UNION ALL SELECT id FROM publisher")
+        .unwrap();
+    assert_eq!(r.rows.len(), 6);
+}
+
+#[test]
+fn qualified_wildcard_projection() {
+    let db = hero_db();
+    let r = db
+        .query(
+            "SELECT p.* FROM superhero s JOIN publisher p ON s.publisher_id = p.id WHERE s.id = 1",
+        )
+        .unwrap();
+    assert_eq!(r.columns, vec!["id", "publisher_name"]);
+    assert_eq!(r.rows[0][1].render(), "Marvel Comics");
+}
+
+#[test]
+fn errors_are_reported_not_panics() {
+    let mut db = hero_db();
+    assert!(db.execute("SELECT nope FROM superhero").is_err());
+    assert!(db.execute("SELECT * FROM missing_table").is_err());
+    assert!(db.execute("CREATE TABLE superhero (x TEXT)").is_err());
+    assert!(db.query("UPDATE superhero SET id = 1").is_err(), "query() rejects DML");
+    assert!(db.execute("SELECT id FROM superhero ORDER BY 99").is_err());
+}

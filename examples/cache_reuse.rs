@@ -1,0 +1,68 @@
+//! The §5.5 cache-reuse story: "What is the height of the tallest
+//! player?" followed by "Please list player names who are taller than
+//! 180cm".
+//!
+//! BlendSQL's exact-prompt cache cannot reuse the first question's
+//! generations for the second (different prompt text); a semantic cache
+//! (attribute-level, §4.3's query-rewriting idea) can; HQDL's
+//! materialization makes reuse trivial.
+//!
+//! Run with: `cargo run --release --example cache_reuse`
+
+use std::sync::Arc;
+
+use swan::prelude::*;
+
+const Q_TALLEST: &str =
+    "SELECT MAX(llm_map('What is the height of the player in centimeters?', T1.player_name)) \
+     FROM player T1";
+const Q_OVER_180: &str =
+    "SELECT COUNT(*) FROM player T1 \
+     WHERE llm_map('How tall is the player in centimeters?', T1.player_name) > 180";
+
+fn main() {
+    let domain =
+        SwanBenchmark::generate_domain(&GenConfig::with_scale(0.02), "european_football")
+            .expect("domain exists");
+    let kb = build_knowledge(std::slice::from_ref(&domain));
+    let players = domain.curated.catalog().get("player").unwrap().len();
+    println!("{players} players; Q1 asks the max height, Q2 sweeps heights again\n");
+
+    for (label, scope) in [
+        ("exact-prompt cache (BlendSQL)", CacheScope::ExactPrompt),
+        ("semantic cache (query rewriting)", CacheScope::Semantic),
+    ] {
+        let model = Arc::new(SimulatedModel::new(ModelKind::Gpt35Turbo, kb.clone()));
+        let mut runner =
+            UdfRunner::new(&domain, model.clone(), UdfConfig { cache: scope, ..Default::default() });
+
+        let r1 = runner.run_sql(Q_TALLEST).unwrap();
+        let after_q1 = model.usage();
+        let r2 = runner.run_sql(Q_OVER_180).unwrap();
+        let total = model.usage();
+
+        println!("== {label} ==");
+        println!("  tallest = {}cm; over-180 count = {}", r1.rows[0][0], r2.rows[0][0]);
+        println!("  Q1 input tokens: {}", after_q1.input_tokens);
+        println!(
+            "  Q2 input tokens: {} ({} cached answers reused)",
+            total.input_tokens - after_q1.input_tokens,
+            runner.stats().cache_hits
+        );
+        println!();
+    }
+
+    // HQDL materialization answers both from one generation pass.
+    let model = SimulatedModel::new(ModelKind::Gpt35Turbo, kb);
+    let run = materialize(&domain, &model, &HqdlConfig::default());
+    let gen_usage = model.usage();
+    let tallest = run.database.query("SELECT MAX(height) FROM llm_player").unwrap();
+    let over = run
+        .database
+        .query("SELECT COUNT(*) FROM llm_player WHERE height > 180")
+        .unwrap();
+    println!("== HQDL materialization ==");
+    println!("  tallest = {}cm; over-180 count = {}", tallest.rows[0][0], over.rows[0][0]);
+    println!("  one-time generation: {} input tokens", gen_usage.input_tokens);
+    println!("  both questions answered with zero further LLM tokens");
+}

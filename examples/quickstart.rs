@@ -1,0 +1,62 @@
+//! Quickstart: the paper's Figure 1 motivating example.
+//!
+//! "List all the hero names from the Marvel Universe" cannot be answered
+//! by the curated database (publisher information was removed), but a
+//! hybrid query that joins the database with LLM-generated data can.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use swan::prelude::*;
+
+fn main() {
+    // 1. Generate the Superhero domain at a small scale.
+    let domain = SwanBenchmark::generate_domain(&GenConfig::with_scale(0.1), "superhero")
+        .expect("superhero domain exists");
+    println!("curated schema keeps: {:?}", domain.curated.catalog().table_names());
+
+    // 2. The database alone says NO: the publisher table is gone.
+    let db_only = domain
+        .curated
+        .query("SELECT s.superhero_name FROM superhero s JOIN publisher p ON s.publisher_id = p.id");
+    println!("\ndatabase-only attempt: {}", db_only.unwrap_err());
+
+    // 3. Treat the LLM as a table: HQDL materializes `llm_superhero`
+    //    from row-completion prompts, then plain SQL answers the question.
+    let kb = build_knowledge(std::slice::from_ref(&domain));
+    let model = SimulatedModel::new(ModelKind::Gpt4Turbo, kb);
+    let run = materialize(&domain, &model, &HqdlConfig { shots: 5, workers: 4 });
+
+    let marvel = run
+        .database
+        .query(
+            "SELECT s.superhero_name, s.full_name \
+             FROM superhero s \
+             JOIN llm_superhero l \
+               ON l.superhero_name = s.superhero_name AND l.full_name = s.full_name \
+             WHERE l.publisher_name = 'Marvel Comics' \
+             ORDER BY s.superhero_name",
+        )
+        .expect("hybrid query runs");
+
+    println!("\nhybrid query: heroes the LLM attributes to Marvel Comics");
+    for row in marvel.rows.iter().take(10) {
+        println!("  {} ({})", row[0].render(), row[1].render());
+    }
+    println!("  ... {} heroes total", marvel.rows.len());
+
+    // 4. Compare against ground truth (the original database).
+    let truth = domain
+        .original
+        .query(
+            "SELECT COUNT(*) FROM superhero s JOIN publisher p ON s.publisher_id = p.id \
+             WHERE p.publisher_name = 'Marvel Comics'",
+        )
+        .unwrap();
+    println!("\nground truth: {} Marvel heroes", truth.rows[0][0].render());
+    println!(
+        "LLM usage: {} calls, {} input tokens, {} output tokens",
+        model.usage().calls,
+        model.usage().input_tokens,
+        model.usage().output_tokens
+    );
+}

@@ -1,0 +1,57 @@
+//! Run a miniature SWAN evaluation end to end: both solutions, both
+//! models, EX + F1 + tokens — a compact version of the paper's §5.
+//!
+//! Run with: `cargo run --release --example swan_eval`
+//! (set SWAN_SCALE to change the data size; default here is 0.05)
+
+use swan::prelude::*;
+
+fn main() {
+    let scale = std::env::var("SWAN_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.05);
+    println!("building SWAN at scale {scale}...");
+    let h = Harness::new(scale);
+    println!(
+        "{} questions across {} domains\n",
+        h.benchmark.question_count(),
+        h.benchmark.domains.len()
+    );
+
+    println!("{:<14} {:>6} {:>10} {:>8} {:>12}", "condition", "shots", "EX", "F1", "tokens(in)");
+    for model in [ModelKind::Gpt35Turbo, ModelKind::Gpt4Turbo] {
+        for shots in [0usize, 5] {
+            let e = evaluate_hqdl(&h.benchmark, h.kb.clone(), &h.gold, model, shots, 4);
+            println!(
+                "HQDL {:<9} {:>6} {:>9.1}% {:>7.1}% {:>12}",
+                model.label().replace("GPT-", "").replace(" Turbo", ""),
+                shots,
+                100.0 * e.overall.accuracy(),
+                100.0 * e.average_f1(),
+                e.usage.input_tokens
+            );
+        }
+    }
+    for shots in [0usize, 5] {
+        let e = evaluate_udf(
+            &h.benchmark,
+            h.kb.clone(),
+            &h.gold,
+            ModelKind::Gpt35Turbo,
+            UdfConfig { shots, ..Default::default() },
+        );
+        println!(
+            "UDF  {:<9} {:>6} {:>9.1}% {:>8} {:>12}",
+            "3.5",
+            shots,
+            100.0 * e.overall.accuracy(),
+            "-",
+            e.usage.input_tokens
+        );
+    }
+
+    println!();
+    println!("Expected shapes (paper §5): few-shot beats zero-shot; GPT-4 beats");
+    println!("GPT-3.5; HQDL beats the UDF pathway on EX; UDFs burn more tokens.");
+}

@@ -1,0 +1,145 @@
+//! An interactive hybrid-query shell.
+//!
+//! Loads one SWAN domain, registers the `llm_map` UDF backed by the
+//! simulated model, optionally materializes the HQDL `llm_*` tables, and
+//! reads SQL from stdin — so you can explore both solution styles live:
+//!
+//! ```text
+//! $ cargo run --release --bin swan-repl -- superhero 0.1 --materialize
+//! swan> SELECT COUNT(*) FROM superhero;
+//! swan> SELECT superhero_name FROM superhero T1
+//!       WHERE llm_map('Which publisher published the superhero?',
+//!                     T1.superhero_name, T1.full_name) = 'Marvel Comics'
+//!       LIMIT 5;
+//! swan> .tables
+//! swan> .usage
+//! swan> .quit
+//! ```
+
+use std::io::{BufRead, Write as _};
+use std::sync::Arc;
+
+use swan::prelude::*;
+use swan_core::udf::UdfRunner;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let domain_name = args.first().map(String::as_str).unwrap_or("superhero");
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let materialize_tables = args.iter().any(|a| a == "--materialize");
+
+    eprintln!("loading domain '{domain_name}' at scale {scale}...");
+    let Some(domain) =
+        SwanBenchmark::generate_domain(&GenConfig::with_scale(scale), domain_name)
+    else {
+        eprintln!(
+            "unknown domain '{domain_name}'. Try: california_schools, superhero, \
+             formula_1, european_football"
+        );
+        std::process::exit(2);
+    };
+    let kb = build_knowledge(std::slice::from_ref(&domain));
+    let model = Arc::new(SimulatedModel::new(ModelKind::Gpt4Turbo, kb));
+
+    // The runner owns a curated DB with llm_map registered; optionally
+    // overlay the HQDL materialization so both styles are queryable.
+    let mut runner = UdfRunner::new(&domain, model.clone(), UdfConfig::default());
+    if materialize_tables {
+        eprintln!("materializing llm_* tables (HQDL, 5-shot)...");
+        let run = swan_core::materialize(
+            &domain,
+            model.as_ref(),
+            &HqdlConfig { shots: 5, workers: 4 },
+        );
+        for e in &domain.curation.expansions {
+            if let Some(t) = run.database.catalog().get(&e.table) {
+                runner.database_mut().catalog_mut().put_table((**t).clone());
+            }
+        }
+    }
+    eprintln!("tables: {}", runner.database().catalog().table_names().join(", "));
+    eprintln!("type SQL, or .tables / .schema <t> / .usage / .quit");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            eprint!("swan> ");
+        } else {
+            eprint!("  ... ");
+        }
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() {
+            match trimmed {
+                ".quit" | ".exit" => break,
+                ".tables" => {
+                    println!("{}", runner.database().catalog().table_names().join("\n"));
+                    continue;
+                }
+                ".usage" => {
+                    let u = model.usage();
+                    println!(
+                        "calls: {}  input tokens: {}  output tokens: {}  (~${:.2} at GPT-4 pricing)",
+                        u.calls,
+                        u.input_tokens,
+                        u.output_tokens,
+                        u.cost(&swan_llm::Pricing::GPT4_TURBO)
+                    );
+                    continue;
+                }
+                t if t.starts_with(".schema") => {
+                    let name = t.trim_start_matches(".schema").trim();
+                    match runner.database().catalog().get(name) {
+                        Some(table) => {
+                            println!("{}({})", table.name, table.column_names().join(", "));
+                            println!("{} rows", table.len());
+                        }
+                        None => println!("no such table: {name}"),
+                    }
+                    continue;
+                }
+                "" => continue,
+                _ => {}
+            }
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue; // accumulate a multi-line statement
+        }
+        let sql = std::mem::take(&mut buffer);
+        let sql = sql.trim().trim_end_matches(';');
+        let started = std::time::Instant::now();
+        match runner.run_sql(sql) {
+            Ok(result) => {
+                print_result(&result);
+                eprintln!("({} rows in {:?})", result.rows.len(), started.elapsed());
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+fn print_result(result: &QueryResult) {
+    use swan_sqlengine::display::format_table;
+    use swan_sqlengine::exec::Relation;
+    use swan_sqlengine::plan::RelSchema;
+    if result.columns.is_empty() {
+        println!("ok ({} rows affected)", result.rows_affected);
+        return;
+    }
+    let rel = Relation {
+        schema: RelSchema::qualified("r", result.columns.clone()),
+        rows: result.rows.clone(),
+    };
+    print!("{}", format_table(&rel));
+}

@@ -1,0 +1,65 @@
+//! # swan — hybrid querying over relational databases and large language models
+//!
+//! A complete, from-scratch reproduction of the SWAN benchmark and the
+//! HQDL / hybrid-query-UDF solutions from *"Hybrid Querying Over
+//! Relational Databases and Large Language Models"* (CIDR 2025).
+//!
+//! This facade crate re-exports the full public API; the implementation
+//! lives in four workspace crates:
+//!
+//! * [`sqlengine`] — an embedded, in-memory SQL engine (the SQLite
+//!   stand-in): lexer → parser → planner → optimizer → executor, with a
+//!   scalar-UDF registry whose *expensive-function* hint drives
+//!   LLM-aware optimization.
+//! * [`llm`] — the language-model layer: prompt templates, token/cost
+//!   accounting, caches, a parallel executor, and the calibrated
+//!   simulated GPT-3.5/GPT-4 models (see DESIGN.md for the substitution
+//!   rationale).
+//! * [`data`] — the SWAN benchmark: four synthetic domain databases,
+//!   schema curation, and 120 beyond-database questions with gold and
+//!   hybrid SQL.
+//! * [`core`] — the two solutions (HQDL schema expansion; BlendSQL-style
+//!   UDFs with batching/pushdown/caching) and the evaluation harness
+//!   (execution accuracy, data-factuality F1, token reports).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use swan::prelude::*;
+//!
+//! // A small benchmark instance (scale 1.0 = the paper's Table 1 sizes).
+//! let harness = Harness::new(0.02);
+//!
+//! // Evaluate HQDL with the simulated GPT-4 Turbo at 5-shot.
+//! let eval = evaluate_hqdl(
+//!     &harness.benchmark,
+//!     harness.kb.clone(),
+//!     &harness.gold,
+//!     ModelKind::Gpt4Turbo,
+//!     5,
+//!     4,
+//! );
+//! assert_eq!(eval.overall.total, 120);
+//! println!("EX = {:.1}%, F1 = {:.1}%",
+//!          100.0 * eval.overall.accuracy(), 100.0 * eval.average_f1());
+//! ```
+
+pub use swan_core as core;
+pub use swan_data as data;
+pub use swan_llm as llm;
+pub use swan_sqlengine as sqlengine;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use swan_core::experiment::{
+        evaluate_hqdl, evaluate_udf, GoldSet, Harness, HqdlEvaluation, UdfEvaluation,
+    };
+    pub use swan_core::hqdl::{materialize, HqdlConfig, HqdlRun};
+    pub use swan_core::metrics::{execution_match, factuality, sql_is_ordered, ExTally};
+    pub use swan_core::udf::{CacheScope, UdfConfig, UdfRunner};
+    pub use swan_data::{build_knowledge, GenConfig, SwanBenchmark};
+    pub use swan_llm::{
+        CachePolicy, CachedModel, LanguageModel, ModelKind, SimulatedModel, UsageReport,
+    };
+    pub use swan_sqlengine::{Database, OptimizerConfig, QueryResult, ScalarUdf, Value};
+}
