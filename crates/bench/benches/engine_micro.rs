@@ -23,7 +23,7 @@ fn setup_db(rows: usize) -> Database {
             .insert_row(vec![
                 Value::Integer(i as i64),
                 Value::Integer((next() % 100) as i64),
-                Value::Text(format!("name-{}", next() % 1000)),
+                Value::text(format!("name-{}", next() % 1000)),
                 Value::Real((next() % 10_000) as f64 / 100.0),
             ])
             .unwrap();
@@ -31,7 +31,7 @@ fn setup_db(rows: usize) -> Database {
     db.execute("CREATE TABLE u (id INTEGER PRIMARY KEY, label TEXT)").unwrap();
     let u = db.catalog_mut().get_mut("u").unwrap();
     for i in 0..rows / 10 {
-        u.insert_row(vec![Value::Integer(i as i64), Value::Text(format!("label-{i}"))])
+        u.insert_row(vec![Value::Integer(i as i64), Value::text(format!("label-{i}"))])
             .unwrap();
     }
     db

@@ -1,0 +1,110 @@
+//! Join scaling: hash join vs nested-loop join across scale factors, plus a
+//! three-table chain whose written order is deliberately bad (big ⋈ mid ⋈
+//! tiny) so statistics-driven join reordering has something to fix.
+//!
+//! Scale factor 1.0 corresponds to a 20k-row fact table joining a 2k-row
+//! dimension — the size regime the SWAN evaluation runs at production
+//! scale. The nested-loop variant forces the executor off the equi-join
+//! fast path with an `OR 0` residual, and only runs at the small scales
+//! (it is quadratic by construction).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use swan_sqlengine::{Database, Value};
+
+const BASE_FACT: usize = 20_000;
+const BASE_DIM: usize = 2_000;
+const TINY: usize = 20;
+
+/// Scale factors mirroring the SWAN GenConfig sweep.
+const SCALES: &[f64] = &[0.02, 0.1, 0.5, 1.0];
+
+fn setup_db(scale: f64) -> Database {
+    let fact_rows = ((BASE_FACT as f64 * scale) as usize).max(10);
+    let dim_rows = ((BASE_DIM as f64 * scale) as usize).max(5);
+
+    let mut db = Database::new();
+    db.execute("CREATE TABLE fact (id INTEGER PRIMARY KEY, grp INTEGER, name TEXT)").unwrap();
+    db.execute("CREATE TABLE dim (id INTEGER PRIMARY KEY, label TEXT)").unwrap();
+    db.execute("CREATE TABLE tiny (id INTEGER PRIMARY KEY, tag TEXT)").unwrap();
+
+    let mut rng: u64 = 0x5EED;
+    let mut next = || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+
+    let fact = db.catalog_mut().get_mut("fact").unwrap();
+    for i in 0..fact_rows {
+        fact.insert_row(vec![
+            Value::Integer(i as i64),
+            Value::Integer((next() % dim_rows as u64) as i64),
+            Value::text(format!("name-{}", next() % 997)),
+        ])
+        .unwrap();
+    }
+    let dim = db.catalog_mut().get_mut("dim").unwrap();
+    for i in 0..dim_rows {
+        dim.insert_row(vec![Value::Integer(i as i64), Value::text(format!("label-{i}"))])
+            .unwrap();
+    }
+    let tiny = db.catalog_mut().get_mut("tiny").unwrap();
+    for i in 0..TINY {
+        tiny.insert_row(vec![Value::Integer(i as i64), Value::text(format!("tag-{i}"))])
+            .unwrap();
+    }
+    db
+}
+
+fn bench_hash_join(c: &mut Criterion) {
+    for &scale in SCALES {
+        let db = setup_db(scale);
+        c.bench_function(&format!("hash_join_sf{scale}"), |b| {
+            b.iter(|| {
+                black_box(
+                    db.query("SELECT COUNT(*) FROM fact t JOIN dim u ON t.grp = u.id").unwrap(),
+                )
+            })
+        });
+    }
+}
+
+fn bench_nested_loop_join(c: &mut Criterion) {
+    // Quadratic: only the small scales are tractable, which is exactly the
+    // hash-vs-nested-loop story this bench exists to tell.
+    for &scale in &SCALES[..2] {
+        let db = setup_db(scale);
+        c.bench_function(&format!("nested_loop_join_sf{scale}"), |b| {
+            b.iter(|| {
+                // `OR 0` defeats the equi-join splitter without changing
+                // the result set.
+                black_box(
+                    db.query("SELECT COUNT(*) FROM fact t JOIN dim u ON (t.grp = u.id OR 0)")
+                        .unwrap(),
+                )
+            })
+        });
+    }
+}
+
+fn bench_join_chain(c: &mut Criterion) {
+    for &scale in SCALES {
+        let db = setup_db(scale);
+        c.bench_function(&format!("join_chain_worst_order_sf{scale}"), |b| {
+            b.iter(|| {
+                black_box(
+                    db.query(
+                        "SELECT COUNT(*) FROM fact f \
+                         JOIN dim d ON f.grp = d.id \
+                         JOIN tiny t ON d.id = t.id",
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_hash_join, bench_nested_loop_join, bench_join_chain);
+criterion_main!(benches);

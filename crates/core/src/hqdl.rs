@@ -165,7 +165,7 @@ pub fn infer_value(s: &str) -> Value {
     if let Ok(f) = t.parse::<f64>() {
         return Value::Real(f);
     }
-    Value::Text(t.to_string())
+    Value::text(t)
 }
 
 /// Ground-truth index for constructing few-shot example rows (§5.2:

@@ -205,7 +205,11 @@ mod tests {
     use super::*;
 
     fn qr(rows: Vec<Vec<Value>>) -> QueryResult {
-        QueryResult { columns: vec!["c".into()], rows, rows_affected: 0 }
+        QueryResult {
+            columns: vec!["c".into()],
+            rows: rows.into_iter().map(Into::into).collect(),
+            rows_affected: 0,
+        }
     }
 
     #[test]

@@ -302,7 +302,7 @@ impl UdfRunner {
                 if let Expr::Function { name, args, .. } = x {
                     if name.eq_ignore_ascii_case("llm_map") && args.len() >= 2 {
                         if let Expr::Literal(Value::Text(q)) = &args[0] {
-                            let key = (q.clone(), args[1..].to_vec());
+                            let key = (q.to_string(), args[1..].to_vec());
                             if !calls.contains(&key) {
                                 calls.push(key);
                             }

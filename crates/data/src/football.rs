@@ -179,7 +179,7 @@ pub fn generate(cfg: &GenConfig) -> DomainData {
         ]);
         for (s, season) in SEASONS.iter().cycle().take(snapshots).enumerate() {
             let rating = (45.0 + 50.0 * ability + rng.gen_range(-4.0..4.0)).clamp(40.0, 99.0) as i64;
-            let potential = (rating + rng.gen_range(0..8)).min(99);
+            let potential = (rating + rng.gen_range(0i64..8)).min(99);
             let _ = s;
             pa_rows.push(vec![
                 Value::Integer(i as i64 + 1),

@@ -5,8 +5,23 @@
 //! semantically equivalent prompts miss. This module provides both that
 //! exact-prompt cache and the normalized "semantic" variant discussed in
 //! §4.3, so the caching ablation can compare policies.
+//!
+//! # Key representation
+//!
+//! The cache does **not** store prompt strings. Prompts routinely run to
+//! kilobytes (few-shot demonstrations, value lists), and a String-keyed map
+//! both doubles memory and re-hashes the full text on every lookup.
+//! Instead each prompt is reduced to a pair of independent 64-bit hashes:
+//! the first keys the map, the second is stored in the entry and verified
+//! on lookup. A false hit therefore needs a simultaneous collision in two
+//! independent 64-bit hashes (~2⁻¹²⁸ per pair); a detected first-hash
+//! collision is handled safely as a miss that replaces the entry.
+//!
+//! Capacity is optional ([`CachedModel::with_capacity`]); when set, the
+//! oldest inserted entry is evicted. [`CacheStats`] carries `evictions` and
+//! `bytes` gauges so bench reports can show cache pressure.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use parking_lot::Mutex;
 
@@ -30,6 +45,10 @@ pub enum CachePolicy {
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
+    /// Entries removed to stay under the configured capacity.
+    pub evictions: u64,
+    /// Completion-text bytes currently held (cache pressure gauge).
+    pub bytes: u64,
 }
 
 impl CacheStats {
@@ -50,24 +69,63 @@ impl CacheStats {
 pub struct CachedModel<M> {
     inner: M,
     policy: CachePolicy,
+    max_entries: Option<usize>,
     state: Mutex<CacheState>,
+}
+
+struct Entry {
+    /// Second-hash verification tag (collision safety).
+    verify: u64,
+    completion: Completion,
 }
 
 #[derive(Default)]
 struct CacheState {
-    entries: HashMap<String, Completion>,
+    entries: HashMap<u64, Entry>,
+    /// Insertion order, for capacity eviction.
+    order: VecDeque<u64>,
     stats: CacheStats,
+}
+
+/// Two independent 64-bit FNV-1a style hashes of `key`, computed in one
+/// pass. Differing offset bases and a final avalanche keep them
+/// uncorrelated for collision-verification purposes.
+fn hash_pair(key: &str) -> (u64, u64) {
+    let mut a: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut b: u64 = 0x6c62_272e_07bb_0142;
+    for byte in key.bytes() {
+        a = (a ^ byte as u64).wrapping_mul(0x100_0000_01b3);
+        b = (b ^ byte as u64).wrapping_mul(0x3_f17_99d5_52db_9f2b | 1);
+    }
+    // Finalize with splitmix-style avalanching so short keys spread.
+    let fin = |mut x: u64| {
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    };
+    (fin(a), fin(b))
 }
 
 impl<M: LanguageModel> CachedModel<M> {
     pub fn new(inner: M, policy: CachePolicy) -> Self {
-        CachedModel { inner, policy, state: Mutex::new(CacheState::default()) }
+        CachedModel { inner, policy, max_entries: None, state: Mutex::new(CacheState::default()) }
     }
 
-    fn key(&self, prompt: &str) -> String {
+    /// A cache bounded to `max_entries` entries; the oldest entry is
+    /// evicted on overflow (and counted in [`CacheStats::evictions`]).
+    pub fn with_capacity(inner: M, policy: CachePolicy, max_entries: usize) -> Self {
+        CachedModel {
+            inner,
+            policy,
+            max_entries: Some(max_entries.max(1)),
+            state: Mutex::new(CacheState::default()),
+        }
+    }
+
+    fn key_hashes(&self, prompt: &str) -> (u64, u64) {
         match self.policy {
-            CachePolicy::None | CachePolicy::Exact => prompt.to_string(),
-            CachePolicy::Normalized => normalize_prompt(prompt),
+            CachePolicy::None | CachePolicy::Exact => hash_pair(prompt),
+            CachePolicy::Normalized => hash_pair(&normalize_prompt(prompt)),
         }
     }
 
@@ -78,6 +136,7 @@ impl<M: LanguageModel> CachedModel<M> {
     pub fn clear(&self) {
         let mut st = self.state.lock();
         st.entries.clear();
+        st.order.clear();
         st.stats = CacheStats::default();
     }
 
@@ -94,6 +153,32 @@ impl<M: LanguageModel> CachedModel<M> {
     }
 }
 
+impl CacheState {
+    fn insert(&mut self, h1: u64, verify: u64, completion: Completion, cap: Option<usize>) {
+        let text_bytes = completion.text.len() as u64;
+        match self.entries.insert(h1, Entry { verify, completion }) {
+            Some(old) => {
+                // First-hash collision replacement: swap the byte count,
+                // keep the insertion-order slot.
+                self.stats.bytes = self.stats.bytes - old.completion.text.len() as u64 + text_bytes;
+            }
+            None => {
+                self.stats.bytes += text_bytes;
+                self.order.push_back(h1);
+            }
+        }
+        if let Some(cap) = cap {
+            while self.entries.len() > cap {
+                let Some(oldest) = self.order.pop_front() else { break };
+                if let Some(gone) = self.entries.remove(&oldest) {
+                    self.stats.bytes -= gone.completion.text.len() as u64;
+                    self.stats.evictions += 1;
+                }
+            }
+        }
+    }
+}
+
 impl<M: LanguageModel> LanguageModel for CachedModel<M> {
     fn name(&self) -> &str {
         self.inner.name()
@@ -103,19 +188,27 @@ impl<M: LanguageModel> LanguageModel for CachedModel<M> {
         if self.policy == CachePolicy::None {
             return self.inner.complete(prompt);
         }
-        let key = self.key(prompt);
+        let (h1, h2) = self.key_hashes(prompt);
         {
             let mut st = self.state.lock();
-            if let Some(hit) = st.entries.get(&key).cloned() {
-                st.stats.hits += 1;
-                // A cache hit costs no tokens: return the text with zero
-                // marginal usage (the inner meter is not touched).
-                return Ok(Completion { text: hit.text, tokens: Default::default() });
+            let hit = match st.entries.get(&h1) {
+                Some(e) if e.verify == h2 => Some(e.completion.text.clone()),
+                // Either absent or a detected first-hash collision: both
+                // are misses; a collision entry is replaced below.
+                _ => None,
+            };
+            match hit {
+                Some(text) => {
+                    st.stats.hits += 1;
+                    // A cache hit costs no tokens: return the text with
+                    // zero marginal usage (the inner meter is not touched).
+                    return Ok(Completion { text, tokens: Default::default() });
+                }
+                None => st.stats.misses += 1,
             }
-            st.stats.misses += 1;
         }
         let out = self.inner.complete(prompt)?;
-        self.state.lock().entries.insert(key, out.clone());
+        self.state.lock().insert(h1, h2, out.clone(), self.max_entries);
         Ok(out)
     }
 
@@ -175,7 +268,8 @@ mod tests {
         m.complete("Is the player taller than 180cm?").unwrap();
         m.complete("is the player TALLER than 180cm???").unwrap();
         assert_eq!(m.inner().calls.load(Ordering::Relaxed), 2);
-        assert_eq!(m.stats(), CacheStats { hits: 1, misses: 2 });
+        let stats = m.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
     }
 
     #[test]
@@ -213,6 +307,7 @@ mod tests {
         let m = CachedModel::new(CountingModel::new(), CachePolicy::Exact);
         m.complete("a").unwrap();
         assert_eq!(m.len(), 1);
+        assert!(m.stats().bytes > 0);
         m.clear();
         assert!(m.is_empty());
         assert_eq!(m.stats(), CacheStats::default());
@@ -220,9 +315,68 @@ mod tests {
 
     #[test]
     fn hit_rate_math() {
-        let s = CacheStats { hits: 3, misses: 1 };
+        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
         assert_eq!(s.lookups(), 4);
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn bytes_gauge_tracks_stored_completions() {
+        let m = CachedModel::new(CountingModel::new(), CachePolicy::Exact);
+        m.complete("one").unwrap();
+        let after_one = m.stats().bytes;
+        assert_eq!(after_one, "answer to: one".len() as u64);
+        m.complete("two").unwrap();
+        assert_eq!(m.stats().bytes, after_one + "answer to: two".len() as u64);
+        // Hits don't change the gauge.
+        m.complete("one").unwrap();
+        assert_eq!(m.stats().bytes, after_one + "answer to: two".len() as u64);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_counts() {
+        let m = CachedModel::with_capacity(CountingModel::new(), CachePolicy::Exact, 2);
+        m.complete("p1").unwrap();
+        m.complete("p2").unwrap();
+        m.complete("p3").unwrap(); // evicts p1
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.stats().evictions, 1);
+        // p1 was evicted: asking again is a miss (a fresh model call).
+        m.complete("p1").unwrap();
+        assert_eq!(m.inner().calls.load(Ordering::Relaxed), 4);
+        // p3 survived the first eviction round and p1's reinsert evicted
+        // p2, so p3 still hits.
+        let calls_before = m.inner().calls.load(Ordering::Relaxed);
+        m.complete("p3").unwrap();
+        assert_eq!(m.inner().calls.load(Ordering::Relaxed), calls_before);
+        // Bytes stay bounded to what's resident.
+        let resident: u64 = ["answer to: p1", "answer to: p3"]
+            .iter()
+            .map(|s| s.len() as u64)
+            .sum();
+        assert_eq!(m.stats().bytes, resident);
+    }
+
+    #[test]
+    fn hash_pair_components_are_independent_enough() {
+        let (a1, b1) = hash_pair("prompt A");
+        let (a2, b2) = hash_pair("prompt B");
+        assert_ne!(a1, a2);
+        assert_ne!(b1, b2);
+        assert_ne!(a1, b1, "the two hashes must differ for the same key");
+        // Deterministic.
+        assert_eq!(hash_pair("prompt A"), (a1, b1));
+    }
+
+    #[test]
+    fn prompts_are_not_stored() {
+        // Indirect but meaningful: the bytes gauge counts only completion
+        // text, and a kilobyte prompt adds nothing beyond its answer.
+        let m = CachedModel::new(CountingModel::new(), CachePolicy::Exact);
+        let huge = "x".repeat(4096);
+        m.complete(&huge).unwrap();
+        assert!(m.stats().bytes < 5000, "no prompt bytes retained");
+        assert_eq!(m.stats().bytes, ("answer to: ".len() + 4096) as u64);
     }
 }

@@ -2,17 +2,36 @@
 //!
 //! The paper's future-work list (§6) calls for "asynchronous and parallel
 //! hybrid query execution". This module provides the building block: fan a
-//! batch of prompts across worker threads against one (thread-safe) model,
-//! preserving input order in the output.
+//! batch of prompts across a **persistent, bounded worker pool** against one
+//! (thread-safe) model, preserving input order in the output.
+//!
+//! The pool is created lazily on first use and reused by every subsequent
+//! `complete_many` call — no per-call (let alone per-prompt) thread
+//! spawning. Each call submits at most `workers` pool jobs that *steal*
+//! prompt indices from a shared counter, so per-call concurrency stays
+//! capped at `workers` while latency-skewed batches (one slow prompt next
+//! to many fast ones — the norm for LLM traffic) still balance across the
+//! whole set. Each claimed index gives its worker exclusive access to the
+//! matching pre-sized result slot, which is what preserves prompt order
+//! without a reordering pass. `workers <= 1` runs inline on the caller
+//! thread (the sequential baseline for the parallelism ablation).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 
 use crate::model::{Completion, LanguageModel, LlmResult};
 
-/// Execute `prompts` against `model` on up to `workers` threads.
+/// Execute `prompts` against `model` on up to `workers` pool threads.
 ///
 /// Results come back in prompt order. With `workers <= 1` the calls run
-/// inline (the sequential baseline for the parallelism ablation).
+/// inline. Effective concurrency is additionally bounded by the pool size
+/// (`max(cores, 16)`, capped at 64 — comfortably above the §6 parallelism
+/// ablation's sweep). Calling `complete_many` *from inside* a model's
+/// `complete` (a composite/router model) runs that inner batch
+/// sequentially on the worker thread instead of re-entering the pool,
+/// which would otherwise be able to deadlock a fully-loaded fixed pool.
 pub fn complete_many(
     model: &dyn LanguageModel,
     prompts: &[String],
@@ -22,44 +41,216 @@ pub fn complete_many(
         return Vec::new();
     }
     let workers = workers.max(1).min(prompts.len());
-    if workers == 1 {
+    if workers == 1 || IS_POOL_WORKER.with(|w| w.get()) {
         return prompts.iter().map(|p| model.complete(p)).collect();
     }
 
+    let n = prompts.len();
+    // Pre-sized result slots, one per prompt. A slot is written exactly
+    // once, by whichever worker claimed its index from the counter.
+    let slot_cells: Vec<SlotCell> = (0..n).map(|_| SlotCell(UnsafeCell::new(None))).collect();
     let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<LlmResult<Completion>>> =
-        (0..prompts.len()).map(|_| None).collect();
-
-    crossbeam::scope(|scope| {
-        // Each worker pulls indices from a shared atomic counter
-        // (work-stealing by contention) and returns its local results.
-        let handles: Vec<_> = (0..workers)
+    let latch = Latch::new(workers);
+    {
+        let table: &[SlotCell] = &slot_cells;
+        let next = &next;
+        // SAFETY-ordering: the guard is dropped (and thus waits for every
+        // submitted job) before `slot_cells`/`prompts` borrows can die —
+        // on the normal path *and* on any unwind out of this block.
+        let _guard = WaitOnDrop(&latch);
+        let jobs: Vec<Job<'_>> = (0..workers)
             .map(|_| {
-                scope.spawn(|_| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= prompts.len() {
-                            break;
-                        }
-                        local.push((i, model.complete(&prompts[i])));
+                let job: Job<'_> = Box::new(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
                     }
-                    local
-                })
+                    let r = model.complete(&prompts[i]);
+                    // SAFETY: index `i` was claimed exactly once, so this
+                    // worker has exclusive access to slot `i`.
+                    unsafe { *table[i].0.get() = Some(r) };
+                });
+                job
             })
             .collect();
-        for h in handles {
-            for (i, r) in h.join().expect("LLM worker thread panicked") {
-                results[i] = Some(r);
+        pool().run_scoped(jobs, &latch);
+    }
+    latch.check_panic();
+
+    slot_cells
+        .into_iter()
+        .map(|c| c.0.into_inner().expect("every prompt slot filled"))
+        .collect()
+}
+
+/// One result slot. `Sync` is sound because each index is claimed by
+/// exactly one worker (via the shared counter) before being written, and
+/// the caller only reads after the latch has settled.
+struct SlotCell(UnsafeCell<Option<LlmResult<Completion>>>);
+
+unsafe impl Sync for SlotCell {}
+
+// ---- the worker pool -------------------------------------------------------
+
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// A fixed set of worker threads fed from one shared queue.
+struct WorkerPool {
+    queue: mpsc::Sender<ScopedJob>,
+    size: usize,
+}
+
+/// A job whose borrows have been erased; the submitting call guarantees it
+/// completes (via its latch) before the borrowed data goes out of scope.
+struct ScopedJob {
+    job: Job<'static>,
+    latch: Arc<LatchState>,
+}
+
+static POOL: OnceLock<WorkerPool> = OnceLock::new();
+
+thread_local! {
+    /// Set for the lifetime of a pool worker thread; used to detect
+    /// reentrant `complete_many` calls and run them inline instead of
+    /// deadlocking a fully-loaded fixed pool.
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn pool() -> &'static WorkerPool {
+    POOL.get_or_init(|| {
+        // LLM calls are latency-bound, not CPU-bound, so the pool is allowed
+        // to exceed the core count; it stays bounded regardless of how many
+        // `complete_many` calls or prompts flow through it. The floor keeps
+        // headroom above the parallelism ablation's worker sweep even on
+        // small CI machines.
+        let size = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .max(16)
+            .min(64);
+        WorkerPool::with_size(size)
+    })
+}
+
+impl WorkerPool {
+    fn with_size(size: usize) -> Self {
+        let (tx, rx) = mpsc::channel::<ScopedJob>();
+        let rx = Arc::new(Mutex::new(rx));
+        for i in 0..size {
+            let rx = rx.clone();
+            std::thread::Builder::new()
+                .name(format!("swan-llm-worker-{i}"))
+                .spawn(move || {
+                    IS_POOL_WORKER.with(|w| w.set(true));
+                    loop {
+                        let next = {
+                            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+                            guard.recv()
+                        };
+                        let Ok(scoped) = next else { break };
+                        // Keep the worker alive across panicking jobs; the
+                        // panic is re-raised on the submitting thread.
+                        let panicked = catch_unwind(AssertUnwindSafe(scoped.job)).is_err();
+                        scoped.latch.count_down(panicked);
+                    }
+                })
+                .expect("spawn LLM worker thread");
+        }
+        WorkerPool { queue: tx, size }
+    }
+
+    /// Number of threads in the pool (its concurrency bound).
+    #[allow(dead_code)]
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Submit scoped jobs. SAFETY contract: the caller must wait on `latch`
+    /// before any data borrowed by the jobs is dropped — `complete_many`
+    /// enforces this with a [`WaitOnDrop`] guard covering every exit path.
+    fn run_scoped(&self, jobs: Vec<Job<'_>>, latch: &Latch) {
+        for job in jobs {
+            // Erase the borrow lifetime: a Box<dyn FnOnce> is a fat pointer
+            // whose layout does not depend on the lifetime parameter.
+            let job: Job<'static> = unsafe { std::mem::transmute(job) };
+            let scoped = ScopedJob { job, latch: latch.state.clone() };
+            if let Err(mpsc::SendError(scoped)) = self.queue.send(scoped) {
+                // Queue closed (cannot happen while the pool is alive, but
+                // never leave a latch slot dangling): run inline instead.
+                let panicked = catch_unwind(AssertUnwindSafe(scoped.job)).is_err();
+                scoped.latch.count_down(panicked);
             }
         }
-    })
-    .expect("crossbeam scope failed");
+    }
+}
 
-    results
-        .into_iter()
-        .map(|r| r.expect("every prompt slot filled"))
-        .collect()
+// ---- completion latch ------------------------------------------------------
+
+struct LatchState {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+    panicked: AtomicBool,
+}
+
+/// Counts outstanding jobs of one `complete_many` call.
+struct Latch {
+    state: Arc<LatchState>,
+}
+
+/// Drop guard: waits for every job of `complete_many` to finish before the
+/// stack frame (and the borrows the jobs hold) can unwind away. Never
+/// panics from `drop` — panic propagation happens separately via
+/// [`Latch::check_panic`] on the normal path.
+struct WaitOnDrop<'a>(&'a Latch);
+
+impl Drop for WaitOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.wait();
+    }
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            state: Arc::new(LatchState {
+                remaining: Mutex::new(count),
+                all_done: Condvar::new(),
+                panicked: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Block until every job has finished.
+    fn wait(&self) {
+        let mut remaining = self.state.remaining.lock().unwrap_or_else(|p| p.into_inner());
+        while *remaining > 0 {
+            remaining = self
+                .state
+                .all_done
+                .wait(remaining)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Re-raise a worker-job panic on the calling thread.
+    fn check_panic(&self) {
+        if self.state.panicked.load(Ordering::SeqCst) {
+            panic!("LLM worker job panicked");
+        }
+    }
+}
+
+impl LatchState {
+    fn count_down(&self, panicked: bool) {
+        if panicked {
+            self.panicked.store(true, Ordering::SeqCst);
+        }
+        let mut remaining = self.remaining.lock().unwrap_or_else(|p| p.into_inner());
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.all_done.notify_all();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -68,6 +259,7 @@ mod tests {
     use crate::tokenizer::TokenCount;
     use crate::usage::UsageMeter;
     use std::sync::atomic::AtomicU64;
+    use std::time::{Duration, Instant};
 
     struct SlowEcho {
         meter: UsageMeter,
@@ -92,7 +284,7 @@ mod tests {
         fn complete(&self, prompt: &str) -> LlmResult<Completion> {
             let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
             self.max_in_flight.fetch_max(now, Ordering::SeqCst);
-            std::thread::sleep(std::time::Duration::from_millis(5));
+            std::thread::sleep(Duration::from_millis(5));
             self.in_flight.fetch_sub(1, Ordering::SeqCst);
             let tokens = TokenCount::of(prompt, prompt);
             self.meter.record(tokens);
@@ -145,5 +337,114 @@ mod tests {
         let prompts = vec!["only".to_string()];
         let out = complete_many(&model, &prompts, 64);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn pool_is_reused_across_calls() {
+        let model = SlowEcho::new();
+        let prompts: Vec<String> = (0..6).map(|i| format!("p{i}")).collect();
+        let before = pool().size();
+        for _ in 0..5 {
+            complete_many(&model, &prompts, 3);
+        }
+        assert_eq!(pool().size(), before, "pool size is fixed across calls");
+    }
+
+    /// Two adjacent slow prompts must land on different workers (index
+    /// stealing), not in one worker's contiguous chunk.
+    #[test]
+    fn skewed_latencies_balance_across_workers() {
+        struct Skewed(UsageMeter);
+        impl LanguageModel for Skewed {
+            fn name(&self) -> &str {
+                "skewed"
+            }
+            fn complete(&self, prompt: &str) -> LlmResult<Completion> {
+                if prompt.starts_with("slow") {
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+                Ok(Completion { text: prompt.into(), tokens: TokenCount::default() })
+            }
+            fn usage_meter(&self) -> &UsageMeter {
+                &self.0
+            }
+        }
+        let model = Skewed(UsageMeter::new());
+        let prompts: Vec<String> =
+            ["slow1", "slow2", "f1", "f2"].iter().map(|s| s.to_string()).collect();
+        let t = Instant::now();
+        let out = complete_many(&model, &prompts, 2);
+        let elapsed = t.elapsed();
+        assert_eq!(out.len(), 4);
+        // Static half/half chunking would serialize both slow prompts in
+        // one chunk (~400ms); stealing runs them concurrently (~200ms).
+        assert!(
+            elapsed < Duration::from_millis(350),
+            "slow prompts were not balanced: {elapsed:?}"
+        );
+    }
+
+    /// A composite model that fans out from inside `complete` must not
+    /// deadlock the fixed pool: the inner batch runs inline on the worker.
+    #[test]
+    fn reentrant_complete_many_runs_inline_without_deadlock() {
+        struct Router {
+            inner: SlowEcho,
+        }
+        impl LanguageModel for Router {
+            fn name(&self) -> &str {
+                "router"
+            }
+            fn complete(&self, prompt: &str) -> LlmResult<Completion> {
+                let sub: Vec<String> = (0..3).map(|i| format!("{prompt}/{i}")).collect();
+                let parts = complete_many(&self.inner, &sub, 4);
+                let text = parts
+                    .into_iter()
+                    .map(|r| r.unwrap().text)
+                    .collect::<Vec<_>>()
+                    .join("+");
+                Ok(Completion { text, tokens: TokenCount::default() })
+            }
+            fn usage_meter(&self) -> &UsageMeter {
+                self.inner.usage_meter()
+            }
+        }
+        let router = Router { inner: SlowEcho::new() };
+        // More outer prompts than pool threads would previously be able to
+        // wedge every worker inside the nested wait.
+        let prompts: Vec<String> = (0..80).map(|i| format!("p{i}")).collect();
+        let out = complete_many(&router, &prompts, 64);
+        assert_eq!(out.len(), 80);
+        assert_eq!(out[7].as_ref().unwrap().text, "p7/0+p7/1+p7/2");
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_killing_the_pool() {
+        struct Bomb(UsageMeter);
+        impl LanguageModel for Bomb {
+            fn name(&self) -> &str {
+                "bomb"
+            }
+            fn complete(&self, prompt: &str) -> LlmResult<Completion> {
+                if prompt == "boom" {
+                    panic!("simulated model crash");
+                }
+                Ok(Completion { text: prompt.into(), tokens: TokenCount::default() })
+            }
+            fn usage_meter(&self) -> &UsageMeter {
+                &self.0
+            }
+        }
+        let bomb = Bomb(UsageMeter::new());
+        let prompts = vec!["ok".to_string(), "boom".to_string(), "ok2".to_string()];
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            complete_many(&bomb, &prompts, 3);
+        }));
+        assert!(caught.is_err(), "panic must propagate to the caller");
+
+        // The pool survives and keeps serving.
+        let model = SlowEcho::new();
+        let out = complete_many(&model, &(0..8).map(|i| format!("q{i}")).collect::<Vec<_>>(), 4);
+        assert_eq!(out.len(), 8);
     }
 }

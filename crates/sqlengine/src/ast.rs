@@ -147,6 +147,13 @@ pub enum Expr {
     Literal(Value),
     /// Possibly-qualified column reference: `(qualifier, name)`.
     Column { table: Option<String>, name: String },
+    /// A column pre-resolved to its index in the executing relation's
+    /// schema. Never produced by the parser: the executor *binds* an
+    /// expression to a schema once before a per-row loop
+    /// ([`crate::eval::bind_columns`]), turning per-row name resolution
+    /// into a direct index load. Valid only against the schema it was
+    /// bound to.
+    BoundColumn(usize),
     /// Unary operator application.
     Unary { op: UnaryOp, expr: Box<Expr> },
     /// Binary operator application.
@@ -234,7 +241,7 @@ impl Expr {
     pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
         f(self);
         match self {
-            Expr::Literal(_) | Expr::Column { .. } => {}
+            Expr::Literal(_) | Expr::Column { .. } | Expr::BoundColumn(_) => {}
             Expr::Unary { expr, .. } => expr.walk(f),
             Expr::Binary { left, right, .. } => {
                 left.walk(f);

@@ -16,15 +16,16 @@ use crate::optimizer::OptimizerConfig;
 use crate::parser::{parse_script, parse_statement};
 use crate::plan::RelSchema;
 use crate::storage::{Catalog, Column, Table};
-use crate::value::Value;
+use crate::value::{Row, Value};
 
 /// Result of executing one statement.
 #[derive(Debug, Clone, Default)]
 pub struct QueryResult {
     /// Output column names (empty for DDL/DML).
     pub columns: Vec<String>,
-    /// Result rows (empty for DDL/DML).
-    pub rows: Vec<Vec<Value>>,
+    /// Result rows (empty for DDL/DML), shared with the engine: cloning a
+    /// result (or a row) is O(rows), not O(cells).
+    pub rows: Vec<Row>,
     /// Rows inserted / updated / deleted for DML.
     pub rows_affected: usize,
 }
@@ -175,7 +176,8 @@ impl Database {
 
     fn execute_insert(&mut self, ins: &crate::ast::Insert) -> Result<QueryResult> {
         // Compute the source rows first (they may SELECT from the target).
-        let source_rows: Vec<Vec<Value>> = match &ins.source {
+        // INSERT ... SELECT re-shares the SELECT's rows without copying.
+        let source_rows: Vec<Row> = match &ins.source {
             InsertSource::Values(rows) => {
                 let ctx = ExecCtx::new(&self.catalog, &self.udfs)
                     .with_optimizer(self.optimizer);
@@ -185,7 +187,7 @@ impl Database {
                     for e in row {
                         vals.push(eval(e, &ctx, None)?);
                     }
-                    out.push(vals);
+                    out.push(vals.into());
                 }
                 out
             }
@@ -217,7 +219,7 @@ impl Database {
         let table = self.catalog.get_mut(&ins.table)?;
         let mut n = 0;
         for vals in source_rows {
-            let row = match &col_map {
+            let row: Row = match &col_map {
                 None => {
                     if vals.len() != width {
                         return Err(Error::Semantic(format!(
@@ -237,13 +239,13 @@ impl Database {
                         )));
                     }
                     let mut row = vec![Value::Null; width];
-                    for (v, &i) in vals.into_iter().zip(map.iter()) {
-                        row[i] = v;
+                    for (v, &i) in vals.iter().zip(map.iter()) {
+                        row[i] = v.clone();
                     }
-                    row
+                    row.into()
                 }
             };
-            table.insert_row(row)?;
+            table.insert_shared_row(row)?;
             n += 1;
         }
         Ok(QueryResult { rows_affected: n, ..Default::default() })
@@ -264,6 +266,7 @@ impl Database {
         };
 
         // Compute new rows against an immutable snapshot, then swap in.
+        // Untouched rows stay shared; only hit rows are rebuilt.
         let snapshot = self.catalog.get_required(&upd.table)?.clone();
         let ctx = ExecCtx::new(&self.catalog, &self.udfs).with_optimizer(self.optimizer);
         let mut new_rows = snapshot.rows.clone();
@@ -279,12 +282,12 @@ impl Database {
             if !hit {
                 continue;
             }
-            let mut updated = row.clone();
+            let mut updated = row.to_vec();
             for ((_, e), &i) in upd.assignments.iter().zip(assign_idx.iter()) {
                 let rc = RowCtx::new(&schema, row);
                 updated[i] = eval(e, &ctx, Some(&rc))?;
             }
-            *row = updated;
+            *row = updated.into();
             n += 1;
         }
         drop(ctx);
@@ -294,11 +297,11 @@ impl Database {
         let old_rows = std::mem::take(&mut table.rows);
         table.clear_rows();
         for row in new_rows {
-            if let Err(e) = table.insert_row(row) {
+            if let Err(e) = table.insert_shared_row(row) {
                 // Restore on failure.
                 table.clear_rows();
                 for r in old_rows {
-                    table.insert_row(r).expect("restoring previously valid rows");
+                    table.insert_shared_row(r).expect("restoring previously valid rows");
                 }
                 return Err(e);
             }

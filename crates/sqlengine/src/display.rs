@@ -15,6 +15,8 @@ pub fn expr_to_sql(e: &Expr) -> String {
         Expr::Literal(v) => v.render(),
         Expr::Column { table: Some(t), name } => format!("{t}.{name}"),
         Expr::Column { table: None, name } => name.clone(),
+        // Executor-internal bound references; only visible in debug output.
+        Expr::BoundColumn(i) => format!("#{i}"),
         Expr::Unary { op, expr } => match op {
             UnaryOp::Neg => format!("-{}", expr_to_sql(expr)),
             UnaryOp::Not => format!("NOT {}", expr_to_sql(expr)),
@@ -171,8 +173,8 @@ mod tests {
         let rel = Relation {
             schema: RelSchema::qualified("t", vec!["name".to_string(), "n".to_string()]),
             rows: vec![
-                vec!["Spider-Man".into(), 1.into()],
-                vec![crate::value::Value::Null, 22.into()],
+                vec!["Spider-Man".into(), 1.into()].into(),
+                vec![crate::value::Value::Null, 22.into()].into(),
             ],
         };
         let s = format_table(&rel);

@@ -65,6 +65,13 @@ pub fn eval(expr: &Expr, ctx: &ExecCtx<'_>, row: Option<&RowCtx<'_>>) -> Result<
             }
         }
 
+        // Bound by the executor against the innermost schema; a direct
+        // index load with no name resolution (see [`bind_columns`]).
+        Expr::BoundColumn(i) => match row {
+            Some(r) => Ok(r.row[*i].clone()),
+            None => Err(Error::Unresolved(format!("bound column #{i} without a row"))),
+        },
+
         Expr::Unary { op, expr } => match op {
             UnaryOp::Neg => eval(expr, ctx, row)?.neg(),
             UnaryOp::Not => Ok(match eval(expr, ctx, row)?.truthiness() {
@@ -115,11 +122,11 @@ pub fn eval(expr: &Expr, ctx: &ExecCtx<'_>, row: Option<&RowCtx<'_>>) -> Result<
             if v.is_null() || p.is_null() {
                 return Ok(Value::Null);
             }
-            let hit = if *glob {
-                glob_match(&v.render(), &p.render())
-            } else {
-                like_match(&v.render(), &p.render())
-            };
+            // Borrow text cells directly: no per-row String allocation on
+            // the common text-LIKE-text path.
+            let vs = text_view(&v);
+            let ps = text_view(&p);
+            let hit = if *glob { glob_match(&vs, &ps) } else { like_match(&vs, &ps) };
             Ok(Value::Integer((hit != *negated) as i64))
         }
 
@@ -220,6 +227,87 @@ pub fn eval(expr: &Expr, ctx: &ExecCtx<'_>, row: Option<&RowCtx<'_>>) -> Result<
     }
 }
 
+/// Text view of a value without copying interned text; other storage
+/// classes render (allocate) as before.
+fn text_view(v: &Value) -> std::borrow::Cow<'_, str> {
+    match v.as_str() {
+        Some(s) => std::borrow::Cow::Borrowed(s),
+        None => std::borrow::Cow::Owned(v.render()),
+    }
+}
+
+/// Bind an expression to a schema: every column reference that resolves in
+/// `schema` is rewritten to [`Expr::BoundColumn`], so a per-row loop pays
+/// name resolution once instead of once per row. Unresolvable references
+/// (outer-scope correlations) stay symbolic, and subqueries are left
+/// untouched — they execute in their own scope.
+pub fn bind_columns(expr: &Expr, schema: &RelSchema) -> Expr {
+    match expr {
+        Expr::Column { table, name } => {
+            match schema.resolve(table.as_deref(), name) {
+                Ok(Some(i)) => Expr::BoundColumn(i),
+                _ => expr.clone(),
+            }
+        }
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(bind_columns(expr, schema)),
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(bind_columns(left, schema)),
+            right: Box::new(bind_columns(right, schema)),
+        },
+        Expr::Function { name, args, distinct, star } => Expr::Function {
+            name: name.clone(),
+            args: args.iter().map(|a| bind_columns(a, schema)).collect(),
+            distinct: *distinct,
+            star: *star,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(bind_columns(expr, schema)),
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated, glob } => Expr::Like {
+            expr: Box::new(bind_columns(expr, schema)),
+            pattern: Box::new(bind_columns(pattern, schema)),
+            negated: *negated,
+            glob: *glob,
+        },
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(bind_columns(expr, schema)),
+            low: Box::new(bind_columns(low, schema)),
+            high: Box::new(bind_columns(high, schema)),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(bind_columns(expr, schema)),
+            list: list.iter().map(|e| bind_columns(e, schema)).collect(),
+            negated: *negated,
+        },
+        // The probe expression binds; the subquery keeps its own scope.
+        Expr::InSubquery { expr, query, negated } => Expr::InSubquery {
+            expr: Box::new(bind_columns(expr, schema)),
+            query: query.clone(),
+            negated: *negated,
+        },
+        Expr::Case { operand, branches, else_expr } => Expr::Case {
+            operand: operand.as_ref().map(|o| Box::new(bind_columns(o, schema))),
+            branches: branches
+                .iter()
+                .map(|(w, t)| (bind_columns(w, schema), bind_columns(t, schema)))
+                .collect(),
+            else_expr: else_expr.as_ref().map(|e| Box::new(bind_columns(e, schema))),
+        },
+        Expr::Cast { expr, type_name } => Expr::Cast {
+            expr: Box::new(bind_columns(expr, schema)),
+            type_name: type_name.clone(),
+        },
+        // Leaves and whole subqueries pass through unchanged.
+        other => other.clone(),
+    }
+}
+
 fn eval_binary(
     op: BinaryOp,
     left: &Expr,
@@ -275,7 +363,7 @@ fn eval_binary(
             if a.is_null() || b.is_null() {
                 Ok(Value::Null)
             } else {
-                Ok(Value::Text(format!("{}{}", a.render(), b.render())))
+                Ok(Value::text(format!("{}{}", a.render(), b.render())))
             }
         }
         BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
@@ -325,7 +413,7 @@ pub fn cast_value(v: Value, type_name: &str) -> Value {
         })
     } else {
         // TEXT, VARCHAR, CHAR, anything else: render to text.
-        Value::Text(v.render())
+        Value::text(v.render())
     }
 }
 

@@ -4,6 +4,20 @@
 //! to a [`Plan`], optimized, and executed (with a hash-join fast path for
 //! equi-joins); projection, aggregation, DISTINCT, compound operators,
 //! ORDER BY and LIMIT are applied on top.
+//!
+//! # Zero-copy execution
+//!
+//! Rows flow through the executor as [`Row`] (`Arc<[Value]>`):
+//!
+//! * **scans** share the table's stored rows — one refcount bump per row;
+//! * **filters** drop non-matching rows in place, never cloning survivors;
+//! * **joins** allocate only the emitted combined rows; the build table is
+//!   pre-sized, keyed without per-row `Vec` allocation for single-column
+//!   equi-joins, and built on the smaller input for inner joins;
+//! * **projection** detects column-only projections and shares or gathers
+//!   cells directly instead of walking the expression evaluator;
+//! * **DISTINCT, UNION/EXCEPT/INTERSECT and ORDER BY** move `Arc` handles,
+//!   not cell vectors.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -13,21 +27,22 @@ use crate::ast::{
     CompoundOp, Expr, OrderItem, SelectBody, SelectCore, SelectItem, SelectStmt,
 };
 use crate::error::{Error, Result};
-use crate::eval::{eval, RowCtx};
+use crate::eval::{bind_columns, eval, RowCtx};
 use crate::functions::{is_aggregate, UdfRegistry};
-use crate::optimizer::{optimize, OptimizerConfig};
+use crate::hash::{map_with_capacity, set_with_capacity, FxHashMap, FxHashSet};
+use crate::optimizer::{optimize, NeededCol, OptimizerConfig};
 use crate::plan::{plan_from, ColRef, Plan, PlanJoinKind, RelSchema};
 use crate::storage::Catalog;
-use crate::value::{GroupKey, Value};
+use crate::value::{GroupKey, Row, Value};
 
 /// Result rows paired with per-row ORDER BY sort keys.
-type RowsAndKeys = (Vec<Vec<Value>>, Vec<Vec<Value>>);
+type RowsAndKeys = (Vec<Row>, Vec<Vec<Value>>);
 
 /// A materialized intermediate or final relation.
 #[derive(Debug, Clone, Default)]
 pub struct Relation {
     pub schema: RelSchema,
-    pub rows: Vec<Vec<Value>>,
+    pub rows: Vec<Row>,
 }
 
 impl Relation {
@@ -69,10 +84,6 @@ impl<'a> ExecCtx<'a> {
         self.optimizer = config;
         self
     }
-
-    fn column_lookup(&self) -> impl Fn(&str) -> Result<Vec<String>> + '_ {
-        |name: &str| Ok(self.catalog.get_required(name)?.column_names())
-    }
 }
 
 /// Execute a full SELECT (body + ORDER BY + LIMIT/OFFSET).
@@ -91,10 +102,25 @@ pub fn run_select(
     };
 
     if !stmt.order_by.is_empty() {
-        sort_rows(&mut rel.rows, &mut keys, &stmt.order_by);
+        sort_rows(&mut rel.rows, &mut keys, &stmt.order_by, topk_hint(stmt));
     }
     apply_limit_offset(&mut rel.rows, stmt, ctx)?;
     Ok(rel)
+}
+
+/// `ORDER BY ... LIMIT k` with literal bounds only needs the smallest
+/// `offset + k` rows; the sort can then select instead of fully sorting.
+fn topk_hint(stmt: &SelectStmt) -> Option<usize> {
+    let lit = |e: &Expr| match e {
+        Expr::Literal(Value::Integer(n)) if *n >= 0 => Some(*n as usize),
+        _ => None,
+    };
+    let limit = lit(stmt.limit.as_ref()?)?;
+    let offset = match &stmt.offset {
+        None => 0,
+        Some(e) => lit(e)?,
+    };
+    limit.checked_add(offset)
 }
 
 fn run_body(
@@ -122,12 +148,12 @@ fn run_body(
                 }
                 CompoundOp::Union => dedupe(l.rows.into_iter().chain(r.rows)),
                 CompoundOp::Except => {
-                    let exclude: std::collections::HashSet<Vec<GroupKey>> =
+                    let exclude: FxHashSet<Vec<GroupKey>> =
                         r.rows.iter().map(|row| row_key(row)).collect();
                     dedupe(l.rows.into_iter().filter(|row| !exclude.contains(&row_key(row))))
                 }
                 CompoundOp::Intersect => {
-                    let keep: std::collections::HashSet<Vec<GroupKey>> =
+                    let keep: FxHashSet<Vec<GroupKey>> =
                         r.rows.iter().map(|row| row_key(row)).collect();
                     dedupe(l.rows.into_iter().filter(|row| keep.contains(&row_key(row))))
                 }
@@ -141,8 +167,8 @@ fn row_key(row: &[Value]) -> Vec<GroupKey> {
     row.iter().map(Value::group_key).collect()
 }
 
-fn dedupe(rows: impl IntoIterator<Item = Vec<Value>>) -> Vec<Vec<Value>> {
-    let mut seen = std::collections::HashSet::new();
+fn dedupe(rows: impl IntoIterator<Item = Row>) -> Vec<Row> {
+    let mut seen = FxHashSet::default();
     let mut out = Vec::new();
     for row in rows {
         if seen.insert(row_key(&row)) {
@@ -192,9 +218,13 @@ fn ordinal_index(expr: &Expr, width: usize) -> Result<Option<usize>> {
     Ok(None)
 }
 
-fn sort_rows(rows: &mut Vec<Vec<Value>>, keys: &mut Vec<Vec<Value>>, order_by: &[OrderItem]) {
-    let mut idx: Vec<usize> = (0..rows.len()).collect();
-    idx.sort_by(|&a, &b| {
+fn sort_rows(
+    rows: &mut Vec<Row>,
+    keys: &mut Vec<Vec<Value>>,
+    order_by: &[OrderItem],
+    top_k: Option<usize>,
+) {
+    let cmp = |&a: &usize, &b: &usize| {
         for (k, item) in order_by.iter().enumerate() {
             let ord = keys[a][k].sort_cmp(&keys[b][k]);
             let ord = if item.desc { ord.reverse() } else { ord };
@@ -203,19 +233,27 @@ fn sort_rows(rows: &mut Vec<Vec<Value>>, keys: &mut Vec<Vec<Value>>, order_by: &
             }
         }
         std::cmp::Ordering::Equal
-    });
-    let mut new_rows = Vec::with_capacity(rows.len());
-    let mut new_keys = Vec::with_capacity(keys.len());
-    for i in idx {
-        new_rows.push(std::mem::take(&mut rows[i]));
-        new_keys.push(std::mem::take(&mut keys[i]));
+    };
+    let mut idx: Vec<usize> = (0..rows.len()).collect();
+    // Top-k: select the first k in O(n), then sort only those. SQL leaves
+    // tie order unspecified, so the unstable selection is fair game.
+    if let Some(k) = top_k {
+        if k > 0 && k < idx.len() {
+            idx.select_nth_unstable_by(k - 1, cmp);
+            idx.truncate(k);
+        } else if k == 0 {
+            idx.clear();
+        }
     }
-    *rows = new_rows;
-    *keys = new_keys;
+    idx.sort_by(cmp);
+    // Rows are Arc handles and key cells are O(1) clones, so gathering into
+    // the sorted order is pointer work.
+    *rows = idx.iter().map(|&i| rows[i].clone()).collect();
+    *keys = idx.iter().map(|&i| std::mem::take(&mut keys[i])).collect();
 }
 
 fn apply_limit_offset(
-    rows: &mut Vec<Vec<Value>>,
+    rows: &mut Vec<Row>,
     stmt: &SelectStmt,
     ctx: &ExecCtx<'_>,
 ) -> Result<()> {
@@ -256,8 +294,8 @@ fn run_core(
     outer: Option<&RowCtx<'_>>,
 ) -> Result<(Relation, Vec<Vec<Value>>)> {
     let plan = plan_from(core.from.as_ref(), core.filter.as_ref())?;
-    let lookup = ctx.column_lookup();
-    let plan = optimize(plan, ctx.udfs, &ctx.optimizer, &lookup)?;
+    let needed = needed_columns(core, order_by);
+    let plan = optimize(plan, ctx.udfs, &ctx.optimizer, ctx.catalog, needed.as_deref())?;
     let input = exec_plan(&plan, ctx, outer)?;
 
     // Expand the projection into (expr, output column) pairs.
@@ -286,28 +324,7 @@ fn run_core(
     let (mut rows, mut keys) = if aggregated {
         run_aggregate(core, &projection, having.as_ref(), &order_exprs, &input, ctx, outer)?
     } else {
-        let mut rows = Vec::with_capacity(input.rows.len());
-        let mut keys = Vec::with_capacity(if order_by.is_empty() { 0 } else { input.rows.len() });
-        for row in &input.rows {
-            let rc = RowCtx { schema: &input.schema, row, outer };
-            let mut out = Vec::with_capacity(projection.len());
-            for (e, _) in &projection {
-                out.push(eval(e, ctx, Some(&rc))?);
-            }
-            if !order_exprs.is_empty() {
-                let mut k = Vec::with_capacity(order_exprs.len());
-                for e in &order_exprs {
-                    if let Some(i) = ordinal_index(e, projection.len())? {
-                        k.push(out[i].clone());
-                    } else {
-                        k.push(eval(e, ctx, Some(&rc))?);
-                    }
-                }
-                keys.push(k);
-            }
-            rows.push(out);
-        }
-        (rows, keys)
+        project_rows(&projection, &order_exprs, &input, ctx, outer)?
     };
 
     if core.distinct {
@@ -316,6 +333,129 @@ fn run_core(
 
     let schema = RelSchema::new(projection.into_iter().map(|(_, c)| c).collect());
     Ok((Relation { schema, rows }, keys))
+}
+
+/// The columns this SELECT reads from its FROM relation, for the
+/// optimizer's join-output pruning. `None` — meaning "keep everything" —
+/// on wildcards and on any subquery (whose correlated references
+/// [`Expr::walk`] cannot see). Alias/ordinal ORDER BY references resolve
+/// to projection expressions whose columns are already collected; raw
+/// names are included as-is, which at worst over-keeps.
+fn needed_columns(core: &SelectCore, order_by: &[OrderItem]) -> Option<Vec<NeededCol>> {
+    let mut out = Vec::new();
+    let mut add = |e: &Expr| -> Option<()> {
+        let mut cols = crate::optimizer::expr_columns(e)?;
+        out.append(&mut cols);
+        Some(())
+    };
+    for item in &core.projection {
+        match item {
+            SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => return None,
+            SelectItem::Expr { expr, .. } => add(expr)?,
+        }
+    }
+    for g in &core.group_by {
+        add(g)?;
+    }
+    if let Some(h) = &core.having {
+        add(h)?;
+    }
+    for o in order_by {
+        add(&o.expr)?;
+    }
+    Some(out)
+}
+
+/// The non-aggregated projection loop.
+///
+/// Fast paths, checked in order:
+/// 1. the projection is exactly the input schema → the input rows are
+///    **shared** unchanged (zero work per row);
+/// 2. every projected item is a plain input column → cells are gathered by
+///    index (O(1) clones, no expression evaluation);
+/// 3. otherwise each expression is evaluated per row against a reusable
+///    [`RowCtx`].
+fn project_rows(
+    projection: &[(Expr, ColRef)],
+    order_exprs: &[Expr],
+    input: &Relation,
+    ctx: &ExecCtx<'_>,
+    outer: Option<&RowCtx<'_>>,
+) -> Result<RowsAndKeys> {
+    let col_indices: Option<Vec<usize>> = projection
+        .iter()
+        .map(|(e, _)| match e {
+            Expr::Column { table, name } => {
+                input.schema.resolve(table.as_deref(), name).ok().flatten()
+            }
+            _ => None,
+        })
+        .collect();
+
+    // Sort keys: either an ordinal into the projected row or an expression
+    // over the input row (bound once, evaluated per row).
+    let order_exprs: Vec<Expr> =
+        order_exprs.iter().map(|e| bind_columns(e, &input.schema)).collect();
+    let build_keys = |out: &[Value], rc: &RowCtx<'_>| -> Result<Vec<Value>> {
+        let mut k = Vec::with_capacity(order_exprs.len());
+        for e in &order_exprs {
+            if let Some(i) = ordinal_index(e, projection.len())? {
+                k.push(out[i].clone());
+            } else {
+                k.push(eval(e, ctx, Some(rc))?);
+            }
+        }
+        Ok(k)
+    };
+
+    let mut keys = Vec::with_capacity(if order_exprs.is_empty() { 0 } else { input.rows.len() });
+
+    if let Some(idxs) = col_indices {
+        let identity =
+            idxs.len() == input.schema.len() && idxs.iter().enumerate().all(|(i, &j)| i == j);
+        if identity {
+            // SELECT * (or an exact column echo): share the rows wholesale.
+            if !order_exprs.is_empty() {
+                for row in &input.rows {
+                    let rc = RowCtx { schema: &input.schema, row, outer };
+                    keys.push(build_keys(row, &rc)?);
+                }
+            }
+            return Ok((input.rows.clone(), keys));
+        }
+        // Column subset/permutation: gather cells by index, one shared
+        // allocation per row.
+        let mut rows: Vec<Row> = Vec::with_capacity(input.rows.len());
+        for row in &input.rows {
+            let out: Row = idxs.iter().map(|&i| row[i].clone()).collect();
+            if !order_exprs.is_empty() {
+                let rc = RowCtx { schema: &input.schema, row, outer };
+                keys.push(build_keys(&out, &rc)?);
+            }
+            rows.push(out);
+        }
+        return Ok((rows, keys));
+    }
+
+    // General path: bind every projected expression to the input schema
+    // once, then evaluate per row with direct index loads.
+    let bound: Vec<Expr> = projection
+        .iter()
+        .map(|(e, _)| bind_columns(e, &input.schema))
+        .collect();
+    let mut rows = Vec::with_capacity(input.rows.len());
+    for row in &input.rows {
+        let rc = RowCtx { schema: &input.schema, row, outer };
+        let mut out = Vec::with_capacity(projection.len());
+        for e in &bound {
+            out.push(eval(e, ctx, Some(&rc))?);
+        }
+        if !order_exprs.is_empty() {
+            keys.push(build_keys(&out, &rc)?);
+        }
+        rows.push(out.into());
+    }
+    Ok((rows, keys))
 }
 
 /// Expand wildcards and name each projected column.
@@ -392,8 +532,8 @@ fn resolve_output_ref(
     Ok(expr.clone())
 }
 
-fn distinct_in_place(rows: &mut Vec<Vec<Value>>, keys: &mut Vec<Vec<Value>>) {
-    let mut seen = std::collections::HashSet::new();
+fn distinct_in_place(rows: &mut Vec<Row>, keys: &mut Vec<Vec<Value>>) {
+    let mut seen = set_with_capacity(rows.len());
     let mut kept_rows = Vec::with_capacity(rows.len());
     let mut kept_keys = Vec::with_capacity(keys.len());
     for (i, row) in rows.drain(..).enumerate() {
@@ -420,16 +560,19 @@ fn run_aggregate(
     ctx: &ExecCtx<'_>,
     outer: Option<&RowCtx<'_>>,
 ) -> Result<RowsAndKeys> {
-    // Partition input rows into groups, preserving first-seen order.
-    let mut group_index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+    // Partition input rows into groups, preserving first-seen order. The
+    // grouping expressions are bound to the input schema once up front.
+    let mut group_index: FxHashMap<Vec<GroupKey>, usize> = FxHashMap::default();
     let mut groups: Vec<Vec<usize>> = Vec::new();
     if core.group_by.is_empty() {
         groups.push((0..input.rows.len()).collect());
     } else {
+        let bound_keys: Vec<Expr> =
+            core.group_by.iter().map(|g| bind_columns(g, &input.schema)).collect();
         for (ri, row) in input.rows.iter().enumerate() {
             let rc = RowCtx { schema: &input.schema, row, outer };
-            let mut key = Vec::with_capacity(core.group_by.len());
-            for g in &core.group_by {
+            let mut key = Vec::with_capacity(bound_keys.len());
+            for g in &bound_keys {
                 key.push(eval(g, ctx, Some(&rc))?.group_key());
             }
             let gi = *group_index.entry(key).or_insert_with(|| {
@@ -445,7 +588,7 @@ fn run_aggregate(
     // fully-filtered aggregate).
     let null_row: Vec<Value> = vec![Value::Null; input.schema.len()];
 
-    let mut rows = Vec::with_capacity(groups.len());
+    let mut rows: Vec<Row> = Vec::with_capacity(groups.len());
     let mut keys = Vec::new();
     for members in &groups {
         let rep: &[Value] = match members.first() {
@@ -476,7 +619,7 @@ fn run_aggregate(
             }
             keys.push(k);
         }
-        rows.push(out);
+        rows.push(out.into());
     }
     Ok((rows, keys))
 }
@@ -598,13 +741,15 @@ fn compute_aggregate(
     }
 
     // Gather the argument values per group row (NULLs excluded, per SQL).
+    // The argument is bound to the input schema once per group.
     let arg = args
         .first()
         .ok_or_else(|| Error::Semantic(format!("{name}() requires an argument")))?;
+    let arg = bind_columns(arg, &input.schema);
     let mut vals = Vec::with_capacity(members.len());
     for &ri in members {
         let rc = RowCtx { schema: &input.schema, row: &input.rows[ri], outer: rep_ctx.outer };
-        let v = eval(arg, ctx, Some(&rc))?;
+        let v = eval(&arg, ctx, Some(&rc))?;
         if !v.is_null() {
             vals.push(v);
         }
@@ -661,7 +806,7 @@ fn compute_aggregate(
                 Some(e) => eval(e, ctx, Some(rep_ctx))?.render(),
                 None => ",".to_string(),
             };
-            Ok(Value::Text(
+            Ok(Value::text(
                 vals.iter().map(Value::render).collect::<Vec<_>>().join(&sep),
             ))
         }
@@ -678,10 +823,12 @@ pub fn exec_plan(
     outer: Option<&RowCtx<'_>>,
 ) -> Result<Relation> {
     match plan {
-        Plan::Empty => Ok(Relation { schema: RelSchema::default(), rows: vec![vec![]] }),
+        Plan::Empty => Ok(Relation { schema: RelSchema::default(), rows: vec![Vec::new().into()] }),
 
         Plan::Scan { table, qualifier } => {
             let t = ctx.catalog.get_required(table)?;
+            // The whole scan is refcount bumps: stored rows are shared, not
+            // deep-copied.
             Ok(Relation {
                 schema: RelSchema::qualified(qualifier, t.column_names()),
                 rows: t.rows.clone(),
@@ -701,50 +848,186 @@ pub fn exec_plan(
         }
 
         Plan::Filter { input, predicate } => {
-            let rel = exec_plan(input, ctx, outer)?;
-            let mut rows = Vec::with_capacity(rel.rows.len());
-            for row in rel.rows {
-                let rc = RowCtx { schema: &rel.schema, row: &row, outer };
-                if eval(predicate, ctx, Some(&rc))?.truthiness() == Some(true) {
-                    rows.push(row);
+            let mut rel = exec_plan(input, ctx, outer)?;
+            // In-place batch filter: survivors are never cloned or moved
+            // into a fresh vector, one RowCtx shape serves every row, and
+            // the predicate's columns are bound to indices up front.
+            let predicate = bind_columns(predicate, &rel.schema);
+            let mut rows = std::mem::take(&mut rel.rows);
+            let schema = &rel.schema;
+            let mut first_err: Option<Error> = None;
+            rows.retain(|row| {
+                if first_err.is_some() {
+                    return false;
                 }
+                let rc = RowCtx { schema, row, outer };
+                match eval(&predicate, ctx, Some(&rc)) {
+                    Ok(v) => v.truthiness() == Some(true),
+                    Err(e) => {
+                        first_err = Some(e);
+                        false
+                    }
+                }
+            });
+            if let Some(e) = first_err {
+                return Err(e);
             }
-            Ok(Relation { schema: rel.schema, rows })
+            rel.rows = rows;
+            Ok(rel)
         }
 
-        Plan::Join { left, right, kind, on } => {
-            let l = exec_plan(left, ctx, outer)?;
-            let r = exec_plan(right, ctx, outer)?;
-            exec_join(l, r, *kind, on.as_ref(), ctx, outer)
+        Plan::Permute { input, mapping } => {
+            let rel = exec_plan(input, ctx, outer)?;
+            let schema = RelSchema::new(
+                mapping.iter().map(|&i| rel.schema.cols[i].clone()).collect(),
+            );
+            let rows = rel
+                .rows
+                .iter()
+                .map(|r| mapping.iter().map(|&i| r[i].clone()).collect::<Row>())
+                .collect();
+            Ok(Relation { schema, rows })
+        }
+
+        Plan::Join { left, right, kind, on, emit } => {
+            let l = exec_source(left, ctx, outer)?;
+            let r = exec_source(right, ctx, outer)?;
+            exec_join(&l, &r, *kind, on.as_ref(), emit.as_deref(), ctx, outer)
+        }
+    }
+}
+
+/// A join input: scans are *borrowed* straight out of the catalog (zero
+/// refcount traffic — the join only reads them), everything else is
+/// materialized through [`exec_plan`].
+enum JoinInput<'a> {
+    Borrowed { schema: RelSchema, rows: &'a [Row] },
+    Owned(Relation),
+}
+
+impl JoinInput<'_> {
+    fn schema(&self) -> &RelSchema {
+        match self {
+            JoinInput::Borrowed { schema, .. } => schema,
+            JoinInput::Owned(rel) => &rel.schema,
+        }
+    }
+
+    fn rows(&self) -> &[Row] {
+        match self {
+            JoinInput::Borrowed { rows, .. } => rows,
+            JoinInput::Owned(rel) => &rel.rows,
+        }
+    }
+}
+
+fn exec_source<'a>(
+    plan: &Plan,
+    ctx: &ExecCtx<'a>,
+    outer: Option<&RowCtx<'_>>,
+) -> Result<JoinInput<'a>> {
+    match plan {
+        Plan::Scan { table, qualifier } => {
+            let t = ctx.catalog.get_required(table)?;
+            Ok(JoinInput::Borrowed {
+                schema: RelSchema::qualified(qualifier, t.column_names()),
+                rows: &t.rows,
+            })
+        }
+        other => Ok(JoinInput::Owned(exec_plan(other, ctx, outer)?)),
+    }
+}
+
+/// The emission shape of a join: either whole combined rows or a pruned
+/// gather of `indices` from the conceptual (left + right) row. Width-zero
+/// pruning re-shares a single empty row — no per-row allocation at all.
+struct Emission {
+    indices: Option<Vec<usize>>,
+    left_width: usize,
+    empty: Row,
+}
+
+impl Emission {
+    fn new(indices: Option<&[usize]>, left_width: usize) -> Self {
+        Emission {
+            indices: indices.map(|i| i.to_vec()),
+            left_width,
+            empty: Vec::new().into(),
+        }
+    }
+
+    /// Emit the (possibly pruned) combined row for a match.
+    #[inline]
+    fn matched(&self, lrow: &[Value], rrow: &[Value]) -> Row {
+        match &self.indices {
+            None => combine(lrow, rrow),
+            Some(idx) if idx.is_empty() => self.empty.clone(),
+            Some(idx) => idx
+                .iter()
+                .map(|&i| {
+                    if i < self.left_width {
+                        lrow[i].clone()
+                    } else {
+                        rrow[i - self.left_width].clone()
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Emit a LEFT-join non-match: left cells, NULL-padded right.
+    #[inline]
+    fn unmatched(&self, lrow: &[Value], right_width: usize) -> Row {
+        match &self.indices {
+            None => pad_right(lrow, right_width),
+            Some(idx) if idx.is_empty() => self.empty.clone(),
+            Some(idx) => idx
+                .iter()
+                .map(|&i| {
+                    if i < self.left_width {
+                        lrow[i].clone()
+                    } else {
+                        Value::Null
+                    }
+                })
+                .collect(),
         }
     }
 }
 
 fn exec_join(
-    left: Relation,
-    right: Relation,
+    left: &JoinInput<'_>,
+    right: &JoinInput<'_>,
     kind: PlanJoinKind,
     on: Option<&Expr>,
+    emit: Option<&[usize]>,
     ctx: &ExecCtx<'_>,
     outer: Option<&RowCtx<'_>>,
 ) -> Result<Relation> {
-    let schema = left.schema.join(&right.schema);
+    // Residual predicates always evaluate against the full combined
+    // schema; the output relation carries only the emitted columns.
+    let full_schema = left.schema().join(right.schema());
+    let out_schema = match emit {
+        None => full_schema.clone(),
+        Some(idx) => RelSchema::new(idx.iter().map(|&i| full_schema.cols[i].clone()).collect()),
+    };
+    let emission = Emission::new(emit, left.schema().len());
 
     // Try to split the ON predicate into hashable equi-pairs + residual.
     let (equi, residual) = match on {
         Some(pred) if kind != PlanJoinKind::Cross => {
-            split_equi_join(pred, &left.schema, &right.schema)
+            split_equi_join(pred, left.schema(), right.schema())
         }
         Some(pred) => (Vec::new(), Some(pred.clone())),
         None => (Vec::new(), None),
     };
 
     let rows = if equi.is_empty() {
-        nested_loop_join(&left, &right, kind, residual.as_ref(), &schema, ctx, outer)?
+        nested_loop_join(left, right, kind, residual.as_ref(), &full_schema, &emission, ctx, outer)?
     } else {
-        hash_join(&left, &right, kind, &equi, residual.as_ref(), &schema, ctx, outer)?
+        hash_join(left, right, kind, &equi, residual.as_ref(), &full_schema, &emission, ctx, outer)?
     };
-    Ok(Relation { schema, rows })
+    Ok(Relation { schema: out_schema, rows })
 }
 
 /// Extract `l_expr = r_expr` conjuncts where each side is computable from
@@ -773,104 +1056,328 @@ fn split_equi_join(
     (pairs, crate::plan::conjoin(residual))
 }
 
+/// Hash-join key: the single-column case (the overwhelmingly common one)
+/// avoids a per-row `Vec` allocation entirely.
+#[derive(PartialEq, Eq, Hash)]
+enum JoinKey {
+    One(GroupKey),
+    Many(Vec<GroupKey>),
+}
+
+/// Evaluate the key expressions of one side for one row; `None` marks a
+/// NULL in any key column (NULL never joins).
+fn join_key(
+    exprs: &[Expr],
+    rc: &RowCtx<'_>,
+    ctx: &ExecCtx<'_>,
+) -> Result<Option<JoinKey>> {
+    if let [only] = exprs {
+        let v = eval(only, ctx, Some(rc))?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        return Ok(Some(JoinKey::One(v.group_key())));
+    }
+    let mut key = Vec::with_capacity(exprs.len());
+    for e in exprs {
+        let v = eval(e, ctx, Some(rc))?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        key.push(v.group_key());
+    }
+    Ok(Some(JoinKey::Many(key)))
+}
+
+/// Emit one combined row (left cells then right cells, always in schema
+/// order regardless of which side was the build side). The chained
+/// iterator is `TrustedLen`, so `collect` writes straight into the shared
+/// allocation — one malloc per emitted row, no intermediate `Vec`.
+#[inline]
+fn combine(lrow: &[Value], rrow: &[Value]) -> Row {
+    lrow.iter().chain(rrow.iter()).cloned().collect()
+}
+
+/// A LEFT-join non-match: the left cells padded with NULLs on the right.
+#[inline]
+fn pad_right(lrow: &[Value], right_width: usize) -> Row {
+    lrow.iter()
+        .cloned()
+        .chain(std::iter::repeat_n(Value::Null, right_width))
+        .collect()
+}
+
+/// How one side of a hash join extracts its key per row: `Direct` column
+/// indices (zero-eval, zero-clone) when every key expression is a bound
+/// column — the overwhelmingly common `a.x = b.y` shape — or general bound
+/// expressions otherwise.
+enum KeySide {
+    Direct(Vec<usize>),
+    Exprs(Vec<Expr>),
+}
+
+impl KeySide {
+    fn new(bound: Vec<Expr>) -> KeySide {
+        let direct: Option<Vec<usize>> = bound
+            .iter()
+            .map(|e| match e {
+                Expr::BoundColumn(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        match direct {
+            Some(idxs) => KeySide::Direct(idxs),
+            None => KeySide::Exprs(bound),
+        }
+    }
+
+    /// Key of one row; `None` marks a NULL in any key column (NULL never
+    /// joins).
+    #[inline]
+    fn key(
+        &self,
+        row: &[Value],
+        schema: &RelSchema,
+        ctx: &ExecCtx<'_>,
+        outer: Option<&RowCtx<'_>>,
+    ) -> Result<Option<JoinKey>> {
+        match self {
+            KeySide::Direct(idxs) => {
+                if let [i] = idxs[..] {
+                    let v = &row[i];
+                    if v.is_null() {
+                        return Ok(None);
+                    }
+                    return Ok(Some(JoinKey::One(v.group_key())));
+                }
+                let mut key = Vec::with_capacity(idxs.len());
+                for &i in idxs {
+                    let v = &row[i];
+                    if v.is_null() {
+                        return Ok(None);
+                    }
+                    key.push(v.group_key());
+                }
+                Ok(Some(JoinKey::Many(key)))
+            }
+            KeySide::Exprs(exprs) => {
+                let rc = RowCtx { schema, row, outer };
+                join_key(exprs, &rc, ctx)
+            }
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn hash_join(
-    left: &Relation,
-    right: &Relation,
+    left: &JoinInput<'_>,
+    right: &JoinInput<'_>,
     kind: PlanJoinKind,
     equi: &[(Expr, Expr)],
     residual: Option<&Expr>,
     schema: &RelSchema,
+    emission: &Emission,
     ctx: &ExecCtx<'_>,
     outer: Option<&RowCtx<'_>>,
-) -> Result<Vec<Vec<Value>>> {
-    // Build on the right side.
-    let mut table: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
-    'build: for (ri, row) in right.rows.iter().enumerate() {
-        let rc = RowCtx { schema: &right.schema, row, outer };
-        let mut key = Vec::with_capacity(equi.len());
-        for (_, re) in equi {
-            let v = eval(re, ctx, Some(&rc))?;
-            if v.is_null() {
-                continue 'build; // NULL keys never join.
+) -> Result<Vec<Row>> {
+    // Build on the smaller side — legal for inner joins only: a LEFT join
+    // must probe from the left to emit its NULL-padded non-matches.
+    let build_left = kind == PlanJoinKind::Inner && left.rows().len() < right.rows().len();
+    let (build, probe) = if build_left { (left, right) } else { (right, left) };
+
+    // Bind each side's key expressions to its schema once; plain-column
+    // keys degrade further into direct index loads with no eval at all.
+    let bind_side = |exprs: Vec<&Expr>, schema: &RelSchema| -> KeySide {
+        KeySide::new(exprs.iter().map(|e| bind_columns(e, schema)).collect())
+    };
+    let left_raw: Vec<&Expr> = equi.iter().map(|(l, _)| l).collect();
+    let right_raw: Vec<&Expr> = equi.iter().map(|(_, r)| r).collect();
+    let (build_key, probe_key) = if build_left {
+        (bind_side(left_raw, build.schema()), bind_side(right_raw, probe.schema()))
+    } else {
+        (bind_side(right_raw, build.schema()), bind_side(left_raw, probe.schema()))
+    };
+    let residual = residual.map(|r| bind_columns(r, schema));
+
+    // Pre-sized build table: one reallocation-free pass. Buckets inline
+    // the single-row case (the norm for key/foreign-key joins), so a
+    // unique-key build performs zero per-bucket allocations.
+    let mut table: FxHashMap<JoinKey, Bucket> = map_with_capacity(build.rows().len());
+    for (ri, row) in build.rows().iter().enumerate() {
+        prefetch_row(build.rows(), ri + PREFETCH_AHEAD);
+        if let Some(key) = build_key.key(row, build.schema(), ctx, outer)? {
+            match table.entry(key) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(Bucket::One(ri as u32));
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => o.get_mut().push(ri as u32),
             }
-            key.push(v.group_key());
         }
-        table.entry(key).or_default().push(ri);
     }
 
-    let mut out = Vec::new();
-    for lrow in &left.rows {
-        let lc = RowCtx { schema: &left.schema, row: lrow, outer };
-        let mut key = Vec::with_capacity(equi.len());
-        let mut null_key = false;
-        for (le, _) in equi {
-            let v = eval(le, ctx, Some(&lc))?;
-            if v.is_null() {
-                null_key = true;
-                break;
+    let mut out = Vec::with_capacity(probe.rows().len());
+
+    // Tight loop for the dominant shape — single direct-column key, no
+    // residual, inner join (`a JOIN b ON a.x = b.y`): no per-row enum
+    // plumbing, just load → hash → emit.
+    if kind == PlanJoinKind::Inner && residual.is_none() {
+        if let KeySide::Direct(idxs) = &probe_key {
+            if let [pk] = idxs[..] {
+                let rows = probe.rows();
+                for (pi, prow) in rows.iter().enumerate() {
+                    prefetch_row(rows, pi + PREFETCH_AHEAD);
+                    let v = &prow[pk];
+                    if v.is_null() {
+                        continue;
+                    }
+                    if let Some(cands) = table.get(&JoinKey::One(v.group_key())) {
+                        for &ri in cands.as_slice() {
+                            let brow = &build.rows()[ri as usize];
+                            let (lrow, rrow): (&[Value], &[Value]) =
+                                if build_left { (brow, prow) } else { (prow, brow) };
+                            out.push(emission.matched(lrow, rrow));
+                        }
+                    }
+                }
+                return Ok(out);
             }
-            key.push(v.group_key());
         }
+    }
+
+    // Scratch buffer for residual evaluation over the full combined row;
+    // only allocated contents, never a fresh Vec per candidate.
+    let mut scratch: Vec<Value> = Vec::with_capacity(schema.len());
+    for (pi, prow) in probe.rows().iter().enumerate() {
+        prefetch_row(probe.rows(), pi + PREFETCH_AHEAD);
+        let key = probe_key.key(prow, probe.schema(), ctx, outer)?;
         let mut matched = false;
-        if !null_key {
+        if let Some(key) = key {
             if let Some(cands) = table.get(&key) {
-                for &ri in cands {
-                    let mut combined = Vec::with_capacity(schema.len());
-                    combined.extend(lrow.iter().cloned());
-                    combined.extend(right.rows[ri].iter().cloned());
-                    if let Some(res) = residual {
-                        let cc = RowCtx { schema, row: &combined, outer };
+                for &ri in cands.as_slice() {
+                    let brow = &build.rows()[ri as usize];
+                    let (lrow, rrow): (&[Value], &[Value]) =
+                        if build_left { (brow, prow) } else { (prow, brow) };
+                    if let Some(res) = &residual {
+                        scratch.clear();
+                        scratch.extend_from_slice(lrow);
+                        scratch.extend_from_slice(rrow);
+                        let cc = RowCtx { schema, row: &scratch, outer };
                         if eval(res, ctx, Some(&cc))?.truthiness() != Some(true) {
                             continue;
                         }
                     }
                     matched = true;
-                    out.push(combined);
+                    out.push(emission.matched(lrow, rrow));
                 }
             }
         }
         if !matched && kind == PlanJoinKind::Left {
-            let mut combined = Vec::with_capacity(schema.len());
-            combined.extend(lrow.iter().cloned());
-            combined.extend(std::iter::repeat_n(Value::Null, right.schema.len()));
-            out.push(combined);
+            // probe == left here (build_left is false for LEFT joins).
+            out.push(emission.unmatched(prow, right.schema().len()));
         }
     }
     Ok(out)
 }
 
+/// Distance (in rows) to prefetch ahead in streaming row loops. Rows are
+/// individually heap-allocated `Arc<[Value]>`s, so without a hint every
+/// row read is a dependent load that stalls on L3 once tables outgrow L2;
+/// prefetching a handful of iterations ahead overlaps those misses.
+const PREFETCH_AHEAD: usize = 8;
+
+#[inline(always)]
+fn prefetch_row(rows: &[Row], i: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if let Some(r) = rows.get(i) {
+        // SAFETY: prefetch has no memory effects; any pointer is fine.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(
+                r.as_ptr() as *const i8,
+                core::arch::x86_64::_MM_HINT_T0,
+            )
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (rows, i);
+}
+
+/// A hash-join bucket: row indices of the build side sharing one key,
+/// with the single-row case stored inline (no allocation).
+enum Bucket {
+    One(u32),
+    Many(Vec<u32>),
+}
+
+impl Bucket {
+    fn push(&mut self, ri: u32) {
+        match self {
+            Bucket::One(first) => *self = Bucket::Many(vec![*first, ri]),
+            Bucket::Many(v) => v.push(ri),
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            Bucket::One(i) => std::slice::from_ref(i),
+            Bucket::Many(v) => v,
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn nested_loop_join(
-    left: &Relation,
-    right: &Relation,
+    left: &JoinInput<'_>,
+    right: &JoinInput<'_>,
     kind: PlanJoinKind,
     on: Option<&Expr>,
     schema: &RelSchema,
+    emission: &Emission,
     ctx: &ExecCtx<'_>,
     outer: Option<&RowCtx<'_>>,
-) -> Result<Vec<Vec<Value>>> {
+) -> Result<Vec<Row>> {
+    let on = on.map(|p| bind_columns(p, schema));
+    // The predicate only reads its bound columns: gather exactly those into
+    // a reused full-width scratch row (the rest stay NULL), so each of the
+    // O(n·m) probes copies a couple of cells instead of whole rows. A
+    // subquery inside ON can correlate with *any* combined-row column
+    // (`Expr::walk` cannot see inside it), so that case gathers everything.
+    let used: Vec<usize> = match &on {
+        None => Vec::new(),
+        Some(p) if crate::optimizer::expr_has_subquery(p) => (0..schema.len()).collect(),
+        Some(p) => {
+            let mut used = Vec::new();
+            p.walk(&mut |e| {
+                if let Expr::BoundColumn(i) = e {
+                    if !used.contains(i) {
+                        used.push(*i);
+                    }
+                }
+            });
+            used
+        }
+    };
+    let lw = left.schema().len();
+    let mut scratch: Vec<Value> = vec![Value::Null; schema.len()];
     let mut out = Vec::new();
-    for lrow in &left.rows {
+    for lrow in left.rows() {
         let mut matched = false;
-        for rrow in &right.rows {
-            let mut combined = Vec::with_capacity(schema.len());
-            combined.extend(lrow.iter().cloned());
-            combined.extend(rrow.iter().cloned());
-            if let Some(pred) = on {
-                let cc = RowCtx { schema, row: &combined, outer };
+        for rrow in right.rows() {
+            if let Some(pred) = &on {
+                for &i in &used {
+                    scratch[i] =
+                        if i < lw { lrow[i].clone() } else { rrow[i - lw].clone() };
+                }
+                let cc = RowCtx { schema, row: &scratch, outer };
                 if eval(pred, ctx, Some(&cc))?.truthiness() != Some(true) {
                     continue;
                 }
             }
             matched = true;
-            out.push(combined);
+            out.push(emission.matched(lrow, rrow));
         }
         if !matched && kind == PlanJoinKind::Left {
-            let mut combined = Vec::with_capacity(schema.len());
-            combined.extend(lrow.iter().cloned());
-            combined.extend(std::iter::repeat_n(Value::Null, right.schema.len()));
-            out.push(combined);
+            out.push(emission.unmatched(lrow, right.schema().len()));
         }
     }
     Ok(out)

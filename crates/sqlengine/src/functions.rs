@@ -151,9 +151,9 @@ pub fn eval_builtin(name: &str, args: &[Value]) -> Option<Result<Value>> {
                     let s = args[0].render();
                     let from = args[1].render();
                     if from.is_empty() {
-                        Ok(Value::Text(s))
+                        Ok(Value::text(s))
                     } else {
-                        Ok(Value::Text(s.replace(&from, &args[2].render())))
+                        Ok(Value::text(s.replace(&from, &args[2].render())))
                     }
                 }
             }
@@ -181,7 +181,7 @@ pub fn eval_builtin(name: &str, args: &[Value]) -> Option<Result<Value>> {
             Ok(()) => Ok(Value::text(args[0].type_name())),
         },
         "PRINTF" | "FORMAT" => printf(args),
-        "CONCAT" => Ok(Value::Text(args.iter().map(Value::render).collect::<Vec<_>>().join(""))),
+        "CONCAT" => Ok(Value::text(args.iter().map(Value::render).collect::<Vec<_>>().join(""))),
         _ => return None,
     };
     Some(r)
@@ -199,7 +199,7 @@ fn unary_text(name: &str, args: &[Value], f: impl Fn(&str) -> String) -> Result<
     require(name, args, 1)?;
     Ok(match &args[0] {
         Value::Null => Value::Null,
-        other => Value::Text(f(&other.render())),
+        other => Value::text(f(&other.render())),
     })
 }
 
@@ -253,7 +253,7 @@ fn substr(args: &[Value]) -> Result<Value> {
     }
     let begin = (start - 1).clamp(0, n) as usize;
     let end = ((start - 1).saturating_add(len)).clamp(0, n) as usize;
-    Ok(Value::Text(s[begin..end.max(begin)].iter().collect()))
+    Ok(Value::text(s[begin..end.max(begin)].iter().collect::<String>()))
 }
 
 /// Tiny printf supporting %s, %d, %f, %.Nf and %% — enough for URL and code
@@ -306,7 +306,7 @@ fn printf(args: &[Value]) -> Result<Value> {
             }
         }
     }
-    Ok(Value::Text(out))
+    Ok(Value::text(out))
 }
 
 /// Evaluate `expr LIKE pattern` with `%` and `_` wildcards

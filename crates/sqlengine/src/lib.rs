@@ -13,7 +13,12 @@
 //! * a scalar-UDF registry with an *expensive-function* cost hint, so
 //!   BlendSQL-style LLM functions participate in optimization — the
 //!   optimizer pushes cheap predicates down and orders LLM predicates last
-//!   to minimize calls (paper §4.2–4.3).
+//!   to minimize calls (paper §4.2–4.3);
+//! * a **zero-copy execution core**: text values are interned
+//!   (`Value::Text(Arc<str>)`), rows are shared (`Row = Arc<[Value]>`),
+//!   hash joins build on the smaller side, and INNER-join chains are
+//!   reordered by catalog row-count statistics — see `PERF.md` for the
+//!   representation notes and measured numbers.
 //!
 //! ## Quick start
 //!
@@ -34,6 +39,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod functions;
+pub mod hash;
 pub mod lexer;
 pub mod optimizer;
 pub mod parser;
@@ -45,5 +51,5 @@ pub use db::{Database, QueryResult};
 pub use error::{Error, Result};
 pub use functions::{ScalarUdf, UdfRegistry};
 pub use optimizer::OptimizerConfig;
-pub use storage::{Catalog, Column, Table};
-pub use value::Value;
+pub use storage::{Catalog, Column, Table, TableStats};
+pub use value::{Row, Value};

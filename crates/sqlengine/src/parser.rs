@@ -708,7 +708,7 @@ impl Parser {
             }
             TokenKind::Str(s) => {
                 self.bump();
-                Ok(Expr::Literal(Value::Text(s)))
+                Ok(Expr::Literal(Value::text(s)))
             }
             TokenKind::Keyword(k) => match k.as_str() {
                 "NULL" => {

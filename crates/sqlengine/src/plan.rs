@@ -9,6 +9,16 @@
 use crate::ast::{Expr, JoinKind, SelectStmt, TableRef};
 use crate::error::{Error, Result};
 
+/// What the planner/optimizer needs to know about base tables: their
+/// column lists (for schema reasoning) and their row counts (the
+/// statistics behind join ordering). Implemented by
+/// [`Catalog`](crate::storage::Catalog).
+pub trait SchemaProvider {
+    fn table_columns(&self, table: &str) -> Result<Vec<String>>;
+    /// `None` when the table (or its cardinality) is unknown.
+    fn table_rows(&self, table: &str) -> Option<usize>;
+}
+
 /// A column of a relation schema: optional qualifier (table alias) + name.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColRef {
@@ -118,9 +128,24 @@ pub enum Plan {
     /// Derived table: a subquery in FROM, re-qualified by its alias.
     Derived { query: Box<SelectStmt>, qualifier: String },
     /// Join of two plans. RIGHT joins have been normalized to LEFT.
-    Join { left: Box<Plan>, right: Box<Plan>, kind: PlanJoinKind, on: Option<Expr> },
+    ///
+    /// `emit` is the column-pruning list: when set, only those indices of
+    /// the concatenated (left + right) schema are materialized per output
+    /// row — an empty list means the join emits zero-width rows (shared,
+    /// allocation-free), which is what `SELECT COUNT(*)` joins execute.
+    Join {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        kind: PlanJoinKind,
+        on: Option<Expr>,
+        emit: Option<Vec<usize>>,
+    },
     /// Row filter.
     Filter { input: Box<Plan>, predicate: Expr },
+    /// Column permutation: output column `i` is input column `mapping[i]`.
+    /// Emitted by join reordering to restore the query's written column
+    /// order after the join tree has been rearranged.
+    Permute { input: Box<Plan>, mapping: Vec<usize> },
     /// Zero-column, one-row relation (SELECT without FROM).
     Empty,
 }
@@ -134,21 +159,32 @@ pub enum PlanJoinKind {
 }
 
 impl Plan {
-    /// The output schema of this plan, resolved against `tables`
-    /// (a lookup from table name to its column names).
-    pub fn schema(&self, lookup: &dyn Fn(&str) -> Result<Vec<String>>) -> Result<RelSchema> {
+    /// The output schema of this plan, resolved against `provider`.
+    pub fn schema(&self, provider: &dyn SchemaProvider) -> Result<RelSchema> {
         match self {
             Plan::Scan { table, qualifier } => {
-                Ok(RelSchema::qualified(qualifier, lookup(table)?))
+                Ok(RelSchema::qualified(qualifier, provider.table_columns(table)?))
             }
             Plan::Derived { query, qualifier } => {
                 let names = derived_output_names(query);
                 Ok(RelSchema::qualified(qualifier, names))
             }
-            Plan::Join { left, right, .. } => {
-                Ok(left.schema(lookup)?.join(&right.schema(lookup)?))
+            Plan::Join { left, right, emit, .. } => {
+                let full = left.schema(provider)?.join(&right.schema(provider)?);
+                Ok(match emit {
+                    None => full,
+                    Some(idx) => RelSchema::new(
+                        idx.iter().map(|&i| full.cols[i].clone()).collect(),
+                    ),
+                })
             }
-            Plan::Filter { input, .. } => input.schema(lookup),
+            Plan::Filter { input, .. } => input.schema(provider),
+            Plan::Permute { input, mapping } => {
+                let inner = input.schema(provider)?;
+                Ok(RelSchema::new(
+                    mapping.iter().map(|&i| inner.cols[i].clone()).collect(),
+                ))
+            }
             Plan::Empty => Ok(RelSchema::default()),
         }
     }
@@ -219,6 +255,7 @@ fn plan_table_ref(t: &TableRef) -> Result<Plan> {
                 right: Box::new(plan_table_ref(r)?),
                 kind: k,
                 on: on.clone(),
+                emit: None,
             })
         }
     }

@@ -1,14 +1,18 @@
 //! In-memory row storage and the catalog.
 //!
-//! Tables are row-oriented (`Vec<Vec<Value>>`) with a column-name index for
-//! O(1) resolution and an optional unique-key hash index used both for
-//! constraint enforcement and as a join fast path.
+//! Tables are row-oriented over shared rows (`Vec<Arc<[Value]>>`) with a
+//! column-name index for O(1) resolution and an optional unique-key hash
+//! index used both for constraint enforcement and as a join fast path.
+//! Because rows are `Arc`-shared, a table scan hands the executor the whole
+//! row set with one refcount bump per row — no cell is ever deep-copied on
+//! the read path. The catalog also exposes per-table row counts as the
+//! statistics feed for the optimizer's join ordering.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::error::{Error, Result};
-use crate::value::{GroupKey, Value};
+use crate::value::{GroupKey, Row, Value};
 
 /// Schema + data for one table.
 #[derive(Debug, Clone)]
@@ -17,7 +21,7 @@ pub struct Table {
     pub columns: Vec<Column>,
     /// Lowercased column name -> index.
     col_index: HashMap<String, usize>,
-    pub rows: Vec<Vec<Value>>,
+    pub rows: Vec<Row>,
     /// Column indexes forming the primary key (may be empty).
     pub primary_key: Vec<usize>,
     /// Unique index over the primary key columns; maintained on insert.
@@ -95,8 +99,15 @@ impl Table {
         self.columns.iter().map(|c| c.name.clone()).collect()
     }
 
-    /// Append a row, enforcing arity, NOT NULL, and primary-key uniqueness.
+    /// Append an owned row, enforcing arity, NOT NULL, and primary-key
+    /// uniqueness.
     pub fn insert_row(&mut self, row: Vec<Value>) -> Result<()> {
+        self.insert_shared_row(row.into())
+    }
+
+    /// Append an already-shared row (the zero-copy bulk-load path: e.g.
+    /// `INSERT INTO t SELECT ...` re-shares the SELECT's output rows).
+    pub fn insert_shared_row(&mut self, row: Row) -> Result<()> {
         if row.len() != self.columns.len() {
             return Err(Error::Semantic(format!(
                 "table '{}' expects {} values, got {}",
@@ -139,7 +150,7 @@ impl Table {
     }
 
     /// Look up a row by primary-key values (for point queries and tests).
-    pub fn find_by_pk(&self, key_values: &[Value]) -> Option<&Vec<Value>> {
+    pub fn find_by_pk(&self, key_values: &[Value]) -> Option<&Row> {
         if self.primary_key.is_empty() || key_values.len() != self.primary_key.len() {
             return None;
         }
@@ -161,7 +172,10 @@ impl Table {
         self.col_index.insert(column.name.to_ascii_lowercase(), self.columns.len());
         self.columns.push(column);
         for row in &mut self.rows {
-            row.push(Value::Null);
+            let mut widened = Vec::with_capacity(row.len() + 1);
+            widened.extend_from_slice(row);
+            widened.push(Value::Null);
+            *row = widened.into();
         }
         Ok(())
     }
@@ -174,7 +188,9 @@ impl Table {
             .ok_or_else(|| Error::NotFound(format!("{}.{}", self.name, name)))?;
         self.columns.remove(idx);
         for row in &mut self.rows {
-            row.remove(idx);
+            let mut narrowed = row.to_vec();
+            narrowed.remove(idx);
+            *row = narrowed.into();
         }
         if self.primary_key.contains(&idx) {
             self.primary_key.clear();
@@ -294,6 +310,35 @@ impl Catalog {
 
     pub fn is_empty(&self) -> bool {
         self.tables.is_empty()
+    }
+
+    /// Current row count of a table — the per-table statistic the
+    /// optimizer's join ordering consumes. Exact (not an estimate): the
+    /// catalog is the storage engine, so the count is free.
+    pub fn row_count(&self, name: &str) -> Option<usize> {
+        self.get(name).map(|t| t.len())
+    }
+
+    /// Schema + cardinality statistics for one table.
+    pub fn stats(&self, name: &str) -> Option<TableStats> {
+        self.get(name).map(|t| TableStats { rows: t.len(), columns: t.width() })
+    }
+}
+
+/// Per-table statistics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableStats {
+    pub rows: usize,
+    pub columns: usize,
+}
+
+impl crate::plan::SchemaProvider for Catalog {
+    fn table_columns(&self, table: &str) -> Result<Vec<String>> {
+        Ok(self.get_required(table)?.column_names())
+    }
+
+    fn table_rows(&self, table: &str) -> Option<usize> {
+        self.row_count(table)
     }
 }
 

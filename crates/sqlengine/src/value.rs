@@ -8,11 +8,31 @@
 //! * text compares byte-wise (memcmp order, which equals lexicographic
 //!   order for ASCII data such as ours);
 //! * across storage classes the order is `NULL < numbers < text`.
+//!
+//! # Zero-copy representation
+//!
+//! Text is interned behind `Arc<str>`, so cloning a [`Value`] is always O(1)
+//! — a pointer bump for text, a copy for the scalar classes. Whole rows are
+//! shared the same way: [`Row`] is `Arc<[Value]>`, which lets scans, joins,
+//! DISTINCT and compound operators pass rows around without deep-copying
+//! `Vec<Value>` (the seed representation cloned every cell on every hop).
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::{Error, Result};
+
+/// A shared, immutable row. Cloning is a reference-count bump; the executor
+/// builds a row once (at scan load or join emit time) and every downstream
+/// operator shares it.
+pub type Row = Arc<[Value]>;
+
+/// Materialize an owned cell vector into a shareable [`Row`].
+#[inline]
+pub fn row(values: Vec<Value>) -> Row {
+    values.into()
+}
 
 /// A single dynamically-typed SQL value.
 #[derive(Debug, Clone)]
@@ -23,14 +43,51 @@ pub enum Value {
     Integer(i64),
     /// 64-bit IEEE float.
     Real(f64),
-    /// UTF-8 text.
-    Text(String),
+    /// UTF-8 text, interned: clones share the same allocation.
+    Text(Arc<str>),
+}
+
+/// Conversion into interned text; implemented for the stringy types call
+/// sites actually pass (`&str`, `String`, `&String`, and already-interned
+/// `Arc<str>` — the last is a free refcount bump).
+pub trait IntoText {
+    fn into_text(self) -> Arc<str>;
+}
+
+impl IntoText for Arc<str> {
+    fn into_text(self) -> Arc<str> {
+        self
+    }
+}
+
+impl IntoText for &Arc<str> {
+    fn into_text(self) -> Arc<str> {
+        self.clone()
+    }
+}
+
+impl IntoText for &str {
+    fn into_text(self) -> Arc<str> {
+        self.into()
+    }
+}
+
+impl IntoText for String {
+    fn into_text(self) -> Arc<str> {
+        self.into()
+    }
+}
+
+impl IntoText for &String {
+    fn into_text(self) -> Arc<str> {
+        self.as_str().into()
+    }
 }
 
 impl Value {
     /// Build a text value from anything stringy.
-    pub fn text(s: impl Into<String>) -> Self {
-        Value::Text(s.into())
+    pub fn text(s: impl IntoText) -> Self {
+        Value::Text(s.into_text())
     }
 
     /// True iff the value is `NULL`.
@@ -74,6 +131,15 @@ impl Value {
     /// Borrowed text view (`None` for non-text).
     pub fn as_str(&self) -> Option<&str> {
         match self {
+            Value::Text(s) => Some(&**s),
+            _ => None,
+        }
+    }
+
+    /// Shared text view (`None` for non-text); cloning the `Arc` is how
+    /// callers keep a cell's text without copying it.
+    pub fn as_shared_str(&self) -> Option<&Arc<str>> {
+        match self {
             Value::Text(s) => Some(s),
             _ => None,
         }
@@ -101,7 +167,7 @@ impl Value {
                     r.to_string()
                 }
             }
-            Value::Text(s) => s.clone(),
+            Value::Text(s) => s.to_string(),
         }
     }
 
@@ -113,7 +179,7 @@ impl Value {
             (Null, Null) => Ordering::Equal,
             (Null, _) => Ordering::Less,
             (_, Null) => Ordering::Greater,
-            (Text(a), Text(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.as_ref().cmp(b.as_ref()),
             (Text(_), _) => Ordering::Greater,
             (_, Text(_)) => Ordering::Less,
             (a, b) => {
@@ -304,12 +370,13 @@ impl Value {
 }
 
 /// Hashable grouping key with the same equality as [`Value::sort_cmp`]
-/// treating NULLs as equal (GROUP BY semantics).
+/// treating NULLs as equal (GROUP BY semantics). Text keys share the
+/// value's interned allocation, so building one never copies the string.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum GroupKey {
     Null,
     Num(u64),
-    Text(String),
+    Text(Arc<str>),
 }
 
 impl PartialEq for Value {
@@ -347,12 +414,18 @@ impl From<f64> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Text(v.to_string())
+        Value::Text(v.into())
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Text(v.into())
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
         Value::Text(v)
     }
 }
@@ -462,6 +535,26 @@ mod tests {
         assert_eq!(Value::Real(3.25).render(), "3.25");
         assert_eq!(Value::Null.render(), "");
         assert_eq!(Value::Integer(-7).render(), "-7");
+    }
+
+    #[test]
+    fn text_clone_is_an_interned_pointer_copy() {
+        let a = Value::text("a string long enough that deep-copying it would show".repeat(4));
+        let b = a.clone();
+        match (&a, &b) {
+            (Value::Text(x), Value::Text(y)) => {
+                assert!(Arc::ptr_eq(x, y), "clone must share the allocation")
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn row_clone_shares_cells() {
+        let r: Row = row(vec![Value::text("hello"), Value::Integer(1)]);
+        let s = r.clone();
+        assert!(Arc::ptr_eq(&r, &s), "row clone is a refcount bump");
+        assert_eq!(&r[..], &s[..]);
     }
 
     #[test]

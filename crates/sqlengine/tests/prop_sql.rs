@@ -4,7 +4,114 @@ use proptest::prelude::*;
 use swan_sqlengine::optimizer::fold_expr;
 use swan_sqlengine::parser::{parse_expression, parse_statement};
 use swan_sqlengine::value::Value;
-use swan_sqlengine::{Database, OptimizerConfig};
+use swan_sqlengine::{Database, OptimizerConfig, QueryResult};
+
+/// Every optimizer rule switched off: the reference executor.
+fn all_rules_off() -> OptimizerConfig {
+    OptimizerConfig {
+        pushdown: false,
+        order_expensive_last: false,
+        fold_constants: false,
+        reorder_joins: false,
+        prune_columns: false,
+    }
+}
+
+/// Schemas shaped like the four SWAN domains (a fact table, a dimension,
+/// and a small lookup each), populated deterministically from a seed so
+/// optimized-vs-unoptimized runs see identical data.
+const DOMAINS: &[(&str, &str, &str, &str)] = &[
+    (
+        "superhero",
+        "CREATE TABLE superhero (id INTEGER PRIMARY KEY, publisher_id INTEGER, height_cm INTEGER, hero_name TEXT)",
+        "CREATE TABLE publisher (id INTEGER PRIMARY KEY, publisher_name TEXT)",
+        "superhero s JOIN publisher p ON s.publisher_id = p.id",
+    ),
+    (
+        "formula_1",
+        "CREATE TABLE results (id INTEGER PRIMARY KEY, driver_id INTEGER, points INTEGER, status TEXT)",
+        "CREATE TABLE drivers (id INTEGER PRIMARY KEY, surname TEXT)",
+        "results s JOIN drivers p ON s.driver_id = p.id",
+    ),
+    (
+        "california_schools",
+        "CREATE TABLE satscores (id INTEGER PRIMARY KEY, school_id INTEGER, avg_scr_math INTEGER, rtype TEXT)",
+        "CREATE TABLE schools (id INTEGER PRIMARY KEY, school_name TEXT)",
+        "satscores s JOIN schools p ON s.school_id = p.id",
+    ),
+    (
+        "european_football",
+        "CREATE TABLE player_attributes (id INTEGER PRIMARY KEY, player_id INTEGER, overall_rating INTEGER, foot TEXT)",
+        "CREATE TABLE player (id INTEGER PRIMARY KEY, player_name TEXT)",
+        "player_attributes s JOIN player p ON s.player_id = p.id",
+    ),
+];
+
+/// Build one SWAN-shaped domain database. `fact` rows link into `dim`
+/// (including some dangling/NULL keys so LEFT-join and NULL semantics get
+/// exercised), `tiny` is a 4-row lookup joined by modulus.
+fn domain_db(domain: usize, rows: &[(i64, i64, String)]) -> Database {
+    let (_, fact_ddl, dim_ddl, _) = DOMAINS[domain];
+    let mut db = Database::new();
+    db.execute(fact_ddl).unwrap();
+    db.execute(dim_ddl).unwrap();
+    db.execute("CREATE TABLE tiny (k INTEGER PRIMARY KEY, tag TEXT)").unwrap();
+
+    let dim_name = dim_table(domain);
+    let dim_rows = (rows.len() / 3).max(2);
+    {
+        let dim = db.catalog_mut().get_mut(dim_name).unwrap();
+        for i in 0..dim_rows {
+            dim.insert_row(vec![Value::Integer(i as i64), Value::text(format!("name-{i}"))])
+                .unwrap();
+        }
+    }
+    {
+        let fact = db.catalog_mut().get_mut(fact_table(domain)).unwrap();
+        for (i, (raw, n, s)) in rows.iter().enumerate() {
+            // Some keys dangle past the dimension, some are NULL.
+            let fk = match raw.rem_euclid(10) {
+                0 => Value::Null,
+                _ => Value::Integer(raw.rem_euclid(dim_rows as i64 + 3)),
+            };
+            fact.insert_row(vec![
+                Value::Integer(i as i64),
+                fk,
+                Value::Integer(*n),
+                Value::text(s.clone()),
+            ])
+            .unwrap();
+        }
+    }
+    {
+        let tiny = db.catalog_mut().get_mut("tiny").unwrap();
+        for k in 0..4i64 {
+            tiny.insert_row(vec![Value::Integer(k), Value::text(format!("tag-{k}"))]).unwrap();
+        }
+    }
+    db
+}
+
+fn fact_table(domain: usize) -> &'static str {
+    ["superhero", "results", "satscores", "player_attributes"][domain]
+}
+
+fn dim_table(domain: usize) -> &'static str {
+    ["publisher", "drivers", "schools", "player"][domain]
+}
+
+fn fact_num(domain: usize) -> &'static str {
+    ["height_cm", "points", "avg_scr_math", "overall_rating"][domain]
+}
+
+fn fact_fk(domain: usize) -> &'static str {
+    ["publisher_id", "driver_id", "school_id", "player_id"][domain]
+}
+
+fn assert_same_results(sql: &str, opt: &QueryResult, off: &QueryResult) {
+    assert_eq!(opt.columns, off.columns, "column names differ for {sql}");
+    assert_eq!(opt.rows, off.rows, "rows differ for {sql}");
+}
 
 /// Build a small database with a deterministic content derived from the
 /// proptest-generated rows.
@@ -17,7 +124,7 @@ fn db_with_rows(rows: &[(i64, i64, String)]) -> Database {
             .insert_row(vec![
                 Value::Integer(i as i64),
                 Value::Integer(*n),
-                Value::Text(s.clone()),
+                Value::text(s.clone()),
             ])
             .unwrap();
     }
@@ -106,6 +213,8 @@ proptest! {
             pushdown: false,
             order_expensive_last: false,
             fold_constants: false,
+            reorder_joins: false,
+            prune_columns: false,
         });
         let a = on.query(&sql).unwrap();
         let b = off.query(&sql).unwrap();
@@ -174,6 +283,110 @@ proptest! {
             .unwrap();
         let once = db.query("SELECT DISTINCT n FROM t ORDER BY 1").unwrap();
         prop_assert_eq!(twice.rows, once.rows);
+    }
+
+    /// Full-pipeline optimizer equivalence over the four SWAN domains:
+    /// every rule on (pushdown, join reordering, column pruning, constant
+    /// folding) vs every rule off must produce identical `QueryResult`s on
+    /// randomized join/filter/aggregate queries — including three-way
+    /// chains written in a deliberately bad order and comma-joins whose
+    /// WHERE conjuncts the optimizer folds into join conditions.
+    #[test]
+    fn optimizer_full_equivalence_on_swan_domains(
+        rows in proptest::collection::vec((any::<i64>(), -40i64..120, "[a-m]{0,5}"), 2..40),
+        domain in 0usize..4,
+        threshold in -40i64..120,
+        shape in 0usize..6,
+    ) {
+        let (_, _, _, join) = DOMAINS[domain];
+        let fact = fact_table(domain);
+        let dim = dim_table(domain);
+        let num = fact_num(domain);
+        let fk = fact_fk(domain);
+        let sql = match shape {
+            // Two-way equi-join, filtered, projected.
+            0 => format!(
+                "SELECT s.id, p.id FROM {join} WHERE s.{num} > {threshold} ORDER BY s.id"
+            ),
+            // COUNT(*) join: the column-pruning fast path.
+            1 => format!("SELECT COUNT(*) FROM {join} WHERE s.{num} <= {threshold}"),
+            // Three-way chain written worst-first (reorder target).
+            2 => format!(
+                "SELECT COUNT(*) FROM {fact} s JOIN {dim} p ON s.{fk} = p.id \
+                 JOIN tiny t ON p.id = t.k"
+            ),
+            // Comma-join: WHERE equi-conjunct becomes a join condition.
+            3 => format!(
+                "SELECT s.id FROM {fact} s, {dim} p, tiny t \
+                 WHERE s.{fk} = p.id AND p.id = t.k AND s.{num} > {threshold} \
+                 ORDER BY s.id"
+            ),
+            // LEFT join (reorder boundary + NULL padding semantics).
+            4 => format!(
+                "SELECT s.id, p.id FROM {fact} s LEFT JOIN {dim} p ON s.{fk} = p.id \
+                 WHERE s.{num} > {threshold} ORDER BY s.id"
+            ),
+            // Aggregation over a join.
+            _ => format!(
+                "SELECT p.id, COUNT(*), MAX(s.{num}) FROM {join} \
+                 GROUP BY p.id ORDER BY p.id"
+            ),
+        };
+
+        let mut on = domain_db(domain, &rows);
+        on.set_optimizer(OptimizerConfig::default());
+        let mut off = domain_db(domain, &rows);
+        off.set_optimizer(all_rules_off());
+        let a = on.query(&sql).unwrap();
+        let b = off.query(&sql).unwrap();
+        assert_same_results(&sql, &a, &b);
+    }
+
+    /// Interned-text representation equivalence: a table loaded through
+    /// `Arc<str>` interning behaves exactly like one loaded from owned
+    /// `String`s (the seed representation), the engine's text operations
+    /// agree with `str` semantics, and value clones share storage.
+    #[test]
+    fn interned_values_match_seed_semantics(
+        strings in proptest::collection::vec("[ -~]{0,12}", 1..24),
+        needle in "[a-m]{1,2}",
+    ) {
+        let build = |interned: bool| {
+            let mut db = Database::new();
+            db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, s TEXT)").unwrap();
+            let table = db.catalog_mut().get_mut("t").unwrap();
+            for (i, s) in strings.iter().enumerate() {
+                let v = if interned {
+                    // Shared-allocation path: the same Arc<str> interned.
+                    Value::text(std::sync::Arc::<str>::from(s.as_str()))
+                } else {
+                    // Seed-style construction from an owned String.
+                    Value::from(s.clone())
+                };
+                table.insert_row(vec![Value::Integer(i as i64), v]).unwrap();
+            }
+            db
+        };
+        let a = build(true);
+        let b = build(false);
+        for sql in [
+            "SELECT s FROM t ORDER BY s, id".to_string(),
+            "SELECT COUNT(DISTINCT s) FROM t".to_string(),
+            "SELECT UPPER(s), LENGTH(s) FROM t ORDER BY id".to_string(),
+            format!("SELECT id FROM t WHERE s LIKE '%{needle}%' ORDER BY id"),
+        ] {
+            let ra = a.query(&sql).unwrap();
+            let rb = b.query(&sql).unwrap();
+            assert_same_results(&sql, &ra, &rb);
+        }
+
+        // Text clones are pointer bumps sharing one allocation.
+        let v = Value::text(strings[0].clone());
+        let w = v.clone();
+        match (v.as_shared_str(), w.as_shared_str()) {
+            (Some(x), Some(y)) => prop_assert!(std::sync::Arc::ptr_eq(x, y)),
+            _ => prop_assert!(strings[0].is_empty() || v.as_str().is_some()),
+        }
     }
 
     /// LIKE with a literal substring pattern agrees with str::contains.

@@ -335,15 +335,137 @@ fn optimizer_toggles_do_not_change_results() {
     let reference = texts(&hero_db(), sql);
     for pushdown in [false, true] {
         for fold in [false, true] {
-            let mut db = hero_db();
-            db.set_optimizer(OptimizerConfig {
-                pushdown,
-                order_expensive_last: false,
-                fold_constants: fold,
-            });
-            assert_eq!(texts(&db, sql), reference, "pushdown={pushdown} fold={fold}");
+            for reorder in [false, true] {
+                let mut db = hero_db();
+                db.set_optimizer(OptimizerConfig {
+                    pushdown,
+                    order_expensive_last: false,
+                    fold_constants: fold,
+                    reorder_joins: reorder,
+                    prune_columns: fold,
+                });
+                assert_eq!(
+                    texts(&db, sql),
+                    reference,
+                    "pushdown={pushdown} fold={fold} reorder={reorder}"
+                );
+            }
         }
     }
+}
+
+/// Regression: a nested join chain in already-optimal written order (no
+/// Permute masking column pruning) must compute its pruned emit indices
+/// against the *post-prune* child schemas — the stale-index variant
+/// panicked with index-out-of-bounds.
+#[test]
+fn pruned_nested_join_chain_projects_inner_column() {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE a (x INTEGER, junk TEXT);
+         CREATE TABLE b (y INTEGER);
+         CREATE TABLE c (z INTEGER);
+         INSERT INTO a VALUES (1, 'j');
+         INSERT INTO b VALUES (1), (2);
+         INSERT INTO c VALUES (1), (2), (3);",
+    )
+    .unwrap();
+    let r = db
+        .query("SELECT b.y FROM a JOIN b ON a.x = b.y JOIN c ON b.y = c.z")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Integer(1));
+}
+
+/// Regression: a correlated subquery inside a join's ON condition reads
+/// combined-row columns the predicate tree itself never names; the
+/// nested-loop scratch row must carry them.
+#[test]
+fn correlated_subquery_in_on_condition() {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE a (x INTEGER);
+         CREATE TABLE b (y INTEGER);
+         CREATE TABLE t (k INTEGER);
+         INSERT INTO a VALUES (1), (2);
+         INSERT INTO b VALUES (10), (20);
+         INSERT INTO t VALUES (10);",
+    )
+    .unwrap();
+    let rows = texts(
+        &db,
+        "SELECT a.x, b.y FROM a LEFT JOIN b ON EXISTS \
+         (SELECT 1 FROM t WHERE t.k = b.y) ORDER BY a.x",
+    );
+    assert_eq!(rows, vec!["1|10", "2|10"], "EXISTS must see b.y per pair");
+}
+
+/// Regression: an unqualified column that is ambiguous across the joined
+/// tables must raise the same ambiguity error whether or not the optimizer
+/// pushes/reorders predicates — it must never silently bind to one side.
+#[test]
+fn ambiguous_unqualified_column_errors_under_every_config() {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE a (id INTEGER, x INTEGER);
+         CREATE TABLE b (id INTEGER, y INTEGER);
+         INSERT INTO a VALUES (5, 1);
+         INSERT INTO b VALUES (9, 2);",
+    )
+    .unwrap();
+    let sql = "SELECT x FROM a, b WHERE id > 3";
+    for optimized in [false, true] {
+        let mut db = db.clone();
+        if !optimized {
+            db.set_optimizer(OptimizerConfig {
+                pushdown: false,
+                order_expensive_last: false,
+                fold_constants: false,
+                reorder_joins: false,
+                prune_columns: false,
+            });
+        }
+        let err = db.query(sql).unwrap_err();
+        assert!(
+            matches!(&err, Error::Semantic(m) if m.contains("ambiguous")),
+            "optimized={optimized}: expected ambiguity error, got {err:?}"
+        );
+    }
+}
+
+/// Regression: column pruning must compose with join reordering — a
+/// worst-order COUNT(*) chain gets both a Permute (from reordering) and
+/// pruned emission, and still counts correctly.
+#[test]
+fn count_star_over_reordered_chain() {
+    let mut db = Database::new();
+    db.execute_script(
+        "CREATE TABLE big (id INTEGER PRIMARY KEY, grp INTEGER);
+         CREATE TABLE mid (id INTEGER PRIMARY KEY);
+         CREATE TABLE tiny (id INTEGER PRIMARY KEY);",
+    )
+    .unwrap();
+    for i in 0..50 {
+        db.execute(&format!("INSERT INTO big VALUES ({i}, {})", i % 5)).unwrap();
+    }
+    for i in 0..5 {
+        db.execute(&format!("INSERT INTO mid VALUES ({i})")).unwrap();
+    }
+    db.execute("INSERT INTO tiny VALUES (0), (1)").unwrap();
+    let sql = "SELECT COUNT(*) FROM big JOIN mid ON big.grp = mid.id \
+               JOIN tiny ON mid.id = tiny.id";
+    let on = db.query(sql).unwrap();
+    let mut off_db = db.clone();
+    off_db.set_optimizer(OptimizerConfig {
+        pushdown: false,
+        order_expensive_last: false,
+        fold_constants: false,
+        reorder_joins: false,
+        prune_columns: false,
+    });
+    let off = off_db.query(sql).unwrap();
+    assert_eq!(on.rows, off.rows);
+    assert_eq!(on.rows[0][0], Value::Integer(20), "10 rows per matching grp x 2 tiny");
 }
 
 #[test]

@@ -1,0 +1,188 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace benches use — `Criterion`,
+//! `bench_function`, `Bencher::iter`, `black_box`, `criterion_group!`,
+//! `criterion_main!` — as a plain wall-clock harness:
+//!
+//! * warms up, then measures for a fixed window and reports the mean
+//!   time per iteration (plus min, as a jitter hint);
+//! * honours a substring filter argument (as `cargo bench <filter>` passes
+//!   through with `harness = false`);
+//! * `--quick` (or `CRITERION_QUICK=1`) shrinks the measurement window
+//!   ~10× for smoke runs such as `scripts/bench_smoke.sh`.
+//!
+//! There are no statistical comparisons, plots, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver. Parses CLI args on construction.
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut quick = std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false);
+        for arg in std::env::args().skip(1) {
+            if arg == "--quick" {
+                quick = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+            // All other flags (--bench, --save-baseline, …) are accepted
+            // and ignored so `cargo bench` invocations keep working.
+        }
+        Criterion { filter, quick }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filt) = &self.filter {
+            if !name.contains(filt.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher::new(self.quick);
+        f(&mut b);
+        match b.result {
+            Some(r) => println!(
+                "{name:<40} time: [{}]  (min {}, {} iters)",
+                format_ns(r.mean_ns),
+                format_ns(r.min_ns),
+                r.iters,
+            ),
+            None => println!("{name:<40} (no measurement)"),
+        }
+        self
+    }
+}
+
+struct Measurement {
+    mean_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+/// Timer handle passed to the closure of `bench_function`.
+pub struct Bencher {
+    warmup: Duration,
+    window: Duration,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Bencher {
+                warmup: Duration::from_millis(20),
+                window: Duration::from_millis(120),
+                result: None,
+            }
+        } else {
+            Bencher {
+                warmup: Duration::from_millis(150),
+                window: Duration::from_millis(1200),
+                result: None,
+            }
+        }
+    }
+
+    /// Measure `f` repeatedly; the mean over the measurement window wins.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also yields a first estimate of the per-iter cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Batch so each timing sample is ≥ ~50µs, amortizing timer cost.
+        let batch = ((50e-6 / est.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut min_ns = f64::INFINITY;
+        while total < self.window {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let sample = t.elapsed();
+            let per_iter_ns = sample.as_nanos() as f64 / batch as f64;
+            if per_iter_ns < min_ns {
+                min_ns = per_iter_ns;
+            }
+            total += sample;
+            iters += batch;
+        }
+        self.result = Some(Measurement {
+            mean_ns: total.as_nanos() as f64 / iters.max(1) as f64,
+            min_ns,
+            iters,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Bundle bench functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut b = Bencher::new(true);
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        let r = b.result.expect("measured");
+        assert!(r.iters > 0);
+        assert!(r.mean_ns > 0.0);
+        assert!(r.min_ns <= r.mean_ns * 1.5);
+    }
+
+    #[test]
+    fn format_units() {
+        assert!(format_ns(12.3).ends_with("ns"));
+        assert!(format_ns(12_300.0).ends_with("µs"));
+        assert!(format_ns(12_300_000.0).ends_with("ms"));
+    }
+}

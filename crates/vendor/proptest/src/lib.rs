@@ -1,0 +1,511 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the subset of proptest its test-suites use: the [`proptest!`] macro,
+//! `prop_assert*`/`prop_assume!`, [`Strategy`] implementations for integer
+//! ranges, tuples, [`Just`], `prop_oneof!`, `collection::vec`, [`any`],
+//! and string strategies driven by a small regex subset (`[a-z]{0,6}`,
+//! `.{0,200}`, …).
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! deterministic seed (derived from the test name), there is **no
+//! shrinking**, and failures report the raw assertion. Case count defaults
+//! to 64 and can be overridden with `PROPTEST_CASES`.
+
+// ---- deterministic RNG (xoshiro256++, private copy) -----------------------
+
+/// Deterministic test RNG handed to strategies by the [`proptest!`] macro.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed deterministically from a test name.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut x = h;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Number of cases each property runs (env `PROPTEST_CASES`, default 64).
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+// ---- Strategy --------------------------------------------------------------
+
+pub mod strategy {
+    use super::TestRng;
+
+    /// A value generator. Object-safe; no shrinking.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Always yields a clone of the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between same-typed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    /// String literals are regex-subset strategies, as in real proptest.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            super::regex::generate(self, rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            super::regex::generate(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+}
+
+// ---- any / Arbitrary -------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only: keep arithmetic properties exercisable.
+        let v = f64::from_bits(rng.next_u64());
+        if v.is_finite() {
+            v
+        } else {
+            (rng.next_u64() >> 11) as f64
+        }
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct ArbitraryStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> strategy::Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(std::marker::PhantomData)
+}
+
+// ---- collection ------------------------------------------------------------
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---- regex-subset string generation ----------------------------------------
+
+mod regex {
+    use super::TestRng;
+
+    enum Atom {
+        Class(Vec<(char, char)>),
+        AnyPrintable,
+        Literal(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Parse the regex subset: atoms are `[...]` classes (with ranges),
+    /// `.`, or literal chars; quantifiers are `{m}`, `{m,n}`, `*`, `+`,
+    /// `?`. Anything else is treated literally.
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    i += 1; // closing ']'
+                    Atom::Class(ranges)
+                }
+                '.' => {
+                    i += 1;
+                    Atom::AnyPrintable
+                }
+                '\\' if i + 1 < chars.len() => {
+                    i += 2;
+                    Atom::Literal(chars[i - 1])
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i);
+                        match close {
+                            Some(close) => {
+                                let body: String = chars[i + 1..close].iter().collect();
+                                i = close + 1;
+                                match body.split_once(',') {
+                                    Some((m, n)) => {
+                                        let m = m.trim().parse().unwrap_or(0);
+                                        let n = n.trim().parse().unwrap_or(m + 8);
+                                        (m, n)
+                                    }
+                                    None => {
+                                        let m = body.trim().parse().unwrap_or(1);
+                                        (m, m)
+                                    }
+                                }
+                            }
+                            None => (1, 1),
+                        }
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Literal(c) => *c,
+            Atom::AnyPrintable => {
+                // Printable ASCII (space..tilde).
+                char::from_u32(0x20 + (rng.next_u64() % 0x5F) as u32).unwrap()
+            }
+            Atom::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| (hi as u64).saturating_sub(lo as u64) + 1)
+                    .sum();
+                let mut k = rng.next_u64() % total.max(1);
+                for &(lo, hi) in ranges {
+                    let span = (hi as u64).saturating_sub(lo as u64) + 1;
+                    if k < span {
+                        return char::from_u32(lo as u32 + k as u32).unwrap_or(lo);
+                    }
+                    k -= span;
+                }
+                ranges.first().map(|&(lo, _)| lo).unwrap_or('a')
+            }
+        }
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for piece in &pieces {
+            let span = (piece.max - piece.min + 1) as u64;
+            let n = piece.min + (rng.next_u64() % span) as usize;
+            for _ in 0..n {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+// ---- macros ----------------------------------------------------------------
+
+/// The property-test macro: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` looping [`case_count`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::case_count();
+                let mut __proptest_rng = $crate::TestRng::deterministic(stringify!($name));
+                for __proptest_case in 0..cases {
+                    let _ = __proptest_case;
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Assert inside a property (no shrinking; plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip cases that don't meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::{any, Arbitrary, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_classes_and_quantifiers() {
+        let mut rng = TestRng::deterministic("regex");
+        for _ in 0..200 {
+            let s = "[a-c]{1,3}".generate(&mut rng);
+            assert!((1..=3).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+
+            let t = "[ -~]{0,12}".generate(&mut rng);
+            assert!(t.len() <= 12);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+
+            let d = ".{0,200}".generate(&mut rng);
+            assert!(d.chars().count() <= 200);
+
+            let m = "[A-Za-z0-9 .-]{1,12}".generate(&mut rng);
+            assert!(!m.is_empty() && m.chars().count() <= 12);
+            assert!(m
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '.' || c == '-'));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in -50i64..50, k in 0usize..10) {
+            prop_assert!((-50i64..50).contains(&a));
+            prop_assert!(k < 10);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            rows in crate::collection::vec((any::<i64>(), 0i64..5, "[ab]{0,2}"), 0..40)
+        ) {
+            prop_assert!(rows.len() < 40);
+            for (_, n, s) in &rows {
+                prop_assert!((0i64..5).contains(n));
+                prop_assert!(s.len() <= 2);
+                prop_assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+            }
+        }
+
+        #[test]
+        fn oneof_and_assume(pick in prop_oneof![Just(1i64), Just(2i64), Just(3i64)]) {
+            prop_assume!(pick != 2i64);
+            prop_assert!(pick == 1i64 || pick == 3i64);
+        }
+    }
+}

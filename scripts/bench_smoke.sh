@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Perf smoke test: run the engine microbenchmarks and the join-scaling
+# sweep in quick mode (~10x shorter measurement windows), so a regression
+# in the zero-copy execution core is one command to spot:
+#
+#   scripts/bench_smoke.sh            # both benches, quick
+#   scripts/bench_smoke.sh hash_join  # only benchmarks matching a filter
+#
+# Compare the output against the before/after table in
+# crates/sqlengine/PERF.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER="${1:-}"
+
+run() {
+    local bench="$1"
+    echo "== $bench (quick) =="
+    if [ -n "$FILTER" ]; then
+        CRITERION_QUICK=1 cargo bench -p swan-bench --bench "$bench" -- --quick "$FILTER"
+    else
+        CRITERION_QUICK=1 cargo bench -p swan-bench --bench "$bench" -- --quick
+    fi
+    echo
+}
+
+run engine_micro
+run join_scaling

@@ -10,7 +10,11 @@
 //! * [`sqlengine`] — an embedded, in-memory SQL engine (the SQLite
 //!   stand-in): lexer → parser → planner → optimizer → executor, with a
 //!   scalar-UDF registry whose *expensive-function* hint drives
-//!   LLM-aware optimization.
+//!   LLM-aware optimization. Execution runs on a **zero-copy core**:
+//!   interned text (`Value::Text(Arc<str>)`), shared rows
+//!   (`Row = Arc<[Value]>`), statistics-driven join ordering, and
+//!   column-pruned join emission — see `crates/sqlengine/PERF.md` for the
+//!   measured speedups.
 //! * [`llm`] — the language-model layer: prompt templates, token/cost
 //!   accounting, caches, a parallel executor, and the calibrated
 //!   simulated GPT-3.5/GPT-4 models (see DESIGN.md for the substitution

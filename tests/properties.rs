@@ -37,9 +37,9 @@ proptest! {
             0..10,
         )
     ) {
-        let rows: Vec<Vec<swan_sqlengine::Value>> = cells
+        let rows: Vec<swan_sqlengine::Row> = cells
             .iter()
-            .map(|r| r.iter().map(|&v| swan_sqlengine::Value::Integer(v)).collect())
+            .map(|r| r.iter().map(|&v| swan_sqlengine::Value::Integer(v)).collect::<Vec<_>>().into())
             .collect();
         let qr = QueryResult { columns: vec!["c".into()], rows, rows_affected: 0 };
         prop_assert!(execution_match(&qr, &qr, true));
