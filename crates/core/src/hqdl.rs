@@ -61,13 +61,13 @@ pub fn materialize(
     let truth = TruthIndex::build(domain);
 
     for expansion in &domain.curation.expansions {
-        let keys = expansion_keys(&domain.curated, expansion);
+        let keys = expansion_key_rows(&domain.curated, expansion);
         let examples = truth.examples(expansion, config.shots);
 
         // Render one prompt per entity.
         let prompts: Vec<String> = keys
             .iter()
-            .map(|key| {
+            .map(|(rendered, _)| {
                 RowCompletionPrompt {
                     db: domain.name.clone(),
                     columns: expansion.all_columns(),
@@ -80,7 +80,7 @@ pub fn materialize(
                         })
                         .collect(),
                     examples: examples.clone(),
-                    target_key: key.clone(),
+                    target_key: rendered.clone(),
                 }
                 .render()
             })
@@ -98,7 +98,7 @@ pub fn materialize(
         )
         .expect("expansion schema is valid");
 
-        for (key, completion) in keys.iter().zip(completions) {
+        for ((_, stored), completion) in keys.iter().zip(completions) {
             let Ok(completion) = completion else {
                 malformed += 1;
                 continue;
@@ -111,9 +111,13 @@ pub fn materialize(
             }
             let mut row: Vec<Value> = Vec::with_capacity(width);
             // Trust the *database's* key values over the model's echo so
-            // joins stay sound even when the model mangles the key.
-            for k in key {
-                row.push(infer_value(k));
+            // joins stay sound even when the model mangles the key — and
+            // keep their stored storage class: re-inferring the type from
+            // the rendered text would retype a text key that happens to
+            // parse as a number ("007" → Integer(7)) and break the join
+            // against its Text base column.
+            for k in stored {
+                row.push(k.clone());
             }
             for field in &fields[expansion.key_columns.len()..] {
                 row.push(infer_value(field));
@@ -129,6 +133,21 @@ pub fn materialize(
 
 /// Distinct key tuples of an expansion's base table, in storage order.
 pub fn expansion_keys(curated: &Database, expansion: &Expansion) -> Vec<Vec<String>> {
+    expansion_key_rows(curated, expansion)
+        .into_iter()
+        .map(|(rendered, _)| rendered)
+        .collect()
+}
+
+/// Distinct key tuples of an expansion's base table, in storage order,
+/// as `(rendered, stored)` pairs: the rendered form feeds prompts, the
+/// stored values keep the base column's storage class when the key is
+/// re-inserted into the materialized table (so text keys that parse as
+/// numbers still join).
+pub fn expansion_key_rows(
+    curated: &Database,
+    expansion: &Expansion,
+) -> Vec<(Vec<String>, Vec<Value>)> {
     let table = curated
         .catalog()
         .get(&expansion.base_table)
@@ -141,12 +160,13 @@ pub fn expansion_keys(curated: &Database, expansion: &Expansion) -> Vec<Vec<Stri
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::new();
     for row in &table.rows {
-        let key: Vec<String> = idx.iter().map(|&i| row[i].render()).collect();
-        if key.iter().any(String::is_empty) {
+        let rendered: Vec<String> = idx.iter().map(|&i| row[i].render()).collect();
+        if rendered.iter().any(String::is_empty) {
             continue; // NULL keys cannot anchor a PK-FK relationship (§3.4).
         }
-        if seen.insert(key.clone()) {
-            out.push(key);
+        if seen.insert(rendered.clone()) {
+            let stored: Vec<Value> = idx.iter().map(|&i| row[i].clone()).collect();
+            out.push((rendered, stored));
         }
     }
     out
@@ -279,6 +299,66 @@ mod tests {
             // The publisher field is a real publisher.
             assert!(swan_data::superhero::PUBLISHERS.contains(&e.answer[5].as_str()));
         }
+    }
+
+    /// Regression: a text key that parses as a number ("007") must keep
+    /// its Text storage class in the materialized table — re-inferring the
+    /// type from the rendered key retyped it to Integer(7) and the llm_*
+    /// row no longer joined against its base column.
+    #[test]
+    fn materialize_preserves_text_key_storage_class() {
+        use swan_data::{CurationSpec, Expansion, GenColumn};
+        use swan_llm::{Completion, LanguageModel, LlmResult, UsageMeter};
+        use swan_sqlengine::Database;
+
+        /// Echoes a well-formed completion row for every prompt.
+        struct RowEcho(UsageMeter);
+        impl LanguageModel for RowEcho {
+            fn name(&self) -> &str {
+                "row-echo"
+            }
+            fn complete(&self, _prompt: &str) -> LlmResult<Completion> {
+                Ok(Completion { text: "'007', 'alias-x'".into(), tokens: Default::default() })
+            }
+            fn usage_meter(&self) -> &UsageMeter {
+                &self.0
+            }
+        }
+
+        let mut curated = Database::new();
+        curated.execute("CREATE TABLE agent (code TEXT)").unwrap();
+        curated.execute("INSERT INTO agent VALUES ('007'), ('8')").unwrap();
+        let domain = DomainData {
+            name: "agents".into(),
+            display_name: "Agents".into(),
+            original: curated.clone(),
+            curated,
+            curation: CurationSpec {
+                dropped_columns: vec![],
+                dropped_tables: vec![],
+                expansions: vec![Expansion {
+                    table: "llm_agent".into(),
+                    base_table: "agent".into(),
+                    key_columns: vec!["code".into()],
+                    generated: vec![GenColumn::free_form("alias")],
+                }],
+            },
+            facts: vec![],
+            popularity: vec![],
+            phrases: vec![],
+            questions: vec![],
+        };
+
+        let run = materialize(&domain, &RowEcho(UsageMeter::new()), &HqdlConfig::default());
+        let t = run.database.catalog().get("llm_agent").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows[0][0], Value::text("007"), "key keeps Text storage class");
+        assert_eq!(t.rows[1][0], Value::text("8"));
+        let joined = run
+            .database
+            .query("SELECT COUNT(*) FROM agent a JOIN llm_agent l ON a.code = l.code")
+            .unwrap();
+        assert_eq!(joined.rows[0][0], Value::Integer(2), "both keys join their base rows");
     }
 
     #[test]

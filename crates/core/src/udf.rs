@@ -13,15 +13,23 @@
 //!    batch size is 5, §5.4) into [`UdfPrompt`]s, and fill the answer
 //!    store.
 //!
-//! During execution, `llm_map` reads the store; a missing key falls back
-//! to a single-key model call. The answer-store key policy implements the
-//! caching spectrum of §4.3/§5.5 (see [`CacheScope`]).
+//! During execution, `llm_map` reads the store. Query shapes the pre-pass
+//! bails on (compound SELECTs, subquery sources, unqualified key columns,
+//! non-literal questions, `llm_map` inside JOIN ON) are still batched:
+//! the engine's vectorized execution hands each operator's distinct
+//! argument tuples to [`ScalarUdf::invoke_batch`], which chunks uncached
+//! keys per [`UdfConfig::batch_size`] and fans the prompts out across
+//! `UdfConfig::workers`. Only keys a short batch response leaves
+//! unanswered fall back to single-key model calls, and those are
+//! single-flighted across concurrent rows. The answer-store key policy
+//! implements the caching spectrum of §4.3/§5.5 (see [`CacheScope`]).
 
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex};
 
 use swan_data::DomainData;
 use swan_llm::knowledge::normalize_question;
@@ -78,10 +86,15 @@ impl Default for UdfConfig {
 /// Execution statistics for cost analysis.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct UdfStats {
-    /// Keys answered through batched pre-pass calls.
+    /// Keys answered through batched model calls — the AST pre-pass or
+    /// the engine's vectorized `invoke_batch` execution.
     pub prefetched_keys: u64,
     /// Keys already present in the answer store when prefetch ran.
     pub cache_hits: u64,
+    /// Answer-store hits during execution: rows served from previously
+    /// fetched answers at `invoke`/`invoke_batch` time, including reuse
+    /// across concurrent rows coalesced by the single-flight fallback.
+    pub exec_cache_hits: u64,
     /// Per-row fallback model calls during execution.
     pub fallback_calls: u64,
 }
@@ -138,6 +151,13 @@ struct Shared {
     answers: Mutex<HashMap<(String, Vec<String>), Value>>,
     stats: Mutex<UdfStats>,
     fallback_calls: AtomicU64,
+    exec_hits: AtomicU64,
+    /// Cache keys currently being fetched by a fallback call. Concurrent
+    /// rows asking for the same key wait on `in_flight_done` instead of
+    /// issuing duplicate model calls (single-flight). Lock ordering:
+    /// `in_flight` may take `answers` briefly, never the reverse.
+    in_flight: StdMutex<HashSet<(String, Vec<String>)>>,
+    in_flight_done: Condvar,
 }
 
 impl Shared {
@@ -173,8 +193,43 @@ impl Shared {
         }
     }
 
-    /// Single-key fallback call (cache miss during execution).
+    /// Single-key fallback call (cache miss during execution),
+    /// single-flighted: concurrent rows asking for the same key wait for
+    /// the one in-flight model call instead of each paying their own.
     fn fetch_single(&self, question: &str, key: &[String]) -> Result<Value> {
+        let cache_key = self.cache_key(question, key);
+        {
+            let mut fl = self.in_flight.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(v) = self.answers.lock().get(&cache_key) {
+                    // Either cached before we got here or just filled by
+                    // the fetcher we waited on.
+                    self.exec_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(v.clone());
+                }
+                if fl.insert(cache_key.clone()) {
+                    break; // we own the fetch
+                }
+                fl = self
+                    .in_flight_done
+                    .wait(fl)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        }
+        let result = self.fetch_uncoalesced(question, key, &cache_key);
+        let mut fl = self.in_flight.lock().unwrap_or_else(|p| p.into_inner());
+        fl.remove(&cache_key);
+        drop(fl);
+        self.in_flight_done.notify_all();
+        result
+    }
+
+    fn fetch_uncoalesced(
+        &self,
+        question: &str,
+        key: &[String],
+        cache_key: &(String, Vec<String>),
+    ) -> Result<Value> {
         let prompt = self.prompt_for(question, vec![key.to_vec()]).render();
         let completion = self
             .model
@@ -186,10 +241,63 @@ impl Shared {
             .unwrap_or_default();
         self.fallback_calls.fetch_add(1, Ordering::Relaxed);
         let value = infer_value(&answer);
-        self.answers
-            .lock()
-            .insert(self.cache_key(question, key), value.clone());
+        self.answers.lock().insert(cache_key.clone(), value.clone());
         Ok(value)
+    }
+
+    /// Batched fetch for the engine's vectorized execution path: chunk the
+    /// uncached keys of each question per `batch_size` and fan the prompts
+    /// out through the parallel worker pool — the same shape the AST
+    /// pre-pass uses, but driven by the operator's actual input batch, so
+    /// query shapes the pre-pass bails on (compound SELECTs, subquery
+    /// sources, non-literal questions, `llm_map` in JOIN ON) still get
+    /// batched calls.
+    fn fetch_batch(&self, question: &str, needed: &[Vec<String>]) {
+        // Reserve the keys in the single-flight set; keys another thread
+        // is already fetching (per-row or in its own batch) are dropped
+        // from this batch — their rows fall back to `fetch_single`, which
+        // waits on that flight instead of paying a duplicate call.
+        let mine: Vec<Vec<String>> = {
+            let mut fl = self.in_flight.lock().unwrap_or_else(|p| p.into_inner());
+            needed
+                .iter()
+                .filter(|key| fl.insert(self.cache_key(question, key)))
+                .cloned()
+                .collect()
+        };
+        if mine.is_empty() {
+            return;
+        }
+        let batch = self.config.batch_size.max(1);
+        let chunks: Vec<Vec<Vec<String>>> =
+            mine.chunks(batch).map(|c| c.to_vec()).collect();
+        let prompts: Vec<String> = chunks
+            .iter()
+            .map(|keys| self.prompt_for(question, keys.clone()).render())
+            .collect();
+        let completions =
+            parallel::complete_many(self.model.as_ref(), &prompts, self.config.workers);
+
+        {
+            let mut answers = self.answers.lock();
+            let mut stats = self.stats.lock();
+            for (keys, completion) in chunks.iter().zip(completions) {
+                let Ok(completion) = completion else { continue };
+                let lines = swan_llm::prompt::parse_udf_response(&completion.text);
+                // Short responses leave trailing keys unanswered; the
+                // caller falls back to single-key calls for those.
+                for (key, line) in keys.iter().zip(lines) {
+                    answers.insert(self.cache_key(question, key), infer_value(&line));
+                    stats.prefetched_keys += 1;
+                }
+            }
+        }
+        let mut fl = self.in_flight.lock().unwrap_or_else(|p| p.into_inner());
+        for key in &mine {
+            fl.remove(&self.cache_key(question, key));
+        }
+        drop(fl);
+        self.in_flight_done.notify_all();
     }
 }
 
@@ -204,33 +312,101 @@ impl ScalarUdf for LlmMapUdf {
     }
 
     fn invoke(&self, args: &[Value]) -> Result<Value> {
-        if args.len() < 2 {
-            return Err(Error::Udf {
-                name: "llm_map".into(),
-                message: "usage: llm_map(question, key, ...)".into(),
-            });
-        }
-        let question = args[0]
-            .as_str()
-            .ok_or_else(|| Error::Udf {
-                name: "llm_map".into(),
-                message: "first argument must be the question text".into(),
-            })?
-            .to_string();
-        if args[1..].iter().any(Value::is_null) {
+        let Some((question, key)) = parse_args(args)? else {
             return Ok(Value::Null); // NULL keys have no LLM answer.
-        }
-        let key: Vec<String> = args[1..].iter().map(Value::render).collect();
+        };
         let cache_key = self.shared.cache_key(&question, &key);
         if let Some(v) = self.shared.answers.lock().get(&cache_key) {
+            self.shared.exec_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(v.clone());
         }
         self.shared.fetch_single(&question, &key)
     }
 
+    /// Vectorized execution: called by the engine once per operator batch
+    /// with the distinct argument tuples of a call site. Uncached keys are
+    /// grouped by question, chunked per `UdfConfig::batch_size` and fanned
+    /// out through the parallel worker pool; anything a short batch
+    /// response leaves unanswered falls back to a single-key call.
+    fn invoke_batch(&self, rows: &[Vec<Value>]) -> Result<Vec<Value>> {
+        let shared = &self.shared;
+        let mut out: Vec<Option<Value>> = vec![None; rows.len()];
+        // (row index, question, key) for rows the answer store misses,
+        // grouped by question in first-seen order.
+        let mut questions: Vec<String> = Vec::new();
+        let mut pending: HashMap<String, Vec<(usize, Vec<String>)>> = HashMap::new();
+        for (i, args) in rows.iter().enumerate() {
+            let Some((question, key)) = parse_args(args)? else {
+                out[i] = Some(Value::Null);
+                continue;
+            };
+            if let Some(v) = shared.answers.lock().get(&shared.cache_key(&question, &key)) {
+                shared.exec_hits.fetch_add(1, Ordering::Relaxed);
+                out[i] = Some(v.clone());
+                continue;
+            }
+            if !pending.contains_key(&question) {
+                questions.push(question.clone());
+            }
+            pending.entry(question).or_default().push((i, key));
+        }
+
+        for question in &questions {
+            let entries = &pending[question];
+            let mut seen = HashSet::new();
+            let needed: Vec<Vec<String>> = entries
+                .iter()
+                .filter(|(_, k)| seen.insert(k.clone()))
+                .map(|(_, k)| k.clone())
+                .collect();
+            shared.fetch_batch(question, &needed);
+        }
+
+        for (question, entries) in questions.iter().map(|q| (q, &pending[q])) {
+            for (i, key) in entries {
+                let hit = shared
+                    .answers
+                    .lock()
+                    .get(&shared.cache_key(question, key))
+                    .cloned();
+                out[*i] = Some(match hit {
+                    Some(v) => v,
+                    None => shared.fetch_single(question, key)?,
+                });
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|v| v.expect("every batch slot filled"))
+            .collect())
+    }
+
     fn is_expensive(&self) -> bool {
         true
     }
+}
+
+/// Validate an `llm_map` argument tuple: `Ok(None)` marks a NULL key
+/// (whose answer is NULL without any model call).
+fn parse_args(args: &[Value]) -> Result<Option<(String, Vec<String>)>> {
+    if args.len() < 2 {
+        return Err(Error::Udf {
+            name: "llm_map".into(),
+            message: "usage: llm_map(question, key, ...)".into(),
+        });
+    }
+    let question = args[0]
+        .as_str()
+        .ok_or_else(|| Error::Udf {
+            name: "llm_map".into(),
+            message: "first argument must be the question text".into(),
+        })?
+        .to_string();
+    if args[1..].iter().any(Value::is_null) {
+        return Ok(None);
+    }
+    let key: Vec<String> = args[1..].iter().map(Value::render).collect();
+    Ok(Some((question, key)))
 }
 
 /// Runs the benchmark's UDF-form hybrid queries over one domain.
@@ -248,6 +424,9 @@ impl UdfRunner {
             answers: Mutex::new(HashMap::new()),
             stats: Mutex::new(UdfStats::default()),
             fallback_calls: AtomicU64::new(0),
+            exec_hits: AtomicU64::new(0),
+            in_flight: StdMutex::new(HashSet::new()),
+            in_flight_done: Condvar::new(),
         });
         let mut db = domain.curated.clone();
         db.register_udf(Arc::new(LlmMapUdf { shared: shared.clone() }));
@@ -282,6 +461,7 @@ impl UdfRunner {
     pub fn stats(&self) -> UdfStats {
         let mut s = *self.shared.stats.lock();
         s.fallback_calls = self.shared.fallback_calls.load(Ordering::Relaxed);
+        s.exec_cache_hits = self.shared.exec_hits.load(Ordering::Relaxed);
         s
     }
 
@@ -315,6 +495,12 @@ impl UdfRunner {
             if let SelectItem::Expr { expr, .. } = item {
                 collect(expr);
             }
+        }
+        // JOIN ON conditions are as batchable as WHERE conjuncts; the FROM
+        // tree must be walked too or `llm_map` in an ON clause is
+        // invisible to the pre-pass.
+        if let Some(from) = &core.from {
+            collect_join_on(from, &mut collect);
         }
         if let Some(f) = &core.filter {
             collect(f);
@@ -419,34 +605,21 @@ impl UdfRunner {
                 }
             }
         }
-        if needed.is_empty() {
-            return Ok(());
-        }
-
-        // Batch and fan out.
-        let batch = self.shared.config.batch_size.max(1);
-        let chunks: Vec<Vec<Vec<String>>> =
-            needed.chunks(batch).map(|c| c.to_vec()).collect();
-        let prompts: Vec<String> = chunks
-            .iter()
-            .map(|keys| self.shared.prompt_for(question, keys.clone()).render())
-            .collect();
-        let completions =
-            parallel::complete_many(self.shared.model.as_ref(), &prompts, self.shared.config.workers);
-
-        let mut answers = self.shared.answers.lock();
-        let mut stats = self.shared.stats.lock();
-        for (keys, completion) in chunks.iter().zip(completions) {
-            let Ok(completion) = completion else { continue };
-            let lines = swan_llm::prompt::parse_udf_response(&completion.text);
-            // Align line i with key i; short responses (batch glitches,
-            // §5.4) leave trailing keys unanswered — execution falls back.
-            for (key, line) in keys.iter().zip(lines) {
-                answers.insert(self.shared.cache_key(question, key), infer_value(&line));
-                stats.prefetched_keys += 1;
-            }
-        }
+        // Batch and fan out (short responses — batch glitches, §5.4 —
+        // leave trailing keys unanswered; execution falls back).
+        self.shared.fetch_batch(question, &needed);
         Ok(())
+    }
+}
+
+/// Walk a FROM tree, feeding every JOIN ON condition to `collect`.
+fn collect_join_on(t: &TableRef, collect: &mut impl FnMut(&Expr)) {
+    if let TableRef::Join { left, right, on, .. } = t {
+        collect_join_on(left, collect);
+        collect_join_on(right, collect);
+        if let Some(on) = on {
+            collect(on);
+        }
     }
 }
 
@@ -605,10 +778,30 @@ mod tests {
     }
 
     #[test]
-    fn fallback_single_call_on_unprefetchable_key() {
+    fn unprefetchable_key_is_batched_not_single_fetched() {
         let (_, mut r) = runner(0.05, UdfConfig::default());
-        // llm_map over a literal key: the pre-pass cannot see a table, so
-        // invoke() falls back to a single call.
+        // llm_map over a literal key: the pre-pass cannot see a table, but
+        // the engine's vectorized execution still answers it through one
+        // batched call — no per-row fallback.
+        let out = r
+            .run_sql(
+                "SELECT llm_map('Which publisher published the superhero?', 'Nobody', 'No One')",
+            )
+            .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        let stats = r.stats();
+        assert_eq!(stats.fallback_calls, 0, "batched execution, not fetch_single");
+        assert_eq!(stats.prefetched_keys, 1, "the one key came through a batch");
+    }
+
+    #[test]
+    fn fallback_single_call_when_engine_batching_disabled() {
+        let (_, mut r) = runner(0.05, UdfConfig::default());
+        r.database_mut().set_optimizer(swan_sqlengine::OptimizerConfig {
+            batch_expensive_udfs: false,
+            ..Default::default()
+        });
+        // With the engine rule ablated, the old per-row fallback remains.
         let out = r
             .run_sql(
                 "SELECT llm_map('Which publisher published the superhero?', 'Nobody', 'No One')",
@@ -616,6 +809,118 @@ mod tests {
             .unwrap();
         assert_eq!(out.rows.len(), 1);
         assert_eq!(r.stats().fallback_calls, 1);
+    }
+
+    /// Regression: `llm_map` inside a JOIN ON condition must be visible to
+    /// the AST pre-pass (the FROM tree was never walked), so every hero is
+    /// prefetched in batch and execution needs zero fallback calls even
+    /// with the engine's own batching ablated.
+    #[test]
+    fn prepass_sees_llm_map_in_join_on() {
+        let (d, mut r) = runner(0.05, UdfConfig::default());
+        r.database_mut().set_optimizer(swan_sqlengine::OptimizerConfig {
+            batch_expensive_udfs: false,
+            ..Default::default()
+        });
+        let heroes = d.curated.catalog().get("superhero").unwrap().len() as u64;
+        r.run_sql(
+            "SELECT COUNT(*) FROM superhero T1 JOIN alignment a \
+             ON llm_map('What is the moral alignment of the superhero?', \
+                        T1.superhero_name, T1.full_name) = a.alignment",
+        )
+        .unwrap();
+        let stats = r.stats();
+        assert_eq!(stats.prefetched_keys, heroes, "pre-pass saw the JOIN ON call");
+        assert_eq!(stats.fallback_calls, 0, "no per-row calls left to make");
+    }
+
+    /// Acceptance: a query the pre-pass cannot handle (`llm_map` in a JOIN
+    /// ON over a subquery source) still issues ceil(distinct_keys /
+    /// batch_size) model calls — the engine's vectorized execution batches
+    /// what the pre-pass bails on.
+    #[test]
+    fn join_on_over_subquery_source_is_batched() {
+        let d = SwanBenchmark::generate_domain(&GenConfig::with_scale(0.05), "superhero").unwrap();
+        let kb = swan_data::build_knowledge(std::slice::from_ref(&d));
+        let model = Arc::new(SimulatedModel::new(ModelKind::Gpt4Turbo, kb));
+        let mut r = UdfRunner::new(&d, model.clone(), UdfConfig::default());
+        let heroes = d.curated.catalog().get("superhero").unwrap().len() as u64;
+
+        r.run_sql(
+            "SELECT COUNT(*) FROM (SELECT superhero_name, full_name FROM superhero) h \
+             JOIN alignment a \
+             ON llm_map('What is the moral alignment of the superhero?', \
+                        h.superhero_name, h.full_name) = a.alignment",
+        )
+        .unwrap();
+        let calls = model.usage().calls;
+        assert_eq!(
+            calls,
+            heroes.div_ceil(5),
+            "one batched call per 5 distinct keys, not one per row"
+        );
+        assert_eq!(r.stats().fallback_calls, 0);
+    }
+
+    /// Execution-time answer-store hits are counted (they used to be
+    /// invisible in `UdfStats`).
+    #[test]
+    fn execution_cache_hits_are_counted() {
+        let (d, mut r) = runner(0.05, UdfConfig::default());
+        r.run_sql(&d.questions[0].udf_sql).unwrap();
+        let stats = r.stats();
+        assert!(
+            stats.exec_cache_hits > 0,
+            "execution reads the prefetched answers through the store"
+        );
+        assert_eq!(stats.cache_hits, 0, "prefetch-time hits stay separate");
+    }
+
+    /// Concurrent rows asking for the same uncached key must coalesce into
+    /// one model call (single-flight), not one call each.
+    #[test]
+    fn concurrent_same_key_fallbacks_single_flight() {
+        use swan_llm::UsageMeter;
+
+        /// Adds latency so concurrent fallbacks genuinely overlap.
+        struct SlowModel {
+            inner: Arc<SimulatedModel>,
+        }
+        impl swan_llm::LanguageModel for SlowModel {
+            fn name(&self) -> &str {
+                "slow-sim"
+            }
+            fn complete(&self, prompt: &str) -> swan_llm::LlmResult<swan_llm::Completion> {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                self.inner.complete(prompt)
+            }
+            fn usage_meter(&self) -> &UsageMeter {
+                self.inner.usage_meter()
+            }
+        }
+
+        let d = SwanBenchmark::generate_domain(&GenConfig::with_scale(0.05), "superhero").unwrap();
+        let kb = swan_data::build_knowledge(std::slice::from_ref(&d));
+        let inner = Arc::new(SimulatedModel::new(ModelKind::Gpt4Turbo, kb));
+        let mut r = UdfRunner::new(&d, Arc::new(SlowModel { inner: inner.clone() }), UdfConfig::default());
+        // Per-row path (engine batching off) so every row goes through
+        // `fetch_single`.
+        r.database_mut().set_optimizer(swan_sqlengine::OptimizerConfig {
+            batch_expensive_udfs: false,
+            ..Default::default()
+        });
+        let db = r.database();
+        let sql = "SELECT llm_map('Which publisher published the superhero?', 'Solo', 'Key')";
+        let results: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| db.query(sql).unwrap().rows[0][0].render()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "one answer for all rows");
+        assert_eq!(inner.usage().calls, 1, "concurrent identical keys coalesced");
+        assert_eq!(r.stats().fallback_calls, 1);
+        assert_eq!(r.stats().exec_cache_hits, 3, "the three waiters hit the store");
     }
 
     #[test]

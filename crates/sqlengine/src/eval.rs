@@ -8,13 +8,15 @@
 
 use std::cmp::Ordering;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::{BinaryOp, Expr, SelectStmt, UnaryOp};
 use crate::error::{Error, Result};
 use crate::exec::{run_select, ExecCtx, Relation, SubqueryState};
-use crate::functions::{eval_builtin, glob_match, is_aggregate, like_match};
+use crate::functions::{eval_builtin, glob_match, is_aggregate, like_match, ScalarUdf, UdfRegistry};
+use crate::hash::FxHashSet;
 use crate::plan::RelSchema;
-use crate::value::Value;
+use crate::value::{UdfArgKey, Value};
 
 /// One scope of row bindings. `outer` points at the enclosing query's scope
 /// for correlated subqueries.
@@ -104,6 +106,34 @@ pub fn eval(expr: &Expr, ctx: &ExecCtx<'_>, row: Option<&RowCtx<'_>>) -> Result<
                                 vals.len()
                             )));
                         }
+                    }
+                    if udf.is_expensive() && ctx.optimizer.batch_expensive_udfs {
+                        // Batched execution: an operator-level prefetch
+                        // ([`BatchableCalls`]) has usually answered this
+                        // argument tuple already; per-row invocations fill
+                        // (and reuse) the same statement-scoped store, so
+                        // repeated tuples pay one call even off the
+                        // batched path. Tuples are keyed by exact value
+                        // identity ([`UdfArgKey`]), matching the
+                        // determinism contract on [`ScalarUdf::invoke`].
+                        let lname = name.to_ascii_lowercase();
+                        let args_key: Vec<UdfArgKey> =
+                            vals.iter().map(Value::udf_arg_key).collect();
+                        if let Some(v) = ctx
+                            .udf_results
+                            .borrow()
+                            .get(&lname)
+                            .and_then(|m| m.get(&args_key))
+                        {
+                            return Ok(v.clone());
+                        }
+                        let v = udf.invoke(&vals)?;
+                        ctx.udf_results
+                            .borrow_mut()
+                            .entry(lname)
+                            .or_default()
+                            .insert(args_key, v.clone());
+                        return Ok(v);
                     }
                     udf.invoke(&vals)
                 }
@@ -306,6 +336,262 @@ pub fn bind_columns(expr: &Expr, schema: &RelSchema) -> Expr {
         // Leaves and whole subqueries pass through unchanged.
         other => other.clone(),
     }
+}
+
+// ---- batched expensive-UDF evaluation --------------------------------------
+
+/// A row source that can be replayed once per call site: the callback is
+/// handed a per-row collector and must invoke it for every row of the
+/// operator's input batch.
+pub type RowSource<'a> = dyn FnMut(&mut dyn FnMut(&RowCtx<'_>) -> Result<()>) -> Result<()> + 'a;
+
+/// One expensive scalar-UDF call site found in an operator's expressions.
+struct CallSite<'e> {
+    /// Lowercased function name (the result-store key prefix).
+    name: String,
+    args: &'e [Expr],
+    udf: Arc<dyn ScalarUdf>,
+    /// Whether the call sits inside an aggregate's argument (evaluated per
+    /// member row) rather than over the group representative.
+    in_aggregate: bool,
+}
+
+/// The expensive scalar-UDF call sites of one operator, ready for
+/// vectorized evaluation.
+///
+/// For each site (innermost first, so nested calls resolve bottom-up) the
+/// prefetch evaluates the argument expressions across the operator's input
+/// batch, dedupes the tuples by exact value identity, issues **one**
+/// [`ScalarUdf::invoke_batch`] for the tuples not already answered, and
+/// stores the results in the statement-scoped
+/// [`ExecCtx::udf_results`](crate::exec::ExecCtx) store where the per-row
+/// evaluator finds them. Rows whose arguments fail to evaluate here (outer
+/// correlations the batch schema cannot see, latent type errors) are left
+/// to the per-row path, which raises exactly what the unbatched engine
+/// raised, and a failing `invoke_batch` likewise falls back instead of
+/// erroring. Sites in *conditionally evaluated* positions (CASE branches,
+/// right-hand sides of AND/OR, IN-list tails) are never collected, so
+/// batching issues no call that per-row short-circuit evaluation would
+/// have skipped — it only ever lowers call counts.
+pub struct BatchableCalls<'e> {
+    sites: Vec<CallSite<'e>>,
+}
+
+impl<'e> BatchableCalls<'e> {
+    /// Find the expensive call sites in `exprs`; `None` when there are
+    /// none (the overwhelmingly common case — one cheap walk per operator).
+    pub fn find(
+        exprs: impl IntoIterator<Item = &'e Expr>,
+        udfs: &UdfRegistry,
+    ) -> Option<BatchableCalls<'e>> {
+        let mut sites = Vec::new();
+        for e in exprs {
+            collect_sites(e, udfs, SiteCtx { in_aggregate: false, conditional: false }, &mut sites);
+        }
+        if sites.is_empty() {
+            None
+        } else {
+            Some(BatchableCalls { sites })
+        }
+    }
+
+    /// Prefetch every site across a materialized row batch.
+    pub fn prefetch_rows(
+        &self,
+        ctx: &ExecCtx<'_>,
+        schema: &RelSchema,
+        rows: &[crate::value::Row],
+        outer: Option<&RowCtx<'_>>,
+    ) -> Result<()> {
+        self.prefetch(ctx, &mut |collect| {
+            for row in rows {
+                collect(&RowCtx { schema, row, outer })?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Prefetch every site over a replayable row source.
+    pub fn prefetch(&self, ctx: &ExecCtx<'_>, rows: &mut RowSource<'_>) -> Result<()> {
+        for site in &self.sites {
+            prefetch_site(site, ctx, rows)?;
+        }
+        Ok(())
+    }
+
+    /// Prefetch only the sites inside (or outside) aggregate arguments —
+    /// the aggregation operator batches the two classes over different row
+    /// sets (member rows vs group representatives).
+    pub fn prefetch_scope(
+        &self,
+        in_aggregate: bool,
+        ctx: &ExecCtx<'_>,
+        rows: &mut RowSource<'_>,
+    ) -> Result<()> {
+        for site in self.sites.iter().filter(|s| s.in_aggregate == in_aggregate) {
+            prefetch_site(site, ctx, rows)?;
+        }
+        Ok(())
+    }
+}
+
+/// Traversal state for call-site collection.
+#[derive(Clone, Copy)]
+struct SiteCtx {
+    in_aggregate: bool,
+    /// Inside a subtree per-row evaluation may skip (CASE branches, the
+    /// right-hand side of AND/OR, IN-list tails). Such sites are not
+    /// collected: batching must never pay for a call short-circuiting
+    /// would have avoided.
+    conditional: bool,
+}
+
+impl SiteCtx {
+    fn conditional(self) -> SiteCtx {
+        SiteCtx { conditional: true, ..self }
+    }
+}
+
+/// Post-order call-site collection (arguments before the call itself, so
+/// nested expensive calls batch innermost-first). Subqueries are skipped —
+/// they execute in their own scope and batch there; aggregate calls mark
+/// their argument subtrees but are never sites themselves.
+fn collect_sites<'e>(
+    e: &'e Expr,
+    udfs: &UdfRegistry,
+    sc: SiteCtx,
+    out: &mut Vec<CallSite<'e>>,
+) {
+    match e {
+        Expr::Function { name, args, .. } => {
+            let agg = is_aggregate(name);
+            let inner = SiteCtx { in_aggregate: sc.in_aggregate || agg, ..sc };
+            for a in args {
+                collect_sites(a, udfs, inner, out);
+            }
+            if agg || sc.conditional {
+                return;
+            }
+            if let Some(udf) = udfs.get(name) {
+                // Arity mismatches are left to the per-row path's error.
+                if udf.is_expensive() && udf.arity().is_none_or(|n| n == args.len()) {
+                    out.push(CallSite {
+                        name: name.to_ascii_lowercase(),
+                        args,
+                        udf: udf.clone(),
+                        in_aggregate: sc.in_aggregate,
+                    });
+                }
+            }
+        }
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+            collect_sites(expr, udfs, sc, out)
+        }
+        Expr::Binary { op, left, right } => {
+            collect_sites(left, udfs, sc, out);
+            // AND/OR short-circuit: the right operand may never run.
+            let rc = match op {
+                BinaryOp::And | BinaryOp::Or => sc.conditional(),
+                _ => sc,
+            };
+            collect_sites(right, udfs, rc, out);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            collect_sites(expr, udfs, sc, out);
+            collect_sites(pattern, udfs, sc, out);
+        }
+        Expr::Between { expr, low, high, .. } => {
+            collect_sites(expr, udfs, sc, out);
+            collect_sites(low, udfs, sc, out);
+            collect_sites(high, udfs, sc, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_sites(expr, udfs, sc, out);
+            // A NULL tested expression skips the whole list, and
+            // membership testing stops at the first match: every list
+            // item is conditionally evaluated.
+            for item in list {
+                collect_sites(item, udfs, sc.conditional(), out);
+            }
+        }
+        Expr::InSubquery { expr, .. } => collect_sites(expr, udfs, sc, out),
+        Expr::Case { operand, branches, else_expr } => {
+            // The operand and the first WHEN always evaluate; every later
+            // WHEN, every THEN, and the ELSE may be skipped.
+            if let Some(op) = operand {
+                collect_sites(op, udfs, sc, out);
+            }
+            for (i, (w, t)) in branches.iter().enumerate() {
+                let wc = if i == 0 { sc } else { sc.conditional() };
+                collect_sites(w, udfs, wc, out);
+                collect_sites(t, udfs, sc.conditional(), out);
+            }
+            if let Some(el) = else_expr {
+                collect_sites(el, udfs, sc.conditional(), out);
+            }
+        }
+        Expr::Literal(_)
+        | Expr::Column { .. }
+        | Expr::BoundColumn(_)
+        | Expr::Exists { .. }
+        | Expr::ScalarSubquery(_) => {}
+    }
+}
+
+fn prefetch_site(
+    site: &CallSite<'_>,
+    ctx: &ExecCtx<'_>,
+    rows: &mut RowSource<'_>,
+) -> Result<()> {
+    let mut seen: FxHashSet<Vec<UdfArgKey>> = FxHashSet::default();
+    let mut pending_keys: Vec<Vec<UdfArgKey>> = Vec::new();
+    let mut pending_args: Vec<Vec<Value>> = Vec::new();
+    rows(&mut |rc| {
+        let mut vals = Vec::with_capacity(site.args.len());
+        for a in site.args {
+            match eval(a, ctx, Some(rc)) {
+                Ok(v) => vals.push(v),
+                // Unevaluable in batch context: leave this row to the
+                // per-row path.
+                Err(_) => return Ok(()),
+            }
+        }
+        let gk: Vec<UdfArgKey> = vals.iter().map(Value::udf_arg_key).collect();
+        if seen.contains(&gk) {
+            return Ok(());
+        }
+        if ctx
+            .udf_results
+            .borrow()
+            .get(&site.name)
+            .is_some_and(|m| m.contains_key(&gk))
+        {
+            seen.insert(gk);
+            return Ok(());
+        }
+        seen.insert(gk.clone());
+        pending_keys.push(gk);
+        pending_args.push(vals);
+        Ok(())
+    })?;
+    if pending_args.is_empty() {
+        return Ok(());
+    }
+    // One vectorized call for the whole batch; the UDF chunks internally.
+    // A failed or short batch leaves tuples unanswered and the per-row
+    // path surfaces (or retries) them.
+    let Ok(results) = site.udf.invoke_batch(&pending_args) else {
+        return Ok(());
+    };
+    if results.len() != pending_keys.len() {
+        return Ok(());
+    }
+    let mut store = ctx.udf_results.borrow_mut();
+    let results_for_site = store.entry(site.name.clone()).or_default();
+    for (gk, v) in pending_keys.into_iter().zip(results) {
+        results_for_site.insert(gk, v);
+    }
+    Ok(())
 }
 
 fn eval_binary(

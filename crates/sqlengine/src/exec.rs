@@ -27,13 +27,17 @@ use crate::ast::{
     CompoundOp, Expr, OrderItem, SelectBody, SelectCore, SelectItem, SelectStmt,
 };
 use crate::error::{Error, Result};
-use crate::eval::{bind_columns, eval, RowCtx};
+use crate::eval::{bind_columns, eval, BatchableCalls, RowCtx};
 use crate::functions::{is_aggregate, UdfRegistry};
 use crate::hash::{map_with_capacity, set_with_capacity, FxHashMap, FxHashSet};
 use crate::optimizer::{optimize, NeededCol, OptimizerConfig};
 use crate::plan::{plan_from, ColRef, Plan, PlanJoinKind, RelSchema};
 use crate::storage::Catalog;
-use crate::value::{GroupKey, Row, Value};
+use crate::value::{GroupKey, Row, UdfArgKey, Value};
+
+/// Results of one expensive UDF's invocations within a statement, keyed
+/// by argument tuple under exact value identity.
+pub type UdfResults = FxHashMap<Vec<UdfArgKey>, Value>;
 
 /// Result rows paired with per-row ORDER BY sort keys.
 type RowsAndKeys = (Vec<Row>, Vec<Vec<Value>>);
@@ -68,6 +72,12 @@ pub struct ExecCtx<'a> {
     pub optimizer: OptimizerConfig,
     /// Subquery result cache keyed by the subquery's AST node address.
     pub subqueries: RefCell<HashMap<usize, SubqueryState>>,
+    /// Statement-scoped results of expensive-UDF invocations, keyed by
+    /// lowercased function name, filled by the operators' vectorized
+    /// prefetch ([`BatchableCalls`]) and by per-row evaluation; every
+    /// later evaluation of the same argument tuple is a lookup instead
+    /// of a call.
+    pub udf_results: RefCell<FxHashMap<String, UdfResults>>,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -77,6 +87,7 @@ impl<'a> ExecCtx<'a> {
             udfs,
             optimizer: OptimizerConfig::default(),
             subqueries: RefCell::new(HashMap::new()),
+            udf_results: RefCell::new(FxHashMap::default()),
         }
     }
 
@@ -319,6 +330,16 @@ fn run_core(
 
     if core.having.is_some() && !aggregated && core.group_by.is_empty() {
         return Err(Error::Semantic("HAVING requires GROUP BY or an aggregate".into()));
+    }
+
+    // Vectorize expensive calls in the projection / sort keys across the
+    // whole input batch before the per-row loop runs (the aggregated path
+    // batches inside `run_aggregate`, over groups).
+    if ctx.optimizer.batch_expensive_udfs && !aggregated {
+        let exprs = projection.iter().map(|(e, _)| e).chain(order_exprs.iter());
+        if let Some(batch) = BatchableCalls::find(exprs, ctx.udfs) {
+            batch.prefetch_rows(ctx, &input.schema, &input.rows, outer)?;
+        }
     }
 
     let (mut rows, mut keys) = if aggregated {
@@ -567,6 +588,13 @@ fn run_aggregate(
     if core.group_by.is_empty() {
         groups.push((0..input.rows.len()).collect());
     } else {
+        // Expensive calls in the grouping keys evaluate once per input
+        // row: vectorize them before the key loop runs.
+        if ctx.optimizer.batch_expensive_udfs {
+            if let Some(batch) = BatchableCalls::find(core.group_by.iter(), ctx.udfs) {
+                batch.prefetch_rows(ctx, &input.schema, &input.rows, outer)?;
+            }
+        }
         let bound_keys: Vec<Expr> =
             core.group_by.iter().map(|g| bind_columns(g, &input.schema)).collect();
         for (ri, row) in input.rows.iter().enumerate() {
@@ -588,21 +616,82 @@ fn run_aggregate(
     // fully-filtered aggregate).
     let null_row: Vec<Value> = vec![Value::Null; input.schema.len()];
 
-    let mut rows: Vec<Row> = Vec::with_capacity(groups.len());
+    // Vectorize the HAVING predicate's expensive calls: sites inside
+    // aggregate arguments see every member row, sites outside see one
+    // representative row per group.
+    if ctx.optimizer.batch_expensive_udfs {
+        if let Some(batch) = BatchableCalls::find(having, ctx.udfs) {
+            batch.prefetch_scope(true, ctx, &mut |collect| {
+                for row in &input.rows {
+                    collect(&RowCtx { schema: &input.schema, row, outer })?;
+                }
+                Ok(())
+            })?;
+            batch.prefetch_scope(false, ctx, &mut |collect| {
+                for members in &groups {
+                    if let Some(&i) = members.first() {
+                        collect(&RowCtx { schema: &input.schema, row: &input.rows[i], outer })?;
+                    }
+                }
+                Ok(())
+            })?;
+        }
+    }
+
+    // Apply HAVING before any output-site prefetch: batching must not pay
+    // for projection/sort-key calls on groups HAVING rejects (the per-row
+    // path skips their output expressions entirely).
+    let survivors: Vec<&Vec<usize>> = match having {
+        None => groups.iter().collect(),
+        Some(h) => {
+            let mut out = Vec::new();
+            for members in &groups {
+                let rep: &[Value] = match members.first() {
+                    Some(&i) => &input.rows[i],
+                    None => &null_row,
+                };
+                let rep_ctx = RowCtx { schema: &input.schema, row: rep, outer };
+                if materialize_and_eval(h, members, input, ctx, &rep_ctx)?.truthiness()
+                    == Some(true)
+                {
+                    out.push(members);
+                }
+            }
+            out
+        }
+    };
+
+    // Vectorize the output expressions over the surviving groups only.
+    if ctx.optimizer.batch_expensive_udfs {
+        let exprs = projection.iter().map(|(e, _)| e).chain(order_exprs.iter());
+        if let Some(batch) = BatchableCalls::find(exprs, ctx.udfs) {
+            batch.prefetch_scope(true, ctx, &mut |collect| {
+                for members in &survivors {
+                    for &ri in members.iter() {
+                        collect(&RowCtx { schema: &input.schema, row: &input.rows[ri], outer })?;
+                    }
+                }
+                Ok(())
+            })?;
+            batch.prefetch_scope(false, ctx, &mut |collect| {
+                for members in &survivors {
+                    if let Some(&i) = members.first() {
+                        collect(&RowCtx { schema: &input.schema, row: &input.rows[i], outer })?;
+                    }
+                }
+                Ok(())
+            })?;
+        }
+    }
+
+    let mut rows: Vec<Row> = Vec::with_capacity(survivors.len());
     let mut keys = Vec::new();
-    for members in &groups {
+    for members in survivors {
         let rep: &[Value] = match members.first() {
             Some(&i) => &input.rows[i],
             None => &null_row,
         };
         let rep_ctx = RowCtx { schema: &input.schema, row: rep, outer };
-
-        if let Some(h) = having {
-            let hv = materialize_and_eval(h, members, input, ctx, &rep_ctx)?;
-            if hv.truthiness() != Some(true) {
-                continue;
-            }
-        }
 
         let mut out = Vec::with_capacity(projection.len());
         for (e, _) in projection {
@@ -873,6 +962,17 @@ pub fn exec_plan(
                 return Err(e);
             }
             rel.rows = rows;
+            Ok(rel)
+        }
+
+        Plan::Batch { input, calls } => {
+            let rel = exec_plan(input, ctx, outer)?;
+            // Vectorize the marked expensive calls across the whole input
+            // batch; the filter above this node then evaluates per row
+            // against the prefetched results.
+            if let Some(batch) = BatchableCalls::find(calls.iter(), ctx.udfs) {
+                batch.prefetch_rows(ctx, &rel.schema, &rel.rows, outer)?;
+            }
             Ok(rel)
         }
 
@@ -1199,6 +1299,22 @@ fn hash_join(
     };
     let residual = residual.map(|r| bind_columns(r, schema));
 
+    // Expensive calls in a join key (`ON llm_map(...) = x`) are evaluated
+    // per row of *one* side: vectorize them over that side's batch before
+    // the build/probe loops run.
+    if ctx.optimizer.batch_expensive_udfs {
+        if let KeySide::Exprs(exprs) = &build_key {
+            if let Some(batch) = BatchableCalls::find(exprs.iter(), ctx.udfs) {
+                batch.prefetch_rows(ctx, build.schema(), build.rows(), outer)?;
+            }
+        }
+        if let KeySide::Exprs(exprs) = &probe_key {
+            if let Some(batch) = BatchableCalls::find(exprs.iter(), ctx.udfs) {
+                batch.prefetch_rows(ctx, probe.schema(), probe.rows(), outer)?;
+            }
+        }
+    }
+
     // Pre-sized build table: one reallocation-free pass. Buckets inline
     // the single-row case (the norm for key/foreign-key joins), so a
     // unique-key build performs zero per-bucket allocations.
@@ -1211,6 +1327,36 @@ fn hash_join(
                     v.insert(Bucket::One(ri as u32));
                 }
                 std::collections::hash_map::Entry::Occupied(mut o) => o.get_mut().push(ri as u32),
+            }
+        }
+    }
+
+    // Expensive calls in the residual evaluate over combined candidate
+    // rows: replay the probe loop once collecting the distinct argument
+    // tuples (cheap — no emission), batch them, then run the real loop
+    // against the prefetched results.
+    if ctx.optimizer.batch_expensive_udfs {
+        if let Some(res) = residual.as_ref() {
+            if let Some(batch) = BatchableCalls::find([res], ctx.udfs) {
+                let mut scratch: Vec<Value> = Vec::with_capacity(schema.len());
+                batch.prefetch(ctx, &mut |collect| {
+                    for prow in probe.rows() {
+                        let Some(key) = probe_key.key(prow, probe.schema(), ctx, outer)? else {
+                            continue;
+                        };
+                        let Some(cands) = table.get(&key) else { continue };
+                        for &ri in cands.as_slice() {
+                            let brow = &build.rows()[ri as usize];
+                            let (lrow, rrow): (&[Value], &[Value]) =
+                                if build_left { (brow, prow) } else { (prow, brow) };
+                            scratch.clear();
+                            scratch.extend_from_slice(lrow);
+                            scratch.extend_from_slice(rrow);
+                            collect(&RowCtx { schema, row: &scratch, outer })?;
+                        }
+                    }
+                    Ok(())
+                })?;
             }
         }
     }
@@ -1359,6 +1505,29 @@ fn nested_loop_join(
     };
     let lw = left.schema().len();
     let mut scratch: Vec<Value> = vec![Value::Null; schema.len()];
+
+    // Vectorize expensive calls in the ON predicate over the candidate
+    // pairs: the argument-tuple dedupe collapses the cross product to the
+    // distinct tuples, so one batched call replaces O(n·m) row calls.
+    if ctx.optimizer.batch_expensive_udfs {
+        if let Some(pred) = on.as_ref() {
+            if let Some(batch) = BatchableCalls::find([pred], ctx.udfs) {
+                batch.prefetch(ctx, &mut |collect| {
+                    for lrow in left.rows() {
+                        for rrow in right.rows() {
+                            for &i in &used {
+                                scratch[i] =
+                                    if i < lw { lrow[i].clone() } else { rrow[i - lw].clone() };
+                            }
+                            collect(&RowCtx { schema, row: &scratch, outer })?;
+                        }
+                    }
+                    Ok(())
+                })?;
+            }
+        }
+    }
+
     let mut out = Vec::new();
     for lrow in left.rows() {
         let mut matched = false;

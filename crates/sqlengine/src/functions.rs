@@ -21,6 +21,20 @@ pub trait ScalarUdf: Send + Sync {
     fn name(&self) -> &str;
     /// Invoke on one row's argument values.
     fn invoke(&self, args: &[Value]) -> Result<Value>;
+    /// Invoke on a batch of argument tuples, returning one value per tuple
+    /// in input order.
+    ///
+    /// The executor calls this once per operator input batch with the
+    /// *distinct* argument tuples of an expensive call site, so an
+    /// implementation backed by a remote model can chunk the tuples into
+    /// multi-key prompts and fan them out in parallel instead of paying
+    /// one round-trip per row. The default simply loops [`invoke`]
+    /// (correct for any UDF, batched for none).
+    ///
+    /// [`invoke`]: ScalarUdf::invoke
+    fn invoke_batch(&self, rows: &[Vec<Value>]) -> Result<Vec<Value>> {
+        rows.iter().map(|args| self.invoke(args)).collect()
+    }
     /// Arity check; `None` means variadic. Default: variadic.
     fn arity(&self) -> Option<usize> {
         None

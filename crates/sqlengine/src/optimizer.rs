@@ -18,6 +18,11 @@
 //!    unnecessary data entries").
 //! 4. **Constant folding** — literal arithmetic/comparisons collapse, which
 //!    also lets trivially-true filters disappear.
+//! 5. **Batched expensive-call marking** — filters whose predicates call
+//!    expensive UDFs are split so the cheap conjuncts filter first, then a
+//!    [`Plan::Batch`] node vectorizes the expensive calls (one
+//!    `invoke_batch` over the surviving rows' distinct argument tuples)
+//!    before the per-row expensive filter runs.
 
 use crate::ast::{BinaryOp, Expr, UnaryOp};
 use crate::error::Result;
@@ -36,6 +41,12 @@ pub struct OptimizerConfig {
     /// Prune join output columns to what the SELECT level actually reads
     /// (a `COUNT(*)` join then emits zero-width shared rows).
     pub prune_columns: bool,
+    /// Evaluate expensive UDF calls vectorized: mark call sites
+    /// ([`Plan::Batch`]) so each operator issues one
+    /// [`ScalarUdf::invoke_batch`](crate::functions::ScalarUdf) over the
+    /// distinct argument tuples of its input batch instead of one call
+    /// per row.
+    pub batch_expensive_udfs: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -46,6 +57,7 @@ impl Default for OptimizerConfig {
             fold_constants: true,
             reorder_joins: true,
             prune_columns: true,
+            batch_expensive_udfs: true,
         }
     }
 }
@@ -74,6 +86,7 @@ pub fn optimize(
         (true, Some(needed)) => prune_columns(plan, Some(needed.to_vec()), provider)?,
         _ => plan,
     };
+    let plan = if config.batch_expensive_udfs { batch_expensive_calls(plan, udfs) } else { plan };
     Ok(plan)
 }
 
@@ -164,6 +177,7 @@ fn push_predicate_into(
         leaf @ (Plan::Scan { .. }
         | Plan::Derived { .. }
         | Plan::Permute { .. }
+        | Plan::Batch { .. }
         | Plan::Empty) => Ok(wrap_filter(leaf, conjuncts)),
     }
 }
@@ -662,6 +676,48 @@ pub fn expr_cost(e: &Expr, udfs: &UdfRegistry) -> u8 {
     cost
 }
 
+// ---- rule 5: batched expensive-call marking -----------------------------
+
+/// Insert [`Plan::Batch`] nodes under filters that call expensive UDFs.
+///
+/// `Filter(cheap AND expensive)` becomes
+/// `Filter(expensive) ← Batch(expensive) ← Filter(cheap)`: the cheap
+/// conjuncts keep pruning rows first (preserving rule 3's
+/// cheap-predicates-first cost behaviour), the batch node then answers the
+/// expensive calls for all *surviving* rows in one vectorized
+/// `invoke_batch`, and the per-row expensive filter evaluates against the
+/// prefetched results. Runs last, so no other rule ever sees a Batch node.
+fn batch_expensive_calls(plan: Plan, udfs: &UdfRegistry) -> Plan {
+    match plan {
+        Plan::Filter { input, predicate } => {
+            let input = Box::new(batch_expensive_calls(*input, udfs));
+            let (expensive, cheap): (Vec<Expr>, Vec<Expr>) = split_conjuncts(&predicate)
+                .into_iter()
+                .partition(|c| expr_cost(c, udfs) >= 2);
+            if expensive.is_empty() {
+                return Plan::Filter { input, predicate };
+            }
+            let below = wrap_filter(*input, cheap);
+            let marked = Plan::Batch { input: Box::new(below), calls: expensive.clone() };
+            Plan::Filter {
+                input: Box::new(marked),
+                predicate: conjoin(expensive).expect("non-empty"),
+            }
+        }
+        Plan::Join { left, right, kind, on, emit } => Plan::Join {
+            left: Box::new(batch_expensive_calls(*left, udfs)),
+            right: Box::new(batch_expensive_calls(*right, udfs)),
+            kind,
+            on,
+            emit,
+        },
+        Plan::Permute { input, mapping } => {
+            Plan::Permute { input: Box::new(batch_expensive_calls(*input, udfs)), mapping }
+        }
+        other => other,
+    }
+}
+
 // ---- rule 4: constant folding ------------------------------------------
 
 fn fold_plan(plan: Plan) -> Plan {
@@ -859,29 +915,80 @@ mod tests {
         assert!(matches!(opt, Plan::Filter { .. }));
     }
 
-    #[test]
-    fn expensive_udf_predicate_ordered_last() {
-        struct Llm;
-        impl crate::functions::ScalarUdf for Llm {
-            fn name(&self) -> &str {
-                "llm"
-            }
-            fn invoke(&self, _: &[Value]) -> Result<Value> {
-                Ok(Value::Null)
-            }
-            fn is_expensive(&self) -> bool {
-                true
-            }
+    struct Llm;
+    impl crate::functions::ScalarUdf for Llm {
+        fn name(&self) -> &str {
+            "llm"
         }
+        fn invoke(&self, _: &[Value]) -> Result<Value> {
+            Ok(Value::Null)
+        }
+        fn is_expensive(&self) -> bool {
+            true
+        }
+    }
+
+    fn llm_registry() -> UdfRegistry {
         let mut udfs = UdfRegistry::new();
         udfs.register(Arc::new(Llm));
+        udfs
+    }
+
+    #[test]
+    fn expensive_udf_predicate_ordered_last() {
+        let udfs = llm_registry();
         let p = plan_of("SELECT * FROM a WHERE llm(a.x) = 'Yes' AND a.ax = 1");
-        let opt = optimize(p, &udfs, &OptimizerConfig::default(), &Fixture, None).unwrap();
+        let cfg = OptimizerConfig { batch_expensive_udfs: false, ..Default::default() };
+        let opt = optimize(p, &udfs, &cfg, &Fixture, None).unwrap();
         let Plan::Filter { predicate, .. } = opt else { panic!() };
         let parts = split_conjuncts(&predicate);
         assert_eq!(parts.len(), 2);
         assert_eq!(expr_cost(&parts[0], &udfs), 0, "cheap predicate first");
         assert_eq!(expr_cost(&parts[1], &udfs), 2, "LLM predicate last");
+    }
+
+    /// Rule 5: an expensive filter is split into cheap filter → Batch →
+    /// expensive filter, so the cheap conjunct still prunes before any
+    /// batched call and the expensive conjunct is marked for vectorized
+    /// evaluation over the survivors.
+    #[test]
+    fn expensive_filter_gets_batch_node() {
+        let udfs = llm_registry();
+        let p = plan_of("SELECT * FROM a WHERE llm(a.x) = 'Yes' AND a.ax = 1");
+        let opt = optimize(p, &udfs, &OptimizerConfig::default(), &Fixture, None).unwrap();
+        let Plan::Filter { input, predicate } = opt else { panic!("expensive filter on top") };
+        assert_eq!(expr_cost(&predicate, &udfs), 2);
+        let Plan::Batch { input, calls } = *input else { panic!("Batch under it") };
+        assert_eq!(calls.len(), 1);
+        assert_eq!(expr_cost(&calls[0], &udfs), 2);
+        let Plan::Filter { predicate, .. } = *input else { panic!("cheap filter below") };
+        assert_eq!(expr_cost(&predicate, &udfs), 0);
+    }
+
+    #[test]
+    fn batching_disabled_leaves_plan_unmarked() {
+        let udfs = llm_registry();
+        let p = plan_of("SELECT * FROM a WHERE llm(a.x) = 'Yes'");
+        let cfg = OptimizerConfig { batch_expensive_udfs: false, ..Default::default() };
+        let opt = optimize(p, &udfs, &cfg, &Fixture, None).unwrap();
+        fn has_batch(p: &Plan) -> bool {
+            match p {
+                Plan::Batch { .. } => true,
+                Plan::Filter { input, .. } | Plan::Permute { input, .. } => has_batch(input),
+                Plan::Join { left, right, .. } => has_batch(left) || has_batch(right),
+                _ => false,
+            }
+        }
+        assert!(!has_batch(&opt));
+    }
+
+    /// A filter with only cheap conjuncts never grows a Batch node.
+    #[test]
+    fn cheap_filter_not_marked() {
+        let udfs = llm_registry();
+        let p = plan_of("SELECT * FROM a WHERE a.ax = 1");
+        let opt = optimize(p, &udfs, &OptimizerConfig::default(), &Fixture, None).unwrap();
+        assert!(matches!(opt, Plan::Filter { .. }), "got {opt:?}");
     }
 
     #[test]

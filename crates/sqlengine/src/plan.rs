@@ -142,6 +142,14 @@ pub enum Plan {
     },
     /// Row filter.
     Filter { input: Box<Plan>, predicate: Expr },
+    /// Vectorized-UDF evaluation point. Before the operator above runs its
+    /// per-row loop, every expensive function call in `calls` is evaluated
+    /// once per *distinct argument tuple* across the input batch via
+    /// [`ScalarUdf::invoke_batch`](crate::functions::ScalarUdf), and the
+    /// results are stored for per-row lookup. Inserted by the optimizer's
+    /// batching rule under filters whose predicates call expensive UDFs;
+    /// a pass-through for rows otherwise.
+    Batch { input: Box<Plan>, calls: Vec<Expr> },
     /// Column permutation: output column `i` is input column `mapping[i]`.
     /// Emitted by join reordering to restore the query's written column
     /// order after the join tree has been rearranged.
@@ -179,6 +187,7 @@ impl Plan {
                 })
             }
             Plan::Filter { input, .. } => input.schema(provider),
+            Plan::Batch { input, .. } => input.schema(provider),
             Plan::Permute { input, mapping } => {
                 let inner = input.schema(provider)?;
                 Ok(RelSchema::new(

@@ -229,6 +229,27 @@ impl Value {
         Some(self.sort_cmp(other))
     }
 
+    /// Exact-identity key for the UDF result store: storage class plus
+    /// exact bits. Stricter than [`group_key`](Value::group_key), which
+    /// coerces integers through `f64` for SQL grouping equality — under
+    /// that coercion `Integer(1)`/`Real(1.0)` (different renderings,
+    /// different UDF prompts) and distinct integers beyond 2^53 would
+    /// share one cached UDF result.
+    pub fn udf_arg_key(&self) -> UdfArgKey {
+        match self {
+            Value::Null => UdfArgKey::Null,
+            Value::Integer(i) => UdfArgKey::Int(*i),
+            Value::Real(r) => {
+                // Canonicalize NaNs (they all render alike) but keep the
+                // sign of zero: -0.0 and 0.0 render differently, so they
+                // must not share a cached result.
+                let bits = if r.is_nan() { f64::NAN.to_bits() } else { r.to_bits() };
+                UdfArgKey::Real(bits)
+            }
+            Value::Text(s) => UdfArgKey::Text(s.clone()),
+        }
+    }
+
     /// Key used for grouping / DISTINCT: collapses equal numerics across
     /// Integer/Real, keeps NULLs equal to each other.
     pub fn group_key(&self) -> GroupKey {
@@ -376,6 +397,15 @@ impl Value {
 pub enum GroupKey {
     Null,
     Num(u64),
+    Text(Arc<str>),
+}
+
+/// Exact identity of one UDF argument value (see [`Value::udf_arg_key`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum UdfArgKey {
+    Null,
+    Int(i64),
+    Real(u64),
     Text(Arc<str>),
 }
 

@@ -1,10 +1,13 @@
 //! Property-based tests for the SQL engine (proptest).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use proptest::prelude::*;
 use swan_sqlengine::optimizer::fold_expr;
 use swan_sqlengine::parser::{parse_expression, parse_statement};
 use swan_sqlengine::value::Value;
-use swan_sqlengine::{Database, OptimizerConfig, QueryResult};
+use swan_sqlengine::{Database, OptimizerConfig, QueryResult, ScalarUdf};
 
 /// Every optimizer rule switched off: the reference executor.
 fn all_rules_off() -> OptimizerConfig {
@@ -14,6 +17,7 @@ fn all_rules_off() -> OptimizerConfig {
         fold_constants: false,
         reorder_joins: false,
         prune_columns: false,
+        batch_expensive_udfs: false,
     }
 }
 
@@ -106,6 +110,29 @@ fn fact_num(domain: usize) -> &'static str {
 
 fn fact_fk(domain: usize) -> &'static str {
     ["publisher_id", "driver_id", "school_id", "player_id"][domain]
+}
+
+/// A deterministic "expensive" UDF standing in for an LLM call: the value
+/// is a pure function of the arguments, and every evaluated tuple is
+/// counted whether it arrives through per-row `invoke` or a vectorized
+/// `invoke_batch`.
+#[derive(Default)]
+struct TagUdf {
+    tuples: AtomicU64,
+}
+
+impl ScalarUdf for TagUdf {
+    fn name(&self) -> &str {
+        "slow_tag"
+    }
+    fn invoke(&self, args: &[Value]) -> swan_sqlengine::Result<Value> {
+        self.tuples.fetch_add(1, Ordering::SeqCst);
+        let tag = args.iter().map(Value::render).collect::<Vec<_>>().join("-");
+        Ok(Value::text(format!("v{tag}")))
+    }
+    fn is_expensive(&self) -> bool {
+        true
+    }
 }
 
 fn assert_same_results(sql: &str, opt: &QueryResult, off: &QueryResult) {
@@ -209,13 +236,7 @@ proptest! {
         let mut on = db_with_rows(&rows);
         on.set_optimizer(OptimizerConfig::default());
         let mut off = db_with_rows(&rows);
-        off.set_optimizer(OptimizerConfig {
-            pushdown: false,
-            order_expensive_last: false,
-            fold_constants: false,
-            reorder_joins: false,
-            prune_columns: false,
-        });
+        off.set_optimizer(all_rules_off());
         let a = on.query(&sql).unwrap();
         let b = off.query(&sql).unwrap();
         prop_assert_eq!(a.rows, b.rows);
@@ -387,6 +408,68 @@ proptest! {
             (Some(x), Some(y)) => prop_assert!(std::sync::Arc::ptr_eq(x, y)),
             _ => prop_assert!(strings[0].is_empty() || v.as_str().is_some()),
         }
+    }
+
+    /// Batched expensive-UDF execution returns exactly the rows of
+    /// per-row `invoke` across the four SWAN domain query shapes
+    /// (projection, WHERE, JOIN ON, HAVING), and never evaluates more
+    /// argument tuples than the per-row path.
+    #[test]
+    fn batched_udf_execution_matches_per_row(
+        rows in proptest::collection::vec((any::<i64>(), -40i64..120, "[a-m]{0,5}"), 2..40),
+        domain in 0usize..4,
+        threshold in -40i64..120,
+        shape in 0usize..4,
+    ) {
+        let (_, _, _, join) = DOMAINS[domain];
+        let fact = fact_table(domain);
+        let num = fact_num(domain);
+        let fk = fact_fk(domain);
+        let sql = match shape {
+            // Expensive call in the projection.
+            0 => format!(
+                "SELECT s.id, slow_tag('p', s.{num}) FROM {fact} s ORDER BY s.id"
+            ),
+            // Expensive conjunct in WHERE next to a cheap one.
+            1 => format!(
+                "SELECT s.id FROM {join} WHERE s.{num} > {threshold} \
+                 AND slow_tag('w', p.id) LIKE 'vw%' ORDER BY s.id"
+            ),
+            // Expensive call inside a JOIN ON condition.
+            2 => format!(
+                "SELECT s.id, t.tag FROM {fact} s JOIN tiny t \
+                 ON slow_tag('j', s.{fk}) = slow_tag('j', t.k) \
+                 ORDER BY s.id, t.tag"
+            ),
+            // Expensive call in HAVING over grouped output.
+            _ => format!(
+                "SELECT p.id, COUNT(*) FROM {join} GROUP BY p.id \
+                 HAVING slow_tag('h', p.id) LIKE 'vh%' ORDER BY p.id"
+            ),
+        };
+
+        let batched_udf = Arc::new(TagUdf::default());
+        let mut batched = domain_db(domain, &rows);
+        batched.register_udf(batched_udf.clone());
+        batched.set_optimizer(OptimizerConfig::default());
+
+        let per_row_udf = Arc::new(TagUdf::default());
+        let mut per_row = domain_db(domain, &rows);
+        per_row.register_udf(per_row_udf.clone());
+        per_row.set_optimizer(OptimizerConfig {
+            batch_expensive_udfs: false,
+            ..Default::default()
+        });
+
+        let a = batched.query(&sql).unwrap();
+        let b = per_row.query(&sql).unwrap();
+        assert_same_results(&sql, &a, &b);
+        let batched_tuples = batched_udf.tuples.load(Ordering::SeqCst);
+        let per_row_tuples = per_row_udf.tuples.load(Ordering::SeqCst);
+        prop_assert!(
+            batched_tuples <= per_row_tuples,
+            "{sql}: batched evaluated {batched_tuples} tuples, per-row {per_row_tuples}"
+        );
     }
 
     /// LIKE with a literal substring pattern agrees with str::contains.

@@ -343,6 +343,7 @@ fn optimizer_toggles_do_not_change_results() {
                     fold_constants: fold,
                     reorder_joins: reorder,
                     prune_columns: fold,
+                    batch_expensive_udfs: pushdown,
                 });
                 assert_eq!(
                     texts(&db, sql),
@@ -423,6 +424,7 @@ fn ambiguous_unqualified_column_errors_under_every_config() {
                 fold_constants: false,
                 reorder_joins: false,
                 prune_columns: false,
+                batch_expensive_udfs: false,
             });
         }
         let err = db.query(sql).unwrap_err();
@@ -462,6 +464,7 @@ fn count_star_over_reordered_chain() {
         fold_constants: false,
         reorder_joins: false,
         prune_columns: false,
+        batch_expensive_udfs: false,
     });
     let off = off_db.query(sql).unwrap();
     assert_eq!(on.rows, off.rows);
@@ -569,4 +572,184 @@ fn errors_are_reported_not_panics() {
     assert!(db.execute("CREATE TABLE superhero (x TEXT)").is_err());
     assert!(db.query("UPDATE superhero SET id = 1").is_err(), "query() rejects DML");
     assert!(db.execute("SELECT id FROM superhero ORDER BY 99").is_err());
+}
+
+// ---- batched expensive-UDF execution ---------------------------------------
+
+/// An expensive UDF that records how it was driven: per-row `invoke`
+/// tuples vs vectorized `invoke_batch` batches. Deterministic per input.
+struct CountingLlm {
+    invokes: std::sync::atomic::AtomicU64,
+    batches: std::sync::atomic::AtomicU64,
+    batched_tuples: std::sync::atomic::AtomicU64,
+}
+
+impl CountingLlm {
+    fn new() -> Arc<Self> {
+        Arc::new(CountingLlm {
+            invokes: Default::default(),
+            batches: Default::default(),
+            batched_tuples: Default::default(),
+        })
+    }
+}
+
+impl ScalarUdf for CountingLlm {
+    fn name(&self) -> &str {
+        "llm_tag"
+    }
+    fn invoke(&self, args: &[Value]) -> swan_sqlengine::Result<Value> {
+        self.invokes.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let tag = args.iter().map(Value::render).collect::<Vec<_>>().join("-");
+        Ok(Value::text(format!("v:{tag}")))
+    }
+    fn invoke_batch(&self, rows: &[Vec<Value>]) -> swan_sqlengine::Result<Vec<Value>> {
+        self.batches.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        self.batched_tuples
+            .fetch_add(rows.len() as u64, std::sync::atomic::Ordering::SeqCst);
+        rows.iter()
+            .map(|args| {
+                let tag = args.iter().map(Value::render).collect::<Vec<_>>().join("-");
+                Ok(Value::text(format!("v:{tag}")))
+            })
+            .collect()
+    }
+    fn is_expensive(&self) -> bool {
+        true
+    }
+}
+
+/// A WHERE-clause expensive call is answered by ONE `invoke_batch` over
+/// the distinct argument tuples of the rows surviving the cheap conjunct
+/// — zero per-row invocations.
+#[test]
+fn where_clause_udf_is_batched() {
+    let udf = CountingLlm::new();
+    let mut db = hero_db();
+    db.register_udf(udf.clone());
+    let rows = texts(
+        &db,
+        "SELECT hero_name FROM superhero \
+         WHERE height_cm > 180 AND llm_tag('p', publisher_id) = 'v:p-2' \
+         ORDER BY hero_name",
+    );
+    assert_eq!(rows, vec!["Batman", "Superman"]);
+    assert_eq!(udf.batches.load(std::sync::atomic::Ordering::SeqCst), 1);
+    // Cheap conjunct first: only the 3 heroes above 180cm reach the batch
+    // (publisher_ids 2, 2, 1), so 2 distinct tuples.
+    assert_eq!(udf.batched_tuples.load(std::sync::atomic::Ordering::SeqCst), 2);
+    assert_eq!(udf.invokes.load(std::sync::atomic::Ordering::SeqCst), 0);
+}
+
+/// An expensive call in a JOIN ON key is batched over the side that
+/// computes it — including over a subquery source.
+#[test]
+fn join_on_udf_over_subquery_source_is_batched() {
+    let udf = CountingLlm::new();
+    let mut db = hero_db();
+    db.register_udf(udf.clone());
+    let rows = texts(
+        &db,
+        "SELECT COUNT(*) FROM (SELECT hero_name, publisher_id FROM superhero) h \
+         JOIN publisher p ON llm_tag('q', h.publisher_id) = 'v:q-' || p.id",
+    );
+    assert_eq!(rows, vec!["5"], "every non-NULL publisher_id matches its publisher");
+    // 6 heroes, publisher_ids {1, 2, 3, NULL}: one batch of 4 tuples.
+    assert_eq!(udf.batches.load(std::sync::atomic::Ordering::SeqCst), 1);
+    assert_eq!(udf.batched_tuples.load(std::sync::atomic::Ordering::SeqCst), 4);
+    assert_eq!(udf.invokes.load(std::sync::atomic::Ordering::SeqCst), 0);
+}
+
+/// Projection, HAVING, and nested-loop ON sites batch too, and disabling
+/// the rule reproduces per-row execution with identical results.
+#[test]
+fn batched_and_per_row_execution_agree() {
+    let queries = [
+        "SELECT hero_name, llm_tag('proj', height_cm) FROM superhero ORDER BY hero_name",
+        "SELECT publisher_id, COUNT(*) FROM superhero GROUP BY publisher_id \
+         HAVING llm_tag('h', publisher_id) <> 'v:h-1' ORDER BY publisher_id",
+        "SELECT h.hero_name FROM superhero h JOIN publisher p \
+         ON llm_tag('o', h.publisher_id) = 'v:o-2' OR p.id = 1 \
+         ORDER BY h.hero_name, p.id",
+        "SELECT hero_name FROM superhero WHERE llm_tag('w', id) LIKE 'v:%' ORDER BY 1",
+    ];
+    for sql in queries {
+        let batched_udf = CountingLlm::new();
+        let mut batched = hero_db();
+        batched.register_udf(batched_udf.clone());
+
+        let per_row_udf = CountingLlm::new();
+        let mut per_row = hero_db();
+        per_row.register_udf(per_row_udf.clone());
+        per_row.set_optimizer(OptimizerConfig {
+            batch_expensive_udfs: false,
+            ..Default::default()
+        });
+
+        assert_eq!(texts(&batched, sql), texts(&per_row, sql), "{sql}");
+        let batched_calls = batched_udf.invokes.load(std::sync::atomic::Ordering::SeqCst)
+            + batched_udf.batched_tuples.load(std::sync::atomic::Ordering::SeqCst);
+        let per_row_calls = per_row_udf.invokes.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(
+            batched_calls <= per_row_calls,
+            "{sql}: batched {batched_calls} > per-row {per_row_calls}"
+        );
+    }
+}
+
+/// Sites in conditionally-evaluated positions are left to the per-row
+/// path: batching must not pay for calls CASE would have skipped.
+#[test]
+fn case_guarded_udf_not_eagerly_batched() {
+    let udf = CountingLlm::new();
+    let mut db = hero_db();
+    db.register_udf(udf.clone());
+    let rows = texts(
+        &db,
+        "SELECT CASE WHEN height_cm > 185 THEN llm_tag('g', hero_name) ELSE 'skip' END \
+         FROM superhero ORDER BY id",
+    );
+    assert_eq!(rows.len(), 6);
+    // Only Batman (188) and Superman (191) pass the guard: two per-row
+    // invocations, zero eagerly-batched tuples.
+    assert_eq!(udf.batched_tuples.load(std::sync::atomic::Ordering::SeqCst), 0);
+    assert_eq!(udf.invokes.load(std::sync::atomic::Ordering::SeqCst), 2);
+}
+
+/// The result store keys tuples by exact value identity: an Integer and a
+/// Real that are SQL-equal still get their own invocations (their
+/// rendered argument text differs, so a shared slot would serve one row
+/// the other's answer).
+#[test]
+fn udf_result_store_distinguishes_integer_and_real() {
+    let udf = CountingLlm::new();
+    let mut db = Database::new();
+    db.execute("CREATE TABLE v (x)").unwrap();
+    db.execute("INSERT INTO v VALUES (1), (1.0)").unwrap();
+    db.register_udf(udf.clone());
+    let r = db.query("SELECT llm_tag('t', x) FROM v").unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(
+        udf.batched_tuples.load(std::sync::atomic::Ordering::SeqCst),
+        2,
+        "Integer(1) and Real(1.0) are distinct argument tuples"
+    );
+}
+
+/// HAVING-rejected groups never pay for projection or sort-key UDF calls:
+/// the output-site prefetch runs only over the surviving groups.
+#[test]
+fn having_rejected_groups_pay_no_projection_calls() {
+    let udf = CountingLlm::new();
+    let mut db = hero_db();
+    db.register_udf(udf.clone());
+    let r = db
+        .query(
+            "SELECT publisher_id, llm_tag('p', publisher_id) FROM superhero \
+             GROUP BY publisher_id HAVING COUNT(*) > 10",
+        )
+        .unwrap();
+    assert!(r.rows.is_empty(), "no group has more than 10 heroes");
+    assert_eq!(udf.batched_tuples.load(std::sync::atomic::Ordering::SeqCst), 0);
+    assert_eq!(udf.invokes.load(std::sync::atomic::Ordering::SeqCst), 0);
 }

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Perf smoke test: run the engine microbenchmarks and the join-scaling
-# sweep in quick mode (~10x shorter measurement windows), so a regression
-# in the zero-copy execution core is one command to spot:
+# Perf smoke test: run the engine microbenchmarks, the join-scaling sweep
+# (quick mode, ~10x shorter measurement windows), and the fallback-path
+# UDF batching bench, so a regression in the zero-copy execution core or
+# in batched expensive-UDF execution is one command to spot:
 #
-#   scripts/bench_smoke.sh            # both benches, quick
-#   scripts/bench_smoke.sh hash_join  # only benchmarks matching a filter
+#   scripts/bench_smoke.sh            # all benches, quick
+#   scripts/bench_smoke.sh hash_join  # only criterion benchmarks matching a filter
 #
-# Compare the output against the before/after table in
-# crates/sqlengine/PERF.md.
+# Compare the output against the before/after tables in
+# crates/sqlengine/PERF.md. The udf_fallback table prints model-call
+# counts: "per-row fallback" at N heroes and "engine invoke_batch" at
+# ceil(N/5) — if the batched row's call count climbs back toward the
+# per-row row's, engine batching has regressed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,3 +30,9 @@ run() {
 
 run engine_micro
 run join_scaling
+
+# Model-call-count bench (plain table output, no criterion harness): the
+# filter argument does not apply here.
+echo "== udf_fallback =="
+cargo bench -p swan-bench --bench udf_fallback
+echo

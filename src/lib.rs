@@ -14,7 +14,15 @@
 //!   interned text (`Value::Text(Arc<str>)`), shared rows
 //!   (`Row = Arc<[Value]>`), statistics-driven join ordering, and
 //!   column-pruned join emission — see `crates/sqlengine/PERF.md` for the
-//!   measured speedups.
+//!   measured speedups. Expensive UDF calls execute **batched**: at every
+//!   operator (projection, WHERE, HAVING, join ON) the engine collects
+//!   the distinct argument tuples of its input batch and issues one
+//!   `ScalarUdf::invoke_batch` instead of one call per row, so `llm_map`
+//!   chunks keys per `UdfConfig::batch_size` and fans them out across
+//!   parallel workers even for query shapes the BlendSQL-style pre-pass
+//!   cannot analyze (measured on the fallback path: 60 → 12 model calls
+//!   and ~27× wall clock on a join-ON-over-subquery workload; see
+//!   PERF.md's "Batched expensive-UDF execution").
 //! * [`llm`] — the language-model layer: prompt templates, token/cost
 //!   accounting, caches, a parallel executor, and the calibrated
 //!   simulated GPT-3.5/GPT-4 models (see DESIGN.md for the substitution
