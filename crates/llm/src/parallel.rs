@@ -1,256 +1,38 @@
 //! Parallel LLM call execution.
 //!
 //! The paper's future-work list (§6) calls for "asynchronous and parallel
-//! hybrid query execution". This module provides the building block: fan a
-//! batch of prompts across a **persistent, bounded worker pool** against one
-//! (thread-safe) model, preserving input order in the output.
+//! hybrid query execution". This module fans a batch of prompts across the
+//! workspace-wide **persistent, bounded worker pool** ([`swan_pool`])
+//! against one (thread-safe) model, preserving input order in the output.
 //!
-//! The pool is created lazily on first use and reused by every subsequent
-//! `complete_many` call — no per-call (let alone per-prompt) thread
-//! spawning. Each call submits at most `workers` pool jobs that *steal*
+//! The pool is shared with the SQL executor's morsel-parallel operators:
+//! it is created lazily on first use and reused by every subsequent call —
+//! no per-call (let alone per-prompt) thread spawning. Each
+//! [`complete_many`] submits at most `workers` pool jobs that *steal*
 //! prompt indices from a shared counter, so per-call concurrency stays
 //! capped at `workers` while latency-skewed batches (one slow prompt next
 //! to many fast ones — the norm for LLM traffic) still balance across the
-//! whole set. Each claimed index gives its worker exclusive access to the
-//! matching pre-sized result slot, which is what preserves prompt order
-//! without a reordering pass. `workers <= 1` runs inline on the caller
-//! thread (the sequential baseline for the parallelism ablation).
-
-use std::cell::UnsafeCell;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+//! whole set. `workers <= 1` runs inline on the caller thread (the
+//! sequential baseline for the parallelism ablation), and a call from
+//! *inside* a pool worker (a composite/router model, or a model call made
+//! by a morsel-parallel SQL operator) also runs inline instead of
+//! re-entering — and potentially deadlocking — the fixed pool.
 
 use crate::model::{Completion, LanguageModel, LlmResult};
 
 /// Execute `prompts` against `model` on up to `workers` pool threads.
 ///
 /// Results come back in prompt order. With `workers <= 1` the calls run
-/// inline. Effective concurrency is additionally bounded by the pool size
-/// (`max(cores, 16)`, capped at 64 — comfortably above the §6 parallelism
-/// ablation's sweep). Calling `complete_many` *from inside* a model's
-/// `complete` (a composite/router model) runs that inner batch
-/// sequentially on the worker thread instead of re-entering the pool,
-/// which would otherwise be able to deadlock a fully-loaded fixed pool.
+/// inline. Effective concurrency is additionally bounded by the shared
+/// pool size ([`swan_pool::pool_size`]: `max(cores, 16)`, capped at 64 —
+/// comfortably above the §6 parallelism ablation's sweep).
 pub fn complete_many(
     model: &dyn LanguageModel,
     prompts: &[String],
     workers: usize,
 ) -> Vec<LlmResult<Completion>> {
-    if prompts.is_empty() {
-        return Vec::new();
-    }
-    let workers = workers.max(1).min(prompts.len());
-    if workers == 1 || IS_POOL_WORKER.with(|w| w.get()) {
-        return prompts.iter().map(|p| model.complete(p)).collect();
-    }
-
-    let n = prompts.len();
-    // Pre-sized result slots, one per prompt. A slot is written exactly
-    // once, by whichever worker claimed its index from the counter.
-    let slot_cells: Vec<SlotCell> = (0..n).map(|_| SlotCell(UnsafeCell::new(None))).collect();
-    let next = AtomicUsize::new(0);
-    let latch = Latch::new(workers);
-    {
-        let table: &[SlotCell] = &slot_cells;
-        let next = &next;
-        // SAFETY-ordering: the guard is dropped (and thus waits for every
-        // submitted job) before `slot_cells`/`prompts` borrows can die —
-        // on the normal path *and* on any unwind out of this block.
-        let _guard = WaitOnDrop(&latch);
-        let jobs: Vec<Job<'_>> = (0..workers)
-            .map(|_| {
-                let job: Job<'_> = Box::new(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let r = model.complete(&prompts[i]);
-                    // SAFETY: index `i` was claimed exactly once, so this
-                    // worker has exclusive access to slot `i`.
-                    unsafe { *table[i].0.get() = Some(r) };
-                });
-                job
-            })
-            .collect();
-        pool().run_scoped(jobs, &latch);
-    }
-    latch.check_panic();
-
-    slot_cells
-        .into_iter()
-        .map(|c| c.0.into_inner().expect("every prompt slot filled"))
-        .collect()
-}
-
-/// One result slot. `Sync` is sound because each index is claimed by
-/// exactly one worker (via the shared counter) before being written, and
-/// the caller only reads after the latch has settled.
-struct SlotCell(UnsafeCell<Option<LlmResult<Completion>>>);
-
-unsafe impl Sync for SlotCell {}
-
-// ---- the worker pool -------------------------------------------------------
-
-type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
-
-/// A fixed set of worker threads fed from one shared queue.
-struct WorkerPool {
-    queue: mpsc::Sender<ScopedJob>,
-    size: usize,
-}
-
-/// A job whose borrows have been erased; the submitting call guarantees it
-/// completes (via its latch) before the borrowed data goes out of scope.
-struct ScopedJob {
-    job: Job<'static>,
-    latch: Arc<LatchState>,
-}
-
-static POOL: OnceLock<WorkerPool> = OnceLock::new();
-
-thread_local! {
-    /// Set for the lifetime of a pool worker thread; used to detect
-    /// reentrant `complete_many` calls and run them inline instead of
-    /// deadlocking a fully-loaded fixed pool.
-    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-}
-
-fn pool() -> &'static WorkerPool {
-    POOL.get_or_init(|| {
-        // LLM calls are latency-bound, not CPU-bound, so the pool is allowed
-        // to exceed the core count; it stays bounded regardless of how many
-        // `complete_many` calls or prompts flow through it. The floor keeps
-        // headroom above the parallelism ablation's worker sweep even on
-        // small CI machines.
-        let size = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .max(16)
-            .min(64);
-        WorkerPool::with_size(size)
-    })
-}
-
-impl WorkerPool {
-    fn with_size(size: usize) -> Self {
-        let (tx, rx) = mpsc::channel::<ScopedJob>();
-        let rx = Arc::new(Mutex::new(rx));
-        for i in 0..size {
-            let rx = rx.clone();
-            std::thread::Builder::new()
-                .name(format!("swan-llm-worker-{i}"))
-                .spawn(move || {
-                    IS_POOL_WORKER.with(|w| w.set(true));
-                    loop {
-                        let next = {
-                            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
-                            guard.recv()
-                        };
-                        let Ok(scoped) = next else { break };
-                        // Keep the worker alive across panicking jobs; the
-                        // panic is re-raised on the submitting thread.
-                        let panicked = catch_unwind(AssertUnwindSafe(scoped.job)).is_err();
-                        scoped.latch.count_down(panicked);
-                    }
-                })
-                .expect("spawn LLM worker thread");
-        }
-        WorkerPool { queue: tx, size }
-    }
-
-    /// Number of threads in the pool (its concurrency bound).
-    #[allow(dead_code)]
-    fn size(&self) -> usize {
-        self.size
-    }
-
-    /// Submit scoped jobs. SAFETY contract: the caller must wait on `latch`
-    /// before any data borrowed by the jobs is dropped — `complete_many`
-    /// enforces this with a [`WaitOnDrop`] guard covering every exit path.
-    fn run_scoped(&self, jobs: Vec<Job<'_>>, latch: &Latch) {
-        for job in jobs {
-            // Erase the borrow lifetime: a Box<dyn FnOnce> is a fat pointer
-            // whose layout does not depend on the lifetime parameter.
-            let job: Job<'static> = unsafe { std::mem::transmute(job) };
-            let scoped = ScopedJob { job, latch: latch.state.clone() };
-            if let Err(mpsc::SendError(scoped)) = self.queue.send(scoped) {
-                // Queue closed (cannot happen while the pool is alive, but
-                // never leave a latch slot dangling): run inline instead.
-                let panicked = catch_unwind(AssertUnwindSafe(scoped.job)).is_err();
-                scoped.latch.count_down(panicked);
-            }
-        }
-    }
-}
-
-// ---- completion latch ------------------------------------------------------
-
-struct LatchState {
-    remaining: Mutex<usize>,
-    all_done: Condvar,
-    panicked: AtomicBool,
-}
-
-/// Counts outstanding jobs of one `complete_many` call.
-struct Latch {
-    state: Arc<LatchState>,
-}
-
-/// Drop guard: waits for every job of `complete_many` to finish before the
-/// stack frame (and the borrows the jobs hold) can unwind away. Never
-/// panics from `drop` — panic propagation happens separately via
-/// [`Latch::check_panic`] on the normal path.
-struct WaitOnDrop<'a>(&'a Latch);
-
-impl Drop for WaitOnDrop<'_> {
-    fn drop(&mut self) {
-        self.0.wait();
-    }
-}
-
-impl Latch {
-    fn new(count: usize) -> Self {
-        Latch {
-            state: Arc::new(LatchState {
-                remaining: Mutex::new(count),
-                all_done: Condvar::new(),
-                panicked: AtomicBool::new(false),
-            }),
-        }
-    }
-
-    /// Block until every job has finished.
-    fn wait(&self) {
-        let mut remaining = self.state.remaining.lock().unwrap_or_else(|p| p.into_inner());
-        while *remaining > 0 {
-            remaining = self
-                .state
-                .all_done
-                .wait(remaining)
-                .unwrap_or_else(|p| p.into_inner());
-        }
-    }
-
-    /// Re-raise a worker-job panic on the calling thread.
-    fn check_panic(&self) {
-        if self.state.panicked.load(Ordering::SeqCst) {
-            panic!("LLM worker job panicked");
-        }
-    }
-}
-
-impl LatchState {
-    fn count_down(&self, panicked: bool) {
-        if panicked {
-            self.panicked.store(true, Ordering::SeqCst);
-        }
-        let mut remaining = self.remaining.lock().unwrap_or_else(|p| p.into_inner());
-        *remaining -= 1;
-        if *remaining == 0 {
-            self.all_done.notify_all();
-        }
-    }
+    let workers = workers.max(1).min(prompts.len().max(1));
+    swan_pool::parallel_items(prompts.len(), workers, |i| model.complete(&prompts[i]))
 }
 
 #[cfg(test)]
@@ -258,7 +40,8 @@ mod tests {
     use super::*;
     use crate::tokenizer::TokenCount;
     use crate::usage::UsageMeter;
-    use std::sync::atomic::AtomicU64;
+    use std::panic::AssertUnwindSafe;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::time::{Duration, Instant};
 
     struct SlowEcho {
@@ -343,11 +126,11 @@ mod tests {
     fn pool_is_reused_across_calls() {
         let model = SlowEcho::new();
         let prompts: Vec<String> = (0..6).map(|i| format!("p{i}")).collect();
-        let before = pool().size();
+        let before = swan_pool::pool_size();
         for _ in 0..5 {
             complete_many(&model, &prompts, 3);
         }
-        assert_eq!(pool().size(), before, "pool size is fixed across calls");
+        assert_eq!(swan_pool::pool_size(), before, "pool size is fixed across calls");
     }
 
     /// Two adjacent slow prompts must land on different workers (index

@@ -63,6 +63,14 @@ impl Database {
         }
     }
 
+    /// Assemble a database from parts. This is how a
+    /// [`SharedDb`](crate::shared::SharedDb) session materializes a
+    /// consistent snapshot: the catalog shares the `Arc<Table>` storage,
+    /// so the construction is O(tables), not O(rows).
+    pub fn from_parts(catalog: Catalog, udfs: UdfRegistry, optimizer: OptimizerConfig) -> Self {
+        Database { catalog, udfs, optimizer }
+    }
+
     /// Register a scalar UDF (e.g. an LLM function).
     pub fn register_udf(&mut self, udf: Arc<dyn ScalarUdf>) {
         self.udfs.register(udf);
@@ -120,7 +128,7 @@ impl Database {
         }
     }
 
-    fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+    pub(crate) fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
         match stmt {
             Statement::Select(s) => {
                 let ctx = ExecCtx::new(&self.catalog, &self.udfs)

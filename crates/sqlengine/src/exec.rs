@@ -113,7 +113,8 @@ pub fn run_select(
     };
 
     if !stmt.order_by.is_empty() {
-        sort_rows(&mut rel.rows, &mut keys, &stmt.order_by, topk_hint(stmt));
+        let threads = crate::exec_parallel::effective_threads(&ctx.optimizer);
+        sort_rows(&mut rel.rows, &mut keys, &stmt.order_by, topk_hint(stmt), threads);
     }
     apply_limit_offset(&mut rel.rows, stmt, ctx)?;
     Ok(rel)
@@ -215,6 +216,28 @@ fn compound_sort_keys(
     Ok(keys)
 }
 
+/// Build one output row's ORDER BY key vector: ordinals index into the
+/// projected row `out`, every other expression evaluates through
+/// `eval_expr`. One implementation serves the serial and parallel
+/// projection and aggregation paths, so ordinal/alias resolution can
+/// never drift between them.
+fn output_sort_keys(
+    order_exprs: &[Expr],
+    width: usize,
+    out: &[Value],
+    eval_expr: &mut dyn FnMut(&Expr) -> Result<Value>,
+) -> Result<Vec<Value>> {
+    let mut k = Vec::with_capacity(order_exprs.len());
+    for e in order_exprs {
+        if let Some(i) = ordinal_index(e, width)? {
+            k.push(out[i].clone());
+        } else {
+            k.push(eval_expr(e)?);
+        }
+    }
+    Ok(k)
+}
+
 /// `ORDER BY 2` style ordinals. Errors when out of range.
 fn ordinal_index(expr: &Expr, width: usize) -> Result<Option<usize>> {
     if let Expr::Literal(Value::Integer(n)) = expr {
@@ -229,12 +252,23 @@ fn ordinal_index(expr: &Expr, width: usize) -> Result<Option<usize>> {
     Ok(None)
 }
 
+/// Rows below this count sort serially even at high thread counts: the
+/// morsel dispatch would cost more than the comparisons it saves.
+const PARALLEL_SORT_MIN_ROWS: usize = 4096;
+
 fn sort_rows(
     rows: &mut Vec<Row>,
     keys: &mut Vec<Vec<Value>>,
     order_by: &[OrderItem],
     top_k: Option<usize>,
+    threads: usize,
 ) {
+    // The input row index breaks every tie, making the comparator a
+    // *total* order. This pins down what SQL leaves unspecified on
+    // purpose: with ties at the LIMIT boundary, the selected prefix is
+    // exactly the stable-full-sort prefix — first-come-first-kept — so
+    // serial top-k, parallel per-morsel top-k, and a full sort all agree
+    // on the same rows in the same order at every thread count.
     let cmp = |&a: &usize, &b: &usize| {
         for (k, item) in order_by.iter().enumerate() {
             let ord = keys[a][k].sort_cmp(&keys[b][k]);
@@ -243,15 +277,34 @@ fn sort_rows(
                 return ord;
             }
         }
-        std::cmp::Ordering::Equal
+        a.cmp(&b)
     };
     let mut idx: Vec<usize> = (0..rows.len()).collect();
-    // Top-k: select the first k in O(n), then sort only those. SQL leaves
-    // tie order unspecified, so the unstable selection is fair game.
+    // Top-k: select the first k in O(n), then sort only those. The
+    // unstable selection is safe because `cmp` is a total order (index
+    // tie-break above) — the selected set is uniquely determined.
     if let Some(k) = top_k {
         if k > 0 && k < idx.len() {
-            idx.select_nth_unstable_by(k - 1, cmp);
-            idx.truncate(k);
+            if threads > 1 && idx.len() >= PARALLEL_SORT_MIN_ROWS {
+                // Parallel top-k: every morsel selects its own smallest k
+                // candidates, then one final selection over the (≤ k per
+                // morsel) survivors. Because the comparator totally orders
+                // rows, the merged result is identical to the serial path.
+                // (None when k is too large for per-morsel pruning to
+                // help; fall through to the serial selection.)
+                if let Some(candidates) = crate::exec_parallel::parallel_topk_candidates(
+                    rows.len(),
+                    k,
+                    threads,
+                    &cmp,
+                ) {
+                    idx = candidates;
+                }
+            }
+            if k < idx.len() {
+                idx.select_nth_unstable_by(k - 1, cmp);
+                idx.truncate(k);
+            }
         } else if k == 0 {
             idx.clear();
         }
@@ -307,6 +360,13 @@ fn run_core(
     let plan = plan_from(core.from.as_ref(), core.filter.as_ref())?;
     let needed = needed_columns(core, order_by);
     let plan = optimize(plan, ctx.udfs, &ctx.optimizer, ctx.catalog, needed.as_deref())?;
+    // The optimizer's parallelization rule annotates the plan root; the
+    // same partition count then drives the SELECT-level operators
+    // (projection, aggregation) over the materialized input.
+    let partitions = match &plan {
+        Plan::Parallel { partitions, .. } => *partitions,
+        _ => 1,
+    };
     let input = exec_plan(&plan, ctx, outer)?;
 
     // Expand the projection into (expr, output column) pairs.
@@ -343,9 +403,11 @@ fn run_core(
     }
 
     let (mut rows, mut keys) = if aggregated {
-        run_aggregate(core, &projection, having.as_ref(), &order_exprs, &input, ctx, outer)?
+        run_aggregate(
+            core, &projection, having.as_ref(), &order_exprs, &input, ctx, outer, partitions,
+        )?
     } else {
-        project_rows(&projection, &order_exprs, &input, ctx, outer)?
+        project_rows(&projection, &order_exprs, &input, ctx, outer, partitions)?
     };
 
     if core.distinct {
@@ -396,12 +458,14 @@ fn needed_columns(core: &SelectCore, order_by: &[OrderItem]) -> Option<Vec<Neede
 ///    index (O(1) clones, no expression evaluation);
 /// 3. otherwise each expression is evaluated per row against a reusable
 ///    [`RowCtx`].
+#[allow(clippy::too_many_arguments)]
 fn project_rows(
     projection: &[(Expr, ColRef)],
     order_exprs: &[Expr],
     input: &Relation,
     ctx: &ExecCtx<'_>,
     outer: Option<&RowCtx<'_>>,
+    partitions: usize,
 ) -> Result<RowsAndKeys> {
     let col_indices: Option<Vec<usize>> = projection
         .iter()
@@ -418,15 +482,7 @@ fn project_rows(
     let order_exprs: Vec<Expr> =
         order_exprs.iter().map(|e| bind_columns(e, &input.schema)).collect();
     let build_keys = |out: &[Value], rc: &RowCtx<'_>| -> Result<Vec<Value>> {
-        let mut k = Vec::with_capacity(order_exprs.len());
-        for e in &order_exprs {
-            if let Some(i) = ordinal_index(e, projection.len())? {
-                k.push(out[i].clone());
-            } else {
-                k.push(eval(e, ctx, Some(rc))?);
-            }
-        }
-        Ok(k)
+        output_sort_keys(&order_exprs, projection.len(), out, &mut |e| eval(e, ctx, Some(rc)))
     };
 
     let mut keys = Vec::with_capacity(if order_exprs.is_empty() { 0 } else { input.rows.len() });
@@ -459,11 +515,50 @@ fn project_rows(
     }
 
     // General path: bind every projected expression to the input schema
-    // once, then evaluate per row with direct index loads.
+    // once, then evaluate per row with direct index loads. With a parallel
+    // annotation and only parallel-safe expressions (no subqueries, whose
+    // statement-scoped caches are not shareable across workers), the rows
+    // are evaluated morsel-parallel; morsel-order concatenation keeps the
+    // output order identical to the serial loop.
     let bound: Vec<Expr> = projection
         .iter()
         .map(|(e, _)| bind_columns(e, &input.schema))
         .collect();
+    let parallel = partitions > 1
+        && input.rows.len() > 1
+        && bound.iter().chain(order_exprs.iter()).all(crate::exec_parallel::parallel_safe);
+    if parallel {
+        let chunks = crate::exec_parallel::try_morsels(
+            input.rows.len(),
+            partitions,
+            ctx,
+            |range, wctx| {
+                let mut rows = Vec::with_capacity(range.len());
+                let mut keys = Vec::new();
+                for row in &input.rows[range] {
+                    let rc = RowCtx { schema: &input.schema, row, outer };
+                    let mut out = Vec::with_capacity(projection.len());
+                    for e in &bound {
+                        out.push(eval(e, wctx, Some(&rc))?);
+                    }
+                    if !order_exprs.is_empty() {
+                        // `order_exprs` was bound to the input schema above.
+                        keys.push(output_sort_keys(&order_exprs, projection.len(), &out, &mut |e| {
+                            eval(e, wctx, Some(&rc))
+                        })?);
+                    }
+                    rows.push(out.into());
+                }
+                Ok((rows, keys))
+            },
+        )?;
+        let mut rows = Vec::with_capacity(input.rows.len());
+        for (r, k) in chunks {
+            rows.extend(r);
+            keys.extend(k);
+        }
+        return Ok((rows, keys));
+    }
     let mut rows = Vec::with_capacity(input.rows.len());
     for row in &input.rows {
         let rc = RowCtx { schema: &input.schema, row, outer };
@@ -580,9 +675,16 @@ fn run_aggregate(
     input: &Relation,
     ctx: &ExecCtx<'_>,
     outer: Option<&RowCtx<'_>>,
+    partitions: usize,
 ) -> Result<RowsAndKeys> {
     // Partition input rows into groups, preserving first-seen order. The
     // grouping expressions are bound to the input schema once up front.
+    //
+    // With a parallel annotation this is **two-phase**: worker threads
+    // evaluate every row's grouping key over thread-local morsels, then a
+    // serial merge pass partitions the rows using the precomputed keys.
+    // The merge walks rows in input order, so group numbering (and thus
+    // the unordered output order) is identical to the serial loop.
     let mut group_index: FxHashMap<Vec<GroupKey>, usize> = FxHashMap::default();
     let mut groups: Vec<Vec<usize>> = Vec::new();
     if core.group_by.is_empty() {
@@ -597,17 +699,53 @@ fn run_aggregate(
         }
         let bound_keys: Vec<Expr> =
             core.group_by.iter().map(|g| bind_columns(g, &input.schema)).collect();
-        for (ri, row) in input.rows.iter().enumerate() {
-            let rc = RowCtx { schema: &input.schema, row, outer };
-            let mut key = Vec::with_capacity(bound_keys.len());
-            for g in &bound_keys {
-                key.push(eval(g, ctx, Some(&rc))?.group_key());
+        let parallel_keys = partitions > 1
+            && input.rows.len() > 1
+            && bound_keys.iter().all(crate::exec_parallel::parallel_safe);
+        if parallel_keys {
+            // Phase 1 (parallel): per-morsel key computation.
+            let key_chunks = crate::exec_parallel::try_morsels(
+                input.rows.len(),
+                partitions,
+                ctx,
+                |range, wctx| {
+                    let mut keys = Vec::with_capacity(range.len());
+                    for row in &input.rows[range] {
+                        let rc = RowCtx { schema: &input.schema, row, outer };
+                        let mut key = Vec::with_capacity(bound_keys.len());
+                        for g in &bound_keys {
+                            key.push(eval(g, wctx, Some(&rc))?.group_key());
+                        }
+                        keys.push(key);
+                    }
+                    Ok(keys)
+                },
+            )?;
+            // Phase 2 (serial merge): first-seen group order == input order.
+            let mut ri = 0;
+            for chunk in key_chunks {
+                for key in chunk {
+                    let gi = *group_index.entry(key).or_insert_with(|| {
+                        groups.push(Vec::new());
+                        groups.len() - 1
+                    });
+                    groups[gi].push(ri);
+                    ri += 1;
+                }
             }
-            let gi = *group_index.entry(key).or_insert_with(|| {
-                groups.push(Vec::new());
-                groups.len() - 1
-            });
-            groups[gi].push(ri);
+        } else {
+            for (ri, row) in input.rows.iter().enumerate() {
+                let rc = RowCtx { schema: &input.schema, row, outer };
+                let mut key = Vec::with_capacity(bound_keys.len());
+                for g in &bound_keys {
+                    key.push(eval(g, ctx, Some(&rc))?.group_key());
+                }
+                let gi = *group_index.entry(key).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[gi].push(ri);
+            }
         }
     }
 
@@ -640,9 +778,43 @@ fn run_aggregate(
 
     // Apply HAVING before any output-site prefetch: batching must not pay
     // for projection/sort-key calls on groups HAVING rejects (the per-row
-    // path skips their output expressions entirely).
+    // path skips their output expressions entirely). Groups are
+    // independent, so with a parallel annotation the per-group predicate
+    // (aggregates included) evaluates morsel-parallel over the groups.
     let survivors: Vec<&Vec<usize>> = match having {
         None => groups.iter().collect(),
+        Some(h) if partitions > 1
+            && groups.len() > 1
+            && crate::exec_parallel::parallel_safe(h) =>
+        {
+            let verdicts = crate::exec_parallel::try_morsels(
+                groups.len(),
+                partitions,
+                ctx,
+                |range, wctx| {
+                    let mut keep = Vec::with_capacity(range.len());
+                    for members in &groups[range] {
+                        let rep: &[Value] = match members.first() {
+                            Some(&i) => &input.rows[i],
+                            None => &null_row,
+                        };
+                        let rep_ctx = RowCtx { schema: &input.schema, row: rep, outer };
+                        keep.push(
+                            materialize_and_eval(h, members, input, wctx, &rep_ctx)?
+                                .truthiness()
+                                == Some(true),
+                        );
+                    }
+                    Ok(keep)
+                },
+            )?;
+            groups
+                .iter()
+                .zip(verdicts.into_iter().flatten())
+                .filter(|(_, keep)| *keep)
+                .map(|(g, _)| g)
+                .collect()
+        }
         Some(h) => {
             let mut out = Vec::new();
             for members in &groups {
@@ -684,6 +856,53 @@ fn run_aggregate(
         }
     }
 
+    // Per-group output: aggregates and the residual projection evaluate
+    // per surviving group — independent work, morsel-parallel over the
+    // groups when the expressions are parallel-safe.
+    let parallel_out = partitions > 1
+        && survivors.len() > 1
+        && projection
+            .iter()
+            .map(|(e, _)| e)
+            .chain(order_exprs.iter())
+            .all(crate::exec_parallel::parallel_safe);
+    if parallel_out {
+        let chunks = crate::exec_parallel::try_morsels(
+            survivors.len(),
+            partitions,
+            ctx,
+            |range, wctx| {
+                let mut rows: Vec<Row> = Vec::with_capacity(range.len());
+                let mut keys = Vec::new();
+                for members in &survivors[range] {
+                    let rep: &[Value] = match members.first() {
+                        Some(&i) => &input.rows[i],
+                        None => &null_row,
+                    };
+                    let rep_ctx = RowCtx { schema: &input.schema, row: rep, outer };
+                    let mut out = Vec::with_capacity(projection.len());
+                    for (e, _) in projection {
+                        out.push(materialize_and_eval(e, members, input, wctx, &rep_ctx)?);
+                    }
+                    if !order_exprs.is_empty() {
+                        keys.push(output_sort_keys(order_exprs, projection.len(), &out, &mut |e| {
+                            materialize_and_eval(e, members, input, wctx, &rep_ctx)
+                        })?);
+                    }
+                    rows.push(out.into());
+                }
+                Ok((rows, keys))
+            },
+        )?;
+        let mut rows = Vec::with_capacity(survivors.len());
+        let mut keys = Vec::new();
+        for (r, k) in chunks {
+            rows.extend(r);
+            keys.extend(k);
+        }
+        return Ok((rows, keys));
+    }
+
     let mut rows: Vec<Row> = Vec::with_capacity(survivors.len());
     let mut keys = Vec::new();
     for members in survivors {
@@ -698,15 +917,9 @@ fn run_aggregate(
             out.push(materialize_and_eval(e, members, input, ctx, &rep_ctx)?);
         }
         if !order_exprs.is_empty() {
-            let mut k = Vec::with_capacity(order_exprs.len());
-            for e in order_exprs {
-                if let Some(i) = ordinal_index(e, projection.len())? {
-                    k.push(out[i].clone());
-                } else {
-                    k.push(materialize_and_eval(e, members, input, ctx, &rep_ctx)?);
-                }
-            }
-            keys.push(k);
+            keys.push(output_sort_keys(order_exprs, projection.len(), &out, &mut |e| {
+                materialize_and_eval(e, members, input, ctx, &rep_ctx)
+            })?);
         }
         rows.push(out.into());
     }
@@ -938,31 +1151,12 @@ pub fn exec_plan(
 
         Plan::Filter { input, predicate } => {
             let mut rel = exec_plan(input, ctx, outer)?;
-            // In-place batch filter: survivors are never cloned or moved
-            // into a fresh vector, one RowCtx shape serves every row, and
-            // the predicate's columns are bound to indices up front.
-            let predicate = bind_columns(predicate, &rel.schema);
-            let mut rows = std::mem::take(&mut rel.rows);
-            let schema = &rel.schema;
-            let mut first_err: Option<Error> = None;
-            rows.retain(|row| {
-                if first_err.is_some() {
-                    return false;
-                }
-                let rc = RowCtx { schema, row, outer };
-                match eval(&predicate, ctx, Some(&rc)) {
-                    Ok(v) => v.truthiness() == Some(true),
-                    Err(e) => {
-                        first_err = Some(e);
-                        false
-                    }
-                }
-            });
-            if let Some(e) = first_err {
-                return Err(e);
-            }
-            rel.rows = rows;
+            filter_relation(&mut rel, predicate, ctx, outer)?;
             Ok(rel)
+        }
+
+        Plan::Parallel { input, partitions } => {
+            crate::exec_parallel::exec_parallel(input, *partitions, ctx, outer)
         }
 
         Plan::Batch { input, calls } => {
@@ -997,23 +1191,58 @@ pub fn exec_plan(
     }
 }
 
+/// The serial in-place batch filter: survivors are never cloned or moved
+/// into a fresh vector, one RowCtx shape serves every row, and the
+/// predicate's columns are bound to indices up front. Shared by the
+/// serial executor and the parallel executor's small-input/unsafe-
+/// predicate fallback.
+pub(crate) fn filter_relation(
+    rel: &mut Relation,
+    predicate: &Expr,
+    ctx: &ExecCtx<'_>,
+    outer: Option<&RowCtx<'_>>,
+) -> Result<()> {
+    let predicate = bind_columns(predicate, &rel.schema);
+    let mut rows = std::mem::take(&mut rel.rows);
+    let schema = &rel.schema;
+    let mut first_err: Option<Error> = None;
+    rows.retain(|row| {
+        if first_err.is_some() {
+            return false;
+        }
+        let rc = RowCtx { schema, row, outer };
+        match eval(&predicate, ctx, Some(&rc)) {
+            Ok(v) => v.truthiness() == Some(true),
+            Err(e) => {
+                first_err = Some(e);
+                false
+            }
+        }
+    });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    rel.rows = rows;
+    Ok(())
+}
+
 /// A join input: scans are *borrowed* straight out of the catalog (zero
 /// refcount traffic — the join only reads them), everything else is
 /// materialized through [`exec_plan`].
-enum JoinInput<'a> {
+pub(crate) enum JoinInput<'a> {
     Borrowed { schema: RelSchema, rows: &'a [Row] },
     Owned(Relation),
 }
 
 impl JoinInput<'_> {
-    fn schema(&self) -> &RelSchema {
+    pub(crate) fn schema(&self) -> &RelSchema {
         match self {
             JoinInput::Borrowed { schema, .. } => schema,
             JoinInput::Owned(rel) => &rel.schema,
         }
     }
 
-    fn rows(&self) -> &[Row] {
+    pub(crate) fn rows(&self) -> &[Row] {
         match self {
             JoinInput::Borrowed { rows, .. } => rows,
             JoinInput::Owned(rel) => &rel.rows,
@@ -1021,7 +1250,7 @@ impl JoinInput<'_> {
     }
 }
 
-fn exec_source<'a>(
+pub(crate) fn exec_source<'a>(
     plan: &Plan,
     ctx: &ExecCtx<'a>,
     outer: Option<&RowCtx<'_>>,
@@ -1041,14 +1270,14 @@ fn exec_source<'a>(
 /// The emission shape of a join: either whole combined rows or a pruned
 /// gather of `indices` from the conceptual (left + right) row. Width-zero
 /// pruning re-shares a single empty row — no per-row allocation at all.
-struct Emission {
+pub(crate) struct Emission {
     indices: Option<Vec<usize>>,
     left_width: usize,
     empty: Row,
 }
 
 impl Emission {
-    fn new(indices: Option<&[usize]>, left_width: usize) -> Self {
+    pub(crate) fn new(indices: Option<&[usize]>, left_width: usize) -> Self {
         Emission {
             indices: indices.map(|i| i.to_vec()),
             left_width,
@@ -1058,7 +1287,7 @@ impl Emission {
 
     /// Emit the (possibly pruned) combined row for a match.
     #[inline]
-    fn matched(&self, lrow: &[Value], rrow: &[Value]) -> Row {
+    pub(crate) fn matched(&self, lrow: &[Value], rrow: &[Value]) -> Row {
         match &self.indices {
             None => combine(lrow, rrow),
             Some(idx) if idx.is_empty() => self.empty.clone(),
@@ -1077,7 +1306,7 @@ impl Emission {
 
     /// Emit a LEFT-join non-match: left cells, NULL-padded right.
     #[inline]
-    fn unmatched(&self, lrow: &[Value], right_width: usize) -> Row {
+    pub(crate) fn unmatched(&self, lrow: &[Value], right_width: usize) -> Row {
         match &self.indices {
             None => pad_right(lrow, right_width),
             Some(idx) if idx.is_empty() => self.empty.clone(),
@@ -1095,7 +1324,7 @@ impl Emission {
     }
 }
 
-fn exec_join(
+pub(crate) fn exec_join(
     left: &JoinInput<'_>,
     right: &JoinInput<'_>,
     kind: PlanJoinKind,
@@ -1132,7 +1361,7 @@ fn exec_join(
 
 /// Extract `l_expr = r_expr` conjuncts where each side is computable from
 /// one input. Returns (pairs, residual predicate).
-fn split_equi_join(
+pub(crate) fn split_equi_join(
     pred: &Expr,
     left: &RelSchema,
     right: &RelSchema,
@@ -1159,7 +1388,7 @@ fn split_equi_join(
 /// Hash-join key: the single-column case (the overwhelmingly common one)
 /// avoids a per-row `Vec` allocation entirely.
 #[derive(PartialEq, Eq, Hash)]
-enum JoinKey {
+pub(crate) enum JoinKey {
     One(GroupKey),
     Many(Vec<GroupKey>),
 }
@@ -1194,13 +1423,13 @@ fn join_key(
 /// iterator is `TrustedLen`, so `collect` writes straight into the shared
 /// allocation — one malloc per emitted row, no intermediate `Vec`.
 #[inline]
-fn combine(lrow: &[Value], rrow: &[Value]) -> Row {
+pub(crate) fn combine(lrow: &[Value], rrow: &[Value]) -> Row {
     lrow.iter().chain(rrow.iter()).cloned().collect()
 }
 
 /// A LEFT-join non-match: the left cells padded with NULLs on the right.
 #[inline]
-fn pad_right(lrow: &[Value], right_width: usize) -> Row {
+pub(crate) fn pad_right(lrow: &[Value], right_width: usize) -> Row {
     lrow.iter()
         .cloned()
         .chain(std::iter::repeat_n(Value::Null, right_width))
@@ -1211,13 +1440,13 @@ fn pad_right(lrow: &[Value], right_width: usize) -> Row {
 /// indices (zero-eval, zero-clone) when every key expression is a bound
 /// column — the overwhelmingly common `a.x = b.y` shape — or general bound
 /// expressions otherwise.
-enum KeySide {
+pub(crate) enum KeySide {
     Direct(Vec<usize>),
     Exprs(Vec<Expr>),
 }
 
 impl KeySide {
-    fn new(bound: Vec<Expr>) -> KeySide {
+    pub(crate) fn new(bound: Vec<Expr>) -> KeySide {
         let direct: Option<Vec<usize>> = bound
             .iter()
             .map(|e| match e {
@@ -1234,7 +1463,7 @@ impl KeySide {
     /// Key of one row; `None` marks a NULL in any key column (NULL never
     /// joins).
     #[inline]
-    fn key(
+    pub(crate) fn key(
         &self,
         row: &[Value],
         schema: &RelSchema,
@@ -1429,10 +1658,10 @@ fn hash_join(
 /// individually heap-allocated `Arc<[Value]>`s, so without a hint every
 /// row read is a dependent load that stalls on L3 once tables outgrow L2;
 /// prefetching a handful of iterations ahead overlaps those misses.
-const PREFETCH_AHEAD: usize = 8;
+pub(crate) const PREFETCH_AHEAD: usize = 8;
 
 #[inline(always)]
-fn prefetch_row(rows: &[Row], i: usize) {
+pub(crate) fn prefetch_row(rows: &[Row], i: usize) {
     #[cfg(target_arch = "x86_64")]
     if let Some(r) = rows.get(i) {
         // SAFETY: prefetch has no memory effects; any pointer is fine.
@@ -1449,13 +1678,13 @@ fn prefetch_row(rows: &[Row], i: usize) {
 
 /// A hash-join bucket: row indices of the build side sharing one key,
 /// with the single-row case stored inline (no allocation).
-enum Bucket {
+pub(crate) enum Bucket {
     One(u32),
     Many(Vec<u32>),
 }
 
 impl Bucket {
-    fn push(&mut self, ri: u32) {
+    pub(crate) fn push(&mut self, ri: u32) {
         match self {
             Bucket::One(first) => *self = Bucket::Many(vec![*first, ri]),
             Bucket::Many(v) => v.push(ri),
@@ -1463,7 +1692,7 @@ impl Bucket {
     }
 
     #[inline]
-    fn as_slice(&self) -> &[u32] {
+    pub(crate) fn as_slice(&self) -> &[u32] {
         match self {
             Bucket::One(i) => std::slice::from_ref(i),
             Bucket::Many(v) => v,

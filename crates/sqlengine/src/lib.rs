@@ -18,7 +18,22 @@
 //!   (`Value::Text(Arc<str>)`), rows are shared (`Row = Arc<[Value]>`),
 //!   hash joins build on the smaller side, and INNER-join chains are
 //!   reordered by catalog row-count statistics — see `PERF.md` for the
-//!   representation notes and measured numbers.
+//!   representation notes and measured numbers;
+//! * **morsel-driven parallel execution** ([`exec_parallel`]): the
+//!   optimizer annotates large plans with `Plan::Parallel { partitions }`
+//!   from catalog row counts, and filters, partitioned hash-join
+//!   build/probe, two-phase GROUP BY/aggregation and top-k selection fan
+//!   out over the shared `swan_pool` worker pool — with results
+//!   **byte-identical** to the serial engine at every thread count
+//!   (`SWAN_THREADS=1` reproduces serial execution exactly; the
+//!   `parallel_diff` differential harness enforces equivalence at 1, 2
+//!   and 8 threads);
+//! * a **concurrently shareable database** ([`SharedDb`]): an
+//!   `Arc`-cloneable handle whose sessions read O(tables) snapshots
+//!   without blocking writers, while writers serialize per table and
+//!   atomically install new `Arc<Table>` versions — no lost updates, no
+//!   poisoned locks, and UDF single-flight/answer stores shared across
+//!   sessions.
 //!
 //! ## Quick start
 //!
@@ -38,12 +53,14 @@ pub mod display;
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub mod exec_parallel;
 pub mod functions;
 pub mod hash;
 pub mod lexer;
 pub mod optimizer;
 pub mod parser;
 pub mod plan;
+pub mod shared;
 pub mod storage;
 pub mod value;
 
@@ -51,5 +68,6 @@ pub use db::{Database, QueryResult};
 pub use error::{Error, Result};
 pub use functions::{ScalarUdf, UdfRegistry};
 pub use optimizer::OptimizerConfig;
+pub use shared::SharedDb;
 pub use storage::{Catalog, Column, Table, TableStats};
 pub use value::{Row, Value};

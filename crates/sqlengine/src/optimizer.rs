@@ -47,7 +47,24 @@ pub struct OptimizerConfig {
     /// distinct argument tuples of its input batch instead of one call
     /// per row.
     pub batch_expensive_udfs: bool,
+    /// Worker threads for morsel-driven parallel execution. `0` means
+    /// auto: the `SWAN_THREADS` environment variable when set, otherwise
+    /// the machine's available parallelism. `1` disables parallel
+    /// execution entirely (the plan never grows a [`Plan::Parallel`]
+    /// node, reproducing the serial engine exactly).
+    pub threads: usize,
+    /// Minimum base-table cardinality (from [`Catalog::row_count`]
+    /// statistics) before a plan is worth parallelizing; below it the
+    /// coordination overhead outweighs the work. Tests drop this to 1 to
+    /// exercise the parallel operators on small tables.
+    ///
+    /// [`Catalog::row_count`]: crate::storage::Catalog::row_count
+    pub parallel_threshold: usize,
 }
+
+/// Default for [`OptimizerConfig::parallel_threshold`]: roughly four
+/// morsels' worth of rows, the point where fan-out stops being noise.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4096;
 
 impl Default for OptimizerConfig {
     fn default() -> Self {
@@ -58,6 +75,8 @@ impl Default for OptimizerConfig {
             reorder_joins: true,
             prune_columns: true,
             batch_expensive_udfs: true,
+            threads: 0,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
         }
     }
 }
@@ -87,7 +106,55 @@ pub fn optimize(
         _ => plan,
     };
     let plan = if config.batch_expensive_udfs { batch_expensive_calls(plan, udfs) } else { plan };
+    let threads = crate::exec_parallel::effective_threads(config);
+    let plan = if threads > 1 {
+        parallelize(plan, provider, threads, config.parallel_threshold)
+    } else {
+        plan
+    };
     Ok(plan)
+}
+
+// ---- rule 6: morsel-driven parallelization ------------------------------
+
+/// Annotate the plan root with [`Plan::Parallel`] when the catalog's
+/// row-count statistics say the input is large enough to amortize fan-out.
+/// Runs last (after batching), so the parallel executor sees the final
+/// operator tree; never runs when the effective thread count is 1.
+fn parallelize(
+    plan: Plan,
+    provider: &dyn SchemaProvider,
+    threads: usize,
+    threshold: usize,
+) -> Plan {
+    if matches!(plan, Plan::Empty) {
+        return plan;
+    }
+    if plan_input_rows(&plan, provider) < threshold {
+        return plan;
+    }
+    Plan::Parallel { input: Box::new(plan), partitions: threads }
+}
+
+/// Upper-bound cardinality of a plan's inputs: the largest base-table row
+/// count in the tree ([`SchemaProvider::table_rows`], i.e.
+/// `Catalog::row_count`). Derived tables and unknown tables count as
+/// unbounded — a wrapped plan over a small derived input costs one morsel
+/// dispatch, while an unwrapped plan over a large one costs the whole
+/// speedup.
+fn plan_input_rows(plan: &Plan, provider: &dyn SchemaProvider) -> usize {
+    match plan {
+        Plan::Scan { table, .. } => provider.table_rows(table).unwrap_or(usize::MAX),
+        Plan::Derived { .. } => usize::MAX,
+        Plan::Join { left, right, .. } => {
+            plan_input_rows(left, provider).max(plan_input_rows(right, provider))
+        }
+        Plan::Filter { input, .. }
+        | Plan::Batch { input, .. }
+        | Plan::Permute { input, .. }
+        | Plan::Parallel { input, .. } => plan_input_rows(input, provider),
+        Plan::Empty => 0,
+    }
 }
 
 // ---- rule 1: predicate pushdown ---------------------------------------
@@ -174,10 +241,13 @@ fn push_predicate_into(
             all.extend(conjuncts);
             push_predicate_into(*input, all, provider)
         }
+        // `Parallel` never exists while pushdown runs (the parallelize
+        // rule is last), but the match stays total for safety.
         leaf @ (Plan::Scan { .. }
         | Plan::Derived { .. }
         | Plan::Permute { .. }
         | Plan::Batch { .. }
+        | Plan::Parallel { .. }
         | Plan::Empty) => Ok(wrap_filter(leaf, conjuncts)),
     }
 }

@@ -154,6 +154,20 @@ pub enum Plan {
     /// Emitted by join reordering to restore the query's written column
     /// order after the join tree has been rearranged.
     Permute { input: Box<Plan>, mapping: Vec<usize> },
+    /// Morsel-driven parallel execution annotation: the subtree below is
+    /// executed by [`crate::exec_parallel`] with up to `partitions` worker
+    /// threads — scans/filters/permutes process fixed-size morsels,
+    /// hash joins build partitioned tables and probe morsel-parallel.
+    /// Inserted (at most once, at the root) by the optimizer's
+    /// parallelization rule when [`Catalog::row_count`] statistics say the
+    /// input is large enough to amortize coordination; never inserted when
+    /// the effective thread count is 1, so `SWAN_THREADS=1` reproduces the
+    /// serial engine exactly. Operator output order is morsel-concatenated
+    /// input order, so results are byte-identical to serial execution at
+    /// every partition count.
+    ///
+    /// [`Catalog::row_count`]: crate::storage::Catalog::row_count
+    Parallel { input: Box<Plan>, partitions: usize },
     /// Zero-column, one-row relation (SELECT without FROM).
     Empty,
 }
@@ -188,6 +202,7 @@ impl Plan {
             }
             Plan::Filter { input, .. } => input.schema(provider),
             Plan::Batch { input, .. } => input.schema(provider),
+            Plan::Parallel { input, .. } => input.schema(provider),
             Plan::Permute { input, mapping } => {
                 let inner = input.schema(provider)?;
                 Ok(RelSchema::new(

@@ -1,0 +1,323 @@
+//! A concurrently shareable database.
+//!
+//! [`Database`] is single-session by construction: `execute(&mut self)`
+//! serializes every statement behind one exclusive borrow. [`SharedDb`]
+//! lifts the same engine to many concurrent sessions:
+//!
+//! * **`Arc`-cloneable handle** — cloning a `SharedDb` is a refcount
+//!   bump; every clone is a session over the same data, safe to move to
+//!   another thread.
+//! * **Snapshot reads** — a SELECT briefly read-locks the catalog,
+//!   clones it (O(tables): the row storage is shared `Arc<Table>`s, so
+//!   no cell is copied), drops the lock, and executes against the
+//!   immutable snapshot. Long queries never block writers, and a session
+//!   sees a consistent database state for the whole statement.
+//! * **Writers serialized per table** — a DML/DDL statement takes its
+//!   target table's write lock, executes against a snapshot taken
+//!   *under* that lock, and installs the new table version with a brief
+//!   catalog write lock. Writers to different tables run fully
+//!   concurrently; writers to the same table observe each other's
+//!   committed state (read-modify-write statements like
+//!   `UPDATE t SET n = n + 1` never lose updates).
+//! * **No poisoned locks** — all locks are `parking_lot`-style
+//!   panic-transparent: a session that panics mid-statement cannot wedge
+//!   its siblings. A failed statement installs nothing (the snapshot is
+//!   discarded), so errors cannot corrupt shared state either.
+//!
+//! UDFs are registered once and shared by every session (the registry
+//! stores `Arc<dyn ScalarUdf>`); stateful UDFs such as `llm_map` keep
+//! their single-flight / answer-store behaviour *across* sessions because
+//! all sessions call the same object.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::ast::Statement;
+use crate::db::{Database, QueryResult};
+use crate::error::Result;
+use crate::functions::{ScalarUdf, UdfRegistry};
+use crate::optimizer::OptimizerConfig;
+use crate::parser::{parse_script, parse_statement};
+use crate::storage::Catalog;
+
+/// An embedded, in-memory SQL database shared by many concurrent
+/// sessions. Clone the handle freely — all clones address the same data.
+#[derive(Clone, Default)]
+pub struct SharedDb {
+    inner: Arc<Shared>,
+}
+
+#[derive(Default)]
+struct Shared {
+    catalog: RwLock<Catalog>,
+    udfs: RwLock<UdfRegistry>,
+    optimizer: RwLock<OptimizerConfig>,
+    /// One write lock per (lowercased) table name, created on first
+    /// write. Holding a table's lock serializes every mutation of that
+    /// table — DML and DDL alike — while leaving other tables free.
+    table_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+}
+
+impl SharedDb {
+    /// A fresh, empty shared database.
+    pub fn new() -> Self {
+        SharedDb::default()
+    }
+
+    /// Share an existing single-session database. The row storage is
+    /// re-shared, not copied.
+    pub fn from_database(db: Database) -> Self {
+        let optimizer = db.optimizer();
+        let udfs = db.udfs().clone();
+        let catalog = db.catalog().clone();
+        SharedDb {
+            inner: Arc::new(Shared {
+                catalog: RwLock::new(catalog),
+                udfs: RwLock::new(udfs),
+                optimizer: RwLock::new(optimizer),
+                table_locks: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Register a scalar UDF (e.g. an LLM function) for every session.
+    pub fn register_udf(&self, udf: Arc<dyn ScalarUdf>) {
+        self.inner.udfs.write().register(udf);
+    }
+
+    /// Set the optimizer configuration for statements executed from now
+    /// on (in-flight statements keep the config they snapshotted).
+    pub fn set_optimizer(&self, config: OptimizerConfig) {
+        *self.inner.optimizer.write() = config;
+    }
+
+    pub fn optimizer(&self) -> OptimizerConfig {
+        *self.inner.optimizer.read()
+    }
+
+    /// A consistent single-session snapshot of the current state: shares
+    /// the `Arc<Table>` row storage (O(tables)), never blocks writers
+    /// beyond the brief catalog read lock. Later writes through the
+    /// shared handle are not visible to the snapshot, and mutating the
+    /// snapshot (it is a plain [`Database`]) copy-on-writes privately.
+    pub fn snapshot(&self) -> Database {
+        let optimizer = *self.inner.optimizer.read();
+        let udfs = self.inner.udfs.read().clone();
+        let catalog = self.inner.catalog.read().clone();
+        Database::from_parts(catalog, udfs, optimizer)
+    }
+
+    /// Execute a read-only query against a snapshot.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.snapshot().query(sql)
+    }
+
+    /// Execute one statement. Reads run on a snapshot; writes serialize
+    /// per target table and atomically install the new table version.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute a semicolon-separated script; returns the last result.
+    /// Each statement commits (and becomes visible to other sessions)
+    /// independently — there is no multi-statement transaction.
+    pub fn execute_script(&self, sql: &str) -> Result<QueryResult> {
+        let stmts = parse_script(sql)?;
+        let mut last = QueryResult::default();
+        for stmt in &stmts {
+            last = self.execute_statement(stmt)?;
+        }
+        Ok(last)
+    }
+
+    fn execute_statement(&self, stmt: &Statement) -> Result<QueryResult> {
+        let Some(target) = write_target(stmt) else {
+            // SELECT: snapshot execution, no locks held while running.
+            let mut db = self.snapshot();
+            return db.execute_statement(stmt);
+        };
+
+        // Serialize writers on the target table for the whole
+        // read-modify-write cycle: snapshot under the lock, execute
+        // against the snapshot, install the new version.
+        let lock = self.table_lock(&target);
+        let _guard = lock.lock();
+
+        let mut db = self.snapshot();
+        let result = db.execute_statement(stmt)?;
+
+        // Install only the target table's new version (or its removal):
+        // concurrent writers to *other* tables committed after our
+        // snapshot must not be clobbered, so the whole catalog is never
+        // written back.
+        let dropped = {
+            let mut catalog = self.inner.catalog.write();
+            match db.catalog().get(&target) {
+                Some(table) => {
+                    catalog.put_shared(table.clone());
+                    false
+                }
+                None => {
+                    // DROP TABLE (or DROP ... IF EXISTS of a missing table).
+                    let _ = catalog.drop_table(&target);
+                    true
+                }
+            }
+        };
+        if dropped {
+            self.prune_table_lock(&target, &lock);
+        }
+        Ok(result)
+    }
+
+    /// Drop a dropped table's lock entry so create/drop-heavy workloads
+    /// don't grow the lock map without bound. Safe only when nobody else
+    /// holds the `Arc` (strong count 2 = our clone + the map's): a waiter
+    /// blocked on this lock must keep resolving to the *same* mutex, or
+    /// two writers could mutate a recreated table concurrently. New
+    /// clones are only handed out under the map mutex we hold here, so
+    /// the check cannot race.
+    fn prune_table_lock(&self, name: &str, lock: &Arc<Mutex<()>>) {
+        let key = name.to_ascii_lowercase();
+        let mut locks = self.inner.table_locks.lock();
+        if Arc::strong_count(lock) == 2 {
+            locks.remove(&key);
+        }
+    }
+
+    fn table_lock(&self, name: &str) -> Arc<Mutex<()>> {
+        let key = name.to_ascii_lowercase();
+        let mut locks = self.inner.table_locks.lock();
+        locks.entry(key).or_default().clone()
+    }
+
+    /// Names of the current tables (snapshot).
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.catalog.read().table_names()
+    }
+
+    /// Current row count of a table, if it exists (snapshot statistic).
+    pub fn row_count(&self, table: &str) -> Option<usize> {
+        self.inner.catalog.read().row_count(table)
+    }
+}
+
+/// The table a statement mutates; `None` for read-only statements.
+fn write_target(stmt: &Statement) -> Option<String> {
+    match stmt {
+        Statement::Select(_) => None,
+        Statement::CreateTable(ct) => Some(ct.name.clone()),
+        Statement::DropTable { name, .. } => Some(name.clone()),
+        Statement::AlterTableAddColumn { table, .. } => Some(table.clone()),
+        Statement::Insert(ins) => Some(ins.table.clone()),
+        Statement::Update(upd) => Some(upd.table.clone()),
+        Statement::Delete(del) => Some(del.table.clone()),
+    }
+}
+
+impl std::fmt::Debug for SharedDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedDb")
+            .field("tables", &self.table_names())
+            .field("sessions", &Arc::strong_count(&self.inner))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+    use crate::value::Value;
+
+    fn seeded() -> SharedDb {
+        let db = SharedDb::new();
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, n INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+        db
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = seeded();
+        let b = a.clone();
+        b.execute("INSERT INTO t VALUES (3, 30)").unwrap();
+        let r = a.query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Integer(3)));
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let db = seeded();
+        let snap = db.snapshot();
+        db.execute("INSERT INTO t VALUES (3, 30)").unwrap();
+        assert_eq!(
+            snap.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Integer(2)),
+            "snapshot pinned"
+        );
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Integer(3))
+        );
+    }
+
+    #[test]
+    fn failed_statement_installs_nothing() {
+        let db = seeded();
+        // Duplicate PK: the snapshot's partial state must not leak.
+        let err = db.execute("INSERT INTO t VALUES (1, 99)").unwrap_err();
+        assert!(matches!(err, Error::Constraint(_)));
+        let r = db.query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Integer(2)));
+    }
+
+    #[test]
+    fn ddl_round_trip() {
+        let db = seeded();
+        db.execute("ALTER TABLE t ADD COLUMN tag TEXT").unwrap();
+        db.execute("CREATE TABLE u (x INTEGER)").unwrap();
+        assert_eq!(db.table_names(), vec!["t", "u"]);
+        db.execute("DROP TABLE u").unwrap();
+        assert_eq!(db.table_names(), vec!["t"]);
+        db.execute("DROP TABLE IF EXISTS u").unwrap();
+    }
+
+    #[test]
+    fn update_on_shared_handle() {
+        let db = seeded();
+        let r = db.execute("UPDATE t SET n = n + 1 WHERE id = 1").unwrap();
+        assert_eq!(r.rows_affected, 1);
+        let q = db.query("SELECT n FROM t WHERE id = 1").unwrap();
+        assert_eq!(q.scalar(), Some(&Value::Integer(11)));
+    }
+
+    #[test]
+    fn dropped_table_locks_are_pruned() {
+        let db = seeded();
+        for i in 0..32 {
+            db.execute(&format!("CREATE TABLE tmp{i} (x INTEGER)")).unwrap();
+            db.execute(&format!("INSERT INTO tmp{i} VALUES ({i})")).unwrap();
+            db.execute(&format!("DROP TABLE tmp{i}")).unwrap();
+        }
+        let live = db.inner.table_locks.lock().len();
+        assert_eq!(live, 1, "only the surviving table 't' keeps a lock entry, got {live}");
+        // The surviving table still works.
+        db.execute("INSERT INTO t VALUES (3, 30)").unwrap();
+    }
+
+    #[test]
+    fn from_database_shares_rows() {
+        let mut single = Database::new();
+        single.execute("CREATE TABLE s (a INTEGER)").unwrap();
+        single.execute("INSERT INTO s VALUES (7)").unwrap();
+        let shared = SharedDb::from_database(single);
+        assert_eq!(
+            shared.query("SELECT a FROM s").unwrap().scalar(),
+            Some(&Value::Integer(7))
+        );
+    }
+}

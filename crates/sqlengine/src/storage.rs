@@ -265,7 +265,14 @@ impl Catalog {
 
     /// Replace or insert a table unconditionally.
     pub fn put_table(&mut self, table: Table) {
-        self.tables.insert(table.name.to_ascii_lowercase(), Arc::new(table));
+        self.put_shared(Arc::new(table));
+    }
+
+    /// Replace or insert an already-shared table — a refcount bump, no
+    /// row copying. This is how [`SharedDb`](crate::shared::SharedDb)
+    /// installs a writer's new table version into the live catalog.
+    pub fn put_shared(&mut self, table: Arc<Table>) {
+        self.tables.insert(table.name.to_ascii_lowercase(), table);
     }
 
     pub fn drop_table(&mut self, name: &str) -> Result<()> {

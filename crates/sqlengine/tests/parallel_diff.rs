@@ -1,0 +1,556 @@
+//! Serial ≡ parallel differential-test harness.
+//!
+//! Concurrency claims are only credible when backed by controlled
+//! differential testing (cf. ZEUS), so this harness pins the morsel-driven
+//! parallel executor against the serial engine: a query generator over the
+//! four SWAN domain shapes runs every statement through the serial
+//! executor (`threads: 1` — no [`Plan::Parallel`] node is ever inserted)
+//! and through the parallel executor at thread counts **2 and 8**
+//! (`parallel_threshold: 1`, so even tiny generated tables exercise the
+//! parallel operators), and asserts equivalent results:
+//!
+//! * statements with `ORDER BY` must match **exactly** (including the
+//!   tie-break contract: `LIMIT k` keeps the stable-sort prefix);
+//! * statements without `ORDER BY` are compared order-insensitively
+//!   (the SQL contract) **and** byte-exactly — the parallel executor
+//!   promises morsel-order concatenation, making results identical to
+//!   serial execution, and this harness is where that stronger promise
+//!   is enforced.
+//!
+//! Coverage: filtered scans/projections, inner/LEFT/three-way joins,
+//! GROUP BY + HAVING, DISTINCT, ORDER BY + LIMIT with deliberate ties,
+//! compound UNION, and expensive-UDF batching (a counting UDF stands in
+//! for an LLM call; the parallel engine must return the same rows and
+//! never evaluate more distinct argument tuples than the serial engine).
+//!
+//! Reproducibility: case streams honour `SWAN_SEED` (see the proptest
+//! shim); a failure prints the seed to replay it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use swan_sqlengine::value::Value;
+use swan_sqlengine::{Database, OptimizerConfig, QueryResult, ScalarUdf};
+
+/// The thread counts the parallel side runs at.
+const THREAD_COUNTS: &[usize] = &[2, 8];
+
+/// Schemas shaped like the four SWAN domains (a fact table, a dimension,
+/// and a small lookup each), populated deterministically from the
+/// generated rows so serial and parallel runs see identical data.
+const DOMAINS: &[(&str, &str, &str, &str)] = &[
+    (
+        "superhero",
+        "CREATE TABLE superhero (id INTEGER PRIMARY KEY, publisher_id INTEGER, height_cm INTEGER, hero_name TEXT)",
+        "CREATE TABLE publisher (id INTEGER PRIMARY KEY, publisher_name TEXT)",
+        "superhero s JOIN publisher p ON s.publisher_id = p.id",
+    ),
+    (
+        "formula_1",
+        "CREATE TABLE results (id INTEGER PRIMARY KEY, driver_id INTEGER, points INTEGER, status TEXT)",
+        "CREATE TABLE drivers (id INTEGER PRIMARY KEY, surname TEXT)",
+        "results s JOIN drivers p ON s.driver_id = p.id",
+    ),
+    (
+        "california_schools",
+        "CREATE TABLE satscores (id INTEGER PRIMARY KEY, school_id INTEGER, avg_scr_math INTEGER, rtype TEXT)",
+        "CREATE TABLE schools (id INTEGER PRIMARY KEY, school_name TEXT)",
+        "satscores s JOIN schools p ON s.school_id = p.id",
+    ),
+    (
+        "european_football",
+        "CREATE TABLE player_attributes (id INTEGER PRIMARY KEY, player_id INTEGER, overall_rating INTEGER, foot TEXT)",
+        "CREATE TABLE player (id INTEGER PRIMARY KEY, player_name TEXT)",
+        "player_attributes s JOIN player p ON s.player_id = p.id",
+    ),
+];
+
+fn fact_table(domain: usize) -> &'static str {
+    ["superhero", "results", "satscores", "player_attributes"][domain]
+}
+
+fn dim_table(domain: usize) -> &'static str {
+    ["publisher", "drivers", "schools", "player"][domain]
+}
+
+fn fact_num(domain: usize) -> &'static str {
+    ["height_cm", "points", "avg_scr_math", "overall_rating"][domain]
+}
+
+fn fact_fk(domain: usize) -> &'static str {
+    ["publisher_id", "driver_id", "school_id", "player_id"][domain]
+}
+
+fn fact_text(domain: usize) -> &'static str {
+    ["hero_name", "status", "rtype", "foot"][domain]
+}
+
+/// Build one SWAN-shaped domain database. Fact rows link into the
+/// dimension (with some dangling/NULL keys so LEFT-join and NULL
+/// semantics get exercised); `tiny` is a 4-row lookup.
+fn domain_db(domain: usize, rows: &[(i64, i64, String)]) -> Database {
+    let (_, fact_ddl, dim_ddl, _) = DOMAINS[domain];
+    let mut db = Database::new();
+    db.execute(fact_ddl).unwrap();
+    db.execute(dim_ddl).unwrap();
+    db.execute("CREATE TABLE tiny (k INTEGER PRIMARY KEY, tag TEXT)").unwrap();
+
+    let dim_rows = (rows.len() / 3).max(2);
+    {
+        let dim = db.catalog_mut().get_mut(dim_table(domain)).unwrap();
+        for i in 0..dim_rows {
+            dim.insert_row(vec![Value::Integer(i as i64), Value::text(format!("name-{i}"))])
+                .unwrap();
+        }
+    }
+    {
+        let fact = db.catalog_mut().get_mut(fact_table(domain)).unwrap();
+        for (i, (raw, n, s)) in rows.iter().enumerate() {
+            let fk = match raw.rem_euclid(10) {
+                0 => Value::Null,
+                _ => Value::Integer(raw.rem_euclid(dim_rows as i64 + 3)),
+            };
+            fact.insert_row(vec![
+                Value::Integer(i as i64),
+                fk,
+                // Narrow numeric range on purpose: ORDER BY ties abound.
+                Value::Integer(n.rem_euclid(7)),
+                Value::text(s.clone()),
+            ])
+            .unwrap();
+        }
+    }
+    {
+        let tiny = db.catalog_mut().get_mut("tiny").unwrap();
+        for k in 0..4i64 {
+            tiny.insert_row(vec![Value::Integer(k), Value::text(format!("tag-{k}"))]).unwrap();
+        }
+    }
+    db
+}
+
+/// A deterministic "expensive" UDF standing in for an LLM call; counts
+/// evaluated argument tuples across `invoke` and `invoke_batch`.
+#[derive(Default)]
+struct TagUdf {
+    tuples: AtomicU64,
+}
+
+impl ScalarUdf for TagUdf {
+    fn name(&self) -> &str {
+        "slow_tag"
+    }
+    fn invoke(&self, args: &[Value]) -> swan_sqlengine::Result<Value> {
+        self.tuples.fetch_add(1, Ordering::SeqCst);
+        let tag = args.iter().map(Value::render).collect::<Vec<_>>().join("-");
+        Ok(Value::text(format!("v{tag}")))
+    }
+    fn is_expensive(&self) -> bool {
+        true
+    }
+}
+
+fn serial_config() -> OptimizerConfig {
+    OptimizerConfig { threads: 1, ..Default::default() }
+}
+
+fn parallel_config(threads: usize) -> OptimizerConfig {
+    // Threshold 1: even the smallest generated table goes parallel.
+    OptimizerConfig { threads, parallel_threshold: 1, ..Default::default() }
+}
+
+/// Sorted row texts for order-insensitive comparison.
+fn multiset(result: &QueryResult) -> Vec<String> {
+    let mut rows: Vec<String> = result
+        .rows
+        .iter()
+        .map(|r| r.iter().map(Value::render).collect::<Vec<_>>().join("\u{1}"))
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// Assert the parallel result is equivalent to the serial one: exact for
+/// ORDER BY; order-insensitive *and* byte-exact otherwise (the parallel
+/// executor's morsel-order concatenation makes results identical).
+fn assert_equivalent(sql: &str, threads: usize, serial: &QueryResult, parallel: &QueryResult) {
+    assert_eq!(
+        serial.columns, parallel.columns,
+        "column names diverge at {threads} threads for {sql}"
+    );
+    let has_order_by = sql.to_ascii_uppercase().contains("ORDER BY");
+    if !has_order_by {
+        assert_eq!(
+            multiset(serial),
+            multiset(parallel),
+            "row multiset diverges at {threads} threads for {sql}"
+        );
+    }
+    assert_eq!(
+        serial.rows, parallel.rows,
+        "rows diverge at {threads} threads for {sql} (byte-identical contract)"
+    );
+}
+
+/// Run `sql` serially and at every parallel thread count over fresh,
+/// identically-populated databases; assert equivalence.
+fn diff_query(domain: usize, rows: &[(i64, i64, String)], sql: &str) {
+    let mut serial_db = domain_db(domain, rows);
+    serial_db.set_optimizer(serial_config());
+    let serial = serial_db.query(sql).unwrap_or_else(|e| panic!("serial {sql}: {e}"));
+    for &threads in THREAD_COUNTS {
+        let mut par_db = domain_db(domain, rows);
+        par_db.set_optimizer(parallel_config(threads));
+        let parallel =
+            par_db.query(sql).unwrap_or_else(|e| panic!("{threads}-thread {sql}: {e}"));
+        assert_equivalent(sql, threads, &serial, &parallel);
+    }
+}
+
+proptest! {
+    /// The generated query family: joins, GROUP BY/HAVING, DISTINCT,
+    /// LIMIT (with ties), LEFT joins, three-way chains and compounds,
+    /// across the four SWAN domain shapes.
+    #[test]
+    fn parallel_execution_matches_serial(
+        rows in proptest::collection::vec((any::<i64>(), -40i64..120, "[a-m]{0,5}"), 2..48),
+        domain in 0usize..4,
+        threshold in -40i64..120,
+        k in 0usize..9,
+        shape in 0usize..9,
+    ) {
+        let (_, _, _, join) = DOMAINS[domain];
+        let fact = fact_table(domain);
+        let dim = dim_table(domain);
+        let num = fact_num(domain);
+        let fk = fact_fk(domain);
+        let text = fact_text(domain);
+        let threshold = threshold.rem_euclid(7);
+        let sql = match shape {
+            // Filtered scan + projection (morsel filter + projection).
+            0 => format!(
+                "SELECT s.id, s.{num} + 1, UPPER(s.{text}) FROM {fact} s \
+                 WHERE s.{num} > {threshold}"
+            ),
+            // Inner hash join (partitioned build/probe).
+            1 => format!(
+                "SELECT s.id, p.id FROM {join} WHERE s.{num} <= {threshold} ORDER BY s.id"
+            ),
+            // LEFT join with NULL-padded non-matches.
+            2 => format!(
+                "SELECT s.id, p.id FROM {fact} s LEFT JOIN {dim} p ON s.{fk} = p.id \
+                 ORDER BY s.id"
+            ),
+            // Two-phase GROUP BY + HAVING over a join.
+            3 => format!(
+                "SELECT p.id, COUNT(*), SUM(s.{num}) FROM {join} \
+                 GROUP BY p.id HAVING COUNT(*) > 1 ORDER BY p.id"
+            ),
+            // GROUP BY without ORDER BY: first-seen group order must
+            // survive the parallel merge.
+            4 => format!(
+                "SELECT s.{num}, COUNT(*), MIN(s.{text}) FROM {fact} s GROUP BY s.{num}"
+            ),
+            // DISTINCT (first-occurrence dedupe over parallel input).
+            5 => format!("SELECT DISTINCT s.{num}, s.{fk} FROM {fact} s"),
+            // ORDER BY a low-cardinality key + LIMIT: the top-k
+            // tie-break contract at every thread count.
+            6 => format!(
+                "SELECT s.id, s.{num} FROM {fact} s ORDER BY s.{num} LIMIT {k}"
+            ),
+            // Three-way chain (join reordering + Permute under Parallel).
+            7 => format!(
+                "SELECT COUNT(*) FROM {fact} s JOIN {dim} p ON s.{fk} = p.id \
+                 JOIN tiny t ON p.id = t.k WHERE s.{num} > {threshold}"
+            ),
+            // Compound UNION over two parallel cores.
+            _ => format!(
+                "SELECT s.{num} FROM {fact} s WHERE s.{num} > {threshold} \
+                 UNION SELECT k FROM tiny ORDER BY 1"
+            ),
+        };
+        diff_query(domain, &rows, &sql);
+    }
+
+    /// Expensive-UDF batching under parallel execution: same rows, and the
+    /// parallel engine never evaluates more distinct argument tuples than
+    /// the serial engine (the statement-level prefetch answers workers
+    /// from their snapshot).
+    #[test]
+    fn parallel_udf_batching_matches_serial(
+        rows in proptest::collection::vec((any::<i64>(), -40i64..120, "[a-m]{0,5}"), 2..40),
+        domain in 0usize..4,
+        threshold in -40i64..120,
+        shape in 0usize..3,
+    ) {
+        let (_, _, _, join) = DOMAINS[domain];
+        let fact = fact_table(domain);
+        let num = fact_num(domain);
+        let threshold = threshold.rem_euclid(7);
+        let sql = match shape {
+            // Expensive call in the projection.
+            0 => format!("SELECT s.id, slow_tag('p', s.{num}) FROM {fact} s ORDER BY s.id"),
+            // Expensive conjunct in WHERE next to a cheap one
+            // (Filter(expensive) ← Batch ← Filter(cheap), under Parallel).
+            1 => format!(
+                "SELECT s.id FROM {join} WHERE s.{num} > {threshold} \
+                 AND slow_tag('w', p.id) LIKE 'vw%' ORDER BY s.id"
+            ),
+            // Expensive call in HAVING over grouped output.
+            _ => format!(
+                "SELECT p.id, COUNT(*) FROM {join} GROUP BY p.id \
+                 HAVING slow_tag('h', p.id) LIKE 'vh%' ORDER BY p.id"
+            ),
+        };
+
+        let serial_udf = Arc::new(TagUdf::default());
+        let mut serial_db = domain_db(domain, &rows);
+        serial_db.register_udf(serial_udf.clone());
+        serial_db.set_optimizer(serial_config());
+        let serial = serial_db.query(&sql).unwrap();
+        let serial_tuples = serial_udf.tuples.load(Ordering::SeqCst);
+
+        for &threads in THREAD_COUNTS {
+            let par_udf = Arc::new(TagUdf::default());
+            let mut par_db = domain_db(domain, &rows);
+            par_db.register_udf(par_udf.clone());
+            par_db.set_optimizer(parallel_config(threads));
+            let parallel = par_db.query(&sql).unwrap();
+            assert_equivalent(&sql, threads, &serial, &parallel);
+            let par_tuples = par_udf.tuples.load(Ordering::SeqCst);
+            prop_assert!(
+                par_tuples <= serial_tuples,
+                "{sql}: parallel evaluated {par_tuples} tuples at {threads} threads, \
+                 serial {serial_tuples}"
+            );
+        }
+    }
+
+    /// INSERT … SELECT and UPDATE/DELETE write paths agree after a
+    /// parallel read side produced the rows.
+    #[test]
+    fn parallel_write_paths_match_serial(
+        rows in proptest::collection::vec((any::<i64>(), -40i64..120, "[a-m]{0,5}"), 2..32),
+        domain in 0usize..4,
+        threshold in -40i64..120,
+    ) {
+        let fact = fact_table(domain);
+        let num = fact_num(domain);
+        let threshold = threshold.rem_euclid(7);
+        let script = [
+            format!("CREATE TABLE sink (id INTEGER, v INTEGER)"),
+            format!(
+                "INSERT INTO sink SELECT s.id, s.{num} FROM {fact} s WHERE s.{num} > {threshold}"
+            ),
+            format!("UPDATE sink SET v = v * 2 WHERE v < 4"),
+            format!("DELETE FROM sink WHERE v % 3 = 0"),
+        ];
+        let run = |config: OptimizerConfig| -> Vec<String> {
+            let mut db = domain_db(domain, &rows);
+            db.set_optimizer(config);
+            for stmt in &script {
+                db.execute(stmt).unwrap();
+            }
+            multiset(&db.query("SELECT id, v FROM sink").unwrap())
+        };
+        let serial = run(serial_config());
+        for &threads in THREAD_COUNTS {
+            prop_assert_eq!(&serial, &run(parallel_config(threads)), "threads {}", threads);
+        }
+    }
+}
+
+/// An expensive UDF whose `invoke_batch` always fails: the statement
+/// prefetch answers nothing, so per-row invokes inside workers are the
+/// only source of results. Counts every evaluated tuple.
+#[derive(Default)]
+struct BrokenBatchUdf {
+    tuples: AtomicU64,
+}
+
+impl ScalarUdf for BrokenBatchUdf {
+    fn name(&self) -> &str {
+        "flaky_tag"
+    }
+    fn invoke(&self, args: &[Value]) -> swan_sqlengine::Result<Value> {
+        self.tuples.fetch_add(1, Ordering::SeqCst);
+        Ok(Value::text(format!(
+            "v{}",
+            args.iter().map(Value::render).collect::<Vec<_>>().join("-")
+        )))
+    }
+    fn invoke_batch(&self, _rows: &[Vec<Value>]) -> swan_sqlengine::Result<Vec<Value>> {
+        Err(swan_sqlengine::Error::Udf {
+            name: "flaky_tag".into(),
+            message: "simulated batch failure".into(),
+        })
+    }
+    fn is_expensive(&self) -> bool {
+        true
+    }
+}
+
+/// When the vectorized prefetch fails, workers invoke per row against
+/// their private stores — results a worker computes must merge back into
+/// the statement store so a later operator (here: the projection reusing
+/// the WHERE clause's call) is served without re-invoking. Rows stay
+/// identical to serial, and the tuple count stays bounded by
+/// threads × distinct tuples (not operators × threads × distinct).
+#[test]
+fn failed_invoke_batch_merges_worker_results_back() {
+    const DISTINCT: u64 = 5;
+    let build = |threads: usize| {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, n INTEGER)").unwrap();
+        {
+            let t = db.catalog_mut().get_mut("t").unwrap();
+            for i in 0..200i64 {
+                t.insert_row(vec![Value::Integer(i), Value::Integer(i % DISTINCT as i64)])
+                    .unwrap();
+            }
+        }
+        let udf = Arc::new(BrokenBatchUdf::default());
+        db.register_udf(udf.clone());
+        db.set_optimizer(if threads == 1 {
+            serial_config()
+        } else {
+            parallel_config(threads)
+        });
+        (db, udf)
+    };
+    let sql = "SELECT id, flaky_tag(n) FROM t WHERE flaky_tag(n) LIKE 'v%' ORDER BY id";
+
+    let (serial_db, serial_udf) = build(1);
+    let serial = serial_db.query(sql).unwrap();
+    assert_eq!(serial.rows.len(), 200);
+    assert_eq!(
+        serial_udf.tuples.load(Ordering::SeqCst),
+        DISTINCT,
+        "serial: one invoke per distinct tuple, shared across WHERE and projection"
+    );
+
+    for &threads in THREAD_COUNTS {
+        let (par_db, par_udf) = build(threads);
+        let parallel = par_db.query(sql).unwrap();
+        assert_eq!(parallel.rows, serial.rows, "rows diverge at {threads} threads");
+        let tuples = par_udf.tuples.load(Ordering::SeqCst);
+        assert!(
+            tuples <= threads as u64 * DISTINCT,
+            "at {threads} threads expected ≤ {} tuples (merge-back must serve the \
+             projection from the WHERE phase's results), got {tuples}",
+            threads as u64 * DISTINCT
+        );
+    }
+}
+
+/// ORDER BY ties at the LIMIT boundary: the kept prefix must be exactly
+/// the stable-sort prefix (first-come-first-kept) at every thread count —
+/// the documented tie-break contract.
+#[test]
+fn topk_tie_break_is_stable_at_every_thread_count() {
+    let build = |threads: usize| {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, n INTEGER)").unwrap();
+        {
+            let t = db.catalog_mut().get_mut("t").unwrap();
+            for i in 0..6000i64 {
+                // Heavy ties: only 3 distinct sort keys.
+                t.insert_row(vec![Value::Integer(i), Value::Integer(i % 3)]).unwrap();
+            }
+        }
+        db.set_optimizer(if threads == 1 {
+            serial_config()
+        } else {
+            parallel_config(threads)
+        });
+        db
+    };
+    // Stable expectation: among n == 0 ties, the lowest ids win, in order.
+    let expect: Vec<i64> = (0..5).map(|i| i * 3).collect();
+    for threads in [1usize, 2, 8] {
+        let db = build(threads);
+        let r = db.query("SELECT id FROM t ORDER BY n LIMIT 5").unwrap();
+        let got: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+        assert_eq!(got, expect, "tie-break diverged at {threads} thread(s)");
+        // And LIMIT k is a prefix of the full ordered result.
+        let full = db.query("SELECT id FROM t ORDER BY n").unwrap();
+        let prefix: Vec<i64> =
+            full.rows[..5].iter().map(|row| row[0].as_i64().unwrap()).collect();
+        assert_eq!(got, prefix, "LIMIT must be a stable-sort prefix at {threads} thread(s)");
+    }
+}
+
+/// `SWAN_THREADS=1` (== `threads: 1`) reproduces the serial engine
+/// exactly: no `Parallel` node is ever inserted.
+#[test]
+fn single_thread_config_never_parallelizes() {
+    use swan_sqlengine::optimizer::optimize;
+    use swan_sqlengine::plan::{plan_from, Plan};
+    use swan_sqlengine::UdfRegistry;
+
+    let mut db = Database::new();
+    db.execute("CREATE TABLE big (id INTEGER PRIMARY KEY, n INTEGER)").unwrap();
+    {
+        let t = db.catalog_mut().get_mut("big").unwrap();
+        for i in 0..5000i64 {
+            t.insert_row(vec![Value::Integer(i), Value::Integer(i % 10)]).unwrap();
+        }
+    }
+    let stmt = swan_sqlengine::parser::parse_statement("SELECT * FROM big WHERE n > 3").unwrap();
+    let swan_sqlengine::ast::Statement::Select(s) = stmt else { panic!() };
+    let swan_sqlengine::ast::SelectBody::Simple(core) = s.body else { panic!() };
+    let plan = plan_from(core.from.as_ref(), core.filter.as_ref()).unwrap();
+
+    let serial = optimize(
+        plan.clone(),
+        &UdfRegistry::new(),
+        &OptimizerConfig { threads: 1, parallel_threshold: 1, ..Default::default() },
+        db.catalog(),
+        None,
+    )
+    .unwrap();
+    assert!(
+        !matches!(serial, Plan::Parallel { .. }),
+        "threads == 1 must never grow a Parallel node"
+    );
+
+    let parallel = optimize(
+        plan,
+        &UdfRegistry::new(),
+        &OptimizerConfig { threads: 8, ..Default::default() },
+        db.catalog(),
+        None,
+    )
+    .unwrap();
+    let Plan::Parallel { partitions, .. } = parallel else {
+        panic!("8-thread config over a 5000-row table must parallelize")
+    };
+    assert_eq!(partitions, 8);
+}
+
+/// Small tables stay serial under the default threshold even with many
+/// threads configured — the row-count statistic drives the decision.
+#[test]
+fn small_tables_stay_serial_under_default_threshold() {
+    use swan_sqlengine::optimizer::optimize;
+    use swan_sqlengine::plan::{plan_from, Plan};
+    use swan_sqlengine::UdfRegistry;
+
+    let mut db = Database::new();
+    db.execute("CREATE TABLE small (id INTEGER PRIMARY KEY)").unwrap();
+    db.execute("INSERT INTO small VALUES (1), (2), (3)").unwrap();
+    let stmt = swan_sqlengine::parser::parse_statement("SELECT * FROM small").unwrap();
+    let swan_sqlengine::ast::Statement::Select(s) = stmt else { panic!() };
+    let swan_sqlengine::ast::SelectBody::Simple(core) = s.body else { panic!() };
+    let plan = plan_from(core.from.as_ref(), core.filter.as_ref()).unwrap();
+    let optimized = optimize(
+        plan,
+        &UdfRegistry::new(),
+        &OptimizerConfig { threads: 8, ..Default::default() },
+        db.catalog(),
+        None,
+    )
+    .unwrap();
+    assert!(!matches!(optimized, Plan::Parallel { .. }));
+}

@@ -1,4 +1,9 @@
 //! Property-based tests for the SQL engine (proptest).
+//!
+//! Reproducibility: every property's case stream is deterministic per
+//! test name, shifted by the `SWAN_SEED` environment variable (default
+//! 0). A failing property prints the seed and case number; re-running
+//! with that `SWAN_SEED` exported replays the identical stream.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -10,6 +15,7 @@ use swan_sqlengine::value::Value;
 use swan_sqlengine::{Database, OptimizerConfig, QueryResult, ScalarUdf};
 
 /// Every optimizer rule switched off: the reference executor.
+/// `threads: 1` also pins execution to the serial engine.
 fn all_rules_off() -> OptimizerConfig {
     OptimizerConfig {
         pushdown: false,
@@ -18,6 +24,8 @@ fn all_rules_off() -> OptimizerConfig {
         reorder_joins: false,
         prune_columns: false,
         batch_expensive_udfs: false,
+        threads: 1,
+        ..Default::default()
     }
 }
 

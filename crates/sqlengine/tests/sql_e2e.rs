@@ -344,6 +344,7 @@ fn optimizer_toggles_do_not_change_results() {
                     reorder_joins: reorder,
                     prune_columns: fold,
                     batch_expensive_udfs: pushdown,
+                    ..Default::default()
                 });
                 assert_eq!(
                     texts(&db, sql),
@@ -425,6 +426,7 @@ fn ambiguous_unqualified_column_errors_under_every_config() {
                 reorder_joins: false,
                 prune_columns: false,
                 batch_expensive_udfs: false,
+                ..Default::default()
             });
         }
         let err = db.query(sql).unwrap_err();
@@ -465,6 +467,7 @@ fn count_star_over_reordered_chain() {
         reorder_joins: false,
         prune_columns: false,
         batch_expensive_udfs: false,
+        ..Default::default()
     });
     let off = off_db.query(sql).unwrap();
     assert_eq!(on.rows, off.rows);

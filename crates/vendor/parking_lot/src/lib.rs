@@ -1,10 +1,12 @@
 //! Offline stand-in for the `parking_lot` crate.
 //!
 //! The build environment has no network access, so this workspace vendors
-//! the tiny subset of `parking_lot` it uses: a [`Mutex`] whose `lock()`
-//! returns the guard directly (no poisoning), backed by `std::sync::Mutex`.
-//! A poisoned std lock is recovered transparently, matching parking_lot's
-//! panic-transparent semantics closely enough for this codebase.
+//! the tiny subset of `parking_lot` it uses: a [`Mutex`] and an [`RwLock`]
+//! whose `lock()`/`read()`/`write()` return the guard directly (no
+//! poisoning), backed by the std primitives. A poisoned std lock is
+//! recovered transparently, matching parking_lot's panic-transparent
+//! semantics closely enough for this codebase — in particular, a panic in
+//! one `SharedDb` session can never poison the catalog for its siblings.
 
 use std::sync;
 
@@ -51,6 +53,63 @@ impl<T> From<T> for Mutex<T> {
     }
 }
 
+/// A reader-writer lock without lock poisoning.
+#[derive(Default, Debug)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+/// Shared-read guard; identical to the std guard.
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Exclusive-write guard; identical to the std guard.
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock { inner: sync::RwLock::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|p| p.into_inner())
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T> From<T> for RwLock<T> {
+    fn from(value: T) -> Self {
+        RwLock::new(value)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +128,32 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_round_trip() {
+        let l = RwLock::new(1);
+        *l.write() += 41;
+        assert_eq!(*l.read(), 42);
+        let r1 = l.read();
+        let r2 = l.read();
+        assert_eq!(*r1 + *r2, 84, "concurrent readers");
+        assert!(l.try_write().is_none(), "writer blocked by readers");
+        drop((r1, r2));
+        assert!(l.try_write().is_some());
+    }
+
+    #[test]
+    fn rwlock_recovers_from_panicking_writer() {
+        let l = std::sync::Arc::new(RwLock::new(0));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison attempt");
+        })
+        .join();
+        // parking_lot semantics: no poisoning, the lock stays usable.
+        *l.write() += 1;
+        assert_eq!(*l.read(), 1);
     }
 }

@@ -23,11 +23,21 @@ pub struct TestRng {
 impl TestRng {
     /// Seed deterministically from a test name.
     pub fn deterministic(name: &str) -> Self {
+        Self::seeded(name, 0)
+    }
+
+    /// Seed deterministically from a test name mixed with an explicit
+    /// seed. `seed == 0` is the per-name default; any other value shifts
+    /// every property onto a fresh deterministic case stream (CI can
+    /// fuzz with `SWAN_SEED=$RANDOM` and replay a failure by exporting
+    /// the value the failure report printed).
+    pub fn seeded(name: &str, seed: u64) -> Self {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in name.bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
+        h ^= seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut x = h;
         let mut next = move || {
             x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -67,6 +77,48 @@ pub fn case_count() -> u32 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(64)
+}
+
+/// The run's property seed (env `SWAN_SEED`, default 0). Every
+/// [`proptest!`] body mixes this into its per-test RNG, so one exported
+/// variable replays a whole CI run's case streams deterministically.
+pub fn swan_seed() -> u64 {
+    std::env::var("SWAN_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Failure reporter armed by the [`proptest!`] macro: if the test body
+/// panics, `Drop` runs while the thread is panicking and prints the
+/// `SWAN_SEED` (and case number) that reproduces the failing stream.
+pub struct SeedReport {
+    name: &'static str,
+    seed: u64,
+    /// Last case index started (cases before it passed).
+    pub case: std::cell::Cell<u32>,
+}
+
+impl SeedReport {
+    pub fn new(name: &'static str, seed: u64) -> Self {
+        SeedReport { name, seed, case: std::cell::Cell::new(0) }
+    }
+}
+
+impl Drop for SeedReport {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "[proptest] property '{}' failed on case {} of the SWAN_SEED={} stream; \
+                 re-run with `SWAN_SEED={} cargo test {}` to replay deterministically",
+                self.name,
+                self.case.get(),
+                self.seed,
+                self.seed,
+                self.name,
+            );
+        }
+    }
 }
 
 // ---- Strategy --------------------------------------------------------------
@@ -403,9 +455,13 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let cases = $crate::case_count();
-                let mut __proptest_rng = $crate::TestRng::deterministic(stringify!($name));
+                let __proptest_seed = $crate::swan_seed();
+                let __proptest_report =
+                    $crate::SeedReport::new(stringify!($name), __proptest_seed);
+                let mut __proptest_rng =
+                    $crate::TestRng::seeded(stringify!($name), __proptest_seed);
                 for __proptest_case in 0..cases {
-                    let _ = __proptest_case;
+                    __proptest_report.case.set(__proptest_case);
                     $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __proptest_rng);)+
                     $body
                 }
@@ -459,6 +515,27 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_seed_sensitive() {
+        let mut a = TestRng::seeded("prop", 0);
+        let mut b = TestRng::deterministic("prop");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64(), "seed 0 is the per-name default");
+        }
+        let mut c = TestRng::seeded("prop", 1);
+        let mut d = TestRng::seeded("prop", 0);
+        assert_ne!(
+            (0..4).map(|_| c.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| d.next_u64()).collect::<Vec<_>>(),
+            "a non-zero SWAN_SEED shifts the case stream"
+        );
+        let mut e = TestRng::seeded("prop", 7);
+        let mut f = TestRng::seeded("prop", 7);
+        for _ in 0..16 {
+            assert_eq!(e.next_u64(), f.next_u64(), "same seed replays the same stream");
+        }
+    }
 
     #[test]
     fn regex_classes_and_quantifiers() {

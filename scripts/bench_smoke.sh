@@ -31,6 +31,15 @@ run() {
 run engine_micro
 run join_scaling
 
+# Morsel-driven parallel execution across the thread matrix: each
+# workload prints t1 (serial engine) through t8 rows. Compare within a
+# workload — CPU-bound speedup is bounded by `nproc`, the latency-bound
+# hybrid join/agg case by the thread count. Reference numbers live in
+# crates/sqlengine/PERF.md ("Parallel execution"); if tN rows stop
+# improving on (or blow past the overhead envelope of) the recorded
+# ratios, morsel execution has regressed.
+run parallel_scaling
+
 # Model-call-count bench (plain table output, no criterion harness): the
 # filter argument does not apply here.
 echo "== udf_fallback =="

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 verification plus the serial≡parallel differential
+# harness pinned at both ends of the thread matrix.
+#
+#   scripts/ci.sh            # full gate
+#   SWAN_SEED=12345 scripts/ci.sh   # replay a failing property stream
+#
+# Stages:
+#   1. tier-1: release build + workspace test suite (ROADMAP contract);
+#   2. the differential harness (crates/sqlengine/tests/parallel_diff.rs)
+#      re-run explicitly with SWAN_THREADS=1 and SWAN_THREADS=8 — the
+#      env var drives every default-config statement through the serial
+#      and the 8-way morsel-parallel executor respectively, on top of
+#      the harness's own per-test thread configs;
+#   3. the SharedDb concurrency stress suite and the cross-session
+#      llm_map single-flight test.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: workspace tests =="
+cargo test --workspace -q
+
+echo "== differential harness @ SWAN_THREADS=1 (serial engine) =="
+SWAN_THREADS=1 cargo test -q -p swan-sqlengine --test parallel_diff
+
+echo "== differential harness @ SWAN_THREADS=8 (morsel-parallel engine) =="
+SWAN_THREADS=8 cargo test -q -p swan-sqlengine --test parallel_diff
+
+echo "== SharedDb concurrency stress =="
+cargo test -q -p swan-sqlengine --test shared_db_stress
+
+echo "== cross-session llm_map single-flight =="
+cargo test -q --test concurrency
+
+echo "CI gate passed."

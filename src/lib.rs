@@ -22,10 +22,20 @@
 //!   parallel workers even for query shapes the BlendSQL-style pre-pass
 //!   cannot analyze (measured on the fallback path: 60 → 12 model calls
 //!   and ~27× wall clock on a join-ON-over-subquery workload; see
-//!   PERF.md's "Batched expensive-UDF execution").
+//!   PERF.md's "Batched expensive-UDF execution"). Queries over large
+//!   inputs execute **morsel-driven parallel** (paper §6 future work):
+//!   the optimizer annotates plans with `Plan::Parallel` from catalog
+//!   row counts, and filters, partitioned hash-join build/probe,
+//!   two-phase GROUP BY and top-k fan out over the shared compute pool —
+//!   byte-identical to serial results at every thread count
+//!   (`SWAN_THREADS` controls the default; the `parallel_diff`
+//!   differential harness enforces the equivalence). `SharedDb` serves
+//!   many concurrent sessions over one database: snapshot reads,
+//!   per-table writer serialization, panic-transparent locks.
 //! * [`llm`] — the language-model layer: prompt templates, token/cost
-//!   accounting, caches, a parallel executor, and the calibrated
-//!   simulated GPT-3.5/GPT-4 models (see DESIGN.md for the substitution
+//!   accounting, caches, a parallel executor over the shared
+//!   [`swan_pool`] worker pool, and the calibrated simulated
+//!   GPT-3.5/GPT-4 models (see DESIGN.md for the substitution
 //!   rationale).
 //! * [`data`] — the SWAN benchmark: four synthetic domain databases,
 //!   schema curation, and 120 beyond-database questions with gold and
@@ -59,6 +69,7 @@
 pub use swan_core as core;
 pub use swan_data as data;
 pub use swan_llm as llm;
+pub use swan_pool as pool;
 pub use swan_sqlengine as sqlengine;
 
 /// The most commonly used items in one import.
@@ -73,5 +84,7 @@ pub mod prelude {
     pub use swan_llm::{
         CachePolicy, CachedModel, LanguageModel, ModelKind, SimulatedModel, UsageReport,
     };
-    pub use swan_sqlengine::{Database, OptimizerConfig, QueryResult, ScalarUdf, Value};
+    pub use swan_sqlengine::{
+        Database, OptimizerConfig, QueryResult, ScalarUdf, SharedDb, Value,
+    };
 }

@@ -1,0 +1,112 @@
+//! Cross-session concurrency: many [`SharedDb`] sessions over one
+//! database with a registered `llm_map` UDF must coalesce concurrent
+//! same-key calls into **one** model call — PR 2's single-flight
+//! guarantee, extended across sessions. All sessions share the same
+//! `Arc<dyn ScalarUdf>` through the registry, so the answer store and
+//! the in-flight set are one object no matter how many sessions clone
+//! the handle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use swan::prelude::*;
+use swan_llm::{Completion, LlmResult, TokenCount, UsageMeter};
+use swan_sqlengine::SharedDb;
+
+/// A model that answers any UDF prompt with one well-formed line per key
+/// and counts (slowly, to widen the race window) every completion call.
+struct CountingModel {
+    meter: UsageMeter,
+    calls: AtomicU64,
+}
+
+impl CountingModel {
+    fn new() -> Self {
+        CountingModel { meter: UsageMeter::new(), calls: AtomicU64::new(0) }
+    }
+}
+
+impl LanguageModel for CountingModel {
+    fn name(&self) -> &str {
+        "counting"
+    }
+
+    fn complete(&self, prompt: &str) -> LlmResult<Completion> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        // Hold the call open so overlapping sessions actually race.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        // One answer line per key line (between "Keys:" and "Answer:").
+        let mut in_keys = false;
+        let mut answers = String::new();
+        for line in prompt.lines() {
+            let line = line.trim();
+            if line == "Keys:" {
+                in_keys = true;
+                continue;
+            }
+            if line == "Answer:" {
+                break;
+            }
+            if in_keys && !line.is_empty() {
+                answers.push_str("'ans'\n");
+            }
+        }
+        let tokens = TokenCount::of(prompt, &answers);
+        self.meter.record(tokens);
+        Ok(Completion { text: answers, tokens })
+    }
+
+    fn usage_meter(&self) -> &UsageMeter {
+        &self.meter
+    }
+}
+
+#[test]
+fn concurrent_same_key_llm_map_calls_coalesce_across_sessions() {
+    // A real SWAN domain provides the metadata `llm_map` needs.
+    let bench = SwanBenchmark::generate(&GenConfig::with_scale(0.01));
+    let domain = &bench.domains[0];
+    let model = Arc::new(CountingModel::new());
+    let runner = UdfRunner::new(domain, model.clone(), UdfConfig::default());
+
+    // Lift the runner's database (llm_map registered) into a shared one
+    // and add a small key table: 5 keys == one default batch.
+    let shared = SharedDb::from_database(runner.database().clone());
+    shared.execute("CREATE TABLE keys (k TEXT PRIMARY KEY)").unwrap();
+    shared
+        .execute("INSERT INTO keys VALUES ('a'), ('b'), ('c'), ('d'), ('e')")
+        .unwrap();
+
+    let sql = "SELECT k, llm_map('what is the color of', k) FROM keys ORDER BY k";
+    let results: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let session = shared.clone();
+                s.spawn(move || session.query(sql).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every session sees the same answers...
+    for r in &results[1..] {
+        assert_eq!(r.rows, results[0].rows, "sessions must agree");
+    }
+    assert_eq!(results[0].rows.len(), 5);
+
+    // ...and the 8 concurrent sessions paid exactly ONE model call: the
+    // first batch (5 keys ≤ default batch_size) flies, every other
+    // session's batch finds the keys in flight and waits on the shared
+    // single-flight set instead of issuing its own call.
+    let calls = model.calls.load(Ordering::SeqCst);
+    assert_eq!(
+        calls, 1,
+        "8 sessions × 5 identical keys must coalesce to one model call, got {calls}"
+    );
+
+    // A later session with the same keys is served from the shared
+    // answer store: still no new call.
+    let again = shared.query(sql).unwrap();
+    assert_eq!(again.rows, results[0].rows);
+    assert_eq!(model.calls.load(Ordering::SeqCst), 1, "answer store shared across sessions");
+}

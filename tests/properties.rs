@@ -1,5 +1,10 @@
 //! Cross-crate property tests: metric invariants, prompt round-trips,
 //! tokenizer monotonicity, curation invariants, cache identity.
+//!
+//! Reproducibility: every property's case stream is deterministic per
+//! test name, shifted by the `SWAN_SEED` environment variable (default
+//! 0). A failing property prints the seed and case number; re-running
+//! with that `SWAN_SEED` exported replays the identical stream.
 
 use proptest::prelude::*;
 use swan::prelude::*;
