@@ -17,6 +17,37 @@ pub enum Statement {
     Insert(Insert),
     Update(Update),
     Delete(Delete),
+    /// `BEGIN [TRANSACTION]` — open a snapshot-isolation transaction.
+    Begin,
+    /// `COMMIT [TRANSACTION]` — atomically publish the open transaction.
+    Commit,
+    /// `ROLLBACK [TRANSACTION]` — discard the open transaction.
+    Rollback,
+}
+
+impl Statement {
+    /// The table this statement mutates; `None` for read-only statements
+    /// and transaction control. Drives writer lock acquisition and the
+    /// transaction layer's written-set tracking.
+    pub fn write_target(&self) -> Option<&str> {
+        match self {
+            Statement::Select(_)
+            | Statement::Begin
+            | Statement::Commit
+            | Statement::Rollback => None,
+            Statement::CreateTable(ct) => Some(&ct.name),
+            Statement::DropTable { name, .. } => Some(name),
+            Statement::AlterTableAddColumn { table, .. } => Some(table),
+            Statement::Insert(ins) => Some(&ins.table),
+            Statement::Update(upd) => Some(&upd.table),
+            Statement::Delete(del) => Some(&del.table),
+        }
+    }
+
+    /// True for `BEGIN`/`COMMIT`/`ROLLBACK`.
+    pub fn is_txn_control(&self) -> bool {
+        matches!(self, Statement::Begin | Statement::Commit | Statement::Rollback)
+    }
 }
 
 /// `CREATE TABLE` with optional PRIMARY KEY column list.

@@ -4,8 +4,24 @@
 //! This is the substrate both hybrid-query solutions build on: HQDL
 //! materializes LLM-generated tables into it, and hybrid-query UDFs
 //! register LLM functions on it.
+//!
+//! # Transactions and durability
+//!
+//! A `Database` is one session, so it holds at most one active
+//! transaction: `BEGIN` pins the current catalog as the rollback point,
+//! subsequent statements mutate the working catalog (reads see the
+//! session's own uncommitted writes), `COMMIT` publishes — appending the
+//! transaction's per-table deltas to the WAL when the database was opened
+//! with [`Database::open`] — and `ROLLBACK` restores the pinned catalog.
+//! Outside a transaction every statement auto-commits (and auto-logs) by
+//! itself. WAL-backed and in-transaction statements are statement-atomic:
+//! a failed statement restores the pre-statement catalog instead of
+//! leaving partial effects.
 
+use std::path::Path;
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::ast::{InsertSource, Statement};
 use crate::error::{Error, Result};
@@ -16,7 +32,9 @@ use crate::optimizer::OptimizerConfig;
 use crate::parser::{parse_script, parse_statement};
 use crate::plan::RelSchema;
 use crate::storage::{Catalog, Column, Table};
+use crate::txn::{catalog_deltas, commit_records, TableDelta, Txn, TxnManager};
 use crate::value::{Row, Value};
+use crate::wal::{DurabilityConfig, Wal};
 
 /// Result of executing one statement.
 #[derive(Debug, Clone, Default)]
@@ -45,22 +63,51 @@ impl QueryResult {
     }
 }
 
-/// An embedded, in-memory SQL database.
-#[derive(Default, Clone)]
+/// An embedded SQL database: in-memory by default, WAL-durable when
+/// opened with [`Database::open`].
+#[derive(Default)]
 pub struct Database {
     catalog: Catalog,
     udfs: UdfRegistry,
     optimizer: OptimizerConfig,
+    /// Write-ahead log; `None` for a purely in-memory database. Clones
+    /// share the log (appends serialize on the mutex).
+    wal: Option<Arc<Mutex<Wal>>>,
+    /// Transaction-id allocator, shared by clones and by any
+    /// [`SharedDb`](crate::shared::SharedDb) built from this database.
+    txns: Arc<TxnManager>,
+    /// The session's active transaction, if a `BEGIN` is open. The
+    /// database's own catalog is the transaction's working state; the
+    /// `Txn` pins the rollback snapshot.
+    txn: Option<Txn>,
 }
 
 impl Database {
     /// A fresh, empty database.
     pub fn new() -> Self {
-        Database {
-            catalog: Catalog::new(),
+        Database::default()
+    }
+
+    /// Open (or create) a WAL-durable database at `path`. Replays the
+    /// longest intact prefix of the log — truncating a torn tail from a
+    /// crash mid-append — so the recovered catalog is always exactly the
+    /// state as of the last durable commit.
+    pub fn open(path: impl AsRef<Path>) -> Result<Database> {
+        Database::open_with(path, DurabilityConfig::default())
+    }
+
+    /// [`Database::open`] with explicit durability tuning (checkpoint
+    /// threshold, fsync policy).
+    pub fn open_with(path: impl AsRef<Path>, config: DurabilityConfig) -> Result<Database> {
+        let recovered = Wal::open(path, config)?;
+        Ok(Database {
+            catalog: recovered.catalog,
             udfs: UdfRegistry::new(),
             optimizer: OptimizerConfig::default(),
-        }
+            wal: Some(Arc::new(Mutex::new(recovered.wal))),
+            txns: Arc::new(TxnManager::new(recovered.max_txn + 1)),
+            txn: None,
+        })
     }
 
     /// Assemble a database from parts. This is how a
@@ -68,7 +115,23 @@ impl Database {
     /// consistent snapshot: the catalog shares the `Arc<Table>` storage,
     /// so the construction is O(tables), not O(rows).
     pub fn from_parts(catalog: Catalog, udfs: UdfRegistry, optimizer: OptimizerConfig) -> Self {
-        Database { catalog, udfs, optimizer }
+        Database { catalog, udfs, optimizer, ..Default::default() }
+    }
+
+    /// The WAL handle, if this database is durable (shared with
+    /// [`SharedDb`](crate::shared::SharedDb) on promotion).
+    pub(crate) fn wal_handle(&self) -> Option<Arc<Mutex<Wal>>> {
+        self.wal.clone()
+    }
+
+    /// The transaction-id allocator (shared on promotion to `SharedDb`).
+    pub(crate) fn txn_manager(&self) -> Arc<TxnManager> {
+        self.txns.clone()
+    }
+
+    /// True while a `BEGIN` is open on this session.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
     }
 
     /// Register a scalar UDF (e.g. an LLM function).
@@ -95,6 +158,15 @@ impl Database {
         &mut self.catalog
     }
 
+    /// Decompose into the catalog. A [`Session`](crate::shared::Session)
+    /// transaction hands its working catalog to a throwaway `Database`
+    /// for each statement and takes it back here — ownership round-trips,
+    /// so the working tables keep unique `Arc`s and batch DML stays
+    /// in-place instead of copy-on-write cloning per statement.
+    pub(crate) fn into_catalog(self) -> Catalog {
+        self.catalog
+    }
+
     pub fn udfs(&self) -> &UdfRegistry {
         &self.udfs
     }
@@ -106,13 +178,43 @@ impl Database {
     }
 
     /// Execute a semicolon-separated script; returns the last result.
+    ///
+    /// Outside an explicit transaction each statement commits (and, on a
+    /// durable database, logs) by itself, exactly like [`execute`]
+    /// (Database::execute). A `BEGIN … COMMIT` span inside the script is
+    /// atomic: if any statement inside it fails, the whole transaction is
+    /// rolled back before the error is returned. A transaction that was
+    /// already open *before* the script keeps SQLite semantics instead —
+    /// the failing statement has no effect but the transaction stays open
+    /// for the session to commit or roll back.
     pub fn execute_script(&mut self, sql: &str) -> Result<QueryResult> {
         let stmts = parse_script(sql)?;
         let mut last = QueryResult::default();
+        let mut script_txn = false;
         for stmt in &stmts {
-            last = self.execute_statement(stmt)?;
+            match self.execute_statement(stmt) {
+                Ok(r) => last = r,
+                Err(e) => {
+                    if script_txn && self.txn.is_some() {
+                        self.rollback_active();
+                    }
+                    return Err(e);
+                }
+            }
+            match stmt {
+                Statement::Begin => script_txn = true,
+                Statement::Commit | Statement::Rollback => script_txn = false,
+                _ => {}
+            }
         }
         Ok(last)
+    }
+
+    /// Discard the active transaction, restoring its pinned snapshot.
+    fn rollback_active(&mut self) {
+        if let Some(txn) = self.txn.take() {
+            self.catalog = txn.snapshot;
+        }
     }
 
     /// Execute a read-only query without `&mut self`.
@@ -130,6 +232,114 @@ impl Database {
 
     pub(crate) fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
         match stmt {
+            Statement::Begin => {
+                if self.txn.is_some() {
+                    return Err(Error::Txn("a transaction is already active".into()));
+                }
+                // Pin the rollback point; the catalog itself is the
+                // transaction's working state from here on.
+                self.txn = Some(self.txns.begin(self.catalog.clone()));
+                return Ok(QueryResult::default());
+            }
+            Statement::Commit => {
+                let txn = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| Error::Txn("COMMIT without an active transaction".into()))?;
+                let deltas = catalog_deltas(txn.written(), &txn.snapshot, &self.catalog);
+                if let Err(e) = self.log_commit(txn.id(), &txn.snapshot, &deltas) {
+                    // A commit that could not reach the log must not
+                    // stay visible in memory: roll back instead.
+                    self.catalog = txn.snapshot;
+                    return Err(e);
+                }
+                return Ok(QueryResult::default());
+            }
+            Statement::Rollback => {
+                if self.txn.is_none() {
+                    return Err(Error::Txn("ROLLBACK without an active transaction".into()));
+                }
+                self.rollback_active();
+                return Ok(QueryResult::default());
+            }
+            _ => {}
+        }
+
+        let Some(target) = stmt.write_target().map(str::to_string) else {
+            return self.apply_statement(stmt); // read-only
+        };
+
+        if self.txn.is_some() {
+            // Inside a transaction the catalog *is* the working state and
+            // `apply_statement` is statement-atomic by construction (a
+            // failing statement rolls its own partial effects back), so no
+            // per-statement catalog backup is needed — which keeps the
+            // working table's `Arc` unique and batch INSERTs O(1) per row
+            // instead of copy-on-write cloning the table every statement.
+            let r = self.apply_statement(stmt)?;
+            self.txn.as_mut().expect("txn checked above").record_write(&target);
+            Ok(r)
+        } else if self.wal.is_some() {
+            // Durable auto-commit: run the statement, then log it as a
+            // single-statement transaction. Failure (of the statement or
+            // of the log append) restores the pre-statement catalog.
+            let base = self.catalog.clone();
+            match self.apply_statement(stmt) {
+                Ok(r) => {
+                    let key = target.to_ascii_lowercase();
+                    let deltas =
+                        catalog_deltas(std::slice::from_ref(&key), &base, &self.catalog);
+                    if let Err(e) = self.log_commit(self.txns.fresh_id(), &base, &deltas) {
+                        self.catalog = base;
+                        return Err(e);
+                    }
+                    Ok(r)
+                }
+                Err(e) => {
+                    self.catalog = base;
+                    Err(e)
+                }
+            }
+        } else {
+            self.apply_statement(stmt)
+        }
+    }
+
+    /// Append one committed transaction's records to the WAL (when
+    /// durable), then compact the log if it outgrew its budget. No-op for
+    /// empty delta sets and in-memory databases.
+    fn log_commit(
+        &self,
+        txn_id: u64,
+        base: &Catalog,
+        deltas: &[(String, TableDelta)],
+    ) -> Result<()> {
+        if deltas.is_empty() {
+            return Ok(());
+        }
+        let Some(wal) = &self.wal else { return Ok(()) };
+        let mut wal = wal.lock();
+        wal.append(&commit_records(txn_id, base, deltas))?;
+        if wal.wants_checkpoint() {
+            // Past the commit point: the append fsynced, so the
+            // transaction IS durably committed — a failed compaction must
+            // not be reported as a failed commit (the caller would roll
+            // back in memory and a retry would double-apply). The log
+            // just stays long; the next commit retries the checkpoint,
+            // and a handle left unusable poisons itself and surfaces on
+            // the next append.
+            let _ = wal.checkpoint(&self.catalog);
+        }
+        Ok(())
+    }
+
+    /// The raw single-statement executor: no transaction routing, no
+    /// durability — exactly the statement's effect on this catalog.
+    fn apply_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::Begin | Statement::Commit | Statement::Rollback => {
+                unreachable!("transaction control is handled by execute_statement")
+            }
             Statement::Select(s) => {
                 let ctx = ExecCtx::new(&self.catalog, &self.udfs)
                     .with_optimizer(self.optimizer);
@@ -224,39 +434,52 @@ impl Database {
             (width, col_map)
         };
 
+        // Statement atomicity: a failure part-way through the batch rolls
+        // the appended prefix back — no partial INSERT is ever visible,
+        // inside or outside a transaction.
         let table = self.catalog.get_mut(&ins.table)?;
-        let mut n = 0;
-        for vals in source_rows {
-            let row: Row = match &col_map {
-                None => {
-                    if vals.len() != width {
-                        return Err(Error::Semantic(format!(
-                            "INSERT has {} values but table '{}' has {width} columns",
-                            vals.len(),
-                            ins.table
-                        )));
+        let start_len = table.len();
+        let insert_all = || -> Result<usize> {
+            let mut n = 0;
+            for vals in source_rows {
+                let row: Row = match &col_map {
+                    None => {
+                        if vals.len() != width {
+                            return Err(Error::Semantic(format!(
+                                "INSERT has {} values but table '{}' has {width} columns",
+                                vals.len(),
+                                ins.table
+                            )));
+                        }
+                        vals
                     }
-                    vals
-                }
-                Some(map) => {
-                    if vals.len() != map.len() {
-                        return Err(Error::Semantic(format!(
-                            "INSERT has {} values for {} named columns",
-                            vals.len(),
-                            map.len()
-                        )));
+                    Some(map) => {
+                        if vals.len() != map.len() {
+                            return Err(Error::Semantic(format!(
+                                "INSERT has {} values for {} named columns",
+                                vals.len(),
+                                map.len()
+                            )));
+                        }
+                        let mut row = vec![Value::Null; width];
+                        for (v, &i) in vals.iter().zip(map.iter()) {
+                            row[i] = v.clone();
+                        }
+                        row.into()
                     }
-                    let mut row = vec![Value::Null; width];
-                    for (v, &i) in vals.iter().zip(map.iter()) {
-                        row[i] = v.clone();
-                    }
-                    row.into()
-                }
-            };
-            table.insert_shared_row(row)?;
-            n += 1;
+                };
+                table.insert_shared_row(row)?;
+                n += 1;
+            }
+            Ok(n)
+        };
+        match insert_all() {
+            Ok(n) => Ok(QueryResult { rows_affected: n, ..Default::default() }),
+            Err(e) => {
+                self.catalog.get_mut(&ins.table)?.truncate_rows(start_len);
+                Err(e)
+            }
         }
-        Ok(QueryResult { rows_affected: n, ..Default::default() })
     }
 
     fn execute_update(&mut self, upd: &crate::ast::Update) -> Result<QueryResult> {
@@ -344,6 +567,27 @@ impl Database {
         let mut it = keep.iter();
         let removed = table.retain_rows(|_| *it.next().unwrap_or(&true));
         Ok(QueryResult { rows_affected: removed, ..Default::default() })
+    }
+}
+
+impl Clone for Database {
+    /// A clone is a detached **in-memory** fork: it shares the row
+    /// storage (`Arc<Table>` copy-on-write, O(tables)) but deliberately
+    /// not the write-ahead log — two handles logging deltas against
+    /// diverging catalogs would corrupt the recoverable state (and a
+    /// checkpoint from either would erase the other's commits). For
+    /// shared durable writes, promote with
+    /// [`SharedDb::from_database`](crate::shared::SharedDb::from_database)
+    /// instead of cloning.
+    fn clone(&self) -> Self {
+        Database {
+            catalog: self.catalog.clone(),
+            udfs: self.udfs.clone(),
+            optimizer: self.optimizer,
+            wal: None,
+            txns: self.txns.clone(),
+            txn: self.txn.clone(),
+        }
     }
 }
 

@@ -35,6 +35,17 @@ pub enum Error {
     Constraint(String),
     /// Feature recognized by the grammar but not supported by this engine.
     Unsupported(String),
+    /// A transaction lost a first-committer-wins conflict check: another
+    /// session committed to one of its written tables after its snapshot
+    /// was pinned. The transaction is rolled back; retry it.
+    Conflict(String),
+    /// Durability I/O failure (WAL append, sync, checkpoint, recovery).
+    /// Carries the rendered `std::io::Error` (kept as text so [`Error`]
+    /// stays `Clone + PartialEq`).
+    Io(String),
+    /// The statement requires a transaction state the session is not in
+    /// (COMMIT without BEGIN, BEGIN inside an open transaction, ...).
+    Txn(String),
 }
 
 impl Error {
@@ -46,6 +57,12 @@ impl Error {
     /// Convenience constructor for lex errors.
     pub fn lex(pos: usize, message: impl Into<String>) -> Self {
         Error::Lex { pos, message: message.into() }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
     }
 }
 
@@ -63,6 +80,9 @@ impl fmt::Display for Error {
             Error::Udf { name, message } => write!(f, "error in function {name}: {message}"),
             Error::Constraint(msg) => write!(f, "constraint violation: {msg}"),
             Error::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            Error::Conflict(msg) => write!(f, "transaction conflict: {msg}"),
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+            Error::Txn(msg) => write!(f, "transaction error: {msg}"),
         }
     }
 }

@@ -7,7 +7,6 @@
 //! the [`ExecCtx`](crate::exec::ExecCtx).
 
 use std::cmp::Ordering;
-use std::rc::Rc;
 use std::sync::Arc;
 
 use crate::ast::{BinaryOp, Expr, SelectStmt, UnaryOp};
@@ -752,32 +751,35 @@ fn subquery_relation(
     query: &SelectStmt,
     ctx: &ExecCtx<'_>,
     row: Option<&RowCtx<'_>>,
-) -> Result<Rc<Relation>> {
+) -> Result<Arc<Relation>> {
     let key = query as *const SelectStmt as usize;
-    {
-        let cache = ctx.subqueries.borrow();
-        match cache.get(&key) {
-            Some(SubqueryState::Uncorrelated(rel)) => return Ok(rel.clone()),
-            Some(SubqueryState::Correlated) => {
-                drop(cache);
-                return run_select(query, ctx, row).map(Rc::new);
-            }
-            None => {}
-        }
-    }
-    match run_select(query, ctx, None) {
-        Ok(rel) => {
-            let rel = Rc::new(rel);
-            ctx.subqueries
-                .borrow_mut()
-                .insert(key, SubqueryState::Uncorrelated(rel.clone()));
-            Ok(rel)
-        }
-        Err(Error::Unresolved(_)) if row.is_some() => {
-            ctx.subqueries.borrow_mut().insert(key, SubqueryState::Correlated);
-            run_select(query, ctx, row).map(Rc::new)
-        }
+    // Grab (or create) this subquery's single-flight cell. The map lock
+    // is held only for the lookup — never while a subquery executes
+    // (run_select can be arbitrarily expensive and recursively re-enter
+    // this cache for nested subqueries).
+    let cell = {
+        let mut cache = ctx.subqueries.lock();
+        cache.entry(key).or_default().clone()
+    };
+    // Single-flight classification: the first arriver executes the
+    // subquery without the outer scope (classifying it uncorrelated on
+    // success, correlated on an unresolved column when an outer row
+    // exists); concurrent arrivers block on the cell instead of racing a
+    // duplicate execution — an uncorrelated subquery runs exactly once
+    // per statement at every thread count. Nested subqueries use their
+    // own cells, so initialization cannot cycle.
+    let state = cell.get_or_init(|| match run_select(query, ctx, None) {
+        Ok(rel) => Ok(SubqueryState::Uncorrelated(Arc::new(rel))),
+        Err(Error::Unresolved(_)) if row.is_some() => Ok(SubqueryState::Correlated),
         Err(e) => Err(e),
+    });
+    match state {
+        Ok(SubqueryState::Uncorrelated(rel)) => Ok(rel.clone()),
+        // Correlated: re-execute per outer row (no caching of rows).
+        Ok(SubqueryState::Correlated) => run_select(query, ctx, row).map(Arc::new),
+        // The cache is statement-scoped, so a pinned error only
+        // short-circuits re-evaluations within the failing statement.
+        Err(e) => Err(e.clone()),
     }
 }
 

@@ -21,7 +21,9 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::ast::{
     CompoundOp, Expr, OrderItem, SelectBody, SelectCore, SelectItem, SelectStmt,
@@ -60,18 +62,32 @@ impl Relation {
 #[derive(Debug, Clone)]
 pub enum SubqueryState {
     /// Uncorrelated: executed once, result shared.
-    Uncorrelated(Rc<Relation>),
+    Uncorrelated(Arc<Relation>),
     /// Correlated with the outer row: must re-execute per row.
     Correlated,
 }
+
+/// The statement-scoped subquery result cache, keyed by the subquery's
+/// AST node address. `Send + Sync` (an `Arc<Mutex<..>>` map of shared
+/// cells) so morsel workers share one cache with the statement thread,
+/// letting subquery-bearing predicates run under [`Plan::Parallel`]
+/// instead of falling back to serial. Each entry is a
+/// [`std::sync::OnceLock`] **single-flight cell**: the first arriver
+/// classifies (and, for uncorrelated subqueries, executes) the subquery
+/// while concurrent arrivers block on the cell — an uncorrelated
+/// subquery therefore executes *exactly once* per statement at every
+/// thread count, never once per worker.
+pub type SubqueryCache =
+    Arc<Mutex<HashMap<usize, Arc<std::sync::OnceLock<Result<SubqueryState>>>>>>;
 
 /// Per-statement execution context.
 pub struct ExecCtx<'a> {
     pub catalog: &'a Catalog,
     pub udfs: &'a UdfRegistry,
     pub optimizer: OptimizerConfig,
-    /// Subquery result cache keyed by the subquery's AST node address.
-    pub subqueries: RefCell<HashMap<usize, SubqueryState>>,
+    /// Subquery result cache, shared across this statement's morsel
+    /// workers (see [`SubqueryCache`]).
+    pub subqueries: SubqueryCache,
     /// Statement-scoped results of expensive-UDF invocations, keyed by
     /// lowercased function name, filled by the operators' vectorized
     /// prefetch ([`BatchableCalls`]) and by per-row evaluation; every
@@ -86,7 +102,7 @@ impl<'a> ExecCtx<'a> {
             catalog,
             udfs,
             optimizer: OptimizerConfig::default(),
-            subqueries: RefCell::new(HashMap::new()),
+            subqueries: Arc::new(Mutex::new(HashMap::new())),
             udf_results: RefCell::new(FxHashMap::default()),
         }
     }
@@ -516,17 +532,14 @@ fn project_rows(
 
     // General path: bind every projected expression to the input schema
     // once, then evaluate per row with direct index loads. With a parallel
-    // annotation and only parallel-safe expressions (no subqueries, whose
-    // statement-scoped caches are not shareable across workers), the rows
-    // are evaluated morsel-parallel; morsel-order concatenation keeps the
+    // annotation the rows are evaluated morsel-parallel (workers share the
+    // statement's subquery cache); morsel-order concatenation keeps the
     // output order identical to the serial loop.
     let bound: Vec<Expr> = projection
         .iter()
         .map(|(e, _)| bind_columns(e, &input.schema))
         .collect();
-    let parallel = partitions > 1
-        && input.rows.len() > 1
-        && bound.iter().chain(order_exprs.iter()).all(crate::exec_parallel::parallel_safe);
+    let parallel = partitions > 1 && input.rows.len() > 1;
     if parallel {
         let chunks = crate::exec_parallel::try_morsels(
             input.rows.len(),
@@ -699,9 +712,7 @@ fn run_aggregate(
         }
         let bound_keys: Vec<Expr> =
             core.group_by.iter().map(|g| bind_columns(g, &input.schema)).collect();
-        let parallel_keys = partitions > 1
-            && input.rows.len() > 1
-            && bound_keys.iter().all(crate::exec_parallel::parallel_safe);
+        let parallel_keys = partitions > 1 && input.rows.len() > 1;
         if parallel_keys {
             // Phase 1 (parallel): per-morsel key computation.
             let key_chunks = crate::exec_parallel::try_morsels(
@@ -783,10 +794,7 @@ fn run_aggregate(
     // (aggregates included) evaluates morsel-parallel over the groups.
     let survivors: Vec<&Vec<usize>> = match having {
         None => groups.iter().collect(),
-        Some(h) if partitions > 1
-            && groups.len() > 1
-            && crate::exec_parallel::parallel_safe(h) =>
-        {
+        Some(h) if partitions > 1 && groups.len() > 1 => {
             let verdicts = crate::exec_parallel::try_morsels(
                 groups.len(),
                 partitions,
@@ -858,14 +866,8 @@ fn run_aggregate(
 
     // Per-group output: aggregates and the residual projection evaluate
     // per surviving group — independent work, morsel-parallel over the
-    // groups when the expressions are parallel-safe.
-    let parallel_out = partitions > 1
-        && survivors.len() > 1
-        && projection
-            .iter()
-            .map(|(e, _)| e)
-            .chain(order_exprs.iter())
-            .all(crate::exec_parallel::parallel_safe);
+    // groups.
+    let parallel_out = partitions > 1 && survivors.len() > 1;
     if parallel_out {
         let chunks = crate::exec_parallel::try_morsels(
             survivors.len(),

@@ -28,24 +28,26 @@
 //!
 //! # Worker execution contexts
 //!
-//! [`ExecCtx`] holds statement-scoped `RefCell` caches and is therefore
-//! not shareable across threads. Each morsel runs against a fresh
-//! worker-local context over the same catalog/UDF registry, seeded with a
-//! snapshot of the statement's prefetched expensive-UDF results (so the
-//! vectorized batching of [`Plan::Batch`] keeps paying off inside
-//! workers). Subquery caches are *not* shared — any expression containing
-//! a subquery is not parallel-safe ([`parallel_safe`]) and falls back to
-//! the serial operator, which raises exactly what the serial engine
-//! raises. Expensive-UDF *residual* join predicates also fall back: the
-//! serial path owns the candidate-replay batching machinery, and
-//! splitting it across workers would silently degrade call batching.
+//! [`ExecCtx`] holds a statement-scoped `RefCell` UDF-result store and is
+//! therefore not shareable across threads. Each morsel runs against a
+//! fresh worker-local context over the same catalog/UDF registry, seeded
+//! with a snapshot of the statement's prefetched expensive-UDF results
+//! (so the vectorized batching of [`Plan::Batch`] keeps paying off inside
+//! workers). The statement's **subquery cache is shared** by every worker
+//! (it is `Send + Sync`, see [`crate::exec::SubqueryCache`]): an
+//! uncorrelated subquery still executes at most once per statement, and
+//! correlated subqueries re-execute per row on whichever worker owns the
+//! row — so subquery-bearing predicates parallelize like any other
+//! expression. Expensive-UDF *residual* join predicates still fall back
+//! to the serial join: the serial path owns the candidate-replay batching
+//! machinery, and splitting it across workers would silently degrade call
+//! batching.
 //!
 //! Errors are deterministic: each worker stops at its morsel's first
 //! error, and the caller surfaces the error of the earliest morsel — the
 //! same row the serial loop would have failed on.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::ops::Range;
 
@@ -57,7 +59,7 @@ use crate::exec::{
     ExecCtx, JoinInput, JoinKey, KeySide, Relation, PREFETCH_AHEAD,
 };
 use crate::hash::{map_with_capacity, FxHashMap, FxHasher};
-use crate::optimizer::{expr_cost, expr_has_subquery, OptimizerConfig};
+use crate::optimizer::{expr_cost, OptimizerConfig};
 use crate::plan::{Plan, PlanJoinKind, RelSchema};
 use crate::value::{Row, Value};
 
@@ -74,15 +76,6 @@ pub fn effective_threads(config: &OptimizerConfig) -> usize {
         0 => swan_pool::configured_threads(),
         n => n,
     }
-}
-
-/// Can this expression be evaluated on a worker thread? Subqueries cannot:
-/// their statement-scoped caches (and correlated re-execution) live in the
-/// main thread's context. Everything else — including expensive UDF calls,
-/// which are `Send + Sync` by trait bound and usually already answered by
-/// the statement's vectorized prefetch — parallelizes.
-pub(crate) fn parallel_safe(e: &Expr) -> bool {
-    !expr_has_subquery(e)
 }
 
 /// Morsel size for `count` items across `partitions` workers: aim for a
@@ -121,6 +114,7 @@ where
     let catalog = ctx.catalog;
     let udfs = ctx.udfs;
     let optimizer = ctx.optimizer;
+    let subqueries = ctx.subqueries.clone();
     type NewResults = Vec<(String, Vec<(Vec<crate::value::UdfArgKey>, Value)>)>;
     let merge_sink: std::sync::Mutex<NewResults> = std::sync::Mutex::new(Vec::new());
 
@@ -163,7 +157,9 @@ where
                 catalog,
                 udfs,
                 optimizer,
-                subqueries: RefCell::new(HashMap::new()),
+                // One shared statement-wide subquery cache: uncorrelated
+                // subqueries run once no matter which worker needs them.
+                subqueries: subqueries.clone(),
                 udf_results: RefCell::new(snapshot.clone()),
             },
             snapshot: &snapshot,
@@ -196,7 +192,7 @@ pub(crate) fn exec_parallel(
 
         Plan::Filter { input, predicate } => {
             let mut rel = exec_parallel(input, partitions, ctx, outer)?;
-            if partitions <= 1 || rel.rows.len() < 2 || !parallel_safe(predicate) {
+            if partitions <= 1 || rel.rows.len() < 2 {
                 filter_relation(&mut rel, predicate, ctx, outer)?;
                 return Ok(rel);
             }
@@ -320,14 +316,14 @@ fn exec_join_parallel(
         None => (Vec::new(), None),
     };
 
-    // Serial fallbacks: subqueries anywhere in the predicate (worker
-    // contexts cannot host them), expensive UDF calls in the residual
-    // (the serial path owns the candidate-replay batching), or inputs too
-    // small to amortize fan-out.
+    // Serial fallbacks: expensive UDF calls in the residual (the serial
+    // path owns the candidate-replay batching, and splitting it across
+    // workers would degrade call batching) or inputs too small to
+    // amortize fan-out. Subqueries are fine: workers share the
+    // statement's subquery cache.
     let unsafe_pred = residual.as_ref().is_some_and(|r| {
-        !parallel_safe(r)
-            || (ctx.optimizer.batch_expensive_udfs && expr_cost(r, ctx.udfs) >= 2)
-    }) || equi.iter().any(|(l, r)| !parallel_safe(l) || !parallel_safe(r));
+        ctx.optimizer.batch_expensive_udfs && expr_cost(r, ctx.udfs) >= 2
+    });
     if partitions <= 1 || unsafe_pred || left.rows().len().max(right.rows().len()) < 2 {
         return exec_join(left, right, kind, on, emit, ctx, outer);
     }

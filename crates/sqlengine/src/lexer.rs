@@ -62,7 +62,7 @@ const KEYWORDS: &[&str] = &[
     "LIKE", "BETWEEN", "EXISTS", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "DISTINCT", "ALL",
     "ASC", "DESC", "UNION", "EXCEPT", "INTERSECT", "CREATE", "TABLE", "DROP", "ALTER", "ADD",
     "COLUMN", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "PRIMARY", "KEY", "UNIQUE",
-    "IF", "TRUE", "FALSE", "GLOB",
+    "IF", "TRUE", "FALSE", "GLOB", "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION",
 ];
 
 /// Tokenize `sql` into a vector ending with an [`TokenKind::Eof`] token.

@@ -33,7 +33,42 @@
 //!   without blocking writers, while writers serialize per table and
 //!   atomically install new `Arc<Table>` versions — no lost updates, no
 //!   poisoned locks, and UDF single-flight/answer stores shared across
-//!   sessions.
+//!   sessions;
+//! * **multi-statement transactions** (`BEGIN` / `COMMIT` / `ROLLBACK`):
+//!   a [`Database`] session or a [`SharedDb`] [`Session`] runs whole
+//!   statement spans under **snapshot isolation** — `BEGIN` pins an
+//!   O(tables) snapshot, reads see the snapshot plus the session's own
+//!   uncommitted writes, and `COMMIT` installs every written table
+//!   atomically behind a first-committer-wins conflict check over the
+//!   versioned `Arc<Table>` identities (a losing transaction aborts with
+//!   [`Error::Conflict`] and is retried by the caller);
+//! * **crash durability** ([`Database::open`] / [`SharedDb::open`]): every
+//!   commit appends a checksummed `Begin/Delta/Commit` record group to an
+//!   append-only write-ahead log and fsyncs *before* installing; recovery
+//!   replays the longest intact prefix, truncates torn tails, and
+//!   auto-checkpoints compact the log past a configurable size
+//!   ([`DurabilityConfig`]) — see [`wal`] and [`txn`].
+//!
+//! ## Transactions quick start
+//!
+//! ```
+//! use swan_sqlengine::SharedDb;
+//!
+//! let db = SharedDb::new();
+//! db.execute("CREATE TABLE acct (id INTEGER PRIMARY KEY, bal INTEGER)").unwrap();
+//! db.execute("INSERT INTO acct VALUES (1, 100), (2, 0)").unwrap();
+//!
+//! let mut session = db.session();
+//! session.execute("BEGIN").unwrap();
+//! session.execute("UPDATE acct SET bal = bal - 40 WHERE id = 1").unwrap();
+//! session.execute("UPDATE acct SET bal = bal + 40 WHERE id = 2").unwrap();
+//! // Nothing is visible to other sessions until ...
+//! session.execute("COMMIT").unwrap();
+//!
+//! let r = db.query("SELECT bal FROM acct ORDER BY id").unwrap();
+//! assert_eq!(r.rows[0][0].render(), "60");
+//! assert_eq!(r.rows[1][0].render(), "40");
+//! ```
 //!
 //! ## Quick start
 //!
@@ -62,12 +97,15 @@ pub mod parser;
 pub mod plan;
 pub mod shared;
 pub mod storage;
+pub mod txn;
 pub mod value;
+pub mod wal;
 
 pub use db::{Database, QueryResult};
 pub use error::{Error, Result};
 pub use functions::{ScalarUdf, UdfRegistry};
 pub use optimizer::OptimizerConfig;
-pub use shared::SharedDb;
+pub use shared::{Session, SharedDb};
 pub use storage::{Catalog, Column, Table, TableStats};
 pub use value::{Row, Value};
+pub use wal::DurabilityConfig;

@@ -158,10 +158,21 @@ impl Parser {
                 "INSERT" => self.insert(),
                 "UPDATE" => self.update(),
                 "DELETE" => self.delete(),
+                "BEGIN" => self.txn_control(Statement::Begin),
+                "COMMIT" => self.txn_control(Statement::Commit),
+                "ROLLBACK" => self.txn_control(Statement::Rollback),
                 other => Err(self.err(format!("unexpected keyword {other}"))),
             },
             _ => Err(self.err("expected a statement")),
         }
+    }
+
+    /// `BEGIN | COMMIT | ROLLBACK`, each with an optional `TRANSACTION`
+    /// noise word (SQLite style).
+    fn txn_control(&mut self, stmt: Statement) -> Result<Statement> {
+        self.bump();
+        self.accept_keyword("TRANSACTION");
+        Ok(stmt)
     }
 
     fn create_table(&mut self) -> Result<Statement> {
@@ -1019,6 +1030,21 @@ mod tests {
         )
         .unwrap();
         assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn txn_control_statements_parse() {
+        assert_eq!(parse_statement("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(parse_statement("begin transaction").unwrap(), Statement::Begin);
+        assert_eq!(parse_statement("COMMIT").unwrap(), Statement::Commit);
+        assert_eq!(parse_statement("COMMIT TRANSACTION;").unwrap(), Statement::Commit);
+        assert_eq!(parse_statement("ROLLBACK").unwrap(), Statement::Rollback);
+        assert_eq!(parse_statement("ROLLBACK TRANSACTION").unwrap(), Statement::Rollback);
+        assert!(parse_statement("BEGIN EXTRA").is_err(), "trailing tokens rejected");
+        let script = parse_script("BEGIN; INSERT INTO t VALUES (1); COMMIT;").unwrap();
+        assert_eq!(script.len(), 3);
+        assert!(script[0].is_txn_control());
+        assert_eq!(script[1].write_target(), Some("t"));
     }
 
     #[test]

@@ -12,13 +12,27 @@
 //!   no cell is copied), drops the lock, and executes against the
 //!   immutable snapshot. Long queries never block writers, and a session
 //!   sees a consistent database state for the whole statement.
-//! * **Writers serialized per table** — a DML/DDL statement takes its
-//!   target table's write lock, executes against a snapshot taken
-//!   *under* that lock, and installs the new table version with a brief
-//!   catalog write lock. Writers to different tables run fully
+//! * **Writers serialized per table** — an auto-commit DML/DDL statement
+//!   takes its target table's write lock, executes against a snapshot
+//!   taken *under* that lock, and installs the new table version with a
+//!   brief catalog write lock. Writers to different tables run fully
 //!   concurrently; writers to the same table observe each other's
 //!   committed state (read-modify-write statements like
 //!   `UPDATE t SET n = n + 1` never lose updates).
+//! * **Multi-statement transactions** — a [`Session`] (from
+//!   [`SharedDb::session`]) runs `BEGIN … COMMIT` spans under snapshot
+//!   isolation: `BEGIN` pins an O(tables) snapshot, statements buffer
+//!   writes in a private working catalog (reads see the snapshot plus the
+//!   session's own writes and nothing newer), and `COMMIT` installs every
+//!   written table atomically behind a first-committer-wins version check
+//!   — a conflicting interleaved commit aborts with
+//!   [`Error::Conflict`](crate::error::Error::Conflict) and the caller
+//!   retries. Readers can never observe a half-installed commit.
+//! * **Durability** — [`SharedDb::open`] (or promoting a
+//!   [`Database::open`] database with [`SharedDb::from_database`]) backs
+//!   every commit with the write-ahead log: the `Begin/Delta/Commit`
+//!   group is appended and fsynced *before* the tables are installed, and
+//!   recovery replays exactly the committed prefix (see [`crate::wal`]).
 //! * **No poisoned locks** — all locks are `parking_lot`-style
 //!   panic-transparent: a session that panics mid-statement cannot wedge
 //!   its siblings. A failed statement installs nothing (the snapshot is
@@ -30,20 +44,24 @@
 //! all sessions call the same object.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
 use crate::ast::Statement;
 use crate::db::{Database, QueryResult};
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::functions::{ScalarUdf, UdfRegistry};
 use crate::optimizer::OptimizerConfig;
 use crate::parser::{parse_script, parse_statement};
 use crate::storage::Catalog;
+use crate::txn::{catalog_deltas, commit_records, conflict_check, TableDelta, Txn, TxnManager};
+use crate::wal::{DurabilityConfig, Wal};
 
-/// An embedded, in-memory SQL database shared by many concurrent
-/// sessions. Clone the handle freely — all clones address the same data.
+/// An embedded SQL database shared by many concurrent sessions. Clone the
+/// handle freely — all clones address the same data. In-memory by
+/// default; WAL-durable when opened with [`SharedDb::open`].
 #[derive(Clone, Default)]
 pub struct SharedDb {
     inner: Arc<Shared>,
@@ -57,7 +75,17 @@ struct Shared {
     /// One write lock per (lowercased) table name, created on first
     /// write. Holding a table's lock serializes every mutation of that
     /// table — DML and DDL alike — while leaving other tables free.
+    /// Transaction commits take the locks of *all* written tables in
+    /// sorted name order (single-lock auto-commit writers cannot form a
+    /// cycle against that order, so the acquisition is deadlock-free).
     table_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    /// Transaction-id allocation (ids resume above the WAL's high-water
+    /// mark after recovery).
+    txns: Arc<TxnManager>,
+    /// Write-ahead log; `None` for in-memory databases. The mutex is held
+    /// across append **and** install, so a checkpoint taken under it can
+    /// never miss a commit that already reached the log.
+    wal: Option<Arc<Mutex<Wal>>>,
 }
 
 impl SharedDb {
@@ -66,11 +94,26 @@ impl SharedDb {
         SharedDb::default()
     }
 
+    /// Open (or create) a WAL-durable shared database at `path`,
+    /// recovering the committed state (see [`Database::open`]).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Ok(SharedDb::from_database(Database::open(path)?))
+    }
+
+    /// [`SharedDb::open`] with explicit durability tuning.
+    pub fn open_with(path: impl AsRef<Path>, config: DurabilityConfig) -> Result<Self> {
+        Ok(SharedDb::from_database(Database::open_with(path, config)?))
+    }
+
     /// Share an existing single-session database. The row storage is
-    /// re-shared, not copied.
+    /// re-shared, not copied; a durable database hands its WAL over, so
+    /// commits through the shared handle keep logging. Keep writing
+    /// through the original `Database` only if it is no longer used.
     pub fn from_database(db: Database) -> Self {
         let optimizer = db.optimizer();
         let udfs = db.udfs().clone();
+        let wal = db.wal_handle();
+        let txns = db.txn_manager();
         let catalog = db.catalog().clone();
         SharedDb {
             inner: Arc::new(Shared {
@@ -78,6 +121,8 @@ impl SharedDb {
                 udfs: RwLock::new(udfs),
                 optimizer: RwLock::new(optimizer),
                 table_locks: Mutex::new(HashMap::new()),
+                txns,
+                wal,
             }),
         }
     }
@@ -109,32 +154,67 @@ impl SharedDb {
         Database::from_parts(catalog, udfs, optimizer)
     }
 
+    /// A consistent snapshot of the catalog alone (the `BEGIN` pin).
+    fn catalog_snapshot(&self) -> Catalog {
+        self.inner.catalog.read().clone()
+    }
+
+    /// An interactive session over this database: the handle through
+    /// which multi-statement `BEGIN … COMMIT` transactions run.
+    pub fn session(&self) -> Session {
+        Session { db: self.clone(), txn: None }
+    }
+
     /// Execute a read-only query against a snapshot.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
         self.snapshot().query(sql)
     }
 
-    /// Execute one statement. Reads run on a snapshot; writes serialize
-    /// per target table and atomically install the new table version.
+    /// Execute one auto-commit statement. Reads run on a snapshot; writes
+    /// serialize per target table and atomically install (and, on a
+    /// durable database, log) the new table version. Transaction control
+    /// needs a statement-spanning holder — use [`SharedDb::session`] or
+    /// a `BEGIN … COMMIT` span inside [`SharedDb::execute_script`].
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         let stmt = parse_statement(sql)?;
-        self.execute_statement(&stmt)
+        if stmt.is_txn_control() {
+            return Err(Error::Txn(
+                "transactions span statements; open one through SharedDb::session() \
+                 (or run the BEGIN…COMMIT span inside execute_script)"
+                    .into(),
+            ));
+        }
+        self.execute_autocommit(&stmt)
     }
 
     /// Execute a semicolon-separated script; returns the last result.
-    /// Each statement commits (and becomes visible to other sessions)
-    /// independently — there is no multi-statement transaction.
+    ///
+    /// Outside an explicit transaction each statement commits (and
+    /// becomes visible to other sessions) independently. A
+    /// `BEGIN … COMMIT` span inside the script runs as one snapshot-
+    /// isolation transaction: nothing becomes visible until the `COMMIT`,
+    /// and an error anywhere inside the span rolls the whole transaction
+    /// back. A transaction still open when the script ends is rolled
+    /// back (the script was the transaction's only holder) — commit
+    /// explicitly.
     pub fn execute_script(&self, sql: &str) -> Result<QueryResult> {
         let stmts = parse_script(sql)?;
+        let mut session = self.session();
         let mut last = QueryResult::default();
         for stmt in &stmts {
-            last = self.execute_statement(stmt)?;
+            match session.execute_statement(stmt) {
+                Ok(r) => last = r,
+                // The session (and any open transaction) drops here:
+                // a mid-script error rolls the whole span back.
+                Err(e) => return Err(e),
+            }
         }
         Ok(last)
     }
 
-    fn execute_statement(&self, stmt: &Statement) -> Result<QueryResult> {
-        let Some(target) = write_target(stmt) else {
+    /// One auto-commit statement: the per-table writer path.
+    fn execute_autocommit(&self, stmt: &Statement) -> Result<QueryResult> {
+        let Some(target) = stmt.write_target().map(str::to_string) else {
             // SELECT: snapshot execution, no locks held while running.
             let mut db = self.snapshot();
             return db.execute_statement(stmt);
@@ -142,35 +222,93 @@ impl SharedDb {
 
         // Serialize writers on the target table for the whole
         // read-modify-write cycle: snapshot under the lock, execute
-        // against the snapshot, install the new version.
+        // against the snapshot, log + install the new version.
         let lock = self.table_lock(&target);
         let _guard = lock.lock();
 
-        let mut db = self.snapshot();
+        let base = self.catalog_snapshot();
+        let optimizer = *self.inner.optimizer.read();
+        let udfs = self.inner.udfs.read().clone();
+        let mut db = Database::from_parts(base.clone(), udfs, optimizer);
         let result = db.execute_statement(stmt)?;
 
         // Install only the target table's new version (or its removal):
         // concurrent writers to *other* tables committed after our
         // snapshot must not be clobbered, so the whole catalog is never
         // written back.
-        let dropped = {
-            let mut catalog = self.inner.catalog.write();
-            match db.catalog().get(&target) {
-                Some(table) => {
-                    catalog.put_shared(table.clone());
-                    false
-                }
-                None => {
-                    // DROP TABLE (or DROP ... IF EXISTS of a missing table).
-                    let _ = catalog.drop_table(&target);
-                    true
-                }
-            }
-        };
+        let key = target.to_ascii_lowercase();
+        let deltas = catalog_deltas(std::slice::from_ref(&key), &base, db.catalog());
+        let dropped = matches!(deltas.first(), Some((_, TableDelta::Drop)));
+        self.log_and_install(self.inner.txns.fresh_id(), &base, &deltas)?;
         if dropped {
             self.prune_table_lock(&target, &lock);
         }
         Ok(result)
+    }
+
+    /// Commit an open transaction: acquire every written table's lock in
+    /// sorted order, run the first-committer-wins conflict check against
+    /// the live catalog, then log + install all deltas atomically.
+    fn commit_txn(&self, txn: &Txn, working: &Catalog) -> Result<()> {
+        let deltas = catalog_deltas(txn.written(), &txn.snapshot, working);
+        if deltas.is_empty() {
+            return Ok(());
+        }
+        // Sorted acquisition order: no deadlock against other committers
+        // (same order) or auto-commit writers (single lock each).
+        let mut names: Vec<String> = deltas.iter().map(|(n, _)| n.clone()).collect();
+        names.sort();
+        let locks: Vec<Arc<Mutex<()>>> = names.iter().map(|n| self.table_lock(n)).collect();
+        let _guards: Vec<_> = locks.iter().map(|l| l.lock()).collect();
+
+        {
+            let live = self.inner.catalog.read();
+            conflict_check(txn, &live)?;
+        }
+        self.log_and_install(txn.id(), &txn.snapshot, &deltas)
+    }
+
+    /// The commit point shared by auto-commit statements and transaction
+    /// commits: append (and fsync) the WAL group, then install every
+    /// delta under one catalog write lock — readers see all of the commit
+    /// or none of it. The WAL mutex is held across both steps so a
+    /// checkpoint can never observe a logged-but-uninstalled commit.
+    fn log_and_install(
+        &self,
+        txn_id: u64,
+        base: &Catalog,
+        deltas: &[(String, TableDelta)],
+    ) -> Result<()> {
+        if deltas.is_empty() {
+            return Ok(());
+        }
+        let mut wal_guard = self.inner.wal.as_ref().map(|w| w.lock());
+        if let Some(wal) = wal_guard.as_deref_mut() {
+            wal.append(&commit_records(txn_id, base, deltas))?;
+        }
+        {
+            let mut catalog = self.inner.catalog.write();
+            for (name, delta) in deltas {
+                match delta {
+                    TableDelta::Put(table) => catalog.put_shared(table.clone()),
+                    TableDelta::Drop => {
+                        let _ = catalog.drop_table(name);
+                    }
+                }
+            }
+        }
+        if let Some(wal) = wal_guard.as_deref_mut() {
+            if wal.wants_checkpoint() {
+                // Past the commit point (appended, fsynced, installed):
+                // a failed compaction must not turn a committed
+                // transaction into a reported failure — a retrying caller
+                // would double-apply it. The log stays long, the next
+                // commit retries, and an unusable handle poisons itself.
+                let snap = self.inner.catalog.read().clone();
+                let _ = wal.checkpoint(&snap);
+            }
+        }
+        Ok(())
     }
 
     /// Drop a dropped table's lock entry so create/drop-heavy workloads
@@ -205,16 +343,139 @@ impl SharedDb {
     }
 }
 
-/// The table a statement mutates; `None` for read-only statements.
-fn write_target(stmt: &Statement) -> Option<String> {
-    match stmt {
-        Statement::Select(_) => None,
-        Statement::CreateTable(ct) => Some(ct.name.clone()),
-        Statement::DropTable { name, .. } => Some(name.clone()),
-        Statement::AlterTableAddColumn { table, .. } => Some(table.clone()),
-        Statement::Insert(ins) => Some(ins.table.clone()),
-        Statement::Update(upd) => Some(upd.table.clone()),
-        Statement::Delete(del) => Some(del.table.clone()),
+/// One session over a [`SharedDb`]: the holder of at most one open
+/// `BEGIN … COMMIT` transaction. Outside a transaction it behaves exactly
+/// like the shared handle (per-statement auto-commit); inside one,
+/// statements buffer in a private working catalog under snapshot
+/// isolation until `COMMIT` publishes them atomically (or a conflicting
+/// commit / `ROLLBACK` discards them).
+///
+/// Dropping a session with an open transaction rolls the transaction
+/// back — nothing uncommitted can leak.
+pub struct Session {
+    db: SharedDb,
+    /// The open transaction and its working catalog (pinned snapshot plus
+    /// this session's own writes).
+    txn: Option<(Txn, Catalog)>,
+}
+
+impl Session {
+    /// True while a `BEGIN` is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Execute one statement (transaction control included).
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute a semicolon-separated script; returns the last result.
+    /// Same transactional semantics as [`SharedDb::execute_script`],
+    /// except the session outlives the script: a transaction opened (and
+    /// not closed) by the script stays open on this session, and an error
+    /// rolls back only a transaction the script itself opened.
+    pub fn execute_script(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmts = parse_script(sql)?;
+        let mut last = QueryResult::default();
+        let mut script_txn = false;
+        for stmt in &stmts {
+            match self.execute_statement(stmt) {
+                Ok(r) => last = r,
+                Err(e) => {
+                    if script_txn && self.txn.is_some() {
+                        self.txn = None; // roll the script's span back
+                    }
+                    return Err(e);
+                }
+            }
+            match stmt {
+                Statement::Begin => script_txn = true,
+                Statement::Commit | Statement::Rollback => script_txn = false,
+                _ => {}
+            }
+        }
+        Ok(last)
+    }
+
+    /// Execute a read-only query: against the transaction's working state
+    /// when one is open (the session sees its own uncommitted writes),
+    /// against a fresh snapshot otherwise.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        match &self.txn {
+            Some((_, working)) => self.overlay_db(working).query(sql),
+            None => self.db.query(sql),
+        }
+    }
+
+    /// A single-session database over the transaction's working catalog.
+    fn overlay_db(&self, working: &Catalog) -> Database {
+        let optimizer = *self.db.inner.optimizer.read();
+        let udfs = self.db.inner.udfs.read().clone();
+        Database::from_parts(working.clone(), udfs, optimizer)
+    }
+
+    pub(crate) fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::Begin => {
+                if self.txn.is_some() {
+                    return Err(Error::Txn("a transaction is already active".into()));
+                }
+                let snapshot = self.db.catalog_snapshot();
+                let txn = self.db.inner.txns.begin(snapshot.clone());
+                self.txn = Some((txn, snapshot));
+                Ok(QueryResult::default())
+            }
+            Statement::Commit => {
+                let (txn, working) = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| Error::Txn("COMMIT without an active transaction".into()))?;
+                // On conflict the transaction is consumed either way:
+                // first committer won, this session's buffered writes are
+                // discarded, and the caller retries from a fresh BEGIN.
+                self.db.commit_txn(&txn, &working)?;
+                Ok(QueryResult::default())
+            }
+            Statement::Rollback => {
+                self.txn
+                    .take()
+                    .ok_or_else(|| Error::Txn("ROLLBACK without an active transaction".into()))?;
+                Ok(QueryResult::default())
+            }
+            _ => match &mut self.txn {
+                Some((txn, working)) => {
+                    // Buffered execution against the working overlay. The
+                    // working catalog round-trips by ownership (no clone):
+                    // statements are atomic by construction, so a failure
+                    // leaves the transaction's state untouched, and the
+                    // overlay's tables keep unique `Arc`s — batch DML
+                    // mutates in place instead of copy-on-write cloning.
+                    let optimizer = *self.db.inner.optimizer.read();
+                    let udfs = self.db.inner.udfs.read().clone();
+                    let mut db =
+                        Database::from_parts(std::mem::take(working), udfs, optimizer);
+                    let result = db.execute_statement(stmt);
+                    *working = db.into_catalog();
+                    let result = result?;
+                    if let Some(target) = stmt.write_target() {
+                        txn.record_write(target);
+                    }
+                    Ok(result)
+                }
+                None => self.db.execute_autocommit(stmt),
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("in_transaction", &self.in_transaction())
+            .field("db", &self.db)
+            .finish()
     }
 }
 
@@ -223,6 +484,7 @@ impl std::fmt::Debug for SharedDb {
         f.debug_struct("SharedDb")
             .field("tables", &self.table_names())
             .field("sessions", &Arc::strong_count(&self.inner))
+            .field("durable", &self.inner.wal.is_some())
             .finish()
     }
 }
@@ -319,5 +581,191 @@ mod tests {
             shared.query("SELECT a FROM s").unwrap().scalar(),
             Some(&Value::Integer(7))
         );
+    }
+
+    #[test]
+    fn bare_txn_control_on_shared_handle_is_rejected() {
+        let db = seeded();
+        assert!(matches!(db.execute("BEGIN"), Err(Error::Txn(_))));
+        assert!(matches!(db.execute("COMMIT"), Err(Error::Txn(_))));
+    }
+
+    #[test]
+    fn session_txn_buffers_until_commit() {
+        let db = seeded();
+        let mut session = db.session();
+        session.execute("BEGIN").unwrap();
+        session.execute("INSERT INTO t VALUES (3, 30)").unwrap();
+        session.execute("UPDATE t SET n = n + 1 WHERE id = 1").unwrap();
+
+        // The session sees its own writes ...
+        assert_eq!(
+            session.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Integer(3))
+        );
+        // ... other sessions do not.
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Integer(2)),
+            "uncommitted writes must be invisible"
+        );
+
+        session.execute("COMMIT").unwrap();
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Integer(3))
+        );
+        assert_eq!(
+            db.query("SELECT n FROM t WHERE id = 1").unwrap().scalar(),
+            Some(&Value::Integer(11))
+        );
+    }
+
+    #[test]
+    fn session_rollback_discards_writes() {
+        let db = seeded();
+        let mut session = db.session();
+        session.execute("BEGIN TRANSACTION").unwrap();
+        session.execute("DELETE FROM t").unwrap();
+        assert_eq!(
+            session.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Integer(0))
+        );
+        session.execute("ROLLBACK").unwrap();
+        assert!(!session.in_transaction());
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Integer(2))
+        );
+    }
+
+    #[test]
+    fn session_reads_are_snapshot_isolated() {
+        let db = seeded();
+        let mut session = db.session();
+        session.execute("BEGIN").unwrap();
+        // A concurrent commit to an unrelated table after BEGIN.
+        db.execute("CREATE TABLE other (x INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (99, 0)").unwrap();
+        // The transaction still sees its pinned snapshot.
+        assert_eq!(
+            session.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Integer(2)),
+            "snapshot isolation: later commits are invisible"
+        );
+        session.execute("ROLLBACK").unwrap();
+        // Outside the transaction the session sees the live state again.
+        assert_eq!(
+            session.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Integer(3))
+        );
+    }
+
+    #[test]
+    fn first_committer_wins_conflict() {
+        let db = seeded();
+        let mut a = db.session();
+        let mut b = db.session();
+        a.execute("BEGIN").unwrap();
+        b.execute("BEGIN").unwrap();
+        a.execute("UPDATE t SET n = n + 1 WHERE id = 1").unwrap();
+        b.execute("UPDATE t SET n = n + 10 WHERE id = 1").unwrap();
+        a.execute("COMMIT").unwrap();
+        let err = b.execute("COMMIT").unwrap_err();
+        assert!(matches!(err, Error::Conflict(_)), "second committer must abort: {err}");
+        assert!(!b.in_transaction(), "aborted transaction is closed");
+        assert_eq!(
+            db.query("SELECT n FROM t WHERE id = 1").unwrap().scalar(),
+            Some(&Value::Integer(11)),
+            "only the first commit applied"
+        );
+    }
+
+    #[test]
+    fn disjoint_table_txns_do_not_conflict() {
+        let db = seeded();
+        db.execute("CREATE TABLE u (x INTEGER)").unwrap();
+        let mut a = db.session();
+        let mut b = db.session();
+        a.execute("BEGIN").unwrap();
+        b.execute("BEGIN").unwrap();
+        a.execute("INSERT INTO t VALUES (3, 30)").unwrap();
+        b.execute("INSERT INTO u VALUES (1)").unwrap();
+        a.execute("COMMIT").unwrap();
+        b.execute("COMMIT").unwrap();
+        assert_eq!(db.row_count("t"), Some(3));
+        assert_eq!(db.row_count("u"), Some(1));
+    }
+
+    #[test]
+    fn script_txn_is_atomic_on_shared_handle() {
+        let db = seeded();
+        // The third INSERT violates the primary key: the whole span must
+        // roll back, leaving the pre-script state.
+        let err = db
+            .execute_script(
+                "BEGIN;
+                 INSERT INTO t VALUES (3, 30);
+                 INSERT INTO t VALUES (4, 40);
+                 INSERT INTO t VALUES (1, 99);
+                 COMMIT;",
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Constraint(_)));
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Integer(2)),
+            "mid-script failure must roll the whole transaction back"
+        );
+
+        // The happy path commits atomically.
+        db.execute_script(
+            "BEGIN; INSERT INTO t VALUES (3, 30); INSERT INTO t VALUES (4, 40); COMMIT;",
+        )
+        .unwrap();
+        assert_eq!(db.row_count("t"), Some(4));
+    }
+
+    #[test]
+    fn script_without_txn_keeps_per_statement_commit() {
+        let db = seeded();
+        let err = db
+            .execute_script(
+                "INSERT INTO t VALUES (3, 30);
+                 INSERT INTO t VALUES (1, 99);",
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Constraint(_)));
+        assert_eq!(
+            db.query("SELECT COUNT(*) FROM t").unwrap().scalar(),
+            Some(&Value::Integer(3)),
+            "statements before the failure already committed"
+        );
+    }
+
+    #[test]
+    fn dropping_a_session_rolls_back() {
+        let db = seeded();
+        {
+            let mut session = db.session();
+            session.execute("BEGIN").unwrap();
+            session.execute("INSERT INTO t VALUES (3, 30)").unwrap();
+            // Dropped without COMMIT.
+        }
+        assert_eq!(db.row_count("t"), Some(2));
+    }
+
+    #[test]
+    fn txn_ddl_commits_atomically() {
+        let db = seeded();
+        let mut session = db.session();
+        session.execute("BEGIN").unwrap();
+        session.execute("CREATE TABLE made (x INTEGER)").unwrap();
+        session.execute("INSERT INTO made VALUES (1)").unwrap();
+        session.execute("DROP TABLE t").unwrap();
+        assert_eq!(db.table_names(), vec!["t"], "nothing visible before commit");
+        session.execute("COMMIT").unwrap();
+        assert_eq!(db.table_names(), vec!["made"]);
+        assert_eq!(db.row_count("made"), Some(1));
     }
 }

@@ -7,8 +7,25 @@
 //! row set with one refcount bump per row — no cell is ever deep-copied on
 //! the read path. The catalog also exposes per-table row counts as the
 //! statistics feed for the optimizer's join ordering.
+//!
+//! # Versioned identity
+//!
+//! Every table carries a monotonically increasing [`Table::version`],
+//! bumped on each copy-on-write mutation. Two `Arc<Table>` handles with the
+//! same name and version are guaranteed to hold identical contents, which
+//! is what the transaction layer's first-committer-wins conflict check
+//! compares at commit time (see [`crate::txn`]).
+//!
+//! # Row codec
+//!
+//! [`encode_table`]/[`decode_table`] (plus the row/value helpers they are
+//! built from) serialize a table snapshot to a compact little-endian binary
+//! form for the write-ahead log ([`crate::wal`]). Decoding re-interns text
+//! through a [`TextInterner`], so repeated strings in the file come back as
+//! one shared `Arc<str>` allocation — the on-disk form round-trips into the
+//! same zero-copy representation the engine runs on.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use crate::error::{Error, Result};
@@ -26,6 +43,11 @@ pub struct Table {
     pub primary_key: Vec<usize>,
     /// Unique index over the primary key columns; maintained on insert.
     pk_index: HashMap<Vec<GroupKey>, usize>,
+    /// Monotonic modification counter: bumped every time a writer obtains
+    /// copy-on-write access through [`Catalog::get_mut`] and on every
+    /// transaction-commit install. Equal (name, version) pairs imply equal
+    /// contents — the identity the commit-time conflict check relies on.
+    pub version: u64,
 }
 
 /// One column's metadata. Declared types are advisory, SQLite-style.
@@ -72,7 +94,15 @@ impl Table {
                 .ok_or_else(|| Error::Unresolved(format!("primary key column '{pk}'")))?;
             primary_key.push(idx);
         }
-        Ok(Table { name, columns, col_index, rows: Vec::new(), primary_key, pk_index: HashMap::new() })
+        Ok(Table {
+            name,
+            columns,
+            col_index,
+            rows: Vec::new(),
+            primary_key,
+            pk_index: HashMap::new(),
+            version: 0,
+        })
     }
 
     /// Number of columns.
@@ -210,6 +240,24 @@ impl Table {
         Ok(())
     }
 
+    /// Roll freshly appended rows back: drop everything from `keep_len`
+    /// on and remove those rows' PK index entries. Used for statement
+    /// atomicity — a multi-row INSERT that fails part-way truncates back
+    /// to its start instead of leaving a partial batch.
+    pub fn truncate_rows(&mut self, keep_len: usize) {
+        if keep_len >= self.rows.len() {
+            return;
+        }
+        if !self.primary_key.is_empty() {
+            let pk = self.primary_key.clone();
+            for row in &self.rows[keep_len..] {
+                let key: Vec<GroupKey> = pk.iter().map(|&c| row[c].group_key()).collect();
+                self.pk_index.remove(&key);
+            }
+        }
+        self.rows.truncate(keep_len);
+    }
+
     /// Remove all rows (and the PK index) while keeping the schema.
     pub fn clear_rows(&mut self) {
         self.rows.clear();
@@ -290,13 +338,18 @@ impl Catalog {
         self.get(name).ok_or_else(|| Error::NotFound(name.to_string()))
     }
 
-    /// Mutable access with copy-on-write semantics.
+    /// Mutable access with copy-on-write semantics. Bumps the table's
+    /// [`version`](Table::version): callers take this handle precisely to
+    /// mutate, so the versioned identity stays conservative — a bumped
+    /// version never lies about contents being possibly different.
     pub fn get_mut(&mut self, name: &str) -> Result<&mut Table> {
         let arc = self
             .tables
             .get_mut(&name.to_ascii_lowercase())
             .ok_or_else(|| Error::NotFound(name.to_string()))?;
-        Ok(Arc::make_mut(arc))
+        let table = Arc::make_mut(arc);
+        table.version += 1;
+        Ok(table)
     }
 
     pub fn contains(&self, name: &str) -> bool {
@@ -330,6 +383,12 @@ impl Catalog {
     pub fn stats(&self, name: &str) -> Option<TableStats> {
         self.get(name).map(|t| TableStats { rows: t.len(), columns: t.width() })
     }
+
+    /// The version of a table, if it exists — the per-table identity the
+    /// transaction layer's commit conflict check compares.
+    pub fn version(&self, name: &str) -> Option<u64> {
+        self.get(name).map(|t| t.version)
+    }
 }
 
 /// Per-table statistics snapshot.
@@ -347,6 +406,200 @@ impl crate::plan::SchemaProvider for Catalog {
     fn table_rows(&self, table: &str) -> Option<usize> {
         self.row_count(table)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Binary row codec
+// ---------------------------------------------------------------------------
+//
+// Little-endian, length-prefixed, no self-description: the WAL frames every
+// record with its own length + checksum, so the codec only needs to be
+// unambiguous, compact and lossless (NaN bit patterns, -0.0 and text all
+// round-trip exactly).
+
+/// Interns decoded text so repeated strings in one decode session share a
+/// single `Arc<str>` allocation — the same zero-copy representation the
+/// engine builds at parse/load time.
+#[derive(Debug, Default)]
+pub struct TextInterner {
+    strings: HashSet<Arc<str>>,
+}
+
+impl TextInterner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shared handle for `s`, reusing a previous allocation when one exists.
+    pub fn intern(&mut self, s: &str) -> Arc<str> {
+        match self.strings.get(s) {
+            Some(shared) => shared.clone(),
+            None => {
+                let shared: Arc<str> = s.into();
+                self.strings.insert(shared.clone());
+                shared
+            }
+        }
+    }
+}
+
+/// Codec error helper: the byte stream ended or a tag was invalid.
+pub(crate) fn codec_err(what: &str) -> Error {
+    Error::Io(format!("codec: malformed {what}"))
+}
+
+// Shared little-endian primitives — the WAL's record framing
+// (`crate::wal`) builds on the same helpers.
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
+    let end = pos.checked_add(n).ok_or_else(|| codec_err("length"))?;
+    if end > buf.len() {
+        return Err(codec_err("truncated field"));
+    }
+    let out = &buf[*pos..end];
+    *pos = end;
+    Ok(out)
+}
+
+pub(crate) fn get_u8(buf: &[u8], pos: &mut usize) -> Result<u8> {
+    Ok(take(buf, pos, 1)?[0])
+}
+
+pub(crate) fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
+    Ok(u32::from_le_bytes(take(buf, pos, 4)?.try_into().unwrap()))
+}
+
+pub(crate) fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    Ok(u64::from_le_bytes(take(buf, pos, 8)?.try_into().unwrap()))
+}
+
+pub(crate) fn get_str<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a str> {
+    let len = get_u32(buf, pos)? as usize;
+    std::str::from_utf8(take(buf, pos, len)?).map_err(|_| codec_err("utf-8 text"))
+}
+
+/// Append one value: a storage-class tag byte plus the exact payload.
+pub fn encode_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Integer(i) => {
+            buf.push(1);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Real(r) => {
+            buf.push(2);
+            // Raw bits: NaN payloads and -0.0 survive the round trip.
+            buf.extend_from_slice(&r.to_bits().to_le_bytes());
+        }
+        Value::Text(s) => {
+            buf.push(3);
+            put_str(buf, s);
+        }
+    }
+}
+
+/// Decode one value, interning text through `interner`.
+pub fn decode_value(buf: &[u8], pos: &mut usize, interner: &mut TextInterner) -> Result<Value> {
+    match get_u8(buf, pos)? {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::Integer(i64::from_le_bytes(take(buf, pos, 8)?.try_into().unwrap()))),
+        2 => Ok(Value::Real(f64::from_bits(get_u64(buf, pos)?))),
+        3 => Ok(Value::Text(interner.intern(get_str(buf, pos)?))),
+        _ => Err(codec_err("value tag")),
+    }
+}
+
+/// Append one shared row: cell count then each value.
+pub fn encode_row(buf: &mut Vec<u8>, row: &Row) {
+    put_u32(buf, row.len() as u32);
+    for v in row.iter() {
+        encode_value(buf, v);
+    }
+}
+
+/// Decode one row into the shared representation.
+pub fn decode_row(buf: &[u8], pos: &mut usize, interner: &mut TextInterner) -> Result<Row> {
+    let n = get_u32(buf, pos)? as usize;
+    let mut cells = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        cells.push(decode_value(buf, pos, interner)?);
+    }
+    Ok(cells.into())
+}
+
+/// Serialize a full table snapshot: name, schema, primary key, version and
+/// every row. The output is deterministic for a given table state.
+pub fn encode_table(buf: &mut Vec<u8>, table: &Table) {
+    put_str(buf, &table.name);
+    put_u32(buf, table.columns.len() as u32);
+    for col in &table.columns {
+        put_str(buf, &col.name);
+        match &col.decl_type {
+            None => buf.push(0),
+            Some(t) => {
+                buf.push(1);
+                put_str(buf, t);
+            }
+        }
+        buf.push(col.not_null as u8);
+    }
+    put_u32(buf, table.primary_key.len() as u32);
+    for &pk in &table.primary_key {
+        put_u32(buf, pk as u32);
+    }
+    put_u64(buf, table.version);
+    put_u64(buf, table.rows.len() as u64);
+    for row in &table.rows {
+        encode_row(buf, row);
+    }
+}
+
+/// Reconstruct a table from its encoded snapshot, rebuilding the column
+/// and primary-key indexes and re-interning text through `interner`.
+pub fn decode_table(buf: &[u8], pos: &mut usize, interner: &mut TextInterner) -> Result<Table> {
+    let name = get_str(buf, pos)?.to_string();
+    let ncols = get_u32(buf, pos)? as usize;
+    let mut columns = Vec::with_capacity(ncols.min(1 << 12));
+    for _ in 0..ncols {
+        let cname = get_str(buf, pos)?.to_string();
+        let decl_type = match get_u8(buf, pos)? {
+            0 => None,
+            1 => Some(get_str(buf, pos)?.to_string()),
+            _ => return Err(codec_err("decl-type tag")),
+        };
+        let not_null = get_u8(buf, pos)? != 0;
+        columns.push(Column { name: cname, decl_type, not_null });
+    }
+    let npk = get_u32(buf, pos)? as usize;
+    let mut pk_names = Vec::with_capacity(npk.min(1 << 12));
+    for _ in 0..npk {
+        let idx = get_u32(buf, pos)? as usize;
+        let col =
+            columns.get(idx).ok_or_else(|| codec_err("primary-key column index"))?;
+        pk_names.push(col.name.clone());
+    }
+    let version = get_u64(buf, pos)?;
+    let nrows = get_u64(buf, pos)? as usize;
+    let mut table = Table::new(name, columns, &pk_names)?;
+    for _ in 0..nrows {
+        let row = decode_row(buf, pos, interner)?;
+        table.insert_shared_row(row)?;
+    }
+    table.version = version;
+    Ok(table)
 }
 
 #[cfg(test)]
@@ -467,6 +720,91 @@ mod tests {
             .unwrap();
         assert_eq!(snapshot.len(), 2, "snapshot unchanged");
         assert_eq!(cat.get("superhero").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn get_mut_bumps_version_monotonically() {
+        let mut cat = Catalog::new();
+        cat.create_table(hero_table()).unwrap();
+        assert_eq!(cat.version("superhero"), Some(0));
+        cat.get_mut("superhero").unwrap();
+        cat.get_mut("SUPERHERO").unwrap();
+        assert_eq!(cat.version("superhero"), Some(2));
+        // A snapshot taken before a bump keeps its own version.
+        let snap = cat.get("superhero").unwrap().clone();
+        cat.get_mut("superhero").unwrap();
+        assert_eq!(snap.version, 2);
+        assert_eq!(cat.version("superhero"), Some(3));
+    }
+
+    #[test]
+    fn table_codec_round_trips_losslessly() {
+        let mut t = Table::new(
+            "mixed",
+            vec![
+                Column::new("a"),
+                Column::typed("b", "INTEGER"),
+                Column { name: "c".into(), decl_type: None, not_null: true },
+            ],
+            &["a".to_string()],
+        )
+        .unwrap();
+        t.insert_row(vec![1.into(), Value::Null, "shared".into()]).unwrap();
+        t.insert_row(vec![2.into(), Value::Real(-0.0), "shared".into()]).unwrap();
+        t.insert_row(vec![3.into(), Value::Real(f64::NAN), "unique".into()]).unwrap();
+        t.version = 41;
+
+        let mut buf = Vec::new();
+        encode_table(&mut buf, &t);
+        let mut pos = 0;
+        let mut interner = TextInterner::new();
+        let back = decode_table(&buf, &mut pos, &mut interner).unwrap();
+        assert_eq!(pos, buf.len(), "decode must consume the whole encoding");
+
+        assert_eq!(back.name, "mixed");
+        assert_eq!(back.columns, t.columns);
+        assert_eq!(back.primary_key, t.primary_key);
+        assert_eq!(back.version, 41);
+        assert_eq!(back.rows.len(), 3);
+        assert_eq!(back.rows[0], t.rows[0]);
+        // NaN bits round-trip (Value's PartialEq treats NaN == NaN via sort_cmp).
+        match &back.rows[2][1] {
+            Value::Real(r) => assert!(r.is_nan()),
+            other => panic!("expected NaN real, got {other:?}"),
+        }
+        // -0.0 keeps its sign bit.
+        match &back.rows[1][1] {
+            Value::Real(r) => assert!(r.to_bits() == (-0.0f64).to_bits()),
+            other => panic!("expected -0.0, got {other:?}"),
+        }
+        // Repeated text decodes to one interned allocation.
+        match (&back.rows[0][2], &back.rows[1][2]) {
+            (Value::Text(x), Value::Text(y)) => {
+                assert!(Arc::ptr_eq(x, y), "decode must intern repeated text")
+            }
+            _ => panic!("expected text cells"),
+        }
+        // The PK index was rebuilt.
+        assert!(back.find_by_pk(&[2.into()]).is_some());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_garbage_input() {
+        let mut t = hero_table();
+        t.version = 7;
+        let mut buf = Vec::new();
+        encode_table(&mut buf, &t);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            let mut interner = TextInterner::new();
+            assert!(
+                decode_table(&buf[..cut], &mut pos, &mut interner).is_err(),
+                "decoding a {cut}-byte prefix must fail"
+            );
+        }
+        let mut pos = 0;
+        let mut interner = TextInterner::new();
+        assert!(decode_value(&[9], &mut pos, &mut interner).is_err(), "bad tag");
     }
 
     #[test]

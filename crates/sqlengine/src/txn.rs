@@ -1,0 +1,305 @@
+//! Snapshot-isolation transactions over the versioned catalog.
+//!
+//! A transaction pins an O(tables) catalog snapshot at `BEGIN` (the row
+//! storage is shared `Arc<Table>`s, so nothing is copied). Statements
+//! inside the transaction execute against a private *working* catalog
+//! derived from that snapshot, so reads see the snapshot plus the
+//! transaction's own uncommitted writes and never anybody else's.
+//!
+//! Commit is **first-committer-wins**: for every table the transaction
+//! wrote, the live catalog must still hold the exact `Arc<Table>` (same
+//! pointer, same [`Table::version`]) the snapshot pinned. Any intervening
+//! commit to one of those tables — including a drop-and-recreate, which
+//! pointer identity catches even when versions collide — aborts the
+//! transaction with [`Error::Conflict`]; the caller retries. Tables the
+//! transaction only *read* are not checked (snapshot isolation, not
+//! serializability — write skew is admitted, as in PostgreSQL's
+//! REPEATABLE READ).
+//!
+//! The module is deliberately storage-only: lock acquisition, WAL append
+//! ordering and the atomic install live with the owners of those
+//! resources ([`crate::db::Database`] and [`crate::shared::SharedDb`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::storage::{Catalog, Table};
+use crate::wal::{WalDelta, WalRecord};
+
+/// An open transaction: the pinned snapshot plus the set of tables the
+/// transaction has written so far (lowercased, in first-write order).
+///
+/// The *working* catalog — snapshot plus own writes — is owned by the
+/// session driving the transaction, not by `Txn` itself: for a
+/// single-session [`Database`](crate::db::Database) the database's own
+/// catalog plays that role, while a [`Session`](crate::shared::Session)
+/// keeps an explicit overlay.
+#[derive(Debug, Clone)]
+pub struct Txn {
+    id: u64,
+    pub(crate) snapshot: Catalog,
+    written: Vec<String>,
+}
+
+impl Txn {
+    /// The transaction's id (unique per WAL lifetime; recovery resumes
+    /// allocation above the highest id on disk).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The catalog state pinned at `BEGIN`.
+    pub fn snapshot(&self) -> &Catalog {
+        &self.snapshot
+    }
+
+    /// Record that a statement wrote `table` (idempotent).
+    pub(crate) fn record_write(&mut self, table: &str) {
+        let key = table.to_ascii_lowercase();
+        if !self.written.contains(&key) {
+            self.written.push(key);
+        }
+    }
+
+    /// Lowercased names of all written tables, in first-write order.
+    pub(crate) fn written(&self) -> &[String] {
+        &self.written
+    }
+}
+
+/// Allocates transaction ids. One per database; ids seed above the
+/// highest id recovered from the WAL so ids on disk never repeat across
+/// restarts within one log generation.
+#[derive(Debug)]
+pub struct TxnManager {
+    next_id: AtomicU64,
+}
+
+impl TxnManager {
+    pub fn new(first_id: u64) -> Self {
+        TxnManager { next_id: AtomicU64::new(first_id.max(1)) }
+    }
+
+    /// A fresh id for a single-statement (auto-commit) WAL group.
+    pub fn fresh_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Open a transaction over the given pinned snapshot.
+    pub fn begin(&self, snapshot: Catalog) -> Txn {
+        Txn { id: self.fresh_id(), snapshot, written: Vec::new() }
+    }
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        TxnManager::new(1)
+    }
+}
+
+/// A transaction's committed effect on one table.
+#[derive(Debug, Clone)]
+pub enum TableDelta {
+    /// Install this table version (covers create, insert, update, DDL).
+    Put(Arc<Table>),
+    /// The table was dropped.
+    Drop,
+}
+
+/// Diff the written tables of a transaction: for each name in `written`,
+/// what must be installed to turn `base` into `working`. Unchanged
+/// entries (same `Arc`) produce no delta.
+pub(crate) fn catalog_deltas(
+    written: &[String],
+    base: &Catalog,
+    working: &Catalog,
+) -> Vec<(String, TableDelta)> {
+    let mut out = Vec::new();
+    for name in written {
+        match (base.get(name), working.get(name)) {
+            (None, None) => {}
+            (Some(_), None) => out.push((name.clone(), TableDelta::Drop)),
+            (b, Some(w)) => {
+                if b.is_some_and(|b| Arc::ptr_eq(b, w)) {
+                    continue;
+                }
+                out.push((name.clone(), TableDelta::Put(w.clone())));
+            }
+        }
+    }
+    out
+}
+
+/// First-committer-wins conflict check: every table the transaction wrote
+/// must be exactly the object its snapshot pinned — same presence, same
+/// `Arc` identity. Pointer equality is the strong form of the version
+/// check (every install creates a fresh `Arc`, and copy-on-write bumps
+/// [`Table::version`]); versions are reported in the error for
+/// diagnosability.
+pub(crate) fn conflict_check(txn: &Txn, live: &Catalog) -> Result<()> {
+    for name in txn.written() {
+        let pinned = txn.snapshot.get(name);
+        let now = live.get(name);
+        let clean = match (pinned, now) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        if !clean {
+            return Err(Error::Conflict(format!(
+                "table '{name}' changed since this transaction began \
+                 (snapshot version {:?}, committed version {:?}); \
+                 first committer wins — retry the transaction",
+                pinned.map(|t| t.version),
+                now.map(|t| t.version),
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Encode one delta for the WAL, preferring the compact append form: when
+/// the new table version is the base plus appended rows (schema, primary
+/// key and every base row `Arc`-identical), only the new rows are logged.
+pub(crate) fn wal_delta(name: &str, base: Option<&Arc<Table>>, delta: &TableDelta) -> WalDelta {
+    match delta {
+        TableDelta::Drop => WalDelta::Drop { name: name.to_string() },
+        TableDelta::Put(new) => {
+            if let Some(b) = base {
+                if is_pure_append(b, new) {
+                    return WalDelta::Append {
+                        table: name.to_string(),
+                        rows: new.rows[b.rows.len()..].to_vec(),
+                        new_version: new.version,
+                    };
+                }
+            }
+            WalDelta::Put { table: new.clone() }
+        }
+    }
+}
+
+fn is_pure_append(base: &Table, new: &Table) -> bool {
+    new.columns == base.columns
+        && new.primary_key == base.primary_key
+        && new.rows.len() >= base.rows.len()
+        && base.rows.iter().zip(&new.rows).all(|(a, b)| Arc::ptr_eq(a, b))
+}
+
+/// The WAL record group for one committed transaction:
+/// `Begin · Delta* · Commit`, appended (and fsynced) as one write.
+pub(crate) fn commit_records(
+    txn_id: u64,
+    base: &Catalog,
+    deltas: &[(String, TableDelta)],
+) -> Vec<WalRecord> {
+    let mut recs = Vec::with_capacity(deltas.len() + 2);
+    recs.push(WalRecord::Begin { txn: txn_id });
+    for (name, delta) in deltas {
+        recs.push(WalRecord::Delta {
+            txn: txn_id,
+            delta: wal_delta(name, base.get(name), delta),
+        });
+    }
+    recs.push(WalRecord::Commit { txn: txn_id });
+    recs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::Column;
+
+    fn table(rows: usize) -> Table {
+        let mut t =
+            Table::new("t", vec![Column::new("id")], &["id".to_string()]).unwrap();
+        for i in 0..rows {
+            t.insert_row(vec![(i as i64).into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn conflict_check_passes_on_untouched_tables() {
+        let mut cat = Catalog::new();
+        cat.put_table(table(2));
+        let mgr = TxnManager::default();
+        let mut txn = mgr.begin(cat.clone());
+        txn.record_write("t");
+        conflict_check(&txn, &cat).unwrap();
+    }
+
+    #[test]
+    fn conflict_check_catches_intervening_commit() {
+        let mut cat = Catalog::new();
+        cat.put_table(table(2));
+        let mgr = TxnManager::default();
+        let mut txn = mgr.begin(cat.clone());
+        txn.record_write("t");
+        // Another session commits to t after the snapshot was pinned.
+        cat.get_mut("t").unwrap().insert_row(vec![9.into()]).unwrap();
+        let err = conflict_check(&txn, &cat).unwrap_err();
+        assert!(matches!(err, Error::Conflict(_)));
+    }
+
+    #[test]
+    fn conflict_check_catches_drop_and_recreate() {
+        let mut cat = Catalog::new();
+        cat.put_table(table(2));
+        let mgr = TxnManager::default();
+        let mut txn = mgr.begin(cat.clone());
+        txn.record_write("t");
+        // Same name, same fresh version number — but a different object.
+        cat.drop_table("t").unwrap();
+        cat.put_table(table(2));
+        assert!(matches!(conflict_check(&txn, &cat), Err(Error::Conflict(_))));
+    }
+
+    #[test]
+    fn deltas_skip_unwritten_and_unchanged() {
+        let mut base = Catalog::new();
+        base.put_table(table(2));
+        let working = base.clone();
+        // Written but untouched (same Arc): no delta.
+        let deltas =
+            catalog_deltas(&["t".to_string()], &base, &working);
+        assert!(deltas.is_empty());
+    }
+
+    #[test]
+    fn pure_insert_encodes_as_append() {
+        let mut base_cat = Catalog::new();
+        base_cat.put_table(table(3));
+        let base = base_cat.get("t").unwrap().clone();
+        let mut working = base_cat.clone();
+        working.get_mut("t").unwrap().insert_row(vec![10.into()]).unwrap();
+        let new = working.get("t").unwrap().clone();
+
+        match wal_delta("t", Some(&base), &TableDelta::Put(new.clone())) {
+            WalDelta::Append { rows, new_version, .. } => {
+                assert_eq!(rows.len(), 1);
+                assert_eq!(new_version, new.version);
+            }
+            other => panic!("expected append delta, got {other:?}"),
+        }
+
+        // A delete breaks the append precondition → full image.
+        let mut shrunk = base_cat.clone();
+        shrunk.get_mut("t").unwrap().retain_rows(|r| r[0].as_i64() != Some(0));
+        let shrunk_t = shrunk.get("t").unwrap().clone();
+        assert!(matches!(
+            wal_delta("t", Some(&base), &TableDelta::Put(shrunk_t)),
+            WalDelta::Put { .. }
+        ));
+    }
+
+    #[test]
+    fn txn_ids_are_unique_and_seeded() {
+        let mgr = TxnManager::new(41);
+        let a = mgr.begin(Catalog::new());
+        let b = mgr.begin(Catalog::new());
+        assert_eq!(a.id(), 41);
+        assert_eq!(b.id(), 42);
+    }
+}

@@ -1,0 +1,675 @@
+//! Append-only write-ahead log: crash durability for the catalog.
+//!
+//! The WAL is the single source of durable truth. Every committed
+//! transaction appends a `Begin` / per-table `Delta` / `Commit` record
+//! group in one write; [`Wal::open`] replays the longest intact prefix and
+//! truncates a torn tail, so after a crash the database is always exactly
+//! the state as of some committed transaction boundary — never a torn mix.
+//!
+//! # Framing
+//!
+//! Each record is framed as `[len: u32 LE][crc32: u32 LE][payload]`, with
+//! the CRC taken over the payload. Recovery walks frames from offset 0 and
+//! stops at the first frame that is short, fails its checksum, or does not
+//! decode; everything from that offset on is discarded (`set_len`) so the
+//! next append starts at a clean boundary.
+//!
+//! # Deltas
+//!
+//! A transaction's effect on one table is logged as one [`WalDelta`]:
+//!
+//! * [`WalDelta::Append`] — the pure-INSERT fast path: only the new rows
+//!   are encoded (detected by `Arc` pointer equality against the commit's
+//!   base snapshot, see [`crate::txn::wal_delta`]);
+//! * [`WalDelta::Put`] — a full table image (UPDATE/DELETE/DDL);
+//! * [`WalDelta::Drop`] — the table was dropped.
+//!
+//! # Checkpoints
+//!
+//! When the log grows past [`DurabilityConfig::checkpoint_bytes`], the
+//! committer rewrites it as a single [`WalRecord::Checkpoint`] holding the
+//! full current catalog (write to a `.tmp` sibling, fsync, atomic rename),
+//! bounding both file size and recovery time. Replay treats a checkpoint
+//! as "reset the catalog to exactly these tables".
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use crate::error::{Error, Result};
+use crate::storage::{
+    decode_row, decode_table, encode_row, encode_table, get_str, get_u32, get_u64, get_u8,
+    put_str, put_u32, put_u64, Catalog, Table, TextInterner,
+};
+use crate::value::Row;
+
+/// Durability tuning for a WAL-backed database.
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityConfig {
+    /// Rewrite the log as a checkpoint once it grows past this many bytes.
+    pub checkpoint_bytes: u64,
+    /// `fsync` the log on every commit. Disabling trades the durability of
+    /// the last few commits for throughput (the file is still written, so
+    /// only an OS crash — not a process crash — can lose them).
+    pub sync: bool,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig { checkpoint_bytes: 4 << 20, sync: true }
+    }
+}
+
+/// One WAL record. `Begin`/`Delta`/`Commit` carry the transaction id that
+/// groups them; only transactions whose `Commit` made it to disk are
+/// applied at recovery.
+#[derive(Debug, Clone)]
+pub enum WalRecord {
+    Begin { txn: u64 },
+    Delta { txn: u64, delta: WalDelta },
+    Commit { txn: u64 },
+    /// Full-database image; replay resets the catalog to these tables.
+    Checkpoint { tables: Vec<Arc<Table>> },
+}
+
+/// A committed transaction's effect on one table.
+#[derive(Debug, Clone)]
+pub enum WalDelta {
+    /// Install this full table snapshot (UPDATE/DELETE/DDL path).
+    Put { table: Arc<Table> },
+    /// Append `rows` to the existing table and set its version — the
+    /// compact pure-INSERT encoding.
+    Append { table: String, rows: Vec<Row>, new_version: u64 },
+    /// Remove the table.
+    Drop { name: String },
+}
+
+// ---------------------------------------------------------------------------
+// Record codec (payload only; framing is separate). The byte primitives
+// are shared with the row codec in `crate::storage`.
+// ---------------------------------------------------------------------------
+
+fn bad(what: &str) -> Error {
+    Error::Io(format!("wal: malformed {what}"))
+}
+
+fn encode_record(buf: &mut Vec<u8>, rec: &WalRecord) {
+    match rec {
+        WalRecord::Begin { txn } => {
+            buf.push(1);
+            put_u64(buf, *txn);
+        }
+        WalRecord::Delta { txn, delta } => {
+            buf.push(2);
+            put_u64(buf, *txn);
+            match delta {
+                WalDelta::Put { table } => {
+                    buf.push(1);
+                    encode_table(buf, table);
+                }
+                WalDelta::Append { table, rows, new_version } => {
+                    buf.push(2);
+                    put_str(buf, table);
+                    put_u64(buf, *new_version);
+                    put_u64(buf, rows.len() as u64);
+                    for row in rows {
+                        encode_row(buf, row);
+                    }
+                }
+                WalDelta::Drop { name } => {
+                    buf.push(3);
+                    put_str(buf, name);
+                }
+            }
+        }
+        WalRecord::Commit { txn } => {
+            buf.push(3);
+            put_u64(buf, *txn);
+        }
+        WalRecord::Checkpoint { tables } => {
+            buf.push(4);
+            put_u32(buf, tables.len() as u32);
+            for t in tables {
+                encode_table(buf, t);
+            }
+        }
+    }
+}
+
+fn decode_record(buf: &[u8], pos: &mut usize, interner: &mut TextInterner) -> Result<WalRecord> {
+    match get_u8(buf, pos)? {
+        1 => Ok(WalRecord::Begin { txn: get_u64(buf, pos)? }),
+        2 => {
+            let txn = get_u64(buf, pos)?;
+            let delta = match get_u8(buf, pos)? {
+                1 => WalDelta::Put { table: Arc::new(decode_table(buf, pos, interner)?) },
+                2 => {
+                    let table = get_str(buf, pos)?.to_string();
+                    let new_version = get_u64(buf, pos)?;
+                    let n = get_u64(buf, pos)? as usize;
+                    let mut rows = Vec::with_capacity(n.min(1 << 20));
+                    for _ in 0..n {
+                        rows.push(decode_row(buf, pos, interner)?);
+                    }
+                    WalDelta::Append { table, rows, new_version }
+                }
+                3 => WalDelta::Drop { name: get_str(buf, pos)?.to_string() },
+                _ => return Err(bad("delta tag")),
+            };
+            Ok(WalRecord::Delta { txn, delta })
+        }
+        3 => Ok(WalRecord::Commit { txn: get_u64(buf, pos)? }),
+        4 => {
+            let n = get_u32(buf, pos)? as usize;
+            let mut tables = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                tables.push(Arc::new(decode_table(buf, pos, interner)?));
+            }
+            Ok(WalRecord::Checkpoint { tables })
+        }
+        _ => Err(bad("record tag")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE) — table-driven, built once
+// ---------------------------------------------------------------------------
+
+fn crc32(data: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = u32::MAX;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Frame one record: `[len][crc][payload]`.
+fn frame(rec: &WalRecord, out: &mut Vec<u8>) {
+    let mut payload = Vec::new();
+    encode_record(&mut payload, rec);
+    put_u32(out, payload.len() as u32);
+    put_u32(out, crc32(&payload));
+    out.extend_from_slice(&payload);
+}
+
+/// Decode the frame starting at `start`; `None` marks a torn/corrupt tail.
+fn read_frame(
+    bytes: &[u8],
+    start: usize,
+    interner: &mut TextInterner,
+) -> Option<(WalRecord, usize)> {
+    let rest = &bytes[start..];
+    if rest.len() < 8 {
+        return None;
+    }
+    let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    let end = 8usize.checked_add(len)?;
+    if end > rest.len() {
+        return None;
+    }
+    let payload = &rest[8..end];
+    if crc32(payload) != crc {
+        return None;
+    }
+    let mut pos = 0;
+    let rec = decode_record(payload, &mut pos, interner).ok()?;
+    if pos != len {
+        return None;
+    }
+    Some((rec, start + end))
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+/// Apply one committed delta to the recovering catalog.
+fn apply_delta(catalog: &mut Catalog, delta: WalDelta) -> Result<()> {
+    match delta {
+        WalDelta::Put { table } => catalog.put_shared(table),
+        WalDelta::Append { table, rows, new_version } => {
+            let base = catalog.get_required(&table)?.clone();
+            let mut t = (*base).clone();
+            for row in rows {
+                t.insert_shared_row(row)?;
+            }
+            t.version = new_version;
+            catalog.put_shared(Arc::new(t));
+        }
+        WalDelta::Drop { name } => {
+            let _ = catalog.drop_table(&name);
+        }
+    }
+    Ok(())
+}
+
+/// Rebuild the catalog from a record stream: checkpoints reset it, and a
+/// transaction's deltas apply only when its `Commit` record is present.
+/// Uncommitted trailing transactions are discarded — exactly the rollback
+/// a crash before the commit record implies.
+pub fn replay(records: Vec<WalRecord>) -> Result<Catalog> {
+    let mut catalog = Catalog::new();
+    let mut pending: HashMap<u64, Vec<WalDelta>> = HashMap::new();
+    for rec in records {
+        match rec {
+            WalRecord::Begin { txn } => {
+                // A fresh Begin supersedes any stale deltas under a reused
+                // id (possible when a crash discarded an earlier attempt).
+                pending.insert(txn, Vec::new());
+            }
+            WalRecord::Delta { txn, delta } => {
+                pending.entry(txn).or_default().push(delta);
+            }
+            WalRecord::Commit { txn } => {
+                if let Some(deltas) = pending.remove(&txn) {
+                    for d in deltas {
+                        apply_delta(&mut catalog, d)?;
+                    }
+                }
+            }
+            WalRecord::Checkpoint { tables } => {
+                catalog = Catalog::new();
+                for t in tables {
+                    catalog.put_shared(t);
+                }
+            }
+        }
+    }
+    Ok(catalog)
+}
+
+// ---------------------------------------------------------------------------
+// The log itself
+// ---------------------------------------------------------------------------
+
+/// An open write-ahead log positioned for appending.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    len: u64,
+    config: DurabilityConfig,
+    /// Set when an I/O failure left the handle in a state where further
+    /// appends could silently lose acknowledged commits (a partial frame
+    /// that could not be rolled back, or a post-rename reopen failure
+    /// that left `file` pointing at an unlinked inode). A poisoned log
+    /// fails every append fast; reopen the database to recover.
+    poisoned: bool,
+}
+
+/// The result of opening a WAL: the log (positioned at its intact end),
+/// the recovered catalog, and the highest transaction id seen (so id
+/// allocation can resume above it).
+#[derive(Debug)]
+pub struct Recovered {
+    pub wal: Wal,
+    pub catalog: Catalog,
+    pub max_txn: u64,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, replay the longest intact
+    /// record prefix, and truncate any torn tail so subsequent appends
+    /// start at a clean frame boundary.
+    pub fn open(path: impl AsRef<Path>, config: DurabilityConfig) -> Result<Recovered> {
+        let path = path.as_ref().to_path_buf();
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let mut records = Vec::new();
+        let mut good = 0usize;
+        let mut interner = TextInterner::new();
+        while let Some((rec, next)) = read_frame(&bytes, good, &mut interner) {
+            records.push(rec);
+            good = next;
+        }
+        if good < bytes.len() {
+            // Torn tail: drop it now so a later crash cannot resurrect it.
+            file.set_len(good as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(good as u64))?;
+
+        let max_txn = records
+            .iter()
+            .map(|r| match r {
+                WalRecord::Begin { txn }
+                | WalRecord::Delta { txn, .. }
+                | WalRecord::Commit { txn } => *txn,
+                WalRecord::Checkpoint { .. } => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        let catalog = replay(records)?;
+        Ok(Recovered {
+            wal: Wal { file, path, len: good as u64, config, poisoned: false },
+            catalog,
+            max_txn,
+        })
+    }
+
+    /// Bytes currently in the log.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a group of records as one write (one frame per record) and,
+    /// when configured, fsync before returning — the commit point.
+    ///
+    /// On failure the file is rolled back to the last good frame
+    /// boundary, so a partial frame can never sit *between* acknowledged
+    /// commits (recovery truncates at the first bad frame — garbage in
+    /// the middle would silently discard every later commit). If the
+    /// rollback itself fails, the log poisons: all further appends error
+    /// until the database is reopened.
+    pub fn append(&mut self, records: &[WalRecord]) -> Result<()> {
+        if self.poisoned {
+            return Err(Error::Io(
+                "wal: poisoned by an earlier i/o failure; reopen the database".into(),
+            ));
+        }
+        let mut buf = Vec::new();
+        for rec in records {
+            frame(rec, &mut buf);
+        }
+        let wrote = self.file.write_all(&buf).and_then(|()| {
+            if self.config.sync {
+                self.file.sync_data()
+            } else {
+                Ok(())
+            }
+        });
+        match wrote {
+            Ok(()) => {
+                self.len += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                let rewound = self
+                    .file
+                    .set_len(self.len)
+                    .and_then(|()| self.file.sync_data())
+                    .and_then(|()| self.file.seek(SeekFrom::Start(self.len)).map(|_| ()));
+                if rewound.is_err() {
+                    self.poisoned = true;
+                }
+                Err(e.into())
+            }
+        }
+    }
+
+    /// True once the log has outgrown the configured checkpoint budget.
+    pub fn wants_checkpoint(&self) -> bool {
+        self.len > self.config.checkpoint_bytes
+    }
+
+    /// Compact the log to a single checkpoint image of `catalog`: write a
+    /// sibling `.tmp` file, fsync it, and atomically rename it over the
+    /// log. On return the log holds exactly one checkpoint record.
+    pub fn checkpoint(&mut self, catalog: &Catalog) -> Result<()> {
+        let tables: Vec<Arc<Table>> = catalog
+            .table_names()
+            .iter()
+            .filter_map(|n| catalog.get(n).cloned())
+            .collect();
+        let mut buf = Vec::new();
+        frame(&WalRecord::Checkpoint { tables }, &mut buf);
+
+        let mut tmp_name = self.path.clone().into_os_string();
+        tmp_name.push(".tmp");
+        let tmp = PathBuf::from(tmp_name);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // Make the rename itself durable where the platform allows it.
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        // The rename unlinked the old inode `self.file` points at. If the
+        // reopen fails we must poison: appending through the stale handle
+        // would "durably" write into a deleted file.
+        let reopened = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)
+            .and_then(|mut f| f.seek(SeekFrom::End(0)).map(|_| f));
+        match reopened {
+            Ok(file) => {
+                self.file = file;
+                self.len = buf.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e.into())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::Column;
+    use crate::value::Value;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "swan-wal-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn sample_table(rows: usize) -> Table {
+        let mut t = Table::new(
+            "t",
+            vec![Column::new("id"), Column::new("name")],
+            &["id".to_string()],
+        )
+        .unwrap();
+        for i in 0..rows {
+            t.insert_row(vec![(i as i64).into(), format!("row-{i}").into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn append_and_reopen_round_trips() {
+        let path = temp_path("roundtrip");
+        {
+            let mut rec = Wal::open(&path, DurabilityConfig::default()).unwrap();
+            assert!(rec.catalog.is_empty());
+            rec.wal
+                .append(&[
+                    WalRecord::Begin { txn: 1 },
+                    WalRecord::Delta {
+                        txn: 1,
+                        delta: WalDelta::Put { table: Arc::new(sample_table(3)) },
+                    },
+                    WalRecord::Commit { txn: 1 },
+                ])
+                .unwrap();
+        }
+        let rec = Wal::open(&path, DurabilityConfig::default()).unwrap();
+        assert_eq!(rec.max_txn, 1);
+        assert_eq!(rec.catalog.row_count("t"), Some(3));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn uncommitted_transactions_are_discarded() {
+        let path = temp_path("uncommitted");
+        {
+            let mut rec = Wal::open(&path, DurabilityConfig::default()).unwrap();
+            rec.wal
+                .append(&[
+                    WalRecord::Begin { txn: 7 },
+                    WalRecord::Delta {
+                        txn: 7,
+                        delta: WalDelta::Put { table: Arc::new(sample_table(5)) },
+                    },
+                    // No commit: a crash happened before the commit record.
+                ])
+                .unwrap();
+        }
+        let rec = Wal::open(&path, DurabilityConfig::default()).unwrap();
+        assert!(rec.catalog.is_empty(), "uncommitted delta must not apply");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_offset() {
+        let path = temp_path("torn");
+        {
+            let mut rec = Wal::open(&path, DurabilityConfig::default()).unwrap();
+            rec.wal
+                .append(&[
+                    WalRecord::Begin { txn: 1 },
+                    WalRecord::Delta {
+                        txn: 1,
+                        delta: WalDelta::Put { table: Arc::new(sample_table(2)) },
+                    },
+                    WalRecord::Commit { txn: 1 },
+                ])
+                .unwrap();
+        }
+        let intact = std::fs::read(&path).unwrap();
+        for cut in 0..intact.len() {
+            std::fs::write(&path, &intact[..cut]).unwrap();
+            let rec = Wal::open(&path, DurabilityConfig::default()).unwrap();
+            // Either nothing committed yet (torn inside the txn) or the
+            // full commit survived; never a partial state.
+            let n = rec.catalog.row_count("t");
+            assert!(
+                n.is_none() || n == Some(2),
+                "cut at {cut}: unexpected state {n:?}"
+            );
+            drop(rec);
+            // The torn tail is physically gone: reopening is idempotent.
+            let reopened = std::fs::metadata(&path).unwrap().len();
+            let again = Wal::open(&path, DurabilityConfig::default()).unwrap();
+            assert_eq!(again.wal.len(), reopened);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bitflip_invalidates_the_frame() {
+        let path = temp_path("bitflip");
+        {
+            let mut rec = Wal::open(&path, DurabilityConfig::default()).unwrap();
+            rec.wal
+                .append(&[
+                    WalRecord::Begin { txn: 1 },
+                    WalRecord::Delta {
+                        txn: 1,
+                        delta: WalDelta::Put { table: Arc::new(sample_table(2)) },
+                    },
+                    WalRecord::Commit { txn: 1 },
+                ])
+                .unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let rec = Wal::open(&path, DurabilityConfig::default()).unwrap();
+        assert!(
+            rec.catalog.row_count("t").is_none(),
+            "a corrupted delta frame must invalidate the whole transaction"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_replays() {
+        let path = temp_path("checkpoint");
+        {
+            let mut rec = Wal::open(&path, DurabilityConfig::default()).unwrap();
+            let mut catalog = Catalog::new();
+            catalog.put_table(sample_table(4));
+            for txn in 1..=10u64 {
+                rec.wal
+                    .append(&[
+                        WalRecord::Begin { txn },
+                        WalRecord::Delta {
+                            txn,
+                            delta: WalDelta::Put { table: Arc::new(sample_table(4)) },
+                        },
+                        WalRecord::Commit { txn },
+                    ])
+                    .unwrap();
+            }
+            let before = rec.wal.len();
+            rec.wal.checkpoint(&catalog).unwrap();
+            assert!(rec.wal.len() < before, "checkpoint must shrink the log");
+        }
+        let rec = Wal::open(&path, DurabilityConfig::default()).unwrap();
+        assert_eq!(rec.catalog.row_count("t"), Some(4));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_delta_extends_existing_table() {
+        let path = temp_path("appendrows");
+        {
+            let mut rec = Wal::open(&path, DurabilityConfig::default()).unwrap();
+            let base = sample_table(2);
+            let extra: Vec<Row> = vec![
+                vec![Value::Integer(2), Value::text("row-2")].into(),
+                vec![Value::Integer(3), Value::text("row-3")].into(),
+            ];
+            rec.wal
+                .append(&[
+                    WalRecord::Begin { txn: 1 },
+                    WalRecord::Delta {
+                        txn: 1,
+                        delta: WalDelta::Put { table: Arc::new(base) },
+                    },
+                    WalRecord::Commit { txn: 1 },
+                    WalRecord::Begin { txn: 2 },
+                    WalRecord::Delta {
+                        txn: 2,
+                        delta: WalDelta::Append { table: "t".into(), rows: extra, new_version: 5 },
+                    },
+                    WalRecord::Commit { txn: 2 },
+                ])
+                .unwrap();
+        }
+        let rec = Wal::open(&path, DurabilityConfig::default()).unwrap();
+        assert_eq!(rec.catalog.row_count("t"), Some(4));
+        assert_eq!(rec.catalog.version("t"), Some(5));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -19,7 +19,10 @@
 //!
 //! Coverage: filtered scans/projections, inner/LEFT/three-way joins,
 //! GROUP BY + HAVING, DISTINCT, ORDER BY + LIMIT with deliberate ties,
-//! compound UNION, and expensive-UDF batching (a counting UDF stands in
+//! compound UNION, subquery-bearing predicates (IN, correlated EXISTS,
+//! scalar aggregates — the statement-shared `Send + Sync` subquery cache
+//! lets these run under `Plan::Parallel` instead of falling back to the
+//! serial operator), and expensive-UDF batching (a counting UDF stands in
 //! for an LLM call; the parallel engine must return the same rows and
 //! never evaluate more distinct argument tuples than the serial engine).
 //!
@@ -218,7 +221,7 @@ proptest! {
         domain in 0usize..4,
         threshold in -40i64..120,
         k in 0usize..9,
-        shape in 0usize..9,
+        shape in 0usize..12,
     ) {
         let (_, _, _, join) = DOMAINS[domain];
         let fact = fact_table(domain);
@@ -265,9 +268,33 @@ proptest! {
                  JOIN tiny t ON p.id = t.k WHERE s.{num} > {threshold}"
             ),
             // Compound UNION over two parallel cores.
-            _ => format!(
+            8 => format!(
                 "SELECT s.{num} FROM {fact} s WHERE s.{num} > {threshold} \
                  UNION SELECT k FROM tiny ORDER BY 1"
+            ),
+            // Uncorrelated IN-subquery predicate: runs morsel-parallel
+            // against the statement-shared subquery cache (executes the
+            // inner SELECT at most once across all workers).
+            9 => format!(
+                "SELECT s.id, s.{num} FROM {fact} s \
+                 WHERE s.{fk} IN (SELECT p.id FROM {dim} p WHERE p.id > 1) \
+                 ORDER BY s.id"
+            ),
+            // Correlated EXISTS: re-executes per row on whichever worker
+            // owns the row; classification (correlated vs not) must agree
+            // with the serial engine.
+            10 => format!(
+                "SELECT s.id FROM {fact} s \
+                 WHERE EXISTS (SELECT 1 FROM {dim} p WHERE p.id = s.{fk} \
+                               AND p.id > {threshold} - 3) \
+                 ORDER BY s.id"
+            ),
+            // Scalar-aggregate subquery in a comparison (uncorrelated,
+            // shared result) next to a cheap conjunct.
+            _ => format!(
+                "SELECT s.id, s.{num} FROM {fact} s \
+                 WHERE s.{num} >= (SELECT AVG(s2.{num}) FROM {fact} s2) \
+                 AND s.id >= 0 ORDER BY s.id"
             ),
         };
         diff_query(domain, &rows, &sql);
@@ -441,6 +468,94 @@ fn failed_invoke_batch_merges_worker_results_back() {
              projection from the WHERE phase's results), got {tuples}",
             threads as u64 * DISTINCT
         );
+    }
+}
+
+/// Subquery-bearing predicates now run under `Plan::Parallel` against
+/// the statement-shared `Send + Sync` subquery cache. The observable
+/// contract: an uncorrelated subquery's rows are evaluated exactly once
+/// per statement at *every* thread count — with per-worker caches the
+/// counting UDF inside the subquery would fire up to `threads ×` as
+/// often. Rows must stay byte-identical to serial throughout.
+#[test]
+fn uncorrelated_subquery_executes_once_at_every_thread_count() {
+    let build = |threads: usize| {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, n INTEGER)").unwrap();
+        db.execute("CREATE TABLE lookup (k INTEGER PRIMARY KEY)").unwrap();
+        {
+            let t = db.catalog_mut().get_mut("t").unwrap();
+            for i in 0..500i64 {
+                t.insert_row(vec![Value::Integer(i), Value::Integer(i % 7)]).unwrap();
+            }
+            let l = db.catalog_mut().get_mut("lookup").unwrap();
+            for k in 0..5i64 {
+                l.insert_row(vec![Value::Integer(k)]).unwrap();
+            }
+        }
+        let udf = Arc::new(TagUdf::default());
+        db.register_udf(udf.clone());
+        db.set_optimizer(if threads == 1 {
+            serial_config()
+        } else {
+            parallel_config(threads)
+        });
+        (db, udf)
+    };
+    // slow_tag runs once per lookup row iff the subquery runs once.
+    let sql = "SELECT id FROM t \
+               WHERE n IN (SELECT k FROM lookup WHERE slow_tag('q', k) LIKE 'vq%') \
+               ORDER BY id";
+
+    let (serial_db, serial_udf) = build(1);
+    let serial = serial_db.query(sql).unwrap();
+    assert!(!serial.rows.is_empty());
+    assert_eq!(serial_udf.tuples.load(Ordering::SeqCst), 5, "one call per lookup row");
+
+    for &threads in THREAD_COUNTS {
+        let (par_db, par_udf) = build(threads);
+        let parallel = par_db.query(sql).unwrap();
+        assert_eq!(parallel.rows, serial.rows, "rows diverge at {threads} threads");
+        assert_eq!(
+            par_udf.tuples.load(Ordering::SeqCst),
+            5,
+            "shared subquery cache: the subquery must execute exactly once \
+             at {threads} threads"
+        );
+    }
+}
+
+/// Correlated subqueries in a parallel filter: per-row re-execution on
+/// worker threads agrees with serial row for row.
+#[test]
+fn correlated_subquery_filter_matches_serial() {
+    let build = |threads: usize| {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE o (id INTEGER PRIMARY KEY, grp INTEGER)").unwrap();
+        db.execute("CREATE TABLE i (id INTEGER PRIMARY KEY, grp INTEGER)").unwrap();
+        {
+            let o = db.catalog_mut().get_mut("o").unwrap();
+            for k in 0..300i64 {
+                o.insert_row(vec![Value::Integer(k), Value::Integer(k % 11)]).unwrap();
+            }
+            let i = db.catalog_mut().get_mut("i").unwrap();
+            for k in 0..40i64 {
+                i.insert_row(vec![Value::Integer(k), Value::Integer(k % 5)]).unwrap();
+            }
+        }
+        db.set_optimizer(if threads == 1 {
+            serial_config()
+        } else {
+            parallel_config(threads)
+        });
+        db
+    };
+    let sql = "SELECT id FROM o WHERE EXISTS (SELECT 1 FROM i WHERE i.grp = o.grp) ORDER BY id";
+    let serial = build(1).query(sql).unwrap();
+    assert!(!serial.rows.is_empty() && serial.rows.len() < 300, "filter must discriminate");
+    for &threads in THREAD_COUNTS {
+        let parallel = build(threads).query(sql).unwrap();
+        assert_eq!(parallel.rows, serial.rows, "rows diverge at {threads} threads");
     }
 }
 

@@ -40,6 +40,13 @@ run join_scaling
 # ratios, morsel execution has regressed.
 run parallel_scaling
 
+# WAL durability: commit latency vs transaction batch size (the fsync +
+# record framing amortize over the batch), auto-commit baseline,
+# checkpoint cost and 10k-row recovery. Reference numbers live in
+# crates/sqlengine/PERF.md ("Durability"); if the per-row cost of
+# batch_1000 creeps toward batch_1's, commit batching has regressed.
+run wal_commit
+
 # Model-call-count bench (plain table output, no criterion harness): the
 # filter argument does not apply here.
 echo "== udf_fallback =="

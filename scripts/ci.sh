@@ -12,8 +12,12 @@
 #      env var drives every default-config statement through the serial
 #      and the 8-way morsel-parallel executor respectively, on top of
 #      the harness's own per-test thread configs;
-#   3. the SharedDb concurrency stress suite and the cross-session
-#      llm_map single-flight test.
+#   3. the SharedDb concurrency stress suite (including multi-statement
+#      transaction conflict/retry and torn-commit-visibility cases) and
+#      the cross-session llm_map single-flight test;
+#   4. the WAL crash-recovery harness (torn-tail truncation sweep at
+#      every byte offset of the final commit record group, durable
+#      transactions, auto-checkpoint compaction).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,8 +33,11 @@ SWAN_THREADS=1 cargo test -q -p swan-sqlengine --test parallel_diff
 echo "== differential harness @ SWAN_THREADS=8 (morsel-parallel engine) =="
 SWAN_THREADS=8 cargo test -q -p swan-sqlengine --test parallel_diff
 
-echo "== SharedDb concurrency stress =="
+echo "== SharedDb concurrency + transaction stress =="
 cargo test -q -p swan-sqlengine --test shared_db_stress
+
+echo "== WAL crash-recovery harness =="
+cargo test -q -p swan-sqlengine --test wal_recovery
 
 echo "== cross-session llm_map single-flight =="
 cargo test -q --test concurrency

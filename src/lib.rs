@@ -31,7 +31,17 @@
 //!   (`SWAN_THREADS` controls the default; the `parallel_diff`
 //!   differential harness enforces the equivalence). `SharedDb` serves
 //!   many concurrent sessions over one database: snapshot reads,
-//!   per-table writer serialization, panic-transparent locks.
+//!   per-table writer serialization, panic-transparent locks. Sessions
+//!   run **multi-statement transactions** (`BEGIN`/`COMMIT`/`ROLLBACK`)
+//!   under snapshot isolation with first-committer-wins conflict
+//!   detection over versioned `Arc<Table>` identities, and
+//!   `Database::open(path)` / `SharedDb::open(path)` add **crash
+//!   durability**: every commit is a checksummed, fsynced write-ahead-log
+//!   record group, recovery replays the intact prefix (torn tails are
+//!   truncated — the `wal_recovery` harness proves pre-or-post-commit
+//!   recovery at every byte offset), and the log auto-checkpoints past a
+//!   configurable size (see PERF.md's "Durability" for commit-latency
+//!   numbers).
 //! * [`llm`] — the language-model layer: prompt templates, token/cost
 //!   accounting, caches, a parallel executor over the shared
 //!   [`swan_pool`] worker pool, and the calibrated simulated
@@ -85,6 +95,7 @@ pub mod prelude {
         CachePolicy, CachedModel, LanguageModel, ModelKind, SimulatedModel, UsageReport,
     };
     pub use swan_sqlengine::{
-        Database, OptimizerConfig, QueryResult, ScalarUdf, SharedDb, Value,
+        Database, DurabilityConfig, OptimizerConfig, QueryResult, ScalarUdf, Session,
+        SharedDb, Value,
     };
 }
