@@ -19,7 +19,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use swan_sqlengine::{Database, DurabilityConfig};
+use swan_sqlengine::{Database, DurabilityConfig, SharedDb};
 
 fn temp_path(tag: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
@@ -47,7 +47,7 @@ fn commit_batch(db: &mut Database, batch: usize) {
 
 fn open(tag: &str, sync: bool) -> (Database, PathBuf) {
     let path = temp_path(tag);
-    let config = DurabilityConfig { checkpoint_bytes: u64::MAX, sync };
+    let config = DurabilityConfig { checkpoint_bytes: u64::MAX, sync, ..Default::default() };
     let mut db = Database::open_with(&path, config).unwrap();
     db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, v INTEGER)").unwrap();
     (db, path)
@@ -93,7 +93,7 @@ fn bench_wal_commit(c: &mut Criterion) {
     // pays commit + checkpoint. The UPDATE keeps the table size fixed.
     {
         let path = temp_path("checkpoint");
-        let config = DurabilityConfig { checkpoint_bytes: 1, sync: true };
+        let config = DurabilityConfig { checkpoint_bytes: 1, ..Default::default() };
         let mut db = Database::open_with(&path, config).unwrap();
         db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, v INTEGER)").unwrap();
         db.execute("BEGIN").unwrap();
@@ -108,10 +108,53 @@ fn bench_wal_commit(c: &mut Criterion) {
         let _ = std::fs::remove_file(&path);
     }
 
+    // Contended group commit: 8 threads auto-commit single-row inserts
+    // (each its own table, so no conflicts), fsync on. One iteration =
+    // 8 concurrent commits. The group-commit queue lets one leader carry
+    // several committers per fsync; the printed commits-per-fsync ratio
+    // is the amortization factor (1.0 = no batching — the `nogroup`
+    // variant pins that floor for comparison).
+    for (label, group) in [("group", true), ("nogroup", false)] {
+        let path = temp_path(&format!("contended-{label}"));
+        let config = DurabilityConfig { group_commit: group, ..Default::default() };
+        let db = SharedDb::open_with(&path, config).unwrap();
+        for t in 0..8 {
+            db.execute(&format!("CREATE TABLE t{t} (id INTEGER PRIMARY KEY, v INTEGER)"))
+                .unwrap();
+        }
+        let before = db.commit_stats();
+        c.bench_function(&format!("wal_commit/contended_8_committers/{label}"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for t in 0..8u64 {
+                        let session = db.clone();
+                        s.spawn(move || {
+                            let id = fresh_ids(1).start;
+                            session
+                                .execute(&format!("INSERT INTO t{t} VALUES ({id}, {t})"))
+                                .unwrap();
+                        });
+                    }
+                });
+            })
+        });
+        let stats = db.commit_stats();
+        let commits = stats.commits - before.commits;
+        let batches = stats.batches - before.batches;
+        println!(
+            "wal_commit/contended_8_committers/{label}: {commits} commits / {batches} \
+             fsyncs = {:.2} commits-per-fsync (max batch {})",
+            commits as f64 / batches.max(1) as f64,
+            stats.max_batch,
+        );
+        drop(db);
+        let _ = std::fs::remove_file(&path);
+    }
+
     // Recovery: reopen a log holding one 10k-row committed table.
     {
         let path = temp_path("recovery");
-        let config = DurabilityConfig { checkpoint_bytes: u64::MAX, sync: false };
+        let config = DurabilityConfig { checkpoint_bytes: u64::MAX, sync: false, ..Default::default() };
         {
             let mut db = Database::open_with(&path, config).unwrap();
             db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, v INTEGER)")

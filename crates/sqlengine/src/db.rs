@@ -97,9 +97,21 @@ impl Database {
     }
 
     /// [`Database::open`] with explicit durability tuning (checkpoint
-    /// threshold, fsync policy).
+    /// threshold, fsync policy, group commit).
     pub fn open_with(path: impl AsRef<Path>, config: DurabilityConfig) -> Result<Database> {
-        let recovered = Wal::open(path, config)?;
+        Database::open_on(Arc::new(crate::vfs::RealFs), path, config)
+    }
+
+    /// [`Database::open_with`] on an explicit [`Vfs`](crate::vfs::Vfs) —
+    /// the seam crash-simulation tests thread a fault-injecting
+    /// [`SimFs`](crate::vfs::SimFs) through; all WAL and checkpoint I/O
+    /// goes through `vfs`.
+    pub fn open_on(
+        vfs: Arc<dyn crate::vfs::Vfs>,
+        path: impl AsRef<Path>,
+        config: DurabilityConfig,
+    ) -> Result<Database> {
+        let recovered = Wal::open_on(vfs, path, config)?;
         Ok(Database {
             catalog: recovered.catalog,
             udfs: UdfRegistry::new(),

@@ -47,7 +47,30 @@
 //!   append-only write-ahead log and fsyncs *before* installing; recovery
 //!   replays the longest intact prefix, truncates torn tails, and
 //!   auto-checkpoints compact the log past a configurable size
-//!   ([`DurabilityConfig`]) — see [`wal`] and [`txn`].
+//!   ([`DurabilityConfig`]) — see [`wal`] and [`txn`];
+//! * **group commit** (on by default, [`DurabilityConfig::group_commit`]):
+//!   concurrent [`SharedDb`] committers enqueue their framed record
+//!   groups and one leader appends the whole batch with a **single
+//!   fsync**, installs every group atomically, and wakes the batch — the
+//!   WAL mutex is held only by the leader, so the next batch accumulates
+//!   during the fsync and commit throughput multiplies under contention
+//!   ([`SharedDb::commit_stats`] reports the commits-per-fsync ratio);
+//! * a **virtual filesystem seam** ([`vfs`]): all WAL and checkpoint I/O
+//!   goes through a [`Vfs`] — [`RealFs`] in production, and the
+//!   fault-injecting [`SimFs`] in tests, which records every
+//!   write/fsync/rename and can deterministically fail or *crash* (with
+//!   a torn in-flight write) at any operation index. The `crash_sim`
+//!   harness sweeps every fault through every operation index of
+//!   commit, checkpoint, group-commit and recovery schedules and proves
+//!   recovery is always a clean prefix of acknowledged commits
+//!   ([`Database::open_on`] / [`SharedDb::open_on`] accept an explicit
+//!   `Vfs`);
+//! * **surfaced script transactions**: [`SharedDb::execute_script`]
+//!   refuses to silently drop a transaction a script leaves open — it
+//!   rolls back and errors, unless
+//!   [`ScriptOptions::autocommit_on_end`] (via
+//!   [`SharedDb::execute_script_with`]) opts into committing the open
+//!   span.
 //!
 //! ## Transactions quick start
 //!
@@ -99,13 +122,15 @@ pub mod shared;
 pub mod storage;
 pub mod txn;
 pub mod value;
+pub mod vfs;
 pub mod wal;
 
 pub use db::{Database, QueryResult};
 pub use error::{Error, Result};
 pub use functions::{ScalarUdf, UdfRegistry};
 pub use optimizer::OptimizerConfig;
-pub use shared::{Session, SharedDb};
+pub use shared::{CommitStats, ScriptOptions, Session, SharedDb};
 pub use storage::{Catalog, Column, Table, TableStats};
 pub use value::{Row, Value};
+pub use vfs::{FaultKind, RealFs, SimFs, Torn, Vfs, VfsFile};
 pub use wal::DurabilityConfig;

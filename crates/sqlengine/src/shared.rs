@@ -33,6 +33,15 @@
 //!   every commit with the write-ahead log: the `Begin/Delta/Commit`
 //!   group is appended and fsynced *before* the tables are installed, and
 //!   recovery replays exactly the committed prefix (see [`crate::wal`]).
+//! * **Group commit** — concurrent committers do not fsync one at a
+//!   time. Each committer frames its record group off-lock, enqueues it,
+//!   and one *leader* drains the queue, appends every group with a
+//!   single write + a single fsync, installs all of them under one
+//!   catalog write lock, and wakes the whole batch. While the leader is
+//!   in its fsync the next batch accumulates, so under contention the
+//!   fsync cost amortizes across committers
+//!   ([`SharedDb::commit_stats`] reports commits per fsync;
+//!   [`DurabilityConfig::group_commit`] toggles the path).
 //! * **No poisoned locks** — all locks are `parking_lot`-style
 //!   panic-transparent: a session that panics mid-statement cannot wedge
 //!   its siblings. A failed statement installs nothing (the snapshot is
@@ -45,7 +54,8 @@
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar};
 
 use parking_lot::{Mutex, RwLock};
 
@@ -56,7 +66,10 @@ use crate::functions::{ScalarUdf, UdfRegistry};
 use crate::optimizer::OptimizerConfig;
 use crate::parser::{parse_script, parse_statement};
 use crate::storage::Catalog;
-use crate::txn::{catalog_deltas, commit_records, conflict_check, TableDelta, Txn, TxnManager};
+use crate::txn::{
+    catalog_deltas, commit_group_bytes, conflict_check, TableDelta, Txn, TxnManager,
+};
+use crate::vfs::Vfs;
 use crate::wal::{DurabilityConfig, Wal};
 
 /// An embedded SQL database shared by many concurrent sessions. Clone the
@@ -82,10 +95,83 @@ struct Shared {
     /// Transaction-id allocation (ids resume above the WAL's high-water
     /// mark after recovery).
     txns: Arc<TxnManager>,
-    /// Write-ahead log; `None` for in-memory databases. The mutex is held
-    /// across append **and** install, so a checkpoint taken under it can
-    /// never miss a commit that already reached the log.
+    /// Write-ahead log; `None` for in-memory databases. Only the
+    /// group-commit *leader* (or, with group commit disabled, the single
+    /// committer) holds this mutex, across append **and** install, so a
+    /// checkpoint taken under it can never miss a commit that already
+    /// reached the log — and a logged-but-uninstalled commit can never be
+    /// erased by a concurrent checkpoint.
     wal: Option<Arc<Mutex<Wal>>>,
+    /// Whether commits batch through the group-commit queue (from
+    /// [`DurabilityConfig::group_commit`]; irrelevant when `wal` is
+    /// `None`).
+    group_commit: bool,
+    /// The group-commit queue: pending framed commit groups plus the
+    /// leader flag and wakeup signalling.
+    commits: CommitQueue,
+}
+
+/// One committer's entry in the group-commit queue: its framed
+/// `Begin·Delta*·Commit` bytes, the deltas the leader installs on its
+/// behalf once the batch is durable, and the slot its result comes back
+/// in.
+struct CommitRequest {
+    bytes: Vec<u8>,
+    deltas: Vec<(String, TableDelta)>,
+    done: Mutex<Option<Result<()>>>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    pending: Vec<Arc<CommitRequest>>,
+    /// True while some committer is leading a batch through the log.
+    leader: bool,
+}
+
+#[derive(Default)]
+struct CommitQueue {
+    state: Mutex<QueueState>,
+    /// Signalled when a leader finishes its batch (results are posted
+    /// and leadership is free again).
+    cv: Condvar,
+    commits: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+impl CommitQueue {
+    fn record_batch(&self, size: usize) {
+        self.commits.fetch_add(size as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+    }
+}
+
+/// Commit-path statistics for a [`SharedDb`] (see
+/// [`SharedDb::commit_stats`]). With `sync` on, every batch is exactly
+/// one fsync, so `commits as f64 / batches as f64` is the mean
+/// commits-per-fsync — the group-commit amortization factor (1.0 means
+/// no batching happened; the ceiling is the number of concurrent
+/// committers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Durable commits acknowledged.
+    pub commits: u64,
+    /// Log appends (each at most one fsync) that carried those commits.
+    pub batches: u64,
+    /// Largest single batch.
+    pub max_batch: u64,
+}
+
+impl CommitStats {
+    /// Mean commits per log append (= per fsync when `sync` is on).
+    pub fn commits_per_fsync(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.commits as f64 / self.batches as f64
+        }
+    }
 }
 
 impl SharedDb {
@@ -105,6 +191,17 @@ impl SharedDb {
         Ok(SharedDb::from_database(Database::open_with(path, config)?))
     }
 
+    /// [`SharedDb::open_with`] on an explicit [`Vfs`] — all WAL and
+    /// checkpoint I/O goes through it (crash-simulation tests inject a
+    /// fault-injecting [`SimFs`](crate::vfs::SimFs) here).
+    pub fn open_on(
+        vfs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        config: DurabilityConfig,
+    ) -> Result<Self> {
+        Ok(SharedDb::from_database(Database::open_on(vfs, path, config)?))
+    }
+
     /// Share an existing single-session database. The row storage is
     /// re-shared, not copied; a durable database hands its WAL over, so
     /// commits through the shared handle keep logging. Keep writing
@@ -115,6 +212,7 @@ impl SharedDb {
         let wal = db.wal_handle();
         let txns = db.txn_manager();
         let catalog = db.catalog().clone();
+        let group_commit = wal.as_ref().map_or(false, |w| w.lock().config().group_commit);
         SharedDb {
             inner: Arc::new(Shared {
                 catalog: RwLock::new(catalog),
@@ -123,7 +221,20 @@ impl SharedDb {
                 table_locks: Mutex::new(HashMap::new()),
                 txns,
                 wal,
+                group_commit,
+                commits: CommitQueue::default(),
             }),
+        }
+    }
+
+    /// Commit-path statistics: how many durable commits were carried by
+    /// how many log appends (fsyncs). In-memory databases report zeros.
+    pub fn commit_stats(&self) -> CommitStats {
+        let q = &self.inner.commits;
+        CommitStats {
+            commits: q.commits.load(Ordering::Relaxed),
+            batches: q.batches.load(Ordering::Relaxed),
+            max_batch: q.max_batch.load(Ordering::Relaxed),
         }
     }
 
@@ -194,10 +305,19 @@ impl SharedDb {
     /// `BEGIN … COMMIT` span inside the script runs as one snapshot-
     /// isolation transaction: nothing becomes visible until the `COMMIT`,
     /// and an error anywhere inside the span rolls the whole transaction
-    /// back. A transaction still open when the script ends is rolled
-    /// back (the script was the transaction's only holder) — commit
-    /// explicitly.
+    /// back. A transaction still open when the script ends is an
+    /// **error** ([`Error::Txn`], after rolling it back): the script was
+    /// the transaction's only holder, so falling off the end can never
+    /// silently discard a span's writes — end the span explicitly, or
+    /// opt in to [`ScriptOptions::autocommit_on_end`] via
+    /// [`execute_script_with`](SharedDb::execute_script_with).
     pub fn execute_script(&self, sql: &str) -> Result<QueryResult> {
+        self.execute_script_with(sql, ScriptOptions::default())
+    }
+
+    /// [`execute_script`](SharedDb::execute_script) with explicit
+    /// handling for a transaction left open at script end.
+    pub fn execute_script_with(&self, sql: &str, opts: ScriptOptions) -> Result<QueryResult> {
         let stmts = parse_script(sql)?;
         let mut session = self.session();
         let mut last = QueryResult::default();
@@ -207,6 +327,19 @@ impl SharedDb {
                 // The session (and any open transaction) drops here:
                 // a mid-script error rolls the whole span back.
                 Err(e) => return Err(e),
+            }
+        }
+        if session.in_transaction() {
+            if opts.autocommit_on_end {
+                session.execute_statement(&Statement::Commit)?;
+            } else {
+                // Dropping the session below rolls the span back.
+                return Err(Error::Txn(
+                    "script ended with an open transaction (its writes were rolled \
+                     back); COMMIT or ROLLBACK inside the script, or opt in to \
+                     ScriptOptions::autocommit_on_end"
+                        .into(),
+                ));
             }
         }
         Ok(last)
@@ -239,7 +372,7 @@ impl SharedDb {
         let key = target.to_ascii_lowercase();
         let deltas = catalog_deltas(std::slice::from_ref(&key), &base, db.catalog());
         let dropped = matches!(deltas.first(), Some((_, TableDelta::Drop)));
-        self.log_and_install(self.inner.txns.fresh_id(), &base, &deltas)?;
+        self.log_and_install(self.inner.txns.fresh_id(), &base, deltas)?;
         if dropped {
             self.prune_table_lock(&target, &lock);
         }
@@ -265,50 +398,127 @@ impl SharedDb {
             let live = self.inner.catalog.read();
             conflict_check(txn, &live)?;
         }
-        self.log_and_install(txn.id(), &txn.snapshot, &deltas)
+        self.log_and_install(txn.id(), &txn.snapshot, deltas)
     }
 
     /// The commit point shared by auto-commit statements and transaction
-    /// commits: append (and fsync) the WAL group, then install every
-    /// delta under one catalog write lock — readers see all of the commit
-    /// or none of it. The WAL mutex is held across both steps so a
-    /// checkpoint can never observe a logged-but-uninstalled commit.
+    /// commits: make the `Begin·Delta*·Commit` group durable, then
+    /// install every delta under one catalog write lock — readers see all
+    /// of the commit or none of it.
+    ///
+    /// On a durable database with [`DurabilityConfig::group_commit`] on
+    /// (the default), the group goes through the **group-commit queue**:
+    /// the committer frames its records off-lock, enqueues, and either
+    /// becomes the batch leader or waits to be woken acknowledged. The
+    /// caller must already hold the write locks of every table in
+    /// `deltas` (auto-commit holds one; a transaction commit holds its
+    /// sorted set), which is what makes the leader's batched install
+    /// safe: no two queued groups can touch the same table.
     fn log_and_install(
         &self,
         txn_id: u64,
         base: &Catalog,
-        deltas: &[(String, TableDelta)],
+        deltas: Vec<(String, TableDelta)>,
     ) -> Result<()> {
         if deltas.is_empty() {
             return Ok(());
         }
-        let mut wal_guard = self.inner.wal.as_ref().map(|w| w.lock());
-        if let Some(wal) = wal_guard.as_deref_mut() {
-            wal.append(&commit_records(txn_id, base, deltas))?;
+        let Some(wal) = self.inner.wal.as_ref() else {
+            // In-memory: no log, just the atomic install.
+            self.install(&deltas);
+            return Ok(());
+        };
+        let bytes = commit_group_bytes(txn_id, base, &deltas);
+        if !self.inner.group_commit {
+            // PR-4 path: one append + fsync per commit, WAL mutex held
+            // across append and install.
+            let mut wal = wal.lock();
+            wal.append_raw(&bytes)?;
+            self.inner.commits.record_batch(1);
+            self.install(&deltas);
+            self.maybe_checkpoint(&mut wal);
+            return Ok(());
         }
-        {
-            let mut catalog = self.inner.catalog.write();
-            for (name, delta) in deltas {
-                match delta {
-                    TableDelta::Put(table) => catalog.put_shared(table.clone()),
-                    TableDelta::Drop => {
-                        let _ = catalog.drop_table(name);
+
+        let req = Arc::new(CommitRequest { bytes, deltas, done: Mutex::new(None) });
+        let queue = &self.inner.commits;
+        let mut state = queue.state.lock();
+        state.pending.push(req.clone());
+        loop {
+            if let Some(result) = req.done.lock().take() {
+                return result;
+            }
+            if state.leader {
+                // A leader is in flight; it either took our group or will
+                // be followed by one that does. Wait for its wakeup.
+                state = queue.cv.wait(state).unwrap_or_else(|p| p.into_inner());
+                continue;
+            }
+            // Become the leader: drain everything queued so far (our own
+            // group included) and drive it through the log as one batch.
+            // The guard releases leadership (and fails any request left
+            // without a result) even if the leader unwinds, so a panic
+            // can never wedge queued or future committers — the
+            // panic-transparency the module promises.
+            state.leader = true;
+            let batch = std::mem::take(&mut state.pending);
+            drop(state);
+            {
+                let _guard = LeaderGuard { db: self, batch: &batch };
+                self.lead_commit(wal, &batch);
+            }
+            state = queue.state.lock();
+        }
+    }
+
+    /// Drive one batch through the log: a single write + fsync for every
+    /// queued group, one catalog write lock for every install, then post
+    /// each committer's result. `append_raw` is all-or-nothing (a failed
+    /// append rolls the file back to the last group boundary), so the
+    /// whole batch shares one outcome.
+    fn lead_commit(&self, wal: &Arc<Mutex<Wal>>, batch: &[Arc<CommitRequest>]) {
+        let mut wal = wal.lock();
+        let mut buf = Vec::with_capacity(batch.iter().map(|r| r.bytes.len()).sum());
+        for req in batch {
+            buf.extend_from_slice(&req.bytes);
+        }
+        let appended = wal.append_raw(&buf);
+        let result = match appended {
+            Ok(()) => {
+                {
+                    let mut catalog = self.inner.catalog.write();
+                    for req in batch {
+                        install_into(&mut catalog, &req.deltas);
                     }
                 }
+                self.inner.commits.record_batch(batch.len());
+                self.maybe_checkpoint(&mut wal);
+                Ok(())
             }
+            Err(e) => Err(e),
+        };
+        drop(wal);
+        for req in batch {
+            *req.done.lock() = Some(result.clone());
         }
-        if let Some(wal) = wal_guard.as_deref_mut() {
-            if wal.wants_checkpoint() {
-                // Past the commit point (appended, fsynced, installed):
-                // a failed compaction must not turn a committed
-                // transaction into a reported failure — a retrying caller
-                // would double-apply it. The log stays long, the next
-                // commit retries, and an unusable handle poisons itself.
-                let snap = self.inner.catalog.read().clone();
-                let _ = wal.checkpoint(&snap);
-            }
+    }
+
+    /// Install one commit's deltas under the catalog write lock.
+    fn install(&self, deltas: &[(String, TableDelta)]) {
+        let mut catalog = self.inner.catalog.write();
+        install_into(&mut catalog, deltas);
+    }
+
+    /// Compact the log if it outgrew its budget. Past the commit point
+    /// (appended, fsynced, installed): a failed compaction must not turn
+    /// a committed transaction into a reported failure — a retrying
+    /// caller would double-apply it. The log stays long, the next commit
+    /// retries, and an unusable handle poisons itself.
+    fn maybe_checkpoint(&self, wal: &mut Wal) {
+        if wal.wants_checkpoint() {
+            let snap = self.inner.catalog.read().clone();
+            let _ = wal.checkpoint(&snap);
         }
-        Ok(())
     }
 
     /// Drop a dropped table's lock entry so create/drop-heavy workloads
@@ -341,6 +551,64 @@ impl SharedDb {
     pub fn row_count(&self, table: &str) -> Option<usize> {
         self.inner.catalog.read().row_count(table)
     }
+}
+
+/// Unwinding-safe leadership release: dropped when the group-commit
+/// leader finishes its batch — normally after `lead_commit` posted every
+/// result, or mid-unwind if the leader panicked. Either way leadership
+/// clears and the condvar wakes everyone; on the panic path any request
+/// still without a result is failed (its commit outcome is unknown — the
+/// group may or may not have reached the log before the panic), so
+/// followers surface an error instead of blocking forever.
+struct LeaderGuard<'a> {
+    db: &'a SharedDb,
+    batch: &'a [Arc<CommitRequest>],
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        for req in self.batch {
+            let mut done = req.done.lock();
+            if done.is_none() {
+                *done = Some(Err(Error::Io(
+                    "group-commit leader panicked; commit outcome unknown — \
+                     reopen the database to recover the durable state"
+                        .into(),
+                )));
+            }
+        }
+        let queue = &self.db.inner.commits;
+        let mut state = queue.state.lock();
+        state.leader = false;
+        drop(state);
+        queue.cv.notify_all();
+    }
+}
+
+/// Apply one commit's deltas to a catalog already locked for writing.
+fn install_into(catalog: &mut Catalog, deltas: &[(String, TableDelta)]) {
+    for (name, delta) in deltas {
+        match delta {
+            TableDelta::Put(table) => catalog.put_shared(table.clone()),
+            TableDelta::Drop => {
+                let _ = catalog.drop_table(name);
+            }
+        }
+    }
+}
+
+/// How [`SharedDb::execute_script_with`] treats a transaction the script
+/// leaves open at its end. The script's temporary session is the
+/// transaction's only holder, so *something* must happen to it — the
+/// options make that explicit instead of silently rolling back.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScriptOptions {
+    /// Commit a transaction still open when the script ends, as if the
+    /// script had ended with `COMMIT`. With the default (`false`), an
+    /// open transaction at script end is an error: the transaction is
+    /// rolled back and [`Error::Txn`] is returned, so a missing `COMMIT`
+    /// can never silently discard writes.
+    pub autocommit_on_end: bool,
 }
 
 /// One session over a [`SharedDb`]: the holder of at most one open
@@ -741,6 +1009,47 @@ mod tests {
             Some(&Value::Integer(3)),
             "statements before the failure already committed"
         );
+    }
+
+    #[test]
+    fn script_with_open_txn_at_end_is_surfaced() {
+        let db = seeded();
+        // Default: falling off the end of a script with an open
+        // transaction is an error, and the span's writes are rolled back
+        // — never silently discarded, never silently committed.
+        let err = db
+            .execute_script("BEGIN; INSERT INTO t VALUES (3, 30);")
+            .unwrap_err();
+        assert!(matches!(err, Error::Txn(_)), "must surface the open span: {err}");
+        assert_eq!(db.row_count("t"), Some(2), "the open span's writes roll back");
+
+        // Opt-in: autocommit_on_end commits the span as if the script
+        // had ended with COMMIT.
+        let r = db
+            .execute_script_with(
+                "BEGIN; INSERT INTO t VALUES (3, 30); INSERT INTO t VALUES (4, 40);",
+                ScriptOptions { autocommit_on_end: true },
+            )
+            .unwrap();
+        assert_eq!(r.rows_affected, 1);
+        assert_eq!(db.row_count("t"), Some(4), "auto-committed span is visible");
+
+        // A script that closes its span is unaffected by the option.
+        db.execute_script_with(
+            "BEGIN; DELETE FROM t WHERE id = 4; COMMIT;",
+            ScriptOptions { autocommit_on_end: true },
+        )
+        .unwrap();
+        assert_eq!(db.row_count("t"), Some(3));
+
+        // ... and one that rolls back stays rolled back even with the
+        // option set (autocommit applies only to a span left open).
+        db.execute_script_with(
+            "BEGIN; DELETE FROM t; ROLLBACK;",
+            ScriptOptions { autocommit_on_end: true },
+        )
+        .unwrap();
+        assert_eq!(db.row_count("t"), Some(3));
     }
 
     #[test]

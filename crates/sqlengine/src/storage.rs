@@ -50,6 +50,22 @@ pub struct Table {
     pub version: u64,
 }
 
+/// Structural equality: same name, schema, primary key, version and
+/// cell-for-cell identical rows (`Value`'s equality treats equal NaN bit
+/// patterns as equal, so encoded tables compare reliably). The derived
+/// indexes are excluded — they are functions of the compared fields.
+/// This is what the codec round-trip property (`decode(encode(t)) == t`)
+/// checks.
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.columns == other.columns
+            && self.primary_key == other.primary_key
+            && self.version == other.version
+            && self.rows == other.rows
+    }
+}
+
 /// One column's metadata. Declared types are advisory, SQLite-style.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Column {

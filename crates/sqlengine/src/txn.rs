@@ -206,6 +206,17 @@ pub(crate) fn commit_records(
     recs
 }
 
+/// [`commit_records`] already framed for the log — committers encode
+/// their group *before* enqueueing with the group-commit leader, so the
+/// only work serialized on the log is the batched write + fsync.
+pub(crate) fn commit_group_bytes(
+    txn_id: u64,
+    base: &Catalog,
+    deltas: &[(String, TableDelta)],
+) -> Vec<u8> {
+    crate::wal::frame_group(&commit_records(txn_id, base, deltas))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

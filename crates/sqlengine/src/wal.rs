@@ -31,10 +31,18 @@
 //! full current catalog (write to a `.tmp` sibling, fsync, atomic rename),
 //! bounding both file size and recovery time. Replay treats a checkpoint
 //! as "reset the catalog to exactly these tables".
+//!
+//! # The VFS seam
+//!
+//! Every byte the log touches — appends, fsyncs, torn-tail truncation,
+//! the checkpoint's tmp + rename dance — goes through a
+//! [`Vfs`](crate::vfs::Vfs): [`RealFs`](crate::vfs::RealFs) in
+//! production, the fault-injecting [`SimFs`](crate::vfs::SimFs) under the
+//! `crash_sim` harness, which sweeps a deterministic fail/crash through
+//! every operation index and asserts recovery always lands on a clean
+//! prefix of acknowledged commits.
 
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read as _, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::sync::OnceLock;
@@ -45,6 +53,7 @@ use crate::storage::{
     put_str, put_u32, put_u64, Catalog, Table, TextInterner,
 };
 use crate::value::Row;
+use crate::vfs::{RealFs, Vfs, VfsFile};
 
 /// Durability tuning for a WAL-backed database.
 #[derive(Debug, Clone, Copy)]
@@ -55,11 +64,19 @@ pub struct DurabilityConfig {
     /// the last few commits for throughput (the file is still written, so
     /// only an OS crash — not a process crash — can lose them).
     pub sync: bool,
+    /// Batch concurrent committers into **group commits** on a
+    /// [`SharedDb`](crate::shared::SharedDb): committers enqueue their
+    /// framed record groups, one leader appends the whole batch and
+    /// issues a single fsync, and every committer in the batch is woken
+    /// acknowledged — multiplying commit throughput under contention
+    /// (the log mutex is held only by the leader, never by waiters).
+    /// Disabling falls back to one append + fsync per commit.
+    pub group_commit: bool,
 }
 
 impl Default for DurabilityConfig {
     fn default() -> Self {
-        DurabilityConfig { checkpoint_bytes: 4 << 20, sync: true }
+        DurabilityConfig { checkpoint_bytes: 4 << 20, sync: true, group_commit: true }
     }
 }
 
@@ -207,6 +224,17 @@ fn frame(rec: &WalRecord, out: &mut Vec<u8>) {
     out.extend_from_slice(&payload);
 }
 
+/// Frame a whole record group into one contiguous buffer — what a
+/// committer hands the group-commit queue, so encoding happens off the
+/// log mutex and the leader's append is a single `memcpy`-and-write.
+pub fn frame_group(records: &[WalRecord]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for rec in records {
+        frame(rec, &mut buf);
+    }
+    buf
+}
+
 /// Decode the frame starting at `start`; `None` marks a torn/corrupt tail.
 fn read_frame(
     bytes: &[u8],
@@ -298,19 +326,32 @@ pub fn replay(records: Vec<WalRecord>) -> Result<Catalog> {
 // The log itself
 // ---------------------------------------------------------------------------
 
-/// An open write-ahead log positioned for appending.
-#[derive(Debug)]
+/// An open write-ahead log positioned for appending. All I/O goes
+/// through the [`Vfs`] the log was opened on.
 pub struct Wal {
-    file: File,
+    vfs: Arc<dyn Vfs>,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     len: u64,
     config: DurabilityConfig,
     /// Set when an I/O failure left the handle in a state where further
     /// appends could silently lose acknowledged commits (a partial frame
-    /// that could not be rolled back, or a post-rename reopen failure
-    /// that left `file` pointing at an unlinked inode). A poisoned log
-    /// fails every append fast; reopen the database to recover.
+    /// that could not be rolled back, a post-rename reopen failure that
+    /// left `file` pointing at an unlinked inode, or a checkpoint whose
+    /// rename never became durable). A poisoned log fails every append
+    /// fast; reopen the database to recover.
     poisoned: bool,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("len", &self.len)
+            .field("config", &self.config)
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
 }
 
 /// The result of opening a WAL: the log (positioned at its intact end),
@@ -324,15 +365,23 @@ pub struct Recovered {
 }
 
 impl Wal {
-    /// Open (or create) the log at `path`, replay the longest intact
-    /// record prefix, and truncate any torn tail so subsequent appends
-    /// start at a clean frame boundary.
+    /// Open (or create) the log at `path` on the real filesystem, replay
+    /// the longest intact record prefix, and truncate any torn tail so
+    /// subsequent appends start at a clean frame boundary.
     pub fn open(path: impl AsRef<Path>, config: DurabilityConfig) -> Result<Recovered> {
+        Wal::open_on(Arc::new(RealFs), path, config)
+    }
+
+    /// [`Wal::open`] on an explicit [`Vfs`] — the seam the crash-sim
+    /// harness injects its [`SimFs`](crate::vfs::SimFs) through.
+    pub fn open_on(
+        vfs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        config: DurabilityConfig,
+    ) -> Result<Recovered> {
         let path = path.as_ref().to_path_buf();
-        let mut file =
-            OpenOptions::new().read(true).write(true).create(true).open(&path)?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)?;
+        let mut file = vfs.open(&path)?;
+        let bytes = vfs.read(&path)?;
 
         let mut records = Vec::new();
         let mut good = 0usize;
@@ -346,7 +395,6 @@ impl Wal {
             file.set_len(good as u64)?;
             file.sync_data()?;
         }
-        file.seek(SeekFrom::Start(good as u64))?;
 
         let max_txn = records
             .iter()
@@ -360,7 +408,14 @@ impl Wal {
             .unwrap_or(0);
         let catalog = replay(records)?;
         Ok(Recovered {
-            wal: Wal { file, path, len: good as u64, config, poisoned: false },
+            wal: Wal {
+                vfs,
+                file,
+                path,
+                len: good as u64,
+                config,
+                poisoned: false,
+            },
             catalog,
             max_txn,
         })
@@ -375,6 +430,11 @@ impl Wal {
         self.len == 0
     }
 
+    /// The durability configuration the log was opened with.
+    pub fn config(&self) -> DurabilityConfig {
+        self.config
+    }
+
     /// Append a group of records as one write (one frame per record) and,
     /// when configured, fsync before returning — the commit point.
     ///
@@ -385,21 +445,24 @@ impl Wal {
     /// rollback itself fails, the log poisons: all further appends error
     /// until the database is reopened.
     pub fn append(&mut self, records: &[WalRecord]) -> Result<()> {
+        self.append_raw(&frame_group(records))
+    }
+
+    /// Append an already-framed buffer (one or many record groups — the
+    /// group-commit leader concatenates a whole batch) as one write and
+    /// at most one fsync. Same rollback/poison contract as [`append`]
+    /// (Wal::append).
+    pub fn append_raw(&mut self, buf: &[u8]) -> Result<()> {
         if self.poisoned {
             return Err(Error::Io(
                 "wal: poisoned by an earlier i/o failure; reopen the database".into(),
             ));
         }
-        let mut buf = Vec::new();
-        for rec in records {
-            frame(rec, &mut buf);
-        }
-        let wrote = self.file.write_all(&buf).and_then(|()| {
+        let wrote = self.file.write_all_at(self.len, buf).and_then(|()| {
             if self.config.sync {
-                self.file.sync_data()
-            } else {
-                Ok(())
+                self.file.sync_data()?;
             }
+            Ok(())
         });
         match wrote {
             Ok(()) => {
@@ -407,15 +470,12 @@ impl Wal {
                 Ok(())
             }
             Err(e) => {
-                let rewound = self
-                    .file
-                    .set_len(self.len)
-                    .and_then(|()| self.file.sync_data())
-                    .and_then(|()| self.file.seek(SeekFrom::Start(self.len)).map(|_| ()));
+                let rewound =
+                    self.file.set_len(self.len).and_then(|()| self.file.sync_data());
                 if rewound.is_err() {
                     self.poisoned = true;
                 }
-                Err(e.into())
+                Err(e)
             }
         }
     }
@@ -441,26 +501,27 @@ impl Wal {
         tmp_name.push(".tmp");
         let tmp = PathBuf::from(tmp_name);
         {
-            let mut f = File::create(&tmp)?;
-            f.write_all(&buf)?;
+            let mut f = self.vfs.create(&tmp)?;
+            f.write_all_at(0, &buf)?;
             f.sync_data()?;
         }
-        std::fs::rename(&tmp, &self.path)?;
-        // Make the rename itself durable where the platform allows it.
-        if let Some(dir) = self.path.parent() {
-            if let Ok(d) = File::open(dir) {
-                let _ = d.sync_all();
-            }
+        self.vfs.rename(&tmp, &self.path)?;
+        // The rename must be durable before any post-checkpoint commit
+        // can be acknowledged: until the directory entry reaches disk, a
+        // crash resolves the log's name to the OLD inode, so every later
+        // append — fsynced to the new inode and acknowledged — would
+        // silently vanish. A failed directory sync therefore poisons the
+        // log: no further append can be falsely acknowledged, and a
+        // reopen recovers from whichever image survived (old log and new
+        // image hold the same committed state).
+        if let Err(e) = self.vfs.sync_parent_dir(&self.path) {
+            self.poisoned = true;
+            return Err(e);
         }
         // The rename unlinked the old inode `self.file` points at. If the
         // reopen fails we must poison: appending through the stale handle
         // would "durably" write into a deleted file.
-        let reopened = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(&self.path)
-            .and_then(|mut f| f.seek(SeekFrom::End(0)).map(|_| f));
-        match reopened {
+        match self.vfs.open(&self.path) {
             Ok(file) => {
                 self.file = file;
                 self.len = buf.len() as u64;
@@ -468,7 +529,7 @@ impl Wal {
             }
             Err(e) => {
                 self.poisoned = true;
-                Err(e.into())
+                Err(e)
             }
         }
     }

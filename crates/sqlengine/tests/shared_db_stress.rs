@@ -404,3 +404,169 @@ fn concurrent_parallel_queries_agree_and_batch() {
         "per-statement batching must hold under concurrency, got {total}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Group commit: concurrent committers share fsyncs
+// ---------------------------------------------------------------------------
+
+/// 8 committers hammer a durable database whose (simulated) fsync takes
+/// real time. The group-commit queue must amortize: strictly fewer log
+/// appends (= fsyncs) than commits, no acknowledged commit lost across a
+/// reopen, and every commit's effect intact.
+#[test]
+fn group_commit_amortizes_fsyncs_under_contention() {
+    use std::path::PathBuf;
+    use std::time::Duration;
+    use swan_sqlengine::{DurabilityConfig, SimFs};
+
+    const COMMITS_PER_THREAD: usize = 25;
+
+    let fs = SimFs::new();
+    fs.set_sync_delay(Duration::from_micros(300));
+    let path = PathBuf::from("/sim/group.wal");
+    let db =
+        SharedDb::open_on(Arc::new(fs.clone()), &path, DurabilityConfig::default()).unwrap();
+    for t in 0..THREADS {
+        db.execute(&format!("CREATE TABLE t{t} (id INTEGER PRIMARY KEY, v INTEGER)"))
+            .unwrap();
+    }
+    let setup = db.commit_stats();
+    assert_eq!(setup.commits, THREADS as u64, "one commit per CREATE TABLE");
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let session = db.clone();
+            s.spawn(move || {
+                for i in 0..COMMITS_PER_THREAD {
+                    session
+                        .execute(&format!("INSERT INTO t{t} VALUES ({i}, {})", i * t))
+                        .unwrap();
+                }
+            });
+        }
+    });
+
+    let stats = db.commit_stats();
+    let commits = (THREADS * COMMITS_PER_THREAD) as u64 + setup.commits;
+    assert_eq!(stats.commits, commits, "every commit acknowledged exactly once");
+    assert!(
+        stats.batches < stats.commits,
+        "contended committers must share at least one fsync: {stats:?}"
+    );
+    assert!(stats.max_batch >= 2, "some batch must carry multiple groups: {stats:?}");
+    assert!(stats.commits_per_fsync() > 1.0, "{stats:?}");
+
+    // Everything acknowledged is durable: reopen from the synced image
+    // only (the adversarial crash) and recount.
+    let db2 = SharedDb::open_on(
+        Arc::new(fs.reboot(false)),
+        &path,
+        DurabilityConfig::default(),
+    )
+    .unwrap();
+    for t in 0..THREADS {
+        assert_eq!(db2.row_count(&format!("t{t}")), Some(COMMITS_PER_THREAD));
+    }
+}
+
+/// The `group_commit: false` escape hatch keeps the PR-4 one-fsync-per-
+/// commit path: exactly one batch per commit, same durability.
+#[test]
+fn group_commit_disabled_is_one_fsync_per_commit() {
+    use std::path::PathBuf;
+    use swan_sqlengine::{DurabilityConfig, SimFs};
+
+    let fs = SimFs::new();
+    let path = PathBuf::from("/sim/nogroup.wal");
+    let config = DurabilityConfig { group_commit: false, ..Default::default() };
+    let db = SharedDb::open_on(Arc::new(fs.clone()), &path, config).unwrap();
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)").unwrap();
+
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let session = db.clone();
+            s.spawn(move || {
+                for i in 0..10 {
+                    session.execute(&format!("INSERT INTO t VALUES ({})", t * 100 + i)).unwrap();
+                }
+            });
+        }
+    });
+
+    let stats = db.commit_stats();
+    assert_eq!(stats.commits, 41);
+    assert_eq!(stats.batches, stats.commits, "no batching when disabled: {stats:?}");
+    let db2 = SharedDb::open_on(Arc::new(fs.reboot(false)), &path, config).unwrap();
+    assert_eq!(db2.row_count("t"), Some(40));
+}
+
+/// A transaction commit and auto-commits from other sessions batch
+/// together without torn installs: the multi-table transaction appears
+/// atomically even when its group shares a batch.
+#[test]
+fn txn_commits_batch_with_autocommits_atomically() {
+    use std::path::PathBuf;
+    use std::time::Duration;
+    use swan_sqlengine::{DurabilityConfig, SimFs};
+
+    let fs = SimFs::new();
+    fs.set_sync_delay(Duration::from_micros(200));
+    let path = PathBuf::from("/sim/mixed.wal");
+    let db =
+        SharedDb::open_on(Arc::new(fs.clone()), &path, DurabilityConfig::default()).unwrap();
+    db.execute("CREATE TABLE a (id INTEGER PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE b (id INTEGER PRIMARY KEY)").unwrap();
+    db.execute("CREATE TABLE side (id INTEGER PRIMARY KEY)").unwrap();
+
+    std::thread::scope(|s| {
+        // Transactional committers: a and b move in lockstep. Conflicts
+        // are table-granular (snapshot isolation, first committer wins),
+        // so racing transactions on the same tables retry until they
+        // land — every retry re-exercising the group-commit queue.
+        for t in 0..3usize {
+            let shared = db.clone();
+            s.spawn(move || {
+                for i in 0..12 {
+                    let id = t * 1000 + i;
+                    loop {
+                        let mut session = shared.session();
+                        session.execute("BEGIN").unwrap();
+                        session.execute(&format!("INSERT INTO a VALUES ({id})")).unwrap();
+                        session.execute(&format!("INSERT INTO b VALUES ({id})")).unwrap();
+                        match session.execute("COMMIT") {
+                            Ok(_) => break,
+                            Err(Error::Conflict(_)) => continue,
+                            Err(e) => panic!("commit failed: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+        // Auto-commit noise on a third table to fill batches.
+        for t in 0..3usize {
+            let shared = db.clone();
+            s.spawn(move || {
+                for i in 0..12 {
+                    shared
+                        .execute(&format!("INSERT INTO side VALUES ({})", t * 1000 + i))
+                        .unwrap();
+                }
+            });
+        }
+    });
+
+    assert_eq!(db.row_count("a"), Some(36));
+    assert_eq!(db.row_count("b"), Some(36));
+    assert_eq!(db.row_count("side"), Some(36));
+
+    // Recovery sees the same atomic state.
+    let db2 = SharedDb::open_on(
+        Arc::new(fs.reboot(false)),
+        &path,
+        DurabilityConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(db2.row_count("a"), Some(36));
+    assert_eq!(db2.row_count("b"), Some(36));
+    assert_eq!(db2.row_count("side"), Some(36));
+}

@@ -1,0 +1,202 @@
+//! Golden-file SQL test runner over `tests/slt/*.slt`
+//! (sqllogictest-style).
+//!
+//! # File format
+//!
+//! ```text
+//! # comment
+//! statement ok
+//! CREATE TABLE t (a INTEGER)
+//!
+//! statement error
+//! INSERT INTO t VALUES (1, 2)
+//!
+//! query
+//! SELECT a FROM t ORDER BY a
+//! ----
+//! 1
+//! ```
+//!
+//! * `statement ok` — the SQL on the following lines (up to a blank
+//!   line) must execute successfully;
+//! * `statement error` — it must fail (any [`Error`] counts);
+//! * `query` — the SQL runs up to the `----` separator; the lines after
+//!   it, up to a blank line, are the expected rows. Cells are joined
+//!   with `|`; `NULL` renders as the literal `NULL`.
+//!
+//! Every file runs twice on a fresh [`SharedDb`] session — once with the
+//! serial engine (`threads = 1`) and once morsel-parallel
+//! (`threads = 8`, `parallel_threshold = 1` so even tiny tables take the
+//! parallel operators) — and both runs must match the golden output
+//! byte for byte. Statements execute through a [`Session`], so
+//! `BEGIN`/`COMMIT`/`ROLLBACK` scripts exercise the transaction path.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use swan_sqlengine::{OptimizerConfig, SharedDb, Value};
+
+#[derive(Debug)]
+enum Directive {
+    StatementOk { line: usize, sql: String },
+    StatementError { line: usize, sql: String },
+    Query { line: usize, sql: String, expected: Vec<String> },
+}
+
+/// Parse one `.slt` file into directives, with 1-based line numbers for
+/// failure reporting.
+fn parse_slt(path: &Path) -> Vec<Directive> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let lines: Vec<&str> = text.lines().collect();
+    let mut directives = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let line = lines[i].trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            i += 1;
+            continue;
+        }
+        let start = i + 1;
+        match line {
+            "statement ok" | "statement error" => {
+                let ok = line == "statement ok";
+                i += 1;
+                let mut sql = Vec::new();
+                while i < lines.len() && !lines[i].trim().is_empty() {
+                    sql.push(lines[i]);
+                    i += 1;
+                }
+                let sql = sql.join("\n");
+                assert!(!sql.is_empty(), "{}:{start}: directive without SQL", path.display());
+                directives.push(if ok {
+                    Directive::StatementOk { line: start, sql }
+                } else {
+                    Directive::StatementError { line: start, sql }
+                });
+            }
+            "query" => {
+                i += 1;
+                let mut sql = Vec::new();
+                while i < lines.len() && lines[i].trim() != "----" {
+                    assert!(
+                        !lines[i].trim().is_empty(),
+                        "{}:{}: blank line before ----",
+                        path.display(),
+                        i + 1
+                    );
+                    sql.push(lines[i]);
+                    i += 1;
+                }
+                assert!(i < lines.len(), "{}:{start}: query without ----", path.display());
+                i += 1; // skip ----
+                let mut expected = Vec::new();
+                while i < lines.len() && !lines[i].trim_end().is_empty() {
+                    expected.push(lines[i].trim_end().to_string());
+                    i += 1;
+                }
+                directives.push(Directive::Query { line: start, sql: sql.join("\n"), expected });
+            }
+            other => panic!("{}:{}: unknown directive {other:?}", path.display(), i + 1),
+        }
+    }
+    directives
+}
+
+fn render_cell(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        other => other.render(),
+    }
+}
+
+/// Run one file at one thread count; returns every query's rendered
+/// output (for the cross-thread-count comparison).
+fn run_file(path: &Path, threads: usize) -> Vec<Vec<String>> {
+    let db = SharedDb::new();
+    db.set_optimizer(OptimizerConfig {
+        threads,
+        parallel_threshold: 1,
+        ..Default::default()
+    });
+    let mut session = db.session();
+    let mut outputs = Vec::new();
+    for directive in parse_slt(path) {
+        match directive {
+            Directive::StatementOk { line, sql } => {
+                session.execute_script(&sql).unwrap_or_else(|e| {
+                    panic!("{}:{line} [threads={threads}]: statement failed: {e}\n{sql}",
+                        path.display())
+                });
+            }
+            Directive::StatementError { line, sql } => {
+                assert!(
+                    session.execute_script(&sql).is_err(),
+                    "{}:{line} [threads={threads}]: statement succeeded but must fail\n{sql}",
+                    path.display()
+                );
+            }
+            Directive::Query { line, sql, expected } => {
+                let result = session.query(&sql).unwrap_or_else(|e| {
+                    panic!("{}:{line} [threads={threads}]: query failed: {e}\n{sql}",
+                        path.display())
+                });
+                let got: Vec<String> = result
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        row.iter().map(render_cell).collect::<Vec<_>>().join("|")
+                    })
+                    .collect();
+                if got != expected {
+                    let mut msg = String::new();
+                    let _ = writeln!(
+                        msg,
+                        "{}:{line} [threads={threads}]: query output mismatch\n{sql}\n-- expected --",
+                        path.display()
+                    );
+                    for l in &expected {
+                        let _ = writeln!(msg, "{l}");
+                    }
+                    let _ = writeln!(msg, "-- got --");
+                    for l in &got {
+                        let _ = writeln!(msg, "{l}");
+                    }
+                    panic!("{msg}");
+                }
+                outputs.push(got);
+            }
+        }
+    }
+    outputs
+}
+
+fn slt_files() -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/slt");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.unwrap().path();
+            (path.extension().is_some_and(|x| x == "slt")).then_some(path)
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no .slt files under {}", dir.display());
+    files
+}
+
+/// Every golden file passes on the serial engine and the 8-thread
+/// morsel-parallel engine, with byte-identical query output.
+#[test]
+fn golden_sql_files_match_at_one_and_eight_threads() {
+    for path in slt_files() {
+        let serial = run_file(&path, 1);
+        let parallel = run_file(&path, 8);
+        assert_eq!(
+            serial,
+            parallel,
+            "{}: serial and 8-thread outputs diverged",
+            path.display()
+        );
+    }
+}

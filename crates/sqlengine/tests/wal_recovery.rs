@@ -217,7 +217,7 @@ fn execute_script_txn_atomicity_on_database() {
 #[test]
 fn auto_checkpoint_compacts_and_preserves_state() {
     let path = temp_path("auto-ckpt");
-    let config = DurabilityConfig { checkpoint_bytes: 2048, sync: true };
+    let config = DurabilityConfig { checkpoint_bytes: 2048, ..Default::default() };
     let before = {
         let mut db = Database::open_with(&path, config).unwrap();
         db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, blob TEXT)").unwrap();

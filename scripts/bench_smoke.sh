@@ -42,9 +42,13 @@ run parallel_scaling
 
 # WAL durability: commit latency vs transaction batch size (the fsync +
 # record framing amortize over the batch), auto-commit baseline,
-# checkpoint cost and 10k-row recovery. Reference numbers live in
-# crates/sqlengine/PERF.md ("Durability"); if the per-row cost of
-# batch_1000 creeps toward batch_1's, commit batching has regressed.
+# checkpoint cost, 10k-row recovery, and the contended group-commit case
+# (8 concurrent committers, fsync on — the printed commits-per-fsync
+# ratio must stay well above the nogroup variant's 1.00 floor; if it
+# falls toward 1.0, the group-commit queue has stopped batching).
+# Reference numbers live in crates/sqlengine/PERF.md ("Durability"); if
+# the per-row cost of batch_1000 creeps toward batch_1's, commit
+# batching has regressed.
 run wal_commit
 
 # Model-call-count bench (plain table output, no criterion harness): the

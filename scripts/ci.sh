@@ -17,7 +17,15 @@
 #      the cross-session llm_map single-flight test;
 #   4. the WAL crash-recovery harness (torn-tail truncation sweep at
 #      every byte offset of the final commit record group, durable
-#      transactions, auto-checkpoint compaction).
+#      transactions, auto-checkpoint compaction);
+#   5. the crash-simulation harness (crates/sqlengine/tests/crash_sim.rs):
+#      a fault — transient error or crash with a configurable torn write —
+#      injected at EVERY SimFs operation index of the commit, checkpoint,
+#      concurrent group-commit and recovery schedules (plus the two-fault
+#      dir-sync-fails-then-crash schedule), asserting recovery is always
+#      a clean prefix of acknowledged commits;
+#   6. the golden SQL suite (tests/slt/*.slt), each file executed on the
+#      serial and the 8-thread engine with byte-identical output.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,6 +46,15 @@ cargo test -q -p swan-sqlengine --test shared_db_stress
 
 echo "== WAL crash-recovery harness =="
 cargo test -q -p swan-sqlengine --test wal_recovery
+
+echo "== crash-simulation harness (SimFs fault sweep) =="
+cargo test -q -p swan-sqlengine --test crash_sim
+
+echo "== golden SQL suite @ 1 and 8 threads =="
+cargo test -q -p swan-sqlengine --test slt
+
+echo "== binary row codec round-trip properties =="
+cargo test -q -p swan-sqlengine --test prop_codec
 
 echo "== cross-session llm_map single-flight =="
 cargo test -q --test concurrency

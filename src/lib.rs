@@ -41,7 +41,20 @@
 //!   truncated — the `wal_recovery` harness proves pre-or-post-commit
 //!   recovery at every byte offset), and the log auto-checkpoints past a
 //!   configurable size (see PERF.md's "Durability" for commit-latency
-//!   numbers).
+//!   numbers). Concurrent committers **group-commit**: framed record
+//!   groups queue behind one leader that appends the whole batch with a
+//!   single fsync and installs it atomically, multiplying write
+//!   throughput under contention (3.98 commits per fsync with 8
+//!   committers on the `wal_commit` bench;
+//!   `DurabilityConfig::group_commit` toggles it). Every byte of WAL and
+//!   checkpoint I/O flows through a **virtual filesystem seam**
+//!   (`swan_sqlengine::vfs`): `RealFs` in production, and in tests the
+//!   fault-injecting `SimFs`, which the `crash_sim` harness drives with
+//!   a deterministic fail/crash at every operation index to prove
+//!   recovery always lands on a clean prefix of acknowledged commits.
+//!   The `slt` golden-file suite replays sqllogictest-style scripts on
+//!   the serial and 8-thread engines with byte-identical expected
+//!   output.
 //! * [`llm`] — the language-model layer: prompt templates, token/cost
 //!   accounting, caches, a parallel executor over the shared
 //!   [`swan_pool`] worker pool, and the calibrated simulated
