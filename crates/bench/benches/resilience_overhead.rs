@@ -1,0 +1,89 @@
+//! No-fault overhead of the resilience layer.
+//!
+//! [`ResilientModel`] sits on every model call in a resilient pipeline:
+//! a breaker admission check, a deadline computation, and an outcome
+//! record per attempt. This bench runs the same `udf_fallback`-style
+//! workload — `llm_map` in a JOIN ON over a subquery source, engine
+//! batching on, 8 workers — through a raw [`SimulatedModel`] and through
+//! the same model wrapped in `ResilientModel` (direct transport, real
+//! clock, default policies), and reports the fault-free overhead. The
+//! acceptance envelope is **< 5%**; anything above means bookkeeping is
+//! leaking onto the per-call hot path.
+//!
+//! Each repetition builds a fresh runner so the model is actually called
+//! (a warm answer cache would measure nothing); the reported number is
+//! the fastest repetition of each arm, which is the most stable estimate
+//! of the true cost under scheduler noise.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use swan_core::experiment::{render_table, Harness};
+use swan_core::udf::{UdfConfig, UdfRunner};
+use swan_llm::{LanguageModel, ModelKind, ResilientModel, SimulatedModel};
+
+const FALLBACK_SQL: &str =
+    "SELECT COUNT(*) FROM (SELECT superhero_name, full_name FROM superhero) h \
+     JOIN alignment a \
+     ON llm_map('What is the moral alignment of the superhero?', \
+                h.superhero_name, h.full_name) = a.alignment";
+
+const REPS: usize = 5;
+
+fn main() {
+    let h = Harness::from_env();
+    let domain = h.domain("superhero");
+    let heroes = domain.curated.catalog().get("superhero").unwrap().len();
+    let config = UdfConfig { workers: 8, ..Default::default() };
+
+    println!("Resilience-layer overhead on the no-fault path");
+    println!("(Super Hero, GPT-3.5 Turbo, {heroes} heroes, batch 5, 8 workers, best of {REPS})");
+    println!();
+
+    let mut best = [f64::INFINITY; 2];
+    let mut calls = [0u64; 2];
+    for _ in 0..REPS {
+        for (arm, resilient) in [(0usize, false), (1, true)] {
+            let sim = Arc::new(SimulatedModel::new(ModelKind::Gpt35Turbo, h.kb.clone()));
+            let mut runner = if resilient {
+                let wrapped = ResilientModel::wrap(sim.clone() as Arc<dyn LanguageModel>);
+                UdfRunner::with_resilient(domain, wrapped, config)
+            } else {
+                UdfRunner::new(domain, sim.clone(), config)
+            };
+            let t = Instant::now();
+            runner.run_sql(FALLBACK_SQL).expect("no-fault workload runs");
+            let secs = t.elapsed().as_secs_f64();
+            if secs < best[arm] {
+                best[arm] = secs;
+            }
+            calls[arm] = sim.usage().calls;
+        }
+    }
+
+    let overhead = (best[1] / best[0] - 1.0) * 100.0;
+    println!(
+        "{}",
+        render_table(
+            &["Model", "LLM calls", "Wall clock", "Overhead"],
+            &[
+                vec![
+                    "raw SimulatedModel".into(),
+                    calls[0].to_string(),
+                    format!("{:.2} ms", best[0] * 1e3),
+                    "—".into(),
+                ],
+                vec![
+                    "ResilientModel (no faults)".into(),
+                    calls[1].to_string(),
+                    format!("{:.2} ms", best[1] * 1e3),
+                    format!("{overhead:+.2}%"),
+                ],
+            ],
+        )
+    );
+    println!(
+        "Acceptance envelope: < 5% — the resilient arm pays one breaker \
+         admission + deadline computation + outcome record per call."
+    );
+}

@@ -18,4 +18,4 @@ pub mod udf;
 
 pub use hqdl::{materialize, HqdlConfig, HqdlRun};
 pub use metrics::{execution_match, factuality, ExTally, FactualityReport};
-pub use udf::{CacheScope, UdfConfig, UdfRunner, UdfStats};
+pub use udf::{CacheScope, OnModelFailure, UdfConfig, UdfRunner, UdfStats};

@@ -25,6 +25,7 @@
 //! implements the caching spectrum of §4.3/§5.5 (see [`CacheScope`]).
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
@@ -33,7 +34,7 @@ use std::sync::{Condvar, Mutex as StdMutex};
 
 use swan_data::DomainData;
 use swan_llm::knowledge::normalize_question;
-use swan_llm::{parallel, LanguageModel, UdfExample, UdfPrompt};
+use swan_llm::{parallel, BreakerState, LanguageModel, LlmError, ResilientModel, UdfExample, UdfPrompt};
 use swan_sqlengine::ast::{
     Expr, SelectBody, SelectItem, SelectStmt, Statement, TableRef,
 };
@@ -56,6 +57,25 @@ pub enum CacheScope {
     Semantic,
 }
 
+/// What a failed (post-retry) model call degrades to, instead of failing
+/// the whole statement. A statement-deadline failure
+/// ([`LlmError::Deadline`]) is **never** degraded — the statement aborts
+/// with [`Error::Deadline`] under every policy, because the deadline
+/// belongs to the statement, not the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnModelFailure {
+    /// Surface the model error; the statement fails (the default).
+    #[default]
+    Fail,
+    /// The row's answer becomes NULL. Never cached: a later statement
+    /// retries the key.
+    Null,
+    /// Serve the last known-good answer for this key — surviving even
+    /// [`CacheScope::PerQuestion`] store clears — falling back to NULL
+    /// when the key has never been answered. Never re-cached either.
+    StaleCache,
+}
+
 /// UDF-solution configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct UdfConfig {
@@ -69,6 +89,9 @@ pub struct UdfConfig {
     pub cache: CacheScope,
     /// Parallel LLM workers for the pre-pass.
     pub workers: usize,
+    /// Degradation policy for model calls that still fail after the
+    /// resilience layer's retries.
+    pub on_model_failure: OnModelFailure,
 }
 
 impl Default for UdfConfig {
@@ -79,6 +102,7 @@ impl Default for UdfConfig {
             pushdown: true,
             cache: CacheScope::ExactPrompt,
             workers: 1,
+            on_model_failure: OnModelFailure::Fail,
         }
     }
 }
@@ -95,8 +119,16 @@ pub struct UdfStats {
     /// fetched answers at `invoke`/`invoke_batch` time, including reuse
     /// across concurrent rows coalesced by the single-flight fallback.
     pub exec_cache_hits: u64,
-    /// Per-row fallback model calls during execution.
+    /// Per-row fallback model calls during execution (attempts, whether
+    /// or not the model answered).
     pub fallback_calls: u64,
+    /// Failed model calls absorbed by [`UdfConfig::on_model_failure`]
+    /// (degraded to NULL or a stale answer) instead of failing the
+    /// statement.
+    pub degraded: u64,
+    /// The resilience layer's per-endpoint circuit-breaker state, when
+    /// the runner was built with [`UdfRunner::with_resilient`].
+    pub breaker: Option<BreakerState>,
 }
 
 /// Domain metadata the runner needs (question → attribute, value lists,
@@ -143,21 +175,78 @@ impl DomainMeta {
     }
 }
 
+/// An answer-store key under the configured [`CacheScope`].
+type CacheKey = (String, Vec<String>);
+
+/// One in-flight model fetch for a cache key. The leader (the thread that
+/// created the flight) publishes its outcome here; waiters receive it
+/// directly — a leader's *error* is delivered to every waiter instead of
+/// leaving them to retry as surprise leaders (or hang). The flight is
+/// removed from the map once resolved, so *later* calls for the same key
+/// start a fresh flight and may retry.
+#[derive(Default)]
+struct Flight {
+    /// `None` while the fetch is in flight. `Ok(Some(v))` = answered;
+    /// `Ok(None)` = the flight ended without answering this key (a short
+    /// batch response) — the waiter retries with its own flight;
+    /// `Err(e)` = the leader's failure, propagated to every waiter.
+    outcome: StdMutex<Option<Result<Option<Value>>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    /// Publish the leader's outcome and wake every waiter.
+    fn resolve(&self, outcome: Result<Option<Value>>) {
+        *self.outcome.lock().unwrap_or_else(|p| p.into_inner()) = Some(outcome);
+        self.done.notify_all();
+    }
+
+    /// Wait for the leader's outcome, honoring the calling statement's
+    /// cancel token: a waiter whose deadline fires while parked returns
+    /// [`Error::Deadline`] instead of staying parked behind a slow flight.
+    fn wait(&self) -> Result<Option<Value>> {
+        let token = swan_pool::cancel::current();
+        let mut outcome = self.outcome.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(r) = outcome.as_ref() {
+                return r.clone();
+            }
+            if let Some(t) = &token {
+                if let Err(reason) = t.check() {
+                    return Err(Error::from(reason));
+                }
+            }
+            let wait = self
+                .done
+                .wait_timeout(outcome, Duration::from_millis(10))
+                .unwrap_or_else(|p| p.into_inner());
+            outcome = wait.0;
+        }
+    }
+}
+
 /// Shared state between the runner and the registered `llm_map` UDF.
 struct Shared {
     meta: DomainMeta,
     model: Arc<dyn LanguageModel>,
+    /// The resilience wrapper's handle when the runner was built with
+    /// [`UdfRunner::with_resilient`] — exposes breaker state in stats.
+    resilient: Option<Arc<ResilientModel>>,
     config: UdfConfig,
-    answers: Mutex<HashMap<(String, Vec<String>), Value>>,
+    answers: Mutex<HashMap<CacheKey, Value>>,
+    /// Last known-good answer per key, written on every successful model
+    /// answer and **surviving** [`CacheScope::PerQuestion`] store clears:
+    /// the [`OnModelFailure::StaleCache`] degradation source.
+    stale: Mutex<HashMap<CacheKey, Value>>,
     stats: Mutex<UdfStats>,
     fallback_calls: AtomicU64,
     exec_hits: AtomicU64,
-    /// Cache keys currently being fetched by a fallback call. Concurrent
-    /// rows asking for the same key wait on `in_flight_done` instead of
-    /// issuing duplicate model calls (single-flight). Lock ordering:
+    degraded: AtomicU64,
+    /// Cache keys currently being fetched, mapped to their [`Flight`].
+    /// Concurrent rows asking for the same key wait on the flight instead
+    /// of issuing duplicate model calls (single-flight). Lock ordering:
     /// `in_flight` may take `answers` briefly, never the reverse.
-    in_flight: StdMutex<HashSet<(String, Vec<String>)>>,
-    in_flight_done: Condvar,
+    in_flight: StdMutex<HashMap<CacheKey, Arc<Flight>>>,
 }
 
 impl Shared {
@@ -193,56 +282,110 @@ impl Shared {
         }
     }
 
+    /// Record a successful answer: the live store *and* the last-known-
+    /// good store (degradation source). Only ever called with a value the
+    /// model actually produced — failed calls never populate either.
+    fn remember(&self, cache_key: &CacheKey, value: &Value) {
+        self.answers.lock().insert(cache_key.clone(), value.clone());
+        self.stale.lock().insert(cache_key.clone(), value.clone());
+    }
+
     /// Single-key fallback call (cache miss during execution),
     /// single-flighted: concurrent rows asking for the same key wait for
-    /// the one in-flight model call instead of each paying their own.
+    /// the one in-flight model call instead of each paying their own, and
+    /// receive the leader's outcome — error included.
     fn fetch_single(&self, question: &str, key: &[String]) -> Result<Value> {
         let cache_key = self.cache_key(question, key);
-        {
-            let mut fl = self.in_flight.lock().unwrap_or_else(|p| p.into_inner());
-            loop {
-                if let Some(v) = self.answers.lock().get(&cache_key) {
-                    // Either cached before we got here or just filled by
-                    // the fetcher we waited on.
+        loop {
+            if let Some(v) = self.answers.lock().get(&cache_key) {
+                self.exec_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(v.clone());
+            }
+            // Join an existing flight, or register ourselves as leader.
+            let joined = {
+                let mut fl = self.in_flight.lock().unwrap_or_else(|p| p.into_inner());
+                match fl.get(&cache_key) {
+                    Some(f) => Some(f.clone()),
+                    None => {
+                        // Re-check under the map lock: a completing flight
+                        // caches its answer *before* removing itself.
+                        if let Some(v) = self.answers.lock().get(&cache_key) {
+                            self.exec_hits.fetch_add(1, Ordering::Relaxed);
+                            return Ok(v.clone());
+                        }
+                        fl.insert(cache_key.clone(), Arc::new(Flight::default()));
+                        None
+                    }
+                }
+            };
+            let Some(flight) = joined else {
+                // We lead: perform the call, publish the outcome to any
+                // waiters, and retire the flight so later calls retry
+                // rather than inherit a stale error.
+                let result = self.fetch_uncoalesced(question, key, &cache_key);
+                let flight = {
+                    let mut fl = self.in_flight.lock().unwrap_or_else(|p| p.into_inner());
+                    fl.remove(&cache_key)
+                };
+                if let Some(f) = flight {
+                    f.resolve(result.clone().map(Some));
+                }
+                return result;
+            };
+            match flight.wait()? {
+                Some(v) => {
                     self.exec_hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(v.clone());
+                    return Ok(v);
                 }
-                if fl.insert(cache_key.clone()) {
-                    break; // we own the fetch
-                }
-                fl = self
-                    .in_flight_done
-                    .wait(fl)
-                    .unwrap_or_else(|p| p.into_inner());
+                // The flight (a batch) ended without this key: retry
+                // with a fresh flight of our own.
+                None => continue,
             }
         }
-        let result = self.fetch_uncoalesced(question, key, &cache_key);
-        let mut fl = self.in_flight.lock().unwrap_or_else(|p| p.into_inner());
-        fl.remove(&cache_key);
-        drop(fl);
-        self.in_flight_done.notify_all();
-        result
     }
 
     fn fetch_uncoalesced(
         &self,
         question: &str,
         key: &[String],
-        cache_key: &(String, Vec<String>),
+        cache_key: &CacheKey,
     ) -> Result<Value> {
         let prompt = self.prompt_for(question, vec![key.to_vec()]).render();
-        let completion = self
-            .model
-            .complete(&prompt)
-            .map_err(|e| Error::Udf { name: "llm_map".into(), message: e.to_string() })?;
-        let answer = swan_llm::prompt::parse_udf_response(&completion.text)
-            .into_iter()
-            .next()
-            .unwrap_or_default();
         self.fallback_calls.fetch_add(1, Ordering::Relaxed);
-        let value = infer_value(&answer);
-        self.answers.lock().insert(cache_key.clone(), value.clone());
-        Ok(value)
+        match self.model.complete(&prompt) {
+            Ok(completion) => {
+                let answer = swan_llm::prompt::parse_udf_response(&completion.text)
+                    .into_iter()
+                    .next()
+                    .unwrap_or_default();
+                let value = infer_value(&answer);
+                self.remember(cache_key, &value);
+                Ok(value)
+            }
+            Err(e) => self.degrade(cache_key, e),
+        }
+    }
+
+    /// Apply [`UdfConfig::on_model_failure`] to a model call that still
+    /// failed after the resilience layer's retries. A statement-deadline
+    /// failure always aborts the statement — degrading it would silently
+    /// turn "too slow" into wrong answers.
+    fn degrade(&self, cache_key: &CacheKey, e: LlmError) -> Result<Value> {
+        if e == LlmError::Deadline {
+            return Err(Error::Deadline);
+        }
+        let fail = || Error::Udf { name: "llm_map".into(), message: e.to_string() };
+        match self.config.on_model_failure {
+            OnModelFailure::Fail => Err(fail()),
+            OnModelFailure::Null => {
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+                Ok(Value::Null)
+            }
+            OnModelFailure::StaleCache => {
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+                Ok(self.stale.lock().get(cache_key).cloned().unwrap_or(Value::Null))
+            }
+        }
     }
 
     /// Batched fetch for the engine's vectorized execution path: chunk the
@@ -253,24 +396,32 @@ impl Shared {
     /// sources, non-literal questions, `llm_map` in JOIN ON) still get
     /// batched calls.
     fn fetch_batch(&self, question: &str, needed: &[Vec<String>]) {
-        // Reserve the keys in the single-flight set; keys another thread
+        // Reserve the keys in the single-flight map; keys another thread
         // is already fetching (per-row or in its own batch) are dropped
         // from this batch — their rows fall back to `fetch_single`, which
         // waits on that flight instead of paying a duplicate call.
-        let mine: Vec<Vec<String>> = {
+        let mine: Vec<(Vec<String>, CacheKey, Arc<Flight>)> = {
             let mut fl = self.in_flight.lock().unwrap_or_else(|p| p.into_inner());
             needed
                 .iter()
-                .filter(|key| fl.insert(self.cache_key(question, key)))
-                .cloned()
+                .filter_map(|key| {
+                    let ck = self.cache_key(question, key);
+                    if fl.contains_key(&ck) {
+                        return None;
+                    }
+                    let f = Arc::new(Flight::default());
+                    fl.insert(ck.clone(), f.clone());
+                    Some((key.clone(), ck, f))
+                })
                 .collect()
         };
         if mine.is_empty() {
             return;
         }
         let batch = self.config.batch_size.max(1);
+        let keys_only: Vec<Vec<String>> = mine.iter().map(|(k, _, _)| k.clone()).collect();
         let chunks: Vec<Vec<Vec<String>>> =
-            mine.chunks(batch).map(|c| c.to_vec()).collect();
+            keys_only.chunks(batch).map(|c| c.to_vec()).collect();
         let prompts: Vec<String> = chunks
             .iter()
             .map(|keys| self.prompt_for(question, keys.clone()).render())
@@ -280,24 +431,32 @@ impl Shared {
 
         {
             let mut answers = self.answers.lock();
+            let mut stale = self.stale.lock();
             let mut stats = self.stats.lock();
             for (keys, completion) in chunks.iter().zip(completions) {
+                // Failed chunks cache nothing; their rows retry (and
+                // degrade if configured) through `fetch_single`.
                 let Ok(completion) = completion else { continue };
                 let lines = swan_llm::prompt::parse_udf_response(&completion.text);
                 // Short responses leave trailing keys unanswered; the
                 // caller falls back to single-key calls for those.
                 for (key, line) in keys.iter().zip(lines) {
-                    answers.insert(self.cache_key(question, key), infer_value(&line));
+                    let ck = self.cache_key(question, key);
+                    let value = infer_value(&line);
+                    answers.insert(ck.clone(), value.clone());
+                    stale.insert(ck, value);
                     stats.prefetched_keys += 1;
                 }
             }
         }
+        // Retire the flights, delivering each key's answer (or `None` for
+        // keys a failed/short chunk left unanswered — waiters retry).
         let mut fl = self.in_flight.lock().unwrap_or_else(|p| p.into_inner());
-        for key in &mine {
-            fl.remove(&self.cache_key(question, key));
+        let answers = self.answers.lock();
+        for (_, ck, flight) in &mine {
+            fl.remove(ck);
+            flight.resolve(Ok(answers.get(ck).cloned()));
         }
-        drop(fl);
-        self.in_flight_done.notify_all();
     }
 }
 
@@ -417,16 +576,38 @@ pub struct UdfRunner {
 
 impl UdfRunner {
     pub fn new(domain: &DomainData, model: Arc<dyn LanguageModel>, config: UdfConfig) -> Self {
+        Self::build(domain, model, None, config)
+    }
+
+    /// Build a runner whose model calls go through a [`ResilientModel`]
+    /// (retries, per-call timeouts, circuit breaker). The breaker's state
+    /// shows up in [`UdfRunner::stats`].
+    pub fn with_resilient(
+        domain: &DomainData,
+        model: Arc<ResilientModel>,
+        config: UdfConfig,
+    ) -> Self {
+        Self::build(domain, model.clone(), Some(model), config)
+    }
+
+    fn build(
+        domain: &DomainData,
+        model: Arc<dyn LanguageModel>,
+        resilient: Option<Arc<ResilientModel>>,
+        config: UdfConfig,
+    ) -> Self {
         let shared = Arc::new(Shared {
             meta: DomainMeta::build(domain, config.shots.max(5)),
             model,
+            resilient,
             config,
             answers: Mutex::new(HashMap::new()),
+            stale: Mutex::new(HashMap::new()),
             stats: Mutex::new(UdfStats::default()),
             fallback_calls: AtomicU64::new(0),
             exec_hits: AtomicU64::new(0),
-            in_flight: StdMutex::new(HashSet::new()),
-            in_flight_done: Condvar::new(),
+            degraded: AtomicU64::new(0),
+            in_flight: StdMutex::new(HashMap::new()),
         });
         let mut db = domain.curated.clone();
         db.register_udf(Arc::new(LlmMapUdf { shared: shared.clone() }));
@@ -462,6 +643,8 @@ impl UdfRunner {
         let mut s = *self.shared.stats.lock();
         s.fallback_calls = self.shared.fallback_calls.load(Ordering::Relaxed);
         s.exec_cache_hits = self.shared.exec_hits.load(Ordering::Relaxed);
+        s.degraded = self.shared.degraded.load(Ordering::Relaxed);
+        s.breaker = self.shared.resilient.as_ref().map(|r| r.breaker_state());
         s
     }
 

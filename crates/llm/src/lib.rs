@@ -31,7 +31,9 @@
 //! | [`noise`] | the calibrated error channel |
 //! | [`sim`] | the simulated model |
 //! | [`cache`] | exact / normalized prompt caches (§4.3, §5.5) |
-//! | [`parallel`] | multi-threaded prompt fan-out (§6) |
+//! | [`parallel`] | multi-threaded prompt fan-out (§6), deadline-aware |
+//! | [`transport`] | the model-call seam: real passthrough + deterministic fault-injecting `SimTransport` |
+//! | [`resilience`] | retries, per-call timeouts, circuit breaker, statement-deadline observance (see RESILIENCE.md) |
 
 pub mod cache;
 pub mod knowledge;
@@ -39,8 +41,10 @@ pub mod model;
 pub mod noise;
 pub mod parallel;
 pub mod prompt;
+pub mod resilience;
 pub mod sim;
 pub mod tokenizer;
+pub mod transport;
 pub mod usage;
 
 pub use cache::{CachePolicy, CacheStats, CachedModel};
@@ -48,6 +52,10 @@ pub use knowledge::{AttrClass, KnowledgeBase, KnownValue, StaticKnowledge};
 pub use model::{Completion, LanguageModel, LlmError, LlmResult, ModelHandle, ModelKind};
 pub use noise::{CellContext, NoiseModel, Pathway};
 pub use prompt::{RowCompletionPrompt, RowExample, UdfExample, UdfPrompt};
+pub use resilience::{
+    BreakerPolicy, BreakerState, ResilienceStats, ResilientModel, RetryPolicy,
+};
 pub use sim::SimulatedModel;
 pub use tokenizer::{count_tokens, TokenCount};
+pub use transport::{DirectTransport, ModelFault, ModelTransport, SimTransport};
 pub use usage::{Pricing, UsageMeter, UsageReport};

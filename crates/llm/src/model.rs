@@ -61,6 +61,29 @@ pub enum LlmError {
     /// Transport/internal failure (unused by the simulator, present for
     /// API parity with a real client).
     Backend(String),
+    /// The call exceeded its per-call timeout (retryable).
+    Timeout,
+    /// The endpoint shed load with a rate-limit response (retryable).
+    RateLimited,
+    /// The circuit breaker refused the call without touching the
+    /// endpoint (retrying is pointless until the cooldown elapses).
+    CircuitOpen,
+    /// The statement's deadline expired or it was cancelled mid-call —
+    /// the retry loop must stop and the statement must abort; this is
+    /// never degraded to NULL or a stale answer.
+    Deadline,
+}
+
+impl LlmError {
+    /// Would retrying the call (after backoff) plausibly succeed?
+    /// Bad prompts are deterministic, breaker rejections fail fast by
+    /// design, and a blown deadline forbids further attempts.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            LlmError::Backend(_) | LlmError::Timeout | LlmError::RateLimited
+        )
+    }
 }
 
 impl fmt::Display for LlmError {
@@ -68,6 +91,10 @@ impl fmt::Display for LlmError {
         match self {
             LlmError::BadPrompt(m) => write!(f, "bad prompt: {m}"),
             LlmError::Backend(m) => write!(f, "backend error: {m}"),
+            LlmError::Timeout => write!(f, "model call timed out"),
+            LlmError::RateLimited => write!(f, "model rate limited"),
+            LlmError::CircuitOpen => write!(f, "model circuit breaker open"),
+            LlmError::Deadline => write!(f, "model call abandoned: statement deadline exceeded"),
         }
     }
 }
@@ -152,5 +179,18 @@ mod tests {
     #[test]
     fn errors_display() {
         assert_eq!(LlmError::BadPrompt("x".into()).to_string(), "bad prompt: x");
+        assert_eq!(LlmError::Timeout.to_string(), "model call timed out");
+        assert_eq!(LlmError::RateLimited.to_string(), "model rate limited");
+        assert_eq!(LlmError::CircuitOpen.to_string(), "model circuit breaker open");
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(LlmError::Backend("x".into()).is_retryable());
+        assert!(LlmError::Timeout.is_retryable());
+        assert!(LlmError::RateLimited.is_retryable());
+        assert!(!LlmError::BadPrompt("x".into()).is_retryable());
+        assert!(!LlmError::CircuitOpen.is_retryable());
+        assert!(!LlmError::Deadline.is_retryable());
     }
 }

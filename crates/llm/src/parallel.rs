@@ -18,7 +18,9 @@
 //! by a morsel-parallel SQL operator) also runs inline instead of
 //! re-entering — and potentially deadlocking — the fixed pool.
 
-use crate::model::{Completion, LanguageModel, LlmResult};
+use swan_pool::{cancel, CancelToken};
+
+use crate::model::{Completion, LanguageModel, LlmError, LlmResult};
 
 /// Execute `prompts` against `model` on up to `workers` pool threads.
 ///
@@ -26,13 +28,43 @@ use crate::model::{Completion, LanguageModel, LlmResult};
 /// inline. Effective concurrency is additionally bounded by the shared
 /// pool size ([`swan_pool::pool_size`]: `max(cores, 16)`, capped at 64 —
 /// comfortably above the §6 parallelism ablation's sweep).
+///
+/// The caller's **current cancel token** ([`swan_pool::cancel::current`])
+/// is re-installed inside every worker (pool threads do not inherit
+/// thread-locals), so a statement deadline firing mid-batch makes the
+/// remaining prompts fail fast with [`LlmError::Deadline`] instead of
+/// being attempted.
 pub fn complete_many(
     model: &dyn LanguageModel,
     prompts: &[String],
     workers: usize,
 ) -> Vec<LlmResult<Completion>> {
+    match cancel::current() {
+        Some(token) => complete_many_cancellable(model, prompts, workers, &token),
+        None => {
+            let workers = workers.max(1).min(prompts.len().max(1));
+            swan_pool::parallel_items(prompts.len(), workers, |i| model.complete(&prompts[i]))
+        }
+    }
+}
+
+/// [`complete_many`] under an explicit cancel token: each worker checks
+/// the token before attempting its prompt (aborting promptly once it
+/// fires) and installs it as the worker-thread's current token so the
+/// model wrapper observes the same deadline.
+pub fn complete_many_cancellable(
+    model: &dyn LanguageModel,
+    prompts: &[String],
+    workers: usize,
+    token: &CancelToken,
+) -> Vec<LlmResult<Completion>> {
     let workers = workers.max(1).min(prompts.len().max(1));
-    swan_pool::parallel_items(prompts.len(), workers, |i| model.complete(&prompts[i]))
+    swan_pool::parallel_items(prompts.len(), workers, |i| {
+        if token.check().is_err() {
+            return Err(LlmError::Deadline);
+        }
+        cancel::with_current(token, || model.complete(&prompts[i]))
+    })
 }
 
 #[cfg(test)]
@@ -199,6 +231,30 @@ mod tests {
         let out = complete_many(&router, &prompts, 64);
         assert_eq!(out.len(), 80);
         assert_eq!(out[7].as_ref().unwrap().text, "p7/0+p7/1+p7/2");
+    }
+
+    #[test]
+    fn cancelled_token_fails_remaining_prompts_fast() {
+        let model = SlowEcho::new();
+        let prompts: Vec<String> = (0..8).map(|i| format!("p{i}")).collect();
+        let token = swan_pool::CancelToken::unbounded();
+        token.cancel();
+        let t = Instant::now();
+        let out = complete_many_cancellable(&model, &prompts, 4, &token);
+        assert!(t.elapsed() < Duration::from_millis(100), "must abort promptly");
+        assert!(out.iter().all(|r| *r == Err(crate::model::LlmError::Deadline)));
+        assert_eq!(model.usage().calls, 0, "no prompt attempted after cancellation");
+    }
+
+    #[test]
+    fn current_token_propagates_into_workers() {
+        let model = SlowEcho::new();
+        let prompts: Vec<String> = (0..4).map(|i| format!("p{i}")).collect();
+        let token = swan_pool::CancelToken::unbounded();
+        token.cancel();
+        // complete_many picks the caller's current token up by itself.
+        let out = swan_pool::cancel::with_current(&token, || complete_many(&model, &prompts, 4));
+        assert!(out.iter().all(|r| *r == Err(crate::model::LlmError::Deadline)));
     }
 
     #[test]

@@ -1,0 +1,608 @@
+//! The resilient model-call layer: per-call timeouts, capped
+//! exponential backoff with deterministic jitter, and a per-endpoint
+//! circuit breaker — wrapped around any [`ModelTransport`] and exposed
+//! as a plain [`LanguageModel`], so everything downstream (UDF runner,
+//! caches, parallel fan-out) composes unchanged.
+//!
+//! # Deadlines
+//!
+//! [`ResilientModel::complete`] observes the **statement-scoped cancel
+//! token** ([`swan_pool::cancel::current`]) installed by the SQL
+//! executor: every attempt's budget is clamped to the time remaining,
+//! a backoff sleep that would cross the deadline is not taken, and once
+//! the deadline passes the call fails with [`LlmError::Deadline`] —
+//! which the UDF layer maps to the engine's statement-timeout error
+//! rather than degrading it to NULL.
+//!
+//! # Breaker semantics
+//!
+//! Classic three-state per-endpoint breaker. *Closed*: calls flow;
+//! `failure_threshold` consecutive endpoint failures (backend error,
+//! timeout, rate limit — never bad prompts or blown deadlines) open it.
+//! *Open*: calls fail fast with [`LlmError::CircuitOpen`] until
+//! `cooldown` elapses on the wrapper's clock. *Half-open*: exactly one
+//! probe attempt is admitted; success closes the breaker, failure
+//! re-opens it for another cooldown. All transitions are deterministic
+//! under [`SimClock`](swan_pool::SimClock) and observable via
+//! [`ResilientModel::breaker_state`] (surfaced through `UdfStats`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use swan_pool::{cancel, CancelToken, ClockHandle, RealClock};
+
+use crate::model::{Completion, LanguageModel, LlmError, LlmResult, ModelHandle};
+use crate::transport::{DirectTransport, ModelTransport};
+use crate::usage::UsageMeter;
+
+/// Retry/timeout knobs for one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per call, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Per-attempt budget; a slower attempt is abandoned as a timeout.
+    pub call_timeout: Duration,
+    /// First backoff sleep; doubles each retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            call_timeout: Duration::from_secs(10),
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Circuit-breaker knobs for one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive endpoint failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before admitting a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy { failure_threshold: 5, cooldown: Duration::from_secs(10) }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+impl BreakerState {
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+struct BreakerCore {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Clock time the breaker last opened.
+    opened_at: Duration,
+    /// A half-open probe is in flight; concurrent calls are rejected.
+    probe_in_flight: bool,
+}
+
+/// What the breaker decided for an attempt.
+enum Admission {
+    /// Proceed; `probe` marks the half-open trial call.
+    Admit { probe: bool },
+    Reject,
+}
+
+/// Counters the resilience layer accumulates (monotonic, lock-free).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Logical `complete` calls.
+    pub calls: u64,
+    /// Transport attempts (≥ calls).
+    pub attempts: u64,
+    /// Attempts that were retries of a failed attempt.
+    pub retries: u64,
+    /// Attempts lost to the per-call timeout.
+    pub timeouts: u64,
+    /// Attempts rejected by rate limiting.
+    pub rate_limited: u64,
+    /// Calls rejected by an open breaker without touching the endpoint.
+    pub breaker_rejections: u64,
+    /// Closed→Open transitions.
+    pub breaker_opens: u64,
+    /// Calls that ultimately failed (after retries/deadline/breaker).
+    pub failed_calls: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    calls: AtomicU64,
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    rate_limited: AtomicU64,
+    breaker_rejections: AtomicU64,
+    breaker_opens: AtomicU64,
+    failed_calls: AtomicU64,
+}
+
+/// A [`LanguageModel`] wrapping a transport with retries, timeouts and
+/// a circuit breaker. Deliberately non-generic (`Arc<dyn …>` inside) so
+/// handles can be stored and inspected without downcasting.
+pub struct ResilientModel {
+    name: String,
+    transport: Arc<dyn ModelTransport>,
+    clock: ClockHandle,
+    retry: RetryPolicy,
+    breaker_policy: BreakerPolicy,
+    breaker: Mutex<BreakerCore>,
+    counters: Counters,
+    meter: UsageMeter,
+}
+
+impl ResilientModel {
+    pub fn new(
+        transport: Arc<dyn ModelTransport>,
+        clock: ClockHandle,
+        retry: RetryPolicy,
+        breaker: BreakerPolicy,
+    ) -> Self {
+        assert!(retry.max_attempts >= 1, "at least one attempt");
+        ResilientModel {
+            name: format!("resilient({})", transport.endpoint()),
+            transport,
+            clock,
+            retry,
+            breaker_policy: breaker,
+            breaker: Mutex::new(BreakerCore {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: Duration::ZERO,
+                probe_in_flight: false,
+            }),
+            counters: Counters::default(),
+            meter: UsageMeter::new(),
+        }
+    }
+
+    /// Production wrapper: direct transport, real clock, default
+    /// policies.
+    pub fn wrap(model: ModelHandle) -> Arc<ResilientModel> {
+        Arc::new(ResilientModel::new(
+            Arc::new(DirectTransport::new(model)),
+            RealClock::handle(),
+            RetryPolicy::default(),
+            BreakerPolicy::default(),
+        ))
+    }
+
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.lock().state
+    }
+
+    pub fn stats(&self) -> ResilienceStats {
+        let c = &self.counters;
+        ResilienceStats {
+            calls: c.calls.load(Ordering::Relaxed),
+            attempts: c.attempts.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            rate_limited: c.rate_limited.load(Ordering::Relaxed),
+            breaker_rejections: c.breaker_rejections.load(Ordering::Relaxed),
+            breaker_opens: c.breaker_opens.load(Ordering::Relaxed),
+            failed_calls: c.failed_calls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Does this error count against the breaker? Endpoint health is
+    /// about the *endpoint*: client mistakes (bad prompts) and caller
+    /// deadlines say nothing about it.
+    fn endpoint_failure(err: &LlmError) -> bool {
+        matches!(err, LlmError::Backend(_) | LlmError::Timeout | LlmError::RateLimited)
+    }
+
+    fn admit(&self) -> Admission {
+        let mut b = self.breaker.lock();
+        match b.state {
+            BreakerState::Closed => Admission::Admit { probe: false },
+            BreakerState::Open => {
+                if self.clock.now() >= b.opened_at + self.breaker_policy.cooldown {
+                    b.state = BreakerState::HalfOpen;
+                    b.probe_in_flight = true;
+                    Admission::Admit { probe: true }
+                } else {
+                    Admission::Reject
+                }
+            }
+            BreakerState::HalfOpen => {
+                if b.probe_in_flight {
+                    Admission::Reject
+                } else {
+                    b.probe_in_flight = true;
+                    Admission::Admit { probe: true }
+                }
+            }
+        }
+    }
+
+    fn record_outcome(&self, probe: bool, ok: bool) {
+        let mut b = self.breaker.lock();
+        if probe {
+            b.probe_in_flight = false;
+        }
+        if ok {
+            b.state = BreakerState::Closed;
+            b.consecutive_failures = 0;
+        } else if probe {
+            // A failed probe re-opens for another full cooldown.
+            b.state = BreakerState::Open;
+            b.opened_at = self.clock.now();
+            self.counters.breaker_opens.fetch_add(1, Ordering::Relaxed);
+        } else {
+            b.consecutive_failures += 1;
+            if b.state == BreakerState::Closed
+                && b.consecutive_failures >= self.breaker_policy.failure_threshold
+            {
+                b.state = BreakerState::Open;
+                b.opened_at = self.clock.now();
+                self.counters.breaker_opens.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Deterministic jitter in `[0, half]`: a split-mix hash of the call
+    /// and attempt indices — stable across runs, decorrelated across
+    /// concurrent callers.
+    fn jitter(call: u64, attempt: u32, half: Duration) -> Duration {
+        let mut x = call.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(attempt as u64);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        let nanos = half.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(x % (nanos + 1))
+    }
+
+    fn fail(&self, err: LlmError) -> LlmError {
+        self.counters.failed_calls.fetch_add(1, Ordering::Relaxed);
+        err
+    }
+
+    fn complete_with_token(
+        &self,
+        prompt: &str,
+        token: Option<&CancelToken>,
+    ) -> LlmResult<Completion> {
+        let call_idx = self.counters.calls.fetch_add(1, Ordering::Relaxed);
+        let check = |counted: bool| -> LlmResult<()> {
+            match token {
+                Some(t) if t.check().is_err() => {
+                    if !counted {
+                        self.counters.failed_calls.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(LlmError::Deadline)
+                }
+                _ => Ok(()),
+            }
+        };
+        let mut last_err = LlmError::Backend("no attempt made".into());
+        for attempt in 0..self.retry.max_attempts {
+            check(false)?;
+            let probe = match self.admit() {
+                Admission::Admit { probe } => probe,
+                Admission::Reject => {
+                    self.counters.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+                    return Err(self.fail(LlmError::CircuitOpen));
+                }
+            };
+            // Clamp the attempt budget to the statement's remaining time.
+            let budget = match token.and_then(|t| t.remaining()) {
+                Some(rem) => self.retry.call_timeout.min(rem),
+                None => self.retry.call_timeout,
+            };
+            self.counters.attempts.fetch_add(1, Ordering::Relaxed);
+            if attempt > 0 {
+                self.counters.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            match self.transport.call(prompt, Some(budget)) {
+                Ok(completion) => {
+                    self.record_outcome(probe, true);
+                    self.meter.record(completion.tokens);
+                    return Ok(completion);
+                }
+                Err(err) => {
+                    match &err {
+                        LlmError::Timeout => {
+                            self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        LlmError::RateLimited => {
+                            self.counters.rate_limited.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {}
+                    }
+                    self.record_outcome(probe, !Self::endpoint_failure(&err));
+                    if !err.is_retryable() {
+                        return Err(self.fail(err));
+                    }
+                    last_err = err;
+                }
+            }
+            // Last attempt exhausted: no backoff to compute.
+            if attempt + 1 == self.retry.max_attempts {
+                break;
+            }
+            check(false)?;
+            // Capped exponential backoff: base·2^attempt up to the cap,
+            // half fixed + half deterministic jitter.
+            let exp = self
+                .retry
+                .base_backoff
+                .saturating_mul(1u32 << attempt.min(20))
+                .min(self.retry.max_backoff);
+            let sleep = exp / 2 + Self::jitter(call_idx, attempt, exp / 2);
+            // Respect the deadline: never sleep past it.
+            if let Some(rem) = token.and_then(|t| t.remaining()) {
+                if sleep >= rem {
+                    return Err(self.fail(LlmError::Deadline));
+                }
+            }
+            self.clock.sleep(sleep);
+        }
+        Err(self.fail(last_err))
+    }
+}
+
+impl LanguageModel for ResilientModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// One resilient call: retries, timeouts and breaker applied, the
+    /// statement-scoped cancel token (if any) observed throughout.
+    fn complete(&self, prompt: &str) -> LlmResult<Completion> {
+        let token = cancel::current();
+        self.complete_with_token(prompt, token.as_ref())
+    }
+
+    fn usage_meter(&self) -> &UsageMeter {
+        &self.meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::TokenCount;
+    use crate::transport::{ModelFault, SimTransport};
+    use swan_pool::{Clock as _, SimClock};
+
+    struct Fixed(UsageMeter);
+
+    impl LanguageModel for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn complete(&self, prompt: &str) -> LlmResult<Completion> {
+            let tokens = TokenCount::of(prompt, "ok");
+            self.0.record(tokens);
+            Ok(Completion { text: "ok".into(), tokens })
+        }
+        fn usage_meter(&self) -> &UsageMeter {
+            &self.0
+        }
+    }
+
+    fn rig(retry: RetryPolicy, breaker: BreakerPolicy) -> (ResilientModel, SimTransport, Arc<SimClock>) {
+        let clock = SimClock::handle();
+        let transport = SimTransport::new(Arc::new(Fixed(UsageMeter::new())), clock.clone());
+        let model =
+            ResilientModel::new(Arc::new(transport.clone()), clock.clone(), retry, breaker);
+        (model, transport, clock)
+    }
+
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            call_timeout: Duration::from_millis(100),
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+        }
+    }
+
+    #[test]
+    fn clean_path_is_one_attempt() {
+        let (m, t, _) = rig(fast_retry(), BreakerPolicy::default());
+        assert_eq!(m.complete("p").unwrap().text, "ok");
+        assert_eq!(t.calls(), 1);
+        let s = m.stats();
+        assert_eq!((s.calls, s.attempts, s.retries, s.failed_calls), (1, 1, 0, 0));
+        assert_eq!(m.breaker_state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn transient_failure_is_retried_to_success() {
+        let (m, t, clock) = rig(fast_retry(), BreakerPolicy::default());
+        t.set_fault(0, ModelFault::Transient);
+        assert_eq!(m.complete("p").unwrap().text, "ok");
+        assert_eq!(t.calls(), 2);
+        assert_eq!(m.stats().retries, 1);
+        assert!(clock.now() >= Duration::from_millis(5), "a backoff sleep happened");
+    }
+
+    #[test]
+    fn exhausted_retries_return_the_last_error() {
+        let (m, t, _) = rig(fast_retry(), BreakerPolicy::default());
+        t.add_fault_range(0..4, ModelFault::RateLimited);
+        assert_eq!(m.complete("p"), Err(LlmError::RateLimited));
+        assert_eq!(t.calls(), 4, "max_attempts bounds the attempts");
+        assert_eq!(m.stats().failed_calls, 1);
+    }
+
+    #[test]
+    fn bad_prompt_is_not_retried_and_does_not_trip_the_breaker() {
+        struct Picky(UsageMeter);
+        impl LanguageModel for Picky {
+            fn name(&self) -> &str {
+                "picky"
+            }
+            fn complete(&self, _: &str) -> LlmResult<Completion> {
+                Err(LlmError::BadPrompt("nope".into()))
+            }
+            fn usage_meter(&self) -> &UsageMeter {
+                &self.0
+            }
+        }
+        let clock = SimClock::handle();
+        let transport = SimTransport::new(Arc::new(Picky(UsageMeter::new())), clock.clone());
+        let m = ResilientModel::new(
+            Arc::new(transport.clone()),
+            clock,
+            fast_retry(),
+            BreakerPolicy { failure_threshold: 1, cooldown: Duration::from_secs(1) },
+        );
+        assert!(matches!(m.complete("p"), Err(LlmError::BadPrompt(_))));
+        assert_eq!(transport.calls(), 1, "deterministic failures are not retried");
+        assert_eq!(m.breaker_state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let retry = fast_retry();
+        let run = || {
+            let (m, t, clock) = rig(retry, BreakerPolicy { failure_threshold: 100, cooldown: Duration::from_secs(1) });
+            t.add_fault_range(0..4, ModelFault::Transient);
+            let _ = m.complete("p");
+            clock.now()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same schedule, same virtual elapsed time");
+        // 3 backoffs, each ≤ max_backoff.
+        assert!(a <= Duration::from_millis(240), "{a:?}");
+        assert!(a >= Duration::from_millis(15), "{a:?}");
+    }
+
+    #[test]
+    fn breaker_opens_half_opens_and_closes() {
+        let breaker = BreakerPolicy { failure_threshold: 3, cooldown: Duration::from_secs(5) };
+        let (m, t, clock) = rig(
+            RetryPolicy { max_attempts: 1, ..fast_retry() },
+            breaker,
+        );
+        t.add_fault_range(0..3, ModelFault::Transient);
+        for _ in 0..3 {
+            assert!(m.complete("p").is_err());
+        }
+        assert_eq!(m.breaker_state(), BreakerState::Open);
+        assert_eq!(m.stats().breaker_opens, 1);
+
+        // Open: rejected without an attempt.
+        let before = t.calls();
+        assert_eq!(m.complete("p"), Err(LlmError::CircuitOpen));
+        assert_eq!(t.calls(), before, "open breaker must not touch the endpoint");
+        assert_eq!(m.stats().breaker_rejections, 1);
+
+        // Cooldown elapses; the next call is the half-open probe and
+        // succeeds (fault script exhausted), closing the breaker.
+        clock.advance(Duration::from_secs(5));
+        assert_eq!(m.complete("p").unwrap().text, "ok");
+        assert_eq!(m.breaker_state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_cooldown() {
+        let breaker = BreakerPolicy { failure_threshold: 2, cooldown: Duration::from_secs(5) };
+        let (m, t, clock) = rig(RetryPolicy { max_attempts: 1, ..fast_retry() }, breaker);
+        t.add_fault_range(0..2, ModelFault::Transient);
+        for _ in 0..2 {
+            assert!(m.complete("p").is_err());
+        }
+        assert_eq!(m.breaker_state(), BreakerState::Open);
+        clock.advance(Duration::from_secs(5));
+        t.add_fault(2, ModelFault::Transient); // the probe fails too
+        assert!(m.complete("p").is_err());
+        assert_eq!(m.breaker_state(), BreakerState::Open, "failed probe re-opens");
+        assert_eq!(m.stats().breaker_opens, 2);
+        // Still rejecting inside the second cooldown.
+        assert_eq!(m.complete("p"), Err(LlmError::CircuitOpen));
+        clock.advance(Duration::from_secs(5));
+        assert!(m.complete("p").is_ok());
+        assert_eq!(m.breaker_state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn deadline_stops_retries_without_sleeping_past_it() {
+        let (m, t, clock) = rig(fast_retry(), BreakerPolicy::default());
+        t.add_fault_range(0..10, ModelFault::Transient);
+        let token = CancelToken::with_timeout(clock.clone(), Duration::from_millis(8));
+        let r = m.complete_with_token("p", Some(&token));
+        assert_eq!(r, Err(LlmError::Deadline));
+        // Every backoff is only taken if it finishes before the 8ms
+        // deadline, so virtual time never crosses it — and far fewer
+        // than max_attempts ran.
+        assert!(clock.now() <= Duration::from_millis(8), "never sleeps past the deadline");
+        assert!(t.calls() <= 2, "deadline must cut the retry loop short: {}", t.calls());
+    }
+
+    #[test]
+    fn attempt_budget_is_clamped_to_remaining_deadline() {
+        let (m, t, clock) = rig(
+            RetryPolicy { max_attempts: 1, call_timeout: Duration::from_secs(10), ..fast_retry() },
+            BreakerPolicy::default(),
+        );
+        t.set_fault(0, ModelFault::Timeout);
+        let token = CancelToken::with_timeout(clock.clone(), Duration::from_millis(50));
+        let r = m.complete_with_token("p", Some(&token));
+        assert!(matches!(r, Err(LlmError::Timeout) | Err(LlmError::Deadline)), "{r:?}");
+        assert_eq!(
+            clock.now(),
+            Duration::from_millis(50),
+            "attempt consumed the remaining deadline, not the full call timeout"
+        );
+    }
+
+    #[test]
+    fn cancelled_token_aborts_before_any_attempt() {
+        let (m, t, _) = rig(fast_retry(), BreakerPolicy::default());
+        let token = CancelToken::unbounded();
+        token.cancel();
+        assert_eq!(m.complete_with_token("p", Some(&token)), Err(LlmError::Deadline));
+        assert_eq!(t.calls(), 0);
+    }
+
+    #[test]
+    fn current_token_is_observed_through_the_trait_call() {
+        let (m, t, clock) = rig(fast_retry(), BreakerPolicy::default());
+        t.add_fault_range(0..10, ModelFault::Transient);
+        let token = CancelToken::with_timeout(clock.clone(), Duration::from_millis(8));
+        let r = cancel::with_current(&token, || m.complete("p"));
+        assert_eq!(r, Err(LlmError::Deadline));
+    }
+
+    #[test]
+    fn usage_meter_records_successful_completions_only() {
+        let (m, t, _) = rig(fast_retry(), BreakerPolicy::default());
+        t.set_fault(0, ModelFault::Transient);
+        m.complete("p").unwrap();
+        assert_eq!(m.usage().calls, 1, "one successful completion recorded");
+    }
+}

@@ -1,0 +1,278 @@
+//! The model-call transport seam — the LLM boundary's answer to
+//! `swan_sqlengine::vfs`.
+//!
+//! Every attempt the resilience layer makes goes through a
+//! [`ModelTransport`]: [`DirectTransport`] is the production
+//! passthrough to a [`LanguageModel`], and [`SimTransport`] is a
+//! deterministic fault injector that can make any *call index* fail
+//! transiently, rate-limit, time out, respond arbitrarily slowly, or
+//! return malformed output — the substrate `tests/llm_fault_sim.rs`
+//! sweeps, exactly as the crash-sim harness sweeps `SimFs`.
+//!
+//! A transport attempt takes an optional **budget**: the per-call
+//! timeout granted by the caller. A real network client would set its
+//! socket/request timeout from it; [`SimTransport`] honours it against
+//! the shared virtual [`Clock`] — a simulated response slower than the
+//! budget consumes the budget and fails with [`LlmError::Timeout`],
+//! just like a socket would.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use swan_pool::ClockHandle;
+
+use crate::model::{Completion, LlmError, LlmResult, ModelHandle};
+use crate::tokenizer::TokenCount;
+
+/// One attempt at the model endpoint. Implementations must be cheap to
+/// share — the resilience layer holds one per endpoint for the life of
+/// the process.
+pub trait ModelTransport: Send + Sync {
+    /// Endpoint identifier (breaker scope, log label).
+    fn endpoint(&self) -> &str;
+
+    /// Perform one attempt. `budget` is the per-attempt timeout the
+    /// caller grants (None = unbounded); a transport that cannot finish
+    /// inside it must give up with [`LlmError::Timeout`].
+    fn call(&self, prompt: &str, budget: Option<Duration>) -> LlmResult<Completion>;
+}
+
+/// Production passthrough: the wrapped model answers every attempt.
+/// Local models complete synchronously, so the budget has no enforcement
+/// point here — a remote-API transport would map it to its request
+/// timeout.
+pub struct DirectTransport {
+    inner: ModelHandle,
+}
+
+impl DirectTransport {
+    pub fn new(inner: ModelHandle) -> Self {
+        DirectTransport { inner }
+    }
+}
+
+impl ModelTransport for DirectTransport {
+    fn endpoint(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn call(&self, prompt: &str, _budget: Option<Duration>) -> LlmResult<Completion> {
+        self.inner.complete(prompt)
+    }
+}
+
+/// The faults [`SimTransport`] injects, keyed by call index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelFault {
+    /// A one-off backend failure (HTTP 5xx flavour): this attempt fails,
+    /// the next succeeds.
+    Transient,
+    /// The endpoint sheds load (HTTP 429): fails fast, retryable.
+    RateLimited,
+    /// The attempt consumes its entire budget producing nothing.
+    Timeout,
+    /// The response takes this long. Slower than the budget ⇒ the
+    /// attempt times out after consuming the budget; otherwise it
+    /// succeeds after the delay.
+    Slow(Duration),
+    /// The call "succeeds" with output in no parseable format — the
+    /// transport layer cannot tell; downstream parsers must degrade.
+    Malformed,
+}
+
+/// The text a [`ModelFault::Malformed`] call returns.
+pub const MALFORMED_TEXT: &str = "]]%% GATEWAY ERROR 502: upstream returned garbage %%[[";
+
+/// When a [`ModelFault::Timeout`] attempt has no budget to consume, it
+/// hangs this long (virtual time) before giving up.
+const UNBOUNDED_HANG: Duration = Duration::from_secs(60);
+
+/// Deterministic fault-injecting [`ModelTransport`]. Wraps an inner
+/// model (which answers the attempts the script lets through) and a
+/// shared clock (simulated latency advances it, so timeout semantics
+/// are exact). Cloning shares the transport — keep one handle for
+/// fault control and call counting.
+#[derive(Clone)]
+pub struct SimTransport {
+    inner: ModelHandle,
+    clock: ClockHandle,
+    state: Arc<SimTransportState>,
+}
+
+struct SimTransportState {
+    faults: Mutex<HashMap<u64, ModelFault>>,
+    calls: AtomicU64,
+}
+
+impl SimTransport {
+    pub fn new(inner: ModelHandle, clock: ClockHandle) -> Self {
+        SimTransport {
+            inner,
+            clock,
+            state: Arc::new(SimTransportState {
+                faults: Mutex::new(HashMap::new()),
+                calls: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Inject `fault` at call index `at` (0-based, in the order attempts
+    /// reach the transport), replacing any previously configured faults.
+    pub fn set_fault(&self, at: u64, fault: ModelFault) {
+        let mut faults = self.state.faults.lock();
+        faults.clear();
+        faults.insert(at, fault);
+    }
+
+    /// Add a fault without clearing existing ones — multi-fault scripts
+    /// drive breaker transitions (N consecutive failures, then recovery).
+    pub fn add_fault(&self, at: u64, fault: ModelFault) {
+        self.state.faults.lock().insert(at, fault);
+    }
+
+    /// Inject `fault` at every index in `range`.
+    pub fn add_fault_range(&self, range: std::ops::Range<u64>, fault: ModelFault) {
+        let mut faults = self.state.faults.lock();
+        for at in range {
+            faults.insert(at, fault);
+        }
+    }
+
+    pub fn clear_faults(&self) {
+        self.state.faults.lock().clear();
+    }
+
+    /// Attempts seen so far (the sweep bound).
+    pub fn calls(&self) -> u64 {
+        self.state.calls.load(Ordering::SeqCst)
+    }
+}
+
+impl ModelTransport for SimTransport {
+    fn endpoint(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn call(&self, prompt: &str, budget: Option<Duration>) -> LlmResult<Completion> {
+        let idx = self.state.calls.fetch_add(1, Ordering::SeqCst);
+        let fault = self.state.faults.lock().get(&idx).copied();
+        match fault {
+            None => self.inner.complete(prompt),
+            Some(ModelFault::Transient) => {
+                Err(LlmError::Backend(format!("injected transient failure at call {idx}")))
+            }
+            Some(ModelFault::RateLimited) => Err(LlmError::RateLimited),
+            Some(ModelFault::Timeout) => {
+                self.clock.sleep(budget.unwrap_or(UNBOUNDED_HANG));
+                Err(LlmError::Timeout)
+            }
+            Some(ModelFault::Slow(latency)) => match budget {
+                Some(budget) if latency > budget => {
+                    self.clock.sleep(budget);
+                    Err(LlmError::Timeout)
+                }
+                _ => {
+                    self.clock.sleep(latency);
+                    self.inner.complete(prompt)
+                }
+            },
+            Some(ModelFault::Malformed) => Ok(Completion {
+                text: MALFORMED_TEXT.to_string(),
+                tokens: TokenCount::of(prompt, MALFORMED_TEXT),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LanguageModel;
+    use crate::usage::UsageMeter;
+    use swan_pool::{Clock, SimClock};
+
+    struct Fixed(UsageMeter);
+
+    impl LanguageModel for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn complete(&self, prompt: &str) -> LlmResult<Completion> {
+            let tokens = TokenCount::of(prompt, "ok");
+            self.0.record(tokens);
+            Ok(Completion { text: "ok".into(), tokens })
+        }
+        fn usage_meter(&self) -> &UsageMeter {
+            &self.0
+        }
+    }
+
+    fn sim() -> (SimTransport, Arc<SimClock>) {
+        let clock = SimClock::handle();
+        let t = SimTransport::new(Arc::new(Fixed(UsageMeter::new())), clock.clone());
+        (t, clock)
+    }
+
+    #[test]
+    fn clean_calls_pass_through() {
+        let (t, _) = sim();
+        assert_eq!(t.call("p", None).unwrap().text, "ok");
+        assert_eq!(t.calls(), 1);
+        assert_eq!(t.endpoint(), "fixed");
+    }
+
+    #[test]
+    fn faults_hit_exactly_their_index() {
+        let (t, _) = sim();
+        t.set_fault(1, ModelFault::Transient);
+        assert!(t.call("p", None).is_ok());
+        assert!(matches!(t.call("p", None), Err(LlmError::Backend(_))));
+        assert!(t.call("p", None).is_ok(), "transient means the next call succeeds");
+    }
+
+    #[test]
+    fn slow_response_inside_budget_succeeds_after_the_delay() {
+        let (t, clock) = sim();
+        t.set_fault(0, ModelFault::Slow(Duration::from_millis(40)));
+        let r = t.call("p", Some(Duration::from_millis(100)));
+        assert_eq!(r.unwrap().text, "ok");
+        assert_eq!(clock.now(), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn slow_response_past_budget_times_out_at_the_budget() {
+        let (t, clock) = sim();
+        t.set_fault(0, ModelFault::Slow(Duration::from_secs(30)));
+        let r = t.call("p", Some(Duration::from_millis(100)));
+        assert_eq!(r, Err(LlmError::Timeout));
+        assert_eq!(clock.now(), Duration::from_millis(100), "consumes the budget, not the latency");
+    }
+
+    #[test]
+    fn timeout_fault_consumes_the_budget() {
+        let (t, clock) = sim();
+        t.set_fault(0, ModelFault::Timeout);
+        assert_eq!(t.call("p", Some(Duration::from_millis(250))), Err(LlmError::Timeout));
+        assert_eq!(clock.now(), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn malformed_is_an_ok_with_unparseable_text() {
+        let (t, _) = sim();
+        t.set_fault(0, ModelFault::Malformed);
+        let r = t.call("p", None).unwrap();
+        assert_eq!(r.text, MALFORMED_TEXT);
+    }
+
+    #[test]
+    fn fault_script_editing() {
+        let (t, _) = sim();
+        t.add_fault_range(0..3, ModelFault::RateLimited);
+        assert_eq!(t.call("p", None), Err(LlmError::RateLimited));
+        t.clear_faults();
+        assert!(t.call("p", None).is_ok());
+    }
+}

@@ -31,6 +31,23 @@
 //! at least 1), otherwise [`std::thread::available_parallelism`].
 //! `SWAN_THREADS=1` therefore reproduces fully serial execution across
 //! the whole workspace.
+//!
+//! # Time and cancellation
+//!
+//! The crate also hosts the two primitives every long-running path in
+//! the workspace shares (it is the one crate both the LLM layer and the
+//! SQL executor depend on): the [`time`] module's [`Clock`] seam
+//! (production [`RealClock`] vs the deterministic virtual-time
+//! [`SimClock`] the LLM fault sweep runs on) and the [`cancel`]
+//! module's [`CancelToken`] — the cooperative statement
+//! deadline/cancellation handle morsel loops, retry loops and
+//! single-flight waiters check between units of work.
+
+pub mod cancel;
+pub mod time;
+
+pub use cancel::{CancelReason, CancelToken};
+pub use time::{Clock, ClockHandle, RealClock, SimClock};
 
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};

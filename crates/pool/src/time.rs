@@ -1,0 +1,136 @@
+//! The clock seam under every deadline and backoff in the workspace.
+//!
+//! Mirrors the `Vfs` design one layer down: code that needs to *read*
+//! time or *wait* does so through a [`Clock`], so production uses the
+//! monotonic OS clock ([`RealClock`]) while deterministic harnesses use
+//! [`SimClock`] — virtual time whose `sleep` advances the clock
+//! instantly. The LLM fault sweep (`tests/llm_fault_sim.rs`) runs
+//! thousands of timeout/backoff/circuit-breaker schedules in
+//! milliseconds of wall time because nothing ever really sleeps, and
+//! every "did the retry respect the deadline?" assertion is exact
+//! instead of racy.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic clock: an opaque "now" (duration since the clock's own
+/// epoch) plus the ability to wait. Implementations must be cheap to
+/// query — deadline checks sit inside row loops.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Time elapsed since this clock's epoch.
+    fn now(&self) -> Duration;
+    /// Block (really or virtually) for `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// Shared handle to a clock.
+pub type ClockHandle = Arc<dyn Clock>;
+
+/// The production clock: [`Instant`]-based monotonic time, real sleeps.
+#[derive(Debug)]
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    pub fn new() -> Self {
+        RealClock { epoch: Instant::now() }
+    }
+
+    /// A shared handle — the common constructor.
+    pub fn handle() -> ClockHandle {
+        Arc::new(RealClock::new())
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        RealClock::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// Deterministic virtual time: `now` is an atomic nanosecond counter and
+/// `sleep(d)` advances it by `d` *instantly*. Schedules that would take
+/// minutes of backoff run in microseconds, and two runs of the same
+/// schedule observe identical timestamps.
+///
+/// Virtual time is shared through clones of the handle: a transport
+/// simulating a slow response and a retry loop sleeping out its backoff
+/// advance the *same* counter, so their interleaving is visible to both.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    nanos: AtomicU64,
+}
+
+impl SimClock {
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// A shared handle starting at virtual time zero.
+    pub fn handle() -> Arc<SimClock> {
+        Arc::new(SimClock::new())
+    }
+
+    /// Advance virtual time without sleeping (fault-script helper).
+    pub fn advance(&self, d: Duration) {
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::SeqCst);
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let c = RealClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn sim_clock_sleep_advances_instantly() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        let wall = Instant::now();
+        c.sleep(Duration::from_secs(3600));
+        assert_eq!(c.now(), Duration::from_secs(3600));
+        assert!(wall.elapsed() < Duration::from_millis(100), "virtual sleep must not block");
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c.now(), Duration::from_secs(3600) + Duration::from_millis(5));
+    }
+
+    #[test]
+    fn sim_clock_is_shared_through_the_handle() {
+        let c = SimClock::handle();
+        let clock: ClockHandle = c.clone();
+        clock.sleep(Duration::from_millis(250));
+        assert_eq!(c.now(), Duration::from_millis(250));
+    }
+}

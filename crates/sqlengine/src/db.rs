@@ -20,8 +20,10 @@
 
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
+use swan_pool::{CancelToken, ClockHandle, RealClock};
 
 use crate::ast::{InsertSource, Statement};
 use crate::error::{Error, Result};
@@ -65,7 +67,6 @@ impl QueryResult {
 
 /// An embedded SQL database: in-memory by default, WAL-durable when
 /// opened with [`Database::open`].
-#[derive(Default)]
 pub struct Database {
     catalog: Catalog,
     udfs: UdfRegistry,
@@ -80,6 +81,28 @@ pub struct Database {
     /// database's own catalog is the transaction's working state; the
     /// `Txn` pins the rollback snapshot.
     txn: Option<Txn>,
+    /// Per-statement deadline; `None` disables it. Each statement arms a
+    /// fresh [`CancelToken`] on entry; the executor checks it at plan-node
+    /// and morsel boundaries and fails with [`Error::Deadline`].
+    statement_timeout: Option<Duration>,
+    /// Clock the deadlines are armed against — [`RealClock`] normally, a
+    /// [`SimClock`](swan_pool::SimClock) in deterministic tests.
+    clock: ClockHandle,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            catalog: Catalog::default(),
+            udfs: UdfRegistry::new(),
+            optimizer: OptimizerConfig::default(),
+            wal: None,
+            txns: Arc::new(TxnManager::default()),
+            txn: None,
+            statement_timeout: None,
+            clock: RealClock::handle(),
+        }
+    }
 }
 
 impl Database {
@@ -114,11 +137,9 @@ impl Database {
         let recovered = Wal::open_on(vfs, path, config)?;
         Ok(Database {
             catalog: recovered.catalog,
-            udfs: UdfRegistry::new(),
-            optimizer: OptimizerConfig::default(),
             wal: Some(Arc::new(Mutex::new(recovered.wal))),
             txns: Arc::new(TxnManager::new(recovered.max_txn + 1)),
-            txn: None,
+            ..Default::default()
         })
     }
 
@@ -154,6 +175,43 @@ impl Database {
     /// Toggle optimizer rules (used by the ablation benchmarks).
     pub fn set_optimizer(&mut self, config: OptimizerConfig) {
         self.optimizer = config;
+    }
+
+    /// Set (or clear) the per-statement deadline. Every subsequent
+    /// statement arms a fresh cancel token with this timeout; a statement
+    /// that runs past it fails with [`Error::Deadline`] at the next
+    /// cooperative checkpoint, leaving no partial effects (statement
+    /// atomicity rolls write statements back like any other error).
+    pub fn set_statement_timeout(&mut self, timeout: Option<Duration>) {
+        self.statement_timeout = timeout;
+    }
+
+    pub fn statement_timeout(&self) -> Option<Duration> {
+        self.statement_timeout
+    }
+
+    /// Swap the clock statement deadlines are armed against. Tests inject
+    /// a [`SimClock`](swan_pool::SimClock) for deterministic expiry.
+    pub fn set_clock(&mut self, clock: ClockHandle) {
+        self.clock = clock;
+    }
+
+    pub fn clock(&self) -> ClockHandle {
+        self.clock.clone()
+    }
+
+    /// The cancel token for one statement: an already-installed caller
+    /// token wins (a [`Session`](crate::shared::Session) or test that
+    /// scoped the whole call keeps its deadline authoritative); otherwise
+    /// arm a fresh token from `statement_timeout`.
+    fn statement_token(&self) -> CancelToken {
+        if let Some(outer) = swan_pool::cancel::current() {
+            return outer;
+        }
+        match self.statement_timeout {
+            Some(d) => CancelToken::with_timeout(self.clock.clone(), d),
+            None => CancelToken::unbounded(),
+        }
     }
 
     pub fn optimizer(&self) -> OptimizerConfig {
@@ -234,15 +292,27 @@ impl Database {
         let stmt = parse_statement(sql)?;
         match &stmt {
             Statement::Select(s) => {
-                let ctx = ExecCtx::new(&self.catalog, &self.udfs)
-                    .with_optimizer(self.optimizer);
-                Ok(QueryResult::from_relation(run_select(s, &ctx, None)?))
+                let token = self.statement_token();
+                swan_pool::cancel::with_current(&token, || {
+                    let ctx = ExecCtx::new(&self.catalog, &self.udfs)
+                        .with_optimizer(self.optimizer);
+                    Ok(QueryResult::from_relation(run_select(s, &ctx, None)?))
+                })
             }
             _ => Err(Error::Semantic("query() only accepts SELECT statements".into())),
         }
     }
 
+    /// Arm the statement's deadline token, install it as the thread's
+    /// current token (so every [`ExecCtx`] built below — including the
+    /// throwaway contexts of DML source evaluation — and every model call
+    /// observes it), and run the statement.
     pub(crate) fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        let token = self.statement_token();
+        swan_pool::cancel::with_current(&token, || self.execute_statement_inner(stmt))
+    }
+
+    fn execute_statement_inner(&mut self, stmt: &Statement) -> Result<QueryResult> {
         match stmt {
             Statement::Begin => {
                 if self.txn.is_some() {
@@ -599,6 +669,8 @@ impl Clone for Database {
             wal: None,
             txns: self.txns.clone(),
             txn: self.txn.clone(),
+            statement_timeout: self.statement_timeout,
+            clock: self.clock.clone(),
         }
     }
 }

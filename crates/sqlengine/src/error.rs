@@ -46,6 +46,12 @@ pub enum Error {
     /// The statement requires a transaction state the session is not in
     /// (COMMIT without BEGIN, BEGIN inside an open transaction, ...).
     Txn(String),
+    /// The statement's deadline (`statement_timeout`) expired before it
+    /// finished. The statement was abandoned cleanly at a cooperative
+    /// checkpoint; no partial effects are visible.
+    Deadline,
+    /// The statement was cancelled through its session's cancel token.
+    Cancelled,
 }
 
 impl Error {
@@ -57,6 +63,15 @@ impl Error {
     /// Convenience constructor for lex errors.
     pub fn lex(pos: usize, message: impl Into<String>) -> Self {
         Error::Lex { pos, message: message.into() }
+    }
+}
+
+impl From<swan_pool::CancelReason> for Error {
+    fn from(reason: swan_pool::CancelReason) -> Self {
+        match reason {
+            swan_pool::CancelReason::DeadlineExceeded => Error::Deadline,
+            swan_pool::CancelReason::Cancelled => Error::Cancelled,
+        }
     }
 }
 
@@ -83,6 +98,9 @@ impl fmt::Display for Error {
             Error::Conflict(msg) => write!(f, "transaction conflict: {msg}"),
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
             Error::Txn(msg) => write!(f, "transaction error: {msg}"),
+            // Pinned by tests/slt/errors.slt — keep the text stable.
+            Error::Deadline => write!(f, "statement timeout: deadline exceeded"),
+            Error::Cancelled => write!(f, "statement cancelled"),
         }
     }
 }
@@ -111,6 +129,14 @@ mod tests {
             Error::Udf { name: "llm_map".into(), message: "boom".into() }.to_string(),
             "error in function llm_map: boom"
         );
+        assert_eq!(Error::Deadline.to_string(), "statement timeout: deadline exceeded");
+        assert_eq!(Error::Cancelled.to_string(), "statement cancelled");
+    }
+
+    #[test]
+    fn cancel_reasons_map_to_engine_errors() {
+        assert_eq!(Error::from(swan_pool::CancelReason::DeadlineExceeded), Error::Deadline);
+        assert_eq!(Error::from(swan_pool::CancelReason::Cancelled), Error::Cancelled);
     }
 
     #[test]

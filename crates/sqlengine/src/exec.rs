@@ -94,6 +94,10 @@ pub struct ExecCtx<'a> {
     /// later evaluation of the same argument tuple is a lookup instead
     /// of a call.
     pub udf_results: RefCell<FxHashMap<String, UdfResults>>,
+    /// The statement's cancellation/deadline token. Cloned into every
+    /// morsel worker's context; long loops call
+    /// [`ExecCtx::check_cancel`] at batch boundaries.
+    pub cancel: swan_pool::CancelToken,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -104,6 +108,11 @@ impl<'a> ExecCtx<'a> {
             optimizer: OptimizerConfig::default(),
             subqueries: Arc::new(Mutex::new(HashMap::new())),
             udf_results: RefCell::new(FxHashMap::default()),
+            // Inherit the statement token the session installed on this
+            // thread (see `Database::execute_statement`); a context built
+            // outside any statement scope runs unbounded.
+            cancel: swan_pool::cancel::current()
+                .unwrap_or_else(swan_pool::CancelToken::unbounded),
         }
     }
 
@@ -111,7 +120,24 @@ impl<'a> ExecCtx<'a> {
         self.optimizer = config;
         self
     }
+
+    pub fn with_cancel(mut self, cancel: swan_pool::CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The cooperative cancellation checkpoint: cheap enough for morsel
+    /// boundaries and periodic row-loop checks, fails the statement with
+    /// [`Error::Deadline`] / [`Error::Cancelled`].
+    #[inline]
+    pub fn check_cancel(&self) -> Result<()> {
+        self.cancel.check().map_err(Error::from)
+    }
 }
+
+/// How many rows a serial loop processes between cancellation checks —
+/// one morsel's worth, matching the parallel executor's granularity.
+pub(crate) const CANCEL_CHECK_ROWS: usize = crate::exec_parallel::MORSEL_ROWS;
 
 /// Execute a full SELECT (body + ORDER BY + LIMIT/OFFSET).
 pub fn run_select(
@@ -573,7 +599,10 @@ fn project_rows(
         return Ok((rows, keys));
     }
     let mut rows = Vec::with_capacity(input.rows.len());
-    for row in &input.rows {
+    for (i, row) in input.rows.iter().enumerate() {
+        if i % CANCEL_CHECK_ROWS == CANCEL_CHECK_ROWS - 1 {
+            ctx.check_cancel()?;
+        }
         let rc = RowCtx { schema: &input.schema, row, outer };
         let mut out = Vec::with_capacity(projection.len());
         for e in &bound {
@@ -746,6 +775,9 @@ fn run_aggregate(
             }
         } else {
             for (ri, row) in input.rows.iter().enumerate() {
+                if ri % CANCEL_CHECK_ROWS == CANCEL_CHECK_ROWS - 1 {
+                    ctx.check_cancel()?;
+                }
                 let rc = RowCtx { schema: &input.schema, row, outer };
                 let mut key = Vec::with_capacity(bound_keys.len());
                 for g in &bound_keys {
@@ -1126,6 +1158,9 @@ pub fn exec_plan(
     ctx: &ExecCtx<'_>,
     outer: Option<&RowCtx<'_>>,
 ) -> Result<Relation> {
+    // Per-plan-node cooperative checkpoint: a cancelled/expired statement
+    // stops before materializing the next operator's output.
+    ctx.check_cancel()?;
     match plan {
         Plan::Empty => Ok(Relation { schema: RelSchema::default(), rows: vec![Vec::new().into()] }),
 
@@ -1208,9 +1243,18 @@ pub(crate) fn filter_relation(
     let mut rows = std::mem::take(&mut rel.rows);
     let schema = &rel.schema;
     let mut first_err: Option<Error> = None;
+    let mut since_check = 0usize;
     rows.retain(|row| {
         if first_err.is_some() {
             return false;
+        }
+        since_check += 1;
+        if since_check >= CANCEL_CHECK_ROWS {
+            since_check = 0;
+            if let Err(e) = ctx.check_cancel() {
+                first_err = Some(e);
+                return false;
+            }
         }
         let rc = RowCtx { schema, row, outer };
         match eval(&predicate, ctx, Some(&rc)) {
@@ -1551,6 +1595,9 @@ fn hash_join(
     // unique-key build performs zero per-bucket allocations.
     let mut table: FxHashMap<JoinKey, Bucket> = map_with_capacity(build.rows().len());
     for (ri, row) in build.rows().iter().enumerate() {
+        if ri % CANCEL_CHECK_ROWS == CANCEL_CHECK_ROWS - 1 {
+            ctx.check_cancel()?;
+        }
         prefetch_row(build.rows(), ri + PREFETCH_AHEAD);
         if let Some(key) = build_key.key(row, build.schema(), ctx, outer)? {
             match table.entry(key) {
@@ -1602,6 +1649,9 @@ fn hash_join(
             if let [pk] = idxs[..] {
                 let rows = probe.rows();
                 for (pi, prow) in rows.iter().enumerate() {
+                    if pi % CANCEL_CHECK_ROWS == CANCEL_CHECK_ROWS - 1 {
+                        ctx.check_cancel()?;
+                    }
                     prefetch_row(rows, pi + PREFETCH_AHEAD);
                     let v = &prow[pk];
                     if v.is_null() {
@@ -1625,6 +1675,9 @@ fn hash_join(
     // only allocated contents, never a fresh Vec per candidate.
     let mut scratch: Vec<Value> = Vec::with_capacity(schema.len());
     for (pi, prow) in probe.rows().iter().enumerate() {
+        if pi % CANCEL_CHECK_ROWS == CANCEL_CHECK_ROWS - 1 {
+            ctx.check_cancel()?;
+        }
         prefetch_row(probe.rows(), pi + PREFETCH_AHEAD);
         let key = probe_key.key(prow, probe.schema(), ctx, outer)?;
         let mut matched = false;
@@ -1760,9 +1813,15 @@ fn nested_loop_join(
     }
 
     let mut out = Vec::new();
+    let mut since_check = 0usize;
     for lrow in left.rows() {
         let mut matched = false;
         for rrow in right.rows() {
+            since_check += 1;
+            if since_check >= CANCEL_CHECK_ROWS {
+                since_check = 0;
+                ctx.check_cancel()?;
+            }
             if let Some(pred) = &on {
                 for &i in &used {
                     scratch[i] =

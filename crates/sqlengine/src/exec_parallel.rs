@@ -115,6 +115,7 @@ where
     let udfs = ctx.udfs;
     let optimizer = ctx.optimizer;
     let subqueries = ctx.subqueries.clone();
+    let cancel = ctx.cancel.clone();
     type NewResults = Vec<(String, Vec<(Vec<crate::value::UdfArgKey>, Value)>)>;
     let merge_sink: std::sync::Mutex<NewResults> = std::sync::Mutex::new(Vec::new());
 
@@ -161,11 +162,23 @@ where
                 // subqueries run once no matter which worker needs them.
                 subqueries: subqueries.clone(),
                 udf_results: RefCell::new(snapshot.clone()),
+                // Workers share the statement's cancel token: a deadline
+                // firing mid-statement stops every worker at its next
+                // morsel boundary.
+                cancel: cancel.clone(),
             },
             snapshot: &snapshot,
             sink: &merge_sink,
         },
-        |worker, range| f(range, &worker.wctx),
+        |worker, range| {
+            // Morsel-boundary cooperative checkpoint: each worker gives up
+            // before starting its next morsel once the statement is done.
+            worker.wctx.check_cancel()?;
+            // Re-install the statement token as this pool thread's current
+            // token so model calls made from inside the morsel observe the
+            // statement deadline (pool threads don't inherit thread-locals).
+            swan_pool::cancel::with_current(&worker.wctx.cancel, || f(range, &worker.wctx))
+        },
     )
     .into_iter()
     .collect();

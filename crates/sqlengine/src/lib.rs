@@ -65,6 +65,18 @@
 //!   recovery is always a clean prefix of acknowledged commits
 //!   ([`Database::open_on`] / [`SharedDb::open_on`] accept an explicit
 //!   `Vfs`);
+//! * **statement timeouts & cooperative cancellation**: a
+//!   `statement_timeout` set on a [`Database`], a [`SharedDb`] (the
+//!   shared default) or a single [`Session`] (override) arms every
+//!   statement with a deadline-bearing `swan_pool::CancelToken`,
+//!   installed as the thread's current token for the statement's whole
+//!   span. The serial and morsel-parallel executors check it between
+//!   morsels, long-running UDFs cooperate via
+//!   `swan_pool::cancel::check_current()`, and a caller-installed token
+//!   scopes a whole batch (or cancels from another thread). A tripped
+//!   deadline surfaces as [`Error::Deadline`] with pinned wording —
+//!   `statement timeout: deadline exceeded` (`tests/slt/errors.slt`
+//!   locks it in at 1 and 8 threads);
 //! * **surfaced script transactions**: [`SharedDb::execute_script`]
 //!   refuses to silently drop a transaction a script leaves open — it
 //!   rolls back and errors, unless

@@ -56,8 +56,10 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar};
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
+use swan_pool::{CancelToken, ClockHandle, RealClock};
 
 use crate::ast::Statement;
 use crate::db::{Database, QueryResult};
@@ -80,11 +82,16 @@ pub struct SharedDb {
     inner: Arc<Shared>,
 }
 
-#[derive(Default)]
 struct Shared {
     catalog: RwLock<Catalog>,
     udfs: RwLock<UdfRegistry>,
     optimizer: RwLock<OptimizerConfig>,
+    /// Database-wide default per-statement deadline (sessions can
+    /// override their own; see [`Session::set_statement_timeout`]).
+    statement_timeout: RwLock<Option<Duration>>,
+    /// Clock statement deadlines are armed against (swap in a
+    /// [`SimClock`](swan_pool::SimClock) for deterministic tests).
+    clock: RwLock<ClockHandle>,
     /// One write lock per (lowercased) table name, created on first
     /// write. Holding a table's lock serializes every mutation of that
     /// table — DML and DDL alike — while leaving other tables free.
@@ -109,6 +116,23 @@ struct Shared {
     /// The group-commit queue: pending framed commit groups plus the
     /// leader flag and wakeup signalling.
     commits: CommitQueue,
+}
+
+impl Default for Shared {
+    fn default() -> Self {
+        Shared {
+            catalog: RwLock::default(),
+            udfs: RwLock::default(),
+            optimizer: RwLock::default(),
+            statement_timeout: RwLock::new(None),
+            clock: RwLock::new(RealClock::handle()),
+            table_locks: Mutex::default(),
+            txns: Arc::default(),
+            wal: None,
+            group_commit: false,
+            commits: CommitQueue::default(),
+        }
+    }
 }
 
 /// One committer's entry in the group-commit queue: its framed
@@ -218,6 +242,8 @@ impl SharedDb {
                 catalog: RwLock::new(catalog),
                 udfs: RwLock::new(udfs),
                 optimizer: RwLock::new(optimizer),
+                statement_timeout: RwLock::new(db.statement_timeout()),
+                clock: RwLock::new(db.clock()),
                 table_locks: Mutex::new(HashMap::new()),
                 txns,
                 wal,
@@ -253,6 +279,29 @@ impl SharedDb {
         *self.inner.optimizer.read()
     }
 
+    /// Set (or clear) the database-wide default per-statement deadline.
+    /// A statement running past it fails with
+    /// [`Error::Deadline`](crate::error::Error::Deadline) at the next
+    /// cooperative checkpoint; sessions may override their own (see
+    /// [`Session::set_statement_timeout`]).
+    pub fn set_statement_timeout(&self, timeout: Option<Duration>) {
+        *self.inner.statement_timeout.write() = timeout;
+    }
+
+    pub fn statement_timeout(&self) -> Option<Duration> {
+        *self.inner.statement_timeout.read()
+    }
+
+    /// Swap the clock statement deadlines are armed against (tests inject
+    /// a [`SimClock`](swan_pool::SimClock) for deterministic expiry).
+    pub fn set_clock(&self, clock: ClockHandle) {
+        *self.inner.clock.write() = clock;
+    }
+
+    pub fn clock(&self) -> ClockHandle {
+        self.inner.clock.read().clone()
+    }
+
     /// A consistent single-session snapshot of the current state: shares
     /// the `Arc<Table>` row storage (O(tables)), never blocks writers
     /// beyond the brief catalog read lock. Later writes through the
@@ -262,7 +311,10 @@ impl SharedDb {
         let optimizer = *self.inner.optimizer.read();
         let udfs = self.inner.udfs.read().clone();
         let catalog = self.inner.catalog.read().clone();
-        Database::from_parts(catalog, udfs, optimizer)
+        let mut db = Database::from_parts(catalog, udfs, optimizer);
+        db.set_statement_timeout(self.statement_timeout());
+        db.set_clock(self.clock());
+        db
     }
 
     /// A consistent snapshot of the catalog alone (the `BEGIN` pin).
@@ -273,7 +325,7 @@ impl SharedDb {
     /// An interactive session over this database: the handle through
     /// which multi-statement `BEGIN … COMMIT` transactions run.
     pub fn session(&self) -> Session {
-        Session { db: self.clone(), txn: None }
+        Session { db: self.clone(), txn: None, statement_timeout: None }
     }
 
     /// Execute a read-only query against a snapshot.
@@ -363,6 +415,8 @@ impl SharedDb {
         let optimizer = *self.inner.optimizer.read();
         let udfs = self.inner.udfs.read().clone();
         let mut db = Database::from_parts(base.clone(), udfs, optimizer);
+        db.set_statement_timeout(self.statement_timeout());
+        db.set_clock(self.clock());
         let result = db.execute_statement(stmt)?;
 
         // Install only the target table's new version (or its removal):
@@ -625,12 +679,41 @@ pub struct Session {
     /// The open transaction and its working catalog (pinned snapshot plus
     /// this session's own writes).
     txn: Option<(Txn, Catalog)>,
+    /// This session's statement-timeout override: `None` inherits the
+    /// shared default, `Some(t)` pins it (including `Some(None)` =
+    /// explicitly unlimited).
+    statement_timeout: Option<Option<Duration>>,
 }
 
 impl Session {
     /// True while a `BEGIN` is open.
     pub fn in_transaction(&self) -> bool {
         self.txn.is_some()
+    }
+
+    /// Override the shared database's default statement timeout for this
+    /// session only. `Some(d)` arms every subsequent statement with
+    /// deadline `d`; `None` makes this session explicitly unlimited.
+    pub fn set_statement_timeout(&mut self, timeout: Option<Duration>) {
+        self.statement_timeout = Some(timeout);
+    }
+
+    pub fn statement_timeout(&self) -> Option<Duration> {
+        self.statement_timeout.unwrap_or_else(|| self.db.statement_timeout())
+    }
+
+    /// The cancel token for one of this session's statements: an
+    /// already-installed caller token wins (so a caller can scope a whole
+    /// batch under one deadline, or cancel from another thread); otherwise
+    /// a fresh token is armed from the effective timeout.
+    fn statement_token(&self) -> CancelToken {
+        if let Some(outer) = swan_pool::cancel::current() {
+            return outer;
+        }
+        match self.statement_timeout() {
+            Some(d) => CancelToken::with_timeout(self.db.clock(), d),
+            None => CancelToken::unbounded(),
+        }
     }
 
     /// Execute one statement (transaction control included).
@@ -671,10 +754,11 @@ impl Session {
     /// when one is open (the session sees its own uncommitted writes),
     /// against a fresh snapshot otherwise.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
-        match &self.txn {
+        let token = self.statement_token();
+        swan_pool::cancel::with_current(&token, || match &self.txn {
             Some((_, working)) => self.overlay_db(working).query(sql),
             None => self.db.query(sql),
-        }
+        })
     }
 
     /// A single-session database over the transaction's working catalog.
@@ -685,6 +769,11 @@ impl Session {
     }
 
     pub(crate) fn execute_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        let token = self.statement_token();
+        swan_pool::cancel::with_current(&token, || self.execute_statement_inner(stmt))
+    }
+
+    fn execute_statement_inner(&mut self, stmt: &Statement) -> Result<QueryResult> {
         match stmt {
             Statement::Begin => {
                 if self.txn.is_some() {

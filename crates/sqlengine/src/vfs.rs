@@ -370,6 +370,43 @@ impl SimFs {
         fresh
     }
 
+    /// Reboot with a *per-file* choice of which unsynced writes survived.
+    ///
+    /// Real kernels flush dirty pages per inode with no cross-file
+    /// ordering: a crash can persist file B's unsynced writes while
+    /// losing file A's, even if A was written first. `keep_unsynced`
+    /// decides, per path, whether that file's volatile image (true) or
+    /// only its durable image (false) made it to disk. `reboot(b)` is
+    /// the uniform special case `reboot_mixed(|_| b)`. Paths are drawn
+    /// from the union of both namespaces, so a file created-but-unsynced
+    /// appears only when its closure returns true, and a file
+    /// deleted-but-unsynced *survives the delete* when it returns false.
+    pub fn reboot_mixed(&self, keep_unsynced: impl Fn(&Path) -> bool) -> SimFs {
+        let st = self.state.lock();
+        let mut paths: Vec<PathBuf> = st.namespace.keys().cloned().collect();
+        for p in st.durable_ns.keys() {
+            if !paths.contains(p) {
+                paths.push(p.clone());
+            }
+        }
+        let mut image: HashMap<PathBuf, Vec<u8>> = HashMap::new();
+        for path in paths {
+            if keep_unsynced(&path) {
+                if let Some((ino, _)) = st.namespace.get(&path) {
+                    image.insert(path, st.inodes.get(ino).cloned().unwrap_or_default());
+                }
+            } else if let Some(ino) = st.durable_ns.get(&path) {
+                image.insert(path, st.durable_inodes.get(ino).cloned().unwrap_or_default());
+            }
+        }
+        drop(st);
+        let fresh = SimFs::new();
+        for (path, bytes) in image {
+            fresh.install_file(path, bytes);
+        }
+        fresh
+    }
+
     /// Seed a file in both images (test setup helper).
     pub fn install_file(&self, path: impl Into<PathBuf>, bytes: Vec<u8>) {
         let path = path.into();
@@ -679,6 +716,41 @@ mod tests {
         fs.sync_parent_dir(&p("/wal")).unwrap();
         assert_eq!(fs.reboot(false).read(&p("/wal")).unwrap(), b"checkpoint+more");
         assert!(fs.reboot(false).read(&p("/wal.tmp")).is_err(), "tmp entry moved");
+    }
+
+    #[test]
+    fn reboot_mixed_persists_unsynced_writes_per_file() {
+        let fs = SimFs::new();
+        fs.install_file("/wal", b"synced-wal".to_vec());
+        fs.install_file("/db", b"synced-db".to_vec());
+        let mut wal = fs.open(&p("/wal")).unwrap();
+        wal.write_all_at(0, b"dirty--wal").unwrap();
+        let mut db = fs.open(&p("/db")).unwrap();
+        db.write_all_at(0, b"dirty--db").unwrap();
+        // Neither file synced. The kernel flushed /db's dirty pages but
+        // not /wal's — the write to /wal happened *first*, yet only the
+        // later write survives: no cross-file ordering.
+        let disk = fs.reboot_mixed(|path| path == p("/db"));
+        assert_eq!(disk.read(&p("/wal")).unwrap(), b"synced-wal");
+        assert_eq!(disk.read(&p("/db")).unwrap(), b"dirty--db");
+        // Uniform closures reproduce plain reboot.
+        assert_eq!(fs.reboot_mixed(|_| true).read(&p("/wal")).unwrap(), b"dirty--wal");
+        assert_eq!(fs.reboot_mixed(|_| false).read(&p("/db")).unwrap(), b"synced-db");
+
+        // Created-but-unsynced appears only for kept files; an unsynced
+        // rename is undone for dropped files (source name comes back).
+        let mut tmp = fs.create(&p("/tmp1")).unwrap();
+        tmp.write_all_at(0, b"t").unwrap();
+        drop(tmp);
+        fs.rename(&p("/db"), &p("/db2")).unwrap();
+        let disk = fs.reboot_mixed(|_| false);
+        assert!(disk.read(&p("/tmp1")).is_err(), "unsynced create lost");
+        assert_eq!(disk.read(&p("/db")).unwrap(), b"synced-db", "unsynced rename undone");
+        assert!(disk.read(&p("/db2")).is_err());
+        let disk = fs.reboot_mixed(|_| true);
+        assert_eq!(disk.read(&p("/tmp1")).unwrap(), b"t");
+        assert_eq!(disk.read(&p("/db2")).unwrap(), b"dirty--db", "kept rename stays");
+        assert!(disk.read(&p("/db")).is_err());
     }
 
     #[test]

@@ -268,6 +268,51 @@ fn dir_sync_failure_then_crash_never_loses_acked_commits() {
     }
 }
 
+/// Mixed-reboot schedule: real kernels flush dirty pages per inode with
+/// no cross-file ordering, so a crash during a checkpoint can persist
+/// the tmp file's unsynced bytes while losing the log's — or the
+/// reverse. Sweep a crash through every op index of the checkpoint
+/// schedule and reboot with each *strictly mixed* per-file keep choice
+/// over the log and its checkpoint tmp (the uniform choices are the
+/// plain `reboot` images the other sweeps already cover). The crash
+/// contract must hold on every such disk.
+#[test]
+fn fault_sweep_with_mixed_per_file_reboots() {
+    let config = DurabilityConfig { checkpoint_bytes: 200, ..Default::default() };
+    let steps = commit_steps();
+    let baseline = run_serial(config, &steps, &[]);
+    let total_ops = baseline.fs.op_count();
+    let tmp = PathBuf::from(format!("{WAL}.tmp"));
+
+    for at in 0..total_ops {
+        for kind in FAULTS {
+            let run = run_serial(config, &steps, &[(at, kind)]);
+            let mut allowed: Vec<&String> = vec![&run.acked_state];
+            if let Some(extra) = run.with_in_flight.as_ref() {
+                allowed.push(extra);
+            }
+            for keep_wal in [false, true] {
+                // Strictly mixed: the tmp file's fate differs from the log's.
+                let image = run
+                    .fs
+                    .reboot_mixed(|path| if path == tmp { !keep_wal } else { keep_wal });
+                let ctx = format!("mixed fault {kind:?} @op {at} keep_wal={keep_wal}");
+                let db = open_sim(&image, config).unwrap_or_else(|e| {
+                    panic!("{ctx}: recovery must succeed on a kernel-legal disk: {e}\nops:\n{}",
+                        run.fs.ops().join("\n"))
+                });
+                let recovered = dump(&db);
+                assert!(
+                    allowed.iter().any(|a| **a == recovered),
+                    "{ctx}: torn recovery!\n-- recovered --\n{recovered}\n-- allowed --\n{}\nops:\n{}",
+                    allowed.iter().map(|a| a.as_str()).collect::<Vec<_>>().join("\n----\n"),
+                    run.fs.ops().join("\n"),
+                );
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Group-commit schedule: concurrent committers
 // ---------------------------------------------------------------------------

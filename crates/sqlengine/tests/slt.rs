@@ -20,6 +20,11 @@
 //! * `statement ok` — the SQL on the following lines (up to a blank
 //!   line) must execute successfully;
 //! * `statement error` — it must fail (any [`Error`] counts);
+//! * `statement error <substring>` — it must fail AND the error's
+//!   display text must contain `<substring>` (pins message wording);
+//! * `config statement_timeout <ms>` / `config statement_timeout none`
+//!   — arm or clear the session's statement timeout for everything that
+//!   follows;
 //! * `query` — the SQL runs up to the `----` separator; the lines after
 //!   it, up to a blank line, are the expected rows. Cells are joined
 //!   with `|`; `NULL` renders as the literal `NULL`.
@@ -30,17 +35,96 @@
 //! parallel operators) — and both runs must match the golden output
 //! byte for byte. Statements execute through a [`Session`], so
 //! `BEGIN`/`COMMIT`/`ROLLBACK` scripts exercise the transaction path.
+//!
+//! The runner registers two local test UDFs (this crate cannot see the
+//! LLM layer, so they stand in for a model-backed function):
+//!
+//! * `flaky_map(mode, key)` — mirrors the model-call degradation shapes:
+//!   `'ok'` answers `v:<key>` and remembers it, `'fail'` errors (the
+//!   `Fail` policy surface), `'null'` answers NULL (`Null` policy), and
+//!   `'stale'` re-serves the remembered answer (`StaleCache` policy);
+//! * `slow_probe(ms)` — sleeps, then checks the statement's cancel
+//!   token, exactly like a cooperative long-running UDF should.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-use swan_sqlengine::{OptimizerConfig, SharedDb, Value};
+use swan_sqlengine::{Error, OptimizerConfig, Result, ScalarUdf, SharedDb, Value};
 
 #[derive(Debug)]
 enum Directive {
     StatementOk { line: usize, sql: String },
-    StatementError { line: usize, sql: String },
+    StatementError { line: usize, sql: String, needle: Option<String> },
+    Config { line: usize, key: String, value: String },
     Query { line: usize, sql: String, expected: Vec<String> },
+}
+
+/// `flaky_map(mode, key)` — the degradation-policy stand-in.
+#[derive(Default)]
+struct FlakyMap {
+    remembered: Mutex<HashMap<String, Value>>,
+}
+
+impl ScalarUdf for FlakyMap {
+    fn name(&self) -> &str {
+        "flaky_map"
+    }
+
+    fn arity(&self) -> Option<usize> {
+        Some(2)
+    }
+
+    fn invoke(&self, args: &[Value]) -> Result<Value> {
+        let mode = args[0].as_str().unwrap_or_default();
+        let key = args[1].render();
+        match mode {
+            "ok" => {
+                let v = Value::from(format!("v:{key}"));
+                self.remembered.lock().unwrap().insert(key, v.clone());
+                Ok(v)
+            }
+            "fail" => Err(Error::Udf {
+                name: "flaky_map".into(),
+                message: "synthetic model failure".into(),
+            }),
+            "null" => Ok(Value::Null),
+            "stale" => Ok(self
+                .remembered
+                .lock()
+                .unwrap()
+                .get(&key)
+                .cloned()
+                .unwrap_or(Value::Null)),
+            other => Err(Error::Udf {
+                name: "flaky_map".into(),
+                message: format!("unknown mode {other:?}"),
+            }),
+        }
+    }
+}
+
+/// `slow_probe(ms)` — a cooperative long-running UDF: it burns real time
+/// and then honours the statement's cancel token.
+struct SlowProbe;
+
+impl ScalarUdf for SlowProbe {
+    fn name(&self) -> &str {
+        "slow_probe"
+    }
+
+    fn arity(&self) -> Option<usize> {
+        Some(1)
+    }
+
+    fn invoke(&self, args: &[Value]) -> Result<Value> {
+        let ms = args[0].as_i64().unwrap_or(0).max(0) as u64;
+        std::thread::sleep(Duration::from_millis(ms));
+        swan_pool::cancel::check_current().map_err(Error::from)?;
+        Ok(Value::Integer(1))
+    }
 }
 
 /// Parse one `.slt` file into directives, with 1-based line numbers for
@@ -59,8 +143,15 @@ fn parse_slt(path: &Path) -> Vec<Directive> {
         }
         let start = i + 1;
         match line {
-            "statement ok" | "statement error" => {
+            _ if line == "statement ok"
+                || line == "statement error"
+                || line.starts_with("statement error ") =>
+            {
                 let ok = line == "statement ok";
+                let needle = line
+                    .strip_prefix("statement error ")
+                    .map(|n| n.trim().to_string())
+                    .filter(|n| !n.is_empty());
                 i += 1;
                 let mut sql = Vec::new();
                 while i < lines.len() && !lines[i].trim().is_empty() {
@@ -72,8 +163,20 @@ fn parse_slt(path: &Path) -> Vec<Directive> {
                 directives.push(if ok {
                     Directive::StatementOk { line: start, sql }
                 } else {
-                    Directive::StatementError { line: start, sql }
+                    Directive::StatementError { line: start, sql, needle }
                 });
+            }
+            _ if line.starts_with("config ") => {
+                let mut parts = line["config ".len()..].split_whitespace();
+                let key = parts.next().unwrap_or_default().to_string();
+                let value = parts.next().unwrap_or_default().to_string();
+                assert!(
+                    !key.is_empty() && !value.is_empty() && parts.next().is_none(),
+                    "{}:{start}: config needs exactly `config <key> <value>`",
+                    path.display()
+                );
+                directives.push(Directive::Config { line: start, key, value });
+                i += 1;
             }
             "query" => {
                 i += 1;
@@ -119,6 +222,8 @@ fn run_file(path: &Path, threads: usize) -> Vec<Vec<String>> {
         parallel_threshold: 1,
         ..Default::default()
     });
+    db.register_udf(Arc::new(FlakyMap::default()));
+    db.register_udf(Arc::new(SlowProbe));
     let mut session = db.session();
     let mut outputs = Vec::new();
     for directive in parse_slt(path) {
@@ -129,13 +234,39 @@ fn run_file(path: &Path, threads: usize) -> Vec<Vec<String>> {
                         path.display())
                 });
             }
-            Directive::StatementError { line, sql } => {
-                assert!(
-                    session.execute_script(&sql).is_err(),
-                    "{}:{line} [threads={threads}]: statement succeeded but must fail\n{sql}",
-                    path.display()
-                );
+            Directive::StatementError { line, sql, needle } => {
+                match session.execute_script(&sql) {
+                    Ok(_) => panic!(
+                        "{}:{line} [threads={threads}]: statement succeeded but must fail\n{sql}",
+                        path.display()
+                    ),
+                    Err(e) => {
+                        if let Some(needle) = needle {
+                            let msg = e.to_string();
+                            assert!(
+                                msg.contains(&needle),
+                                "{}:{line} [threads={threads}]: error {msg:?} must contain {needle:?}\n{sql}",
+                                path.display()
+                            );
+                        }
+                    }
+                }
             }
+            Directive::Config { line, key, value } => match key.as_str() {
+                "statement_timeout" => {
+                    let timeout = match value.as_str() {
+                        "none" => None,
+                        ms => Some(Duration::from_millis(ms.parse().unwrap_or_else(|_| {
+                            panic!(
+                                "{}:{line}: statement_timeout wants millis or `none`, got {ms:?}",
+                                path.display()
+                            )
+                        }))),
+                    };
+                    session.set_statement_timeout(timeout);
+                }
+                other => panic!("{}:{line}: unknown config key {other:?}", path.display()),
+            },
             Directive::Query { line, sql, expected } => {
                 let result = session.query(&sql).unwrap_or_else(|e| {
                     panic!("{}:{line} [threads={threads}]: query failed: {e}\n{sql}",

@@ -56,3 +56,12 @@ run wal_commit
 echo "== udf_fallback =="
 cargo bench -p swan-bench --bench udf_fallback
 echo
+
+# Resilience-layer overhead on the no-fault path (plain table output):
+# the same fallback workload through a raw model vs a ResilientModel
+# wrapper (direct transport, default policies). The printed overhead must
+# stay under the 5% envelope recorded in crates/sqlengine/PERF.md; if it
+# climbs, resilience bookkeeping has leaked onto the per-call hot path.
+echo "== resilience_overhead =="
+cargo bench -p swan-bench --bench resilience_overhead
+echo

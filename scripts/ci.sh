@@ -25,7 +25,13 @@
 #      dir-sync-fails-then-crash schedule), asserting recovery is always
 #      a clean prefix of acknowledged commits;
 #   6. the golden SQL suite (tests/slt/*.slt), each file executed on the
-#      serial and the 8-thread engine with byte-identical output.
+#      serial and the 8-thread engine with byte-identical output;
+#   7. the LLM fault-sweep harness (tests/llm_fault_sim.rs): every
+#      ModelFault kind injected at every call index of a fixed workload,
+#      serial and 8-thread-parallel and concurrent-session single-flight,
+#      on a virtual clock — no hangs, failed calls never cached, retries
+#      respect the statement deadline, breaker transitions match the
+#      fault script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,5 +64,8 @@ cargo test -q -p swan-sqlengine --test prop_codec
 
 echo "== cross-session llm_map single-flight =="
 cargo test -q --test concurrency
+
+echo "== LLM fault-sweep harness (deterministic, virtual clock) =="
+cargo test -q --test llm_fault_sim
 
 echo "CI gate passed."

@@ -54,12 +54,25 @@
 //!   recovery always lands on a clean prefix of acknowledged commits.
 //!   The `slt` golden-file suite replays sqllogictest-style scripts on
 //!   the serial and 8-thread engines with byte-identical expected
-//!   output.
+//!   output. Statements run under a **cooperative deadline**: a
+//!   `statement_timeout` on the database, a `SharedDb`, or a single
+//!   session arms a cancel token that both executors check between
+//!   morsels and that model calls, batch fan-outs and single-flight
+//!   waiters all observe — a blown deadline surfaces as the pinned
+//!   `statement timeout: deadline exceeded` error, never a hang.
 //! * [`llm`] — the language-model layer: prompt templates, token/cost
 //!   accounting, caches, a parallel executor over the shared
 //!   [`swan_pool`] worker pool, and the calibrated simulated
 //!   GPT-3.5/GPT-4 models (see DESIGN.md for the substitution
-//!   rationale).
+//!   rationale). Model calls cross a **transport seam**
+//!   (`swan_llm::transport`, the LLM boundary's `vfs`): `DirectTransport`
+//!   in production, fault-injecting `SimTransport` in tests, and a
+//!   `ResilientModel` wrapper adding per-call timeouts, capped
+//!   exponential backoff with deterministic jitter, and a per-endpoint
+//!   circuit breaker — with terminal failures resolved by the UDF
+//!   runner's `OnModelFailure` policy (fail / NULL / stale-cache) and
+//!   the whole matrix swept deterministically on a virtual clock by
+//!   `tests/llm_fault_sim.rs` (see `crates/llm/RESILIENCE.md`).
 //! * [`data`] — the SWAN benchmark: four synthetic domain databases,
 //!   schema curation, and 120 beyond-database questions with gold and
 //!   hybrid SQL.
@@ -102,10 +115,11 @@ pub mod prelude {
     };
     pub use swan_core::hqdl::{materialize, HqdlConfig, HqdlRun};
     pub use swan_core::metrics::{execution_match, factuality, sql_is_ordered, ExTally};
-    pub use swan_core::udf::{CacheScope, UdfConfig, UdfRunner};
+    pub use swan_core::udf::{CacheScope, OnModelFailure, UdfConfig, UdfRunner, UdfStats};
     pub use swan_data::{build_knowledge, GenConfig, SwanBenchmark};
     pub use swan_llm::{
-        CachePolicy, CachedModel, LanguageModel, ModelKind, SimulatedModel, UsageReport,
+        BreakerPolicy, BreakerState, CachePolicy, CachedModel, LanguageModel, ModelKind,
+        ResilientModel, RetryPolicy, SimulatedModel, UsageReport,
     };
     pub use swan_sqlengine::{
         Database, DurabilityConfig, OptimizerConfig, QueryResult, ScalarUdf, Session,

@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use swan::prelude::*;
-use swan_llm::{Completion, LlmResult, TokenCount, UsageMeter};
+use swan_llm::{Completion, LlmError, LlmResult, TokenCount, UsageMeter};
 use swan_sqlengine::SharedDb;
 
 /// A model that answers any UDF prompt with one well-formed line per key
@@ -109,4 +109,93 @@ fn concurrent_same_key_llm_map_calls_coalesce_across_sessions() {
     let again = shared.query(sql).unwrap();
     assert_eq!(again.rows, results[0].rows);
     assert_eq!(model.calls.load(Ordering::SeqCst), 1, "answer store shared across sessions");
+}
+
+/// A model whose FIRST completion fails (slowly, so overlapping sessions
+/// pile up behind the single-flight leader) and every later one answers.
+struct FirstCallFails {
+    meter: UsageMeter,
+    calls: AtomicU64,
+}
+
+impl LanguageModel for FirstCallFails {
+    fn name(&self) -> &str {
+        "first-call-fails"
+    }
+
+    fn complete(&self, prompt: &str) -> LlmResult<Completion> {
+        let idx = self.calls.fetch_add(1, Ordering::SeqCst);
+        if idx == 0 {
+            // Hold the doomed call open long enough that every other
+            // session has joined its flight before it resolves.
+            std::thread::sleep(std::time::Duration::from_millis(500));
+            return Err(LlmError::Backend("injected leader failure".into()));
+        }
+        let answers = "'late'\n";
+        let tokens = TokenCount::of(prompt, answers);
+        self.meter.record(tokens);
+        Ok(Completion { text: answers.to_string(), tokens })
+    }
+
+    fn usage_meter(&self) -> &UsageMeter {
+        &self.meter
+    }
+}
+
+/// Single-flight **failure** propagation: when the leader's model call
+/// fails, every session waiting on that flight receives the leader's
+/// error — it must not hang, and it must not fall out of the wait only
+/// to retry serially as a chain of new leaders (the pre-fix behaviour:
+/// one model call per waiter). A *later* call gets a fresh flight and
+/// succeeds, because failures never populate the answer store.
+///
+/// The `llm_map` call sits inside a CASE branch: conditionally evaluated
+/// sites are never collected by the batch prefetch (whose failures are
+/// advisory — the engine falls back to the per-row path), so every
+/// session takes the per-row `fetch_single` route where the coalesced
+/// error is a *statement* error.
+#[test]
+fn single_flight_propagates_the_leaders_failure_to_waiters() {
+    let bench = SwanBenchmark::generate(&GenConfig::with_scale(0.01));
+    let domain = &bench.domains[0];
+    let model = Arc::new(FirstCallFails { meter: UsageMeter::new(), calls: AtomicU64::new(0) });
+    let runner = UdfRunner::new(domain, model.clone(), UdfConfig::default());
+
+    let shared = SharedDb::from_database(runner.database().clone());
+    shared.execute("CREATE TABLE one_key (k TEXT PRIMARY KEY)").unwrap();
+    shared.execute("INSERT INTO one_key VALUES ('x')").unwrap();
+    let sql = "SELECT CASE WHEN k IS NOT NULL \
+               THEN llm_map('leader failure probe', k) END FROM one_key";
+
+    let results: Vec<Result<QueryResult, _>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let session = shared.clone();
+                s.spawn(move || session.query(sql))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // All eight raced the same key and the one in-flight call failed:
+    // every session gets that failure.
+    for (i, r) in results.iter().enumerate() {
+        let err = r.as_ref().expect_err("the leader's failure reaches every waiter");
+        assert!(
+            err.to_string().contains("injected leader failure"),
+            "session {i} must see the leader's error, got: {err}"
+        );
+    }
+    assert_eq!(
+        model.calls.load(Ordering::SeqCst),
+        1,
+        "waiters receive the leader's outcome; they must not retry as serial leaders"
+    );
+
+    // The failure was not cached, so a later call retries — and this
+    // time the model answers.
+    let again = shared.query(sql).unwrap();
+    assert_eq!(again.rows.len(), 1);
+    assert_eq!(again.rows[0][0].render(), "late");
+    assert_eq!(model.calls.load(Ordering::SeqCst), 2, "fresh flight after a failed one");
 }
