@@ -1,0 +1,346 @@
+//! A minimal hand-rolled Rust lexer — just enough token structure for the
+//! seam lints, with **no external dependencies** (the same offline
+//! constraint as the vendored shims).
+//!
+//! The token stream keeps comments (the `SAFETY:` and `lint: allow(...)`
+//! rules read them) and tracks 1-based line numbers for diagnostics. It
+//! understands the lexical shapes that could otherwise produce false
+//! matches: string literals (including raw strings with `#` fences), char
+//! literals vs lifetimes, and nested block comments. It does not parse —
+//! rules match token patterns, not grammar.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Punctuation. `::` is one token; everything else is a single char.
+    Punct,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char literal (`'x'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// Line or block comment, text included.
+    Comment,
+}
+
+/// One lexed token: kind, verbatim text, and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// Tokenize `src`. Unrecognized bytes become single-char `Punct` tokens —
+/// a lint pass degrades gracefully on exotic input rather than failing.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_continue = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start_line = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Comment,
+                    text: bytes[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Comment,
+                    text: bytes[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            '"' => {
+                let (text, nl) = lex_string(&bytes, &mut i, 0);
+                line += nl;
+                tokens.push(Token { kind: TokenKind::Str, text, line: start_line });
+            }
+            'r' | 'b' if is_raw_or_byte_string(&bytes, i) => {
+                let mut j = i;
+                while bytes[j] == 'r' || bytes[j] == 'b' {
+                    j += 1;
+                }
+                let mut fences = 0usize;
+                while bytes.get(j) == Some(&'#') {
+                    fences += 1;
+                    j += 1;
+                }
+                // j is at the opening quote.
+                let prefix: String = bytes[i..j].iter().collect();
+                i = j;
+                let (text, nl) = if prefix.contains('#') || prefix.contains('r') {
+                    lex_raw_string(&bytes, &mut i, fences)
+                } else {
+                    lex_string(&bytes, &mut i, 0)
+                };
+                line += nl;
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: format!("{prefix}{text}"),
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime ('a, 'static) vs char literal ('x', '\n').
+                let next = bytes.get(i + 1).copied();
+                let after = bytes.get(i + 2).copied();
+                let is_lifetime = matches!(next, Some(n) if is_ident_start(n))
+                    && after != Some('\'');
+                if is_lifetime {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: bytes[start..i].iter().collect(),
+                        line: start_line,
+                    });
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            '\n' => break, // stray quote; don't eat the file
+                            _ => i += 1,
+                        }
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text: bytes[start..i.min(bytes.len())].iter().collect(),
+                        line: start_line,
+                    });
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: bytes[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+                {
+                    // `1..10` — stop before a range operator.
+                    if bytes[i] == '.' && bytes.get(i + 1) == Some(&'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Num,
+                    text: bytes[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            ':' if bytes.get(i + 1) == Some(&':') => {
+                i += 2;
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: "::".to_string(),
+                    line: start_line,
+                });
+            }
+            c => {
+                i += 1;
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line: start_line,
+                });
+            }
+        }
+    }
+    tokens
+}
+
+/// Is the `r`/`b` at `i` the prefix of a raw/byte string literal (rather
+/// than the start of an identifier like `result`)?
+fn is_raw_or_byte_string(bytes: &[char], i: usize) -> bool {
+    let mut j = i;
+    while matches!(bytes.get(j), Some('r') | Some('b')) && j - i < 2 {
+        j += 1;
+    }
+    let mut k = j;
+    while bytes.get(k) == Some(&'#') {
+        k += 1;
+    }
+    // Require at least one non-ident prefix shape: r", br", r#", b".
+    bytes.get(k) == Some(&'"') && (k > j || j > i)
+}
+
+/// Lex a regular (escaped) string starting at the opening quote.
+/// Returns (text, newlines-consumed).
+fn lex_string(bytes: &[char], i: &mut usize, _fences: usize) -> (String, u32) {
+    let start = *i;
+    let mut nl = 0u32;
+    *i += 1; // opening quote
+    while *i < bytes.len() {
+        match bytes[*i] {
+            '\\' => *i += 2,
+            '"' => {
+                *i += 1;
+                break;
+            }
+            '\n' => {
+                nl += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+    (bytes[start..(*i).min(bytes.len())].iter().collect(), nl)
+}
+
+/// Lex a raw string starting at the opening quote, closed by `"` followed
+/// by `fences` `#` characters. Returns (text, newlines-consumed).
+fn lex_raw_string(bytes: &[char], i: &mut usize, fences: usize) -> (String, u32) {
+    let start = *i;
+    let mut nl = 0u32;
+    *i += 1; // opening quote
+    while *i < bytes.len() {
+        if bytes[*i] == '\n' {
+            nl += 1;
+            *i += 1;
+            continue;
+        }
+        if bytes[*i] == '"' {
+            let mut k = *i + 1;
+            let mut seen = 0usize;
+            while seen < fences && bytes.get(k) == Some(&'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == fences {
+                *i = k;
+                break;
+            }
+        }
+        *i += 1;
+    }
+    (bytes[start..(*i).min(bytes.len())].iter().collect(), nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_paths_and_lines() {
+        let toks = tokenize("std::fs::File\nInstant::now()");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["std", "::", "fs", "::", "File", "Instant", "::", "now", "(", ")"]);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[5].line, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let x = "std::fs::File"; call()"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || (t != "fs" && t != "File")));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r###"let x = r#"Instant::now() "quoted""#; y"###);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "y"));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "Instant"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn comments_are_tokens_with_text() {
+        let toks = tokenize("// lint: allow(fs-seam): tooling\nx(); /* SAFETY: fine */ y();");
+        let comments: Vec<&Token> =
+            toks.iter().filter(|t| t.kind == TokenKind::Comment).collect();
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].text.contains("lint: allow"));
+        assert_eq!(comments[0].line, 1);
+        assert!(comments[1].text.contains("SAFETY"));
+        assert_eq!(comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ ident");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "ident");
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let toks = kinds("a::b:c");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["a", "::", "b", ":", "c"]);
+    }
+}

@@ -1,0 +1,42 @@
+//! `swan-analyze` — workspace lint pass for the SWAN engine's seams.
+//!
+//! The engine's crash-consistency and determinism guarantees rest on a
+//! few architectural seams: all disk I/O flows through `Vfs`, all time
+//! through `Clock`, all threads through the worker pool, and every
+//! long-lived lock carries a rank from `swan_pool::lockrank`. Those
+//! seams are what let the fault-sim tests inject torn writes and virtual
+//! clocks — one stray `std::fs::File` and the simulation silently stops
+//! covering that path. This crate makes the seams machine-checked.
+//!
+//! See `ANALYSIS.md` at the workspace root for the rule catalog, the
+//! lock-rank table, and the allowlist syntax. The companion runtime
+//! check — the lockdep lock-order validator — lives in the vendored
+//! `parking_lot` shim and is enabled with `SWAN_LOCKDEP=1`.
+//!
+//! Built with a small hand-rolled lexer and zero dependencies, so it
+//! runs in the same offline environment as the rest of the workspace.
+
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use rules::{analyze_file, Finding};
+
+use std::path::Path;
+
+/// Analyze every production source file under `root`. Returns findings
+/// sorted by (file, line, rule) plus the number of files scanned.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let files = scan::workspace_files(root)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        // lint: allow(fs-seam): the analyzer is host tooling; it reads the real source tree by design
+        let src = std::fs::read_to_string(root.join(rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        findings.extend(rules::analyze_file(&rel_str, &src));
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    Ok((findings, files.len()))
+}

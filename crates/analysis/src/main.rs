@@ -1,0 +1,58 @@
+//! CLI for the seam lints.
+//!
+//! ```text
+//! swan-analyze --workspace [ROOT]   # scan production sources under ROOT (default ".")
+//! swan-analyze FILE [FILE ...]      # scan specific files (used by the fixture tests)
+//! ```
+//!
+//! Prints one `file:line: rule: message` per finding, sorted, and exits
+//! non-zero if there are any — so CI can gate on it.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: swan-analyze --workspace [ROOT] | swan-analyze FILE [FILE ...]");
+        return if args.is_empty() { ExitCode::from(2) } else { ExitCode::SUCCESS };
+    }
+
+    let findings = if args[0] == "--workspace" {
+        let root = args.get(1).map(String::as_str).unwrap_or(".");
+        match swan_analyze::analyze_workspace(Path::new(root)) {
+            Ok((findings, scanned)) => {
+                eprintln!("swan-analyze: scanned {scanned} files under {root}");
+                findings
+            }
+            Err(e) => {
+                eprintln!("swan-analyze: error scanning {root}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut findings = Vec::new();
+        for file in &args {
+            // lint: allow(fs-seam): the analyzer is host tooling; it reads the real source tree by design
+            match std::fs::read_to_string(file) {
+                Ok(src) => findings.extend(swan_analyze::analyze_file(file, &src)),
+                Err(e) => {
+                    eprintln!("swan-analyze: error reading {file}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        findings
+    };
+
+    for f in &findings {
+        println!("{}", f.render());
+    }
+    if findings.is_empty() {
+        eprintln!("swan-analyze: no findings");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("swan-analyze: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

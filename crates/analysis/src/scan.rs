@@ -1,0 +1,61 @@
+//! Workspace walking: find the `.rs` files the rules apply to.
+//!
+//! Production sources only — `src/**` at the workspace root and under
+//! each `crates/*/`. Vendored shims, build output, integration tests,
+//! benches, examples, and lint fixtures are out of scope: the rules
+//! guard the engine's production seams, and integration tests are free
+//! to use real files, real clocks, and panics.
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] =
+    &["vendor", "target", "tests", "benches", "examples", "fixtures", ".git"];
+
+/// Collect all production `.rs` files under `root`, workspace-relative,
+/// sorted for deterministic output.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let top_src = root.join("src");
+    if top_src.is_dir() {
+        walk(&top_src, &mut out)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        // lint: allow(fs-seam): the analyzer is host tooling; it walks the real source tree by design
+        for entry in std::fs::read_dir(&crates)? {
+            let dir = entry?.path();
+            let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !dir.is_dir() || SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            let src = dir.join("src");
+            if src.is_dir() {
+                walk(&src, &mut out)?;
+            }
+        }
+    }
+    for p in &mut out {
+        if let Ok(rel) = p.strip_prefix(root) {
+            *p = rel.to_path_buf();
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    // lint: allow(fs-seam): the analyzer is host tooling; it walks the real source tree by design
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! True negatives: every rule violated, every violation allowlisted with
+//! a justification. This file must produce zero findings.
+
+pub fn read_raw() -> Vec<u8> {
+    // lint: allow(fs-seam): fixture demonstrating a justified escape hatch
+    std::fs::read("raw.bin").unwrap_or_default()
+}
+
+pub fn wall_clock() {
+    let _t = std::time::Instant::now(); // lint: allow(clock-seam): startup banner only, never on a query path
+}
+
+pub fn helper_thread() {
+    // lint: allow(thread-seam): one-shot bootstrap thread joined before serving
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}

@@ -1,0 +1,11 @@
+//! Allowlist misuse: a bare `allow` with no justification suppresses
+//! nothing (the violation still fires AND the allow is reported), and an
+//! allow naming an unknown rule is reported.
+
+pub fn read_raw() -> Vec<u8> {
+    // lint: allow(fs-seam)
+    std::fs::read("raw.bin").unwrap_or_default()
+}
+
+// lint: allow(fs-semaphore): typo'd rule name
+pub fn noop() {}

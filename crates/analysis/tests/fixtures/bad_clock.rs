@@ -1,0 +1,11 @@
+//! True positives for `clock-seam`: real-time reads and sleeps outside
+//! swan_pool::time.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn measure() -> Duration {
+    let start = Instant::now();
+    std::thread::sleep(Duration::from_millis(5));
+    let _wall = SystemTime::now();
+    start.elapsed()
+}

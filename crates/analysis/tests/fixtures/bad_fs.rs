@@ -1,0 +1,9 @@
+//! True positives for `fs-seam`: raw filesystem access outside vfs.rs.
+
+pub fn load_config() -> Vec<u8> {
+    std::fs::read("swan.toml").unwrap_or_default()
+}
+
+pub fn open_log() {
+    let _f = File::open("swan.log");
+}

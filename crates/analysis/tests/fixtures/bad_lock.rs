@@ -1,0 +1,19 @@
+//! `lock-rank`: bare shim locks (true positives) vs ranked and
+//! fully-qualified std locks (true negatives).
+
+use parking_lot::{Mutex, RwLock};
+
+pub struct Bad {
+    queue: Mutex<Vec<u32>>,
+    map: RwLock<Vec<u32>>,
+}
+
+pub fn build_bad() -> Bad {
+    Bad { queue: Mutex::new(Vec::new()), map: RwLock::new(Vec::new()) }
+}
+
+pub fn build_good() -> (Mutex<u32>, std::sync::Mutex<u32>) {
+    let ranked = Mutex::with_rank("fixture_queue", 10, 0);
+    let std_lock = std::sync::Mutex::new(0);
+    (ranked, std_lock)
+}

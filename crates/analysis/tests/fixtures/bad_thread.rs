@@ -1,0 +1,8 @@
+//! True positive for `thread-seam`: ad-hoc thread creation outside
+//! swan_pool.
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {
+        // orphan thread: no shutdown, no panic propagation
+    });
+}

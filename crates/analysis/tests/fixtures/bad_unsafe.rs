@@ -1,0 +1,12 @@
+//! `safety-comment`: one undocumented `unsafe` (true positive), one
+//! documented (true negative).
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn documented(slice: &[u8]) -> u8 {
+    // SAFETY: the caller guarantees `slice` is non-empty; bounds were
+    // checked at construction.
+    unsafe { *slice.get_unchecked(0) }
+}

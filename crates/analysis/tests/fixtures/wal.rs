@@ -1,0 +1,20 @@
+//! True positives for `no-panic-paths`: this fixture is named `wal.rs`,
+//! so it is treated as a commit/recovery-path file.
+
+pub fn append(frames: &[u8]) -> usize {
+    let len: u32 = frames.len().try_into().unwrap();
+    let header = frames.get(..4).expect("frame too short");
+    if header.is_empty() {
+        panic!("empty WAL header");
+    }
+    match len {
+        0 => unreachable!("checked above"),
+        n => n as usize,
+    }
+}
+
+pub fn shrink(frames: &[u8]) -> usize {
+    // `unwrap_or_else` and `unwrap_or` are fallbacks, not panics.
+    let len: u32 = frames.len().try_into().unwrap_or(0);
+    len.checked_sub(1).unwrap_or_else(|| 0) as usize
+}

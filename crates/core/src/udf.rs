@@ -28,6 +28,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use swan_pool::lockrank;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex as StdMutex};
@@ -244,9 +245,10 @@ struct Shared {
     degraded: AtomicU64,
     /// Cache keys currently being fetched, mapped to their [`Flight`].
     /// Concurrent rows asking for the same key wait on the flight instead
-    /// of issuing duplicate model calls (single-flight). Lock ordering:
-    /// `in_flight` may take `answers` briefly, never the reverse.
-    in_flight: StdMutex<HashMap<CacheKey, Arc<Flight>>>,
+    /// of issuing duplicate model calls (single-flight). Lock ordering
+    /// (lockdep ranks `udf_flight` < `udf_answers`): `in_flight` may take
+    /// `answers` briefly, never the reverse.
+    in_flight: Mutex<HashMap<CacheKey, Arc<Flight>>>,
 }
 
 impl Shared {
@@ -303,7 +305,7 @@ impl Shared {
             }
             // Join an existing flight, or register ourselves as leader.
             let joined = {
-                let mut fl = self.in_flight.lock().unwrap_or_else(|p| p.into_inner());
+                let mut fl = self.in_flight.lock();
                 match fl.get(&cache_key) {
                     Some(f) => Some(f.clone()),
                     None => {
@@ -324,7 +326,7 @@ impl Shared {
                 // rather than inherit a stale error.
                 let result = self.fetch_uncoalesced(question, key, &cache_key);
                 let flight = {
-                    let mut fl = self.in_flight.lock().unwrap_or_else(|p| p.into_inner());
+                    let mut fl = self.in_flight.lock();
                     fl.remove(&cache_key)
                 };
                 if let Some(f) = flight {
@@ -401,12 +403,19 @@ impl Shared {
         // from this batch — their rows fall back to `fetch_single`, which
         // waits on that flight instead of paying a duplicate call.
         let mine: Vec<(Vec<String>, CacheKey, Arc<Flight>)> = {
-            let mut fl = self.in_flight.lock().unwrap_or_else(|p| p.into_inner());
+            let mut fl = self.in_flight.lock();
+            // Re-check the answer store under the map lock (the same
+            // idiom as `fetch_single`): a flight that completed after the
+            // caller's miss-scan cached its answers *before* retiring, so
+            // a key that is neither in flight nor cached is genuinely
+            // ours to fetch — without this, two sessions racing the same
+            // batch each pay the full set of model calls.
+            let answers = self.answers.lock();
             needed
                 .iter()
                 .filter_map(|key| {
                     let ck = self.cache_key(question, key);
-                    if fl.contains_key(&ck) {
+                    if fl.contains_key(&ck) || answers.contains_key(&ck) {
                         return None;
                     }
                     let f = Arc::new(Flight::default());
@@ -451,7 +460,7 @@ impl Shared {
         }
         // Retire the flights, delivering each key's answer (or `None` for
         // keys a failed/short chunk left unanswered — waiters retry).
-        let mut fl = self.in_flight.lock().unwrap_or_else(|p| p.into_inner());
+        let mut fl = self.in_flight.lock();
         let answers = self.answers.lock();
         for (_, ck, flight) in &mine {
             fl.remove(ck);
@@ -601,13 +610,13 @@ impl UdfRunner {
             model,
             resilient,
             config,
-            answers: Mutex::new(HashMap::new()),
-            stale: Mutex::new(HashMap::new()),
-            stats: Mutex::new(UdfStats::default()),
+            answers: Mutex::with_rank("udf_answers", lockrank::UDF_ANSWERS, HashMap::new()),
+            stale: Mutex::with_rank("udf_stale", lockrank::UDF_STALE, HashMap::new()),
+            stats: Mutex::with_rank("udf_stats", lockrank::UDF_STATS, UdfStats::default()),
             fallback_calls: AtomicU64::new(0),
             exec_hits: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
-            in_flight: StdMutex::new(HashMap::new()),
+            in_flight: Mutex::with_rank("udf_flight", lockrank::UDF_FLIGHT, HashMap::new()),
         });
         let mut db = domain.curated.clone();
         db.register_udf(Arc::new(LlmMapUdf { shared: shared.clone() }));

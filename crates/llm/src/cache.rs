@@ -24,6 +24,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use parking_lot::Mutex;
+use swan_pool::lockrank;
 
 use crate::model::{Completion, LanguageModel, LlmResult};
 use crate::usage::UsageReport;
@@ -108,7 +109,12 @@ fn hash_pair(key: &str) -> (u64, u64) {
 
 impl<M: LanguageModel> CachedModel<M> {
     pub fn new(inner: M, policy: CachePolicy) -> Self {
-        CachedModel { inner, policy, max_entries: None, state: Mutex::new(CacheState::default()) }
+        CachedModel {
+            inner,
+            policy,
+            max_entries: None,
+            state: Mutex::with_rank("llm_cache", lockrank::LLM_CACHE, CacheState::default()),
+        }
     }
 
     /// A cache bounded to `max_entries` entries; the oldest entry is
@@ -118,7 +124,7 @@ impl<M: LanguageModel> CachedModel<M> {
             inner,
             policy,
             max_entries: Some(max_entries.max(1)),
-            state: Mutex::new(CacheState::default()),
+            state: Mutex::with_rank("llm_cache", lockrank::LLM_CACHE, CacheState::default()),
         }
     }
 

@@ -31,7 +31,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use swan_pool::{cancel, CancelToken, ClockHandle, RealClock};
+use swan_pool::{cancel, lockrank, CancelToken, ClockHandle, RealClock};
 
 use crate::model::{Completion, LanguageModel, LlmError, LlmResult, ModelHandle};
 use crate::transport::{DirectTransport, ModelTransport};
@@ -171,7 +171,7 @@ impl ResilientModel {
             clock,
             retry,
             breaker_policy: breaker,
-            breaker: Mutex::new(BreakerCore {
+            breaker: Mutex::with_rank("llm_breaker", lockrank::LLM_BREAKER, BreakerCore {
                 state: BreakerState::Closed,
                 consecutive_failures: 0,
                 opened_at: Duration::ZERO,

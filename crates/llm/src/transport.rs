@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use swan_pool::ClockHandle;
+use swan_pool::{lockrank, ClockHandle};
 
 use crate::model::{Completion, LlmError, LlmResult, ModelHandle};
 use crate::tokenizer::TokenCount;
@@ -113,7 +113,7 @@ impl SimTransport {
             inner,
             clock,
             state: Arc::new(SimTransportState {
-                faults: Mutex::new(HashMap::new()),
+                faults: Mutex::with_rank("sim_transport", lockrank::SIM_TRANSPORT, HashMap::new()),
                 calls: AtomicU64::new(0),
             }),
         }

@@ -44,15 +44,17 @@
 //! single-flight waiters check between units of work.
 
 pub mod cancel;
+pub mod lockrank;
 pub mod time;
 
 pub use cancel::{CancelReason, CancelToken};
 pub use time::{Clock, ClockHandle, RealClock, SimClock};
 
+use parking_lot::{Condvar, Mutex};
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::sync::{mpsc, Arc, OnceLock};
 
 /// Default number of workers for parallel work: the `SWAN_THREADS`
 /// environment variable when set and parseable (minimum 1), otherwise the
@@ -218,6 +220,9 @@ where
 /// the caller only reads after the pool latch has settled.
 struct Slot<T>(UnsafeCell<Option<T>>);
 
+// SAFETY: each slot index is claimed by exactly one worker before being
+// written (see the doc comment above), so no two threads ever touch the
+// same cell concurrently, and readers are ordered after the latch wait.
 unsafe impl<T: Send> Sync for Slot<T> {}
 
 // ---- the worker pool -------------------------------------------------------
@@ -269,7 +274,7 @@ pub fn pool_size() -> usize {
 impl WorkerPool {
     fn with_size(size: usize) -> Self {
         let (tx, rx) = mpsc::channel::<ScopedJob>();
-        let rx = Arc::new(Mutex::new(rx));
+        let rx = Arc::new(Mutex::with_rank("pool_queue", lockrank::POOL_QUEUE, rx));
         for i in 0..size {
             let rx = rx.clone();
             std::thread::Builder::new()
@@ -278,7 +283,7 @@ impl WorkerPool {
                     IS_POOL_WORKER.with(|w| w.set(true));
                     loop {
                         let next = {
-                            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+                            let guard = rx.lock();
                             guard.recv()
                         };
                         let Ok(scoped) = next else { break };
@@ -298,8 +303,10 @@ impl WorkerPool {
     /// enforces this with a [`WaitOnDrop`] guard covering every exit path.
     fn run_scoped(&self, jobs: Vec<Job<'_>>, latch: &Latch) {
         for job in jobs {
-            // Erase the borrow lifetime: a Box<dyn FnOnce> is a fat pointer
-            // whose layout does not depend on the lifetime parameter.
+            // SAFETY: erasing the borrow lifetime of a Box<dyn FnOnce> is
+            // layout-sound (a fat pointer does not depend on the lifetime
+            // parameter) and use-sound by this function's contract: the
+            // caller waits on `latch` before any borrowed data dies.
             let job: Job<'static> = unsafe { std::mem::transmute(job) };
             let scoped = ScopedJob { job, latch: latch.state.clone() };
             if let Err(mpsc::SendError(scoped)) = self.queue.send(scoped) {
@@ -341,7 +348,7 @@ impl Latch {
     fn new(count: usize) -> Self {
         Latch {
             state: Arc::new(LatchState {
-                remaining: Mutex::new(count),
+                remaining: Mutex::with_rank("pool_latch", lockrank::POOL_LATCH, count),
                 all_done: Condvar::new(),
                 panicked: AtomicBool::new(false),
             }),
@@ -350,13 +357,9 @@ impl Latch {
 
     /// Block until every job has finished.
     fn wait(&self) {
-        let mut remaining = self.state.remaining.lock().unwrap_or_else(|p| p.into_inner());
+        let mut remaining = self.state.remaining.lock();
         while *remaining > 0 {
-            remaining = self
-                .state
-                .all_done
-                .wait(remaining)
-                .unwrap_or_else(|p| p.into_inner());
+            remaining = self.state.all_done.wait(remaining);
         }
     }
 
@@ -373,7 +376,7 @@ impl LatchState {
         if panicked {
             self.panicked.store(true, Ordering::SeqCst);
         }
-        let mut remaining = self.remaining.lock().unwrap_or_else(|p| p.into_inner());
+        let mut remaining = self.remaining.lock();
         *remaining -= 1;
         if *remaining == 0 {
             self.all_done.notify_all();

@@ -1,0 +1,102 @@
+//! The workspace lock hierarchy.
+//!
+//! Every long-lived lock in the engine is constructed with
+//! `parking_lot::Mutex::with_rank` / `RwLock::with_rank` using a rank from
+//! this table. Ranks are a total order over lock *classes*: a thread may
+//! only acquire a lock whose rank is **>=** every rank it already holds
+//! (equal ranks are for classes whose members are taken in a deterministic
+//! internal order, like the per-table writer locks, which are always taken
+//! in sorted table-name order). The runtime validator in the vendored
+//! `parking_lot` shim enforces this on every `cargo test` run and whenever
+//! `SWAN_LOCKDEP=1`; `swan-analyze` statically requires every long-lived
+//! lock to declare a rank.
+//!
+//! This module is the single source of truth for rank *numbers*; the
+//! human-readable "who may hold what while taking what" table lives in
+//! `ANALYSIS.md` and must be kept in sync. Lower rank = outer lock
+//! (acquired first). Gaps are deliberate — new locks slot in without
+//! renumbering.
+//!
+//! It lives in `swan_pool` because that is the one crate every lock-holding
+//! crate already depends on; the shim itself stays policy-free.
+
+/// Per-table writer mutexes (`SharedDb`). One class; multi-table commits
+/// acquire members in sorted table-name order, which equal-rank
+/// same-class tracking permits.
+pub const TABLE_WRITER: u32 = 10;
+
+/// Group-commit queue state (`CommitQueue.state`). Taken by committers
+/// while holding their writer locks; the leader re-takes it after the
+/// WAL fsync to hand out follower results.
+pub const COMMIT_QUEUE: u32 = 20;
+
+/// The write-ahead log (`Mutex<Wal>`). Held across append + fsync and
+/// across checkpoints; may take the catalog and VFS locks below it.
+pub const WAL: u32 = 30;
+
+/// SimFs shared state (fault plan, file images). Leaf of the I/O stack:
+/// taken by VFS operations issued under the WAL lock.
+pub const VFS_SIM: u32 = 40;
+
+/// The catalog (`RwLock<Catalog>`): snapshot reads and commit installs.
+pub const CATALOG: u32 = 50;
+
+/// The UDF registry (`RwLock<UdfRegistry>`).
+pub const UDF_REGISTRY: u32 = 51;
+
+/// Optimizer configuration (`RwLock<OptimizerConfig>`).
+pub const OPTIMIZER: u32 = 52;
+
+/// Statement timeout configuration.
+pub const STATEMENT_TIMEOUT: u32 = 53;
+
+/// The engine clock handle (`RwLock<ClockHandle>`).
+pub const CLOCK: u32 = 54;
+
+/// Per-query scalar-subquery memo cache (`exec::SubqueryCache`).
+pub const SUBQUERY_CACHE: u32 = 60;
+
+/// UDF single-flight table (`udf::Shared.in_flight`).
+pub const UDF_FLIGHT: u32 = 70;
+
+/// UDF answer cache (`udf::Shared.answers`). The documented order is
+/// `in_flight` then `answers`, never the reverse.
+pub const UDF_ANSWERS: u32 = 71;
+
+/// UDF stale-value cache (`udf::Shared.stale`), taken under `answers`
+/// when degrading to stale results.
+pub const UDF_STALE: u32 = 72;
+
+/// UDF cache statistics (`udf::Shared.stats`).
+pub const UDF_STATS: u32 = 73;
+
+/// LLM response cache (`CachedModel.state`). Never held across a model
+/// call.
+pub const LLM_CACHE: u32 = 80;
+
+/// Circuit-breaker state (`ResilientModel`). Never held across a model
+/// call.
+pub const LLM_BREAKER: u32 = 81;
+
+/// SimTransport fault plan.
+pub const SIM_TRANSPORT: u32 = 82;
+
+/// Pool job queue receiver. Held only while a worker blocks in `recv`,
+/// never while running a job.
+pub const POOL_QUEUE: u32 = 90;
+
+/// Pool completion latch. Waited on by submitters that may hold writer
+/// locks (rank 10) and by workers holding nothing.
+pub const POOL_LATCH: u32 = 91;
+
+/// Parallel-executor merge sink (per-query result collection).
+pub const MERGE_SINK: u32 = 95;
+
+/// The `SharedDb` table-lock map. A leaf: taken briefly under a writer
+/// lock when pruning idle entries.
+pub const TABLE_LOCK_MAP: u32 = 190;
+
+/// Per-commit-request result slot (`CommitRequest.done`). The deepest
+/// leaf: waiters take it under the queue lock, the leader takes it after
+/// the fsync while still holding writer locks.
+pub const COMMIT_DONE: u32 = 200;

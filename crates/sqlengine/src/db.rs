@@ -23,7 +23,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use swan_pool::{CancelToken, ClockHandle, RealClock};
+use swan_pool::{lockrank, CancelToken, ClockHandle, RealClock};
 
 use crate::ast::{InsertSource, Statement};
 use crate::error::{Error, Result};
@@ -137,7 +137,7 @@ impl Database {
         let recovered = Wal::open_on(vfs, path, config)?;
         Ok(Database {
             catalog: recovered.catalog,
-            wal: Some(Arc::new(Mutex::new(recovered.wal))),
+            wal: Some(Arc::new(Mutex::with_rank("wal", lockrank::WAL, recovered.wal))),
             txns: Arc::new(TxnManager::new(recovered.max_txn + 1)),
             ..Default::default()
         })
@@ -359,7 +359,9 @@ impl Database {
             // working table's `Arc` unique and batch INSERTs O(1) per row
             // instead of copy-on-write cloning the table every statement.
             let r = self.apply_statement(stmt)?;
-            self.txn.as_mut().expect("txn checked above").record_write(&target);
+            if let Some(txn) = self.txn.as_mut() {
+                txn.record_write(&target);
+            }
             Ok(r)
         } else if self.wal.is_some() {
             // Durable auto-commit: run the statement, then log it as a
@@ -420,7 +422,11 @@ impl Database {
     fn apply_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
         match stmt {
             Statement::Begin | Statement::Commit | Statement::Rollback => {
-                unreachable!("transaction control is handled by execute_statement")
+                // Routed by execute_statement before it gets here; a typed
+                // error beats aborting a shared process on a routing bug.
+                Err(Error::Internal(
+                    "transaction control reached the statement executor".into(),
+                ))
             }
             Statement::Select(s) => {
                 let ctx = ExecCtx::new(&self.catalog, &self.udfs)
@@ -611,10 +617,17 @@ impl Database {
         table.clear_rows();
         for row in new_rows {
             if let Err(e) = table.insert_shared_row(row) {
-                // Restore on failure.
+                // Restore on failure. The old rows were valid when taken
+                // out, so re-inserting them cannot fail; if it somehow
+                // does, surface the corruption instead of aborting.
                 table.clear_rows();
                 for r in old_rows {
-                    table.insert_shared_row(r).expect("restoring previously valid rows");
+                    if let Err(restore) = table.insert_shared_row(r) {
+                        return Err(Error::Internal(format!(
+                            "UPDATE of '{}' failed ({e}) and restoring the                              previously valid rows also failed: {restore}",
+                            upd.table
+                        )));
+                    }
                 }
                 return Err(e);
             }

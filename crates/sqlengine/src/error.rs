@@ -52,6 +52,11 @@ pub enum Error {
     Deadline,
     /// The statement was cancelled through its session's cancel token.
     Cancelled,
+    /// An engine invariant was violated on a commit or recovery path.
+    /// These replace `panic!`/`expect` in code that must not abort the
+    /// process (the swan-analyze `no-panic-paths` rule): the statement
+    /// fails with context instead of crashing a multi-session server.
+    Internal(String),
 }
 
 impl Error {
@@ -101,6 +106,7 @@ impl fmt::Display for Error {
             // Pinned by tests/slt/errors.slt — keep the text stable.
             Error::Deadline => write!(f, "statement timeout: deadline exceeded"),
             Error::Cancelled => write!(f, "statement cancelled"),
+            Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }

@@ -24,6 +24,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use swan_pool::lockrank;
 
 use crate::ast::{
     CompoundOp, Expr, OrderItem, SelectBody, SelectCore, SelectItem, SelectStmt,
@@ -106,7 +107,11 @@ impl<'a> ExecCtx<'a> {
             catalog,
             udfs,
             optimizer: OptimizerConfig::default(),
-            subqueries: Arc::new(Mutex::new(HashMap::new())),
+            subqueries: Arc::new(Mutex::with_rank(
+                "subquery_cache",
+                lockrank::SUBQUERY_CACHE,
+                HashMap::new(),
+            )),
             udf_results: RefCell::new(FxHashMap::default()),
             // Inherit the statement token the session installed on this
             // thread (see `Database::execute_statement`); a context built

@@ -117,7 +117,8 @@ where
     let subqueries = ctx.subqueries.clone();
     let cancel = ctx.cancel.clone();
     type NewResults = Vec<(String, Vec<(Vec<crate::value::UdfArgKey>, Value)>)>;
-    let merge_sink: std::sync::Mutex<NewResults> = std::sync::Mutex::new(Vec::new());
+    let merge_sink: parking_lot::Mutex<NewResults> =
+        parking_lot::Mutex::with_rank("merge_sink", swan_pool::lockrank::MERGE_SINK, Vec::new());
 
     /// Worker context wrapper: on drop (worker retirement — normal or
     /// unwinding), entries absent from the seed snapshot drain into the
@@ -125,7 +126,7 @@ where
     struct WorkerCtx<'a, 'env> {
         wctx: ExecCtx<'a>,
         snapshot: &'env FxHashMap<String, crate::exec::UdfResults>,
-        sink: &'env std::sync::Mutex<NewResults>,
+        sink: &'env parking_lot::Mutex<NewResults>,
     }
     impl Drop for WorkerCtx<'_, '_> {
         fn drop(&mut self) {
@@ -143,7 +144,7 @@ where
                 }
             }
             if !fresh.is_empty() {
-                self.sink.lock().unwrap_or_else(|p| p.into_inner()).extend(fresh);
+                self.sink.lock().extend(fresh);
             }
         }
     }
@@ -183,7 +184,7 @@ where
     .into_iter()
     .collect();
 
-    let fresh = merge_sink.into_inner().unwrap_or_else(|p| p.into_inner());
+    let fresh = merge_sink.into_inner();
     if !fresh.is_empty() {
         let mut store = ctx.udf_results.borrow_mut();
         for (name, entries) in fresh {

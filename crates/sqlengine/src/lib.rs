@@ -116,6 +116,18 @@
 //! let r = db.query("SELECT full_name FROM superhero WHERE hero_name = 'Spider-Man'").unwrap();
 //! assert_eq!(r.rows[0][0].render(), "Peter Parker");
 //! ```
+//!
+//! ## Enforced seams
+//!
+//! The engine's locks are ranked (`swan_pool::lockrank`) and validated
+//! at runtime by the lockdep layer in the `parking_lot` shim: a rank
+//! inversion or lock-order cycle panics with the lock names involved,
+//! in debug builds and whenever `SWAN_LOCKDEP=1`. Statically,
+//! `swan-analyze` lints this crate for raw `std::fs`/clock/thread use
+//! outside the [`vfs`]/`Clock`/pool seams, unranked locks, and
+//! panic-family calls on the commit/recovery files. `ANALYSIS.md` at
+//! the workspace root documents the rules, the allowlist syntax, and
+//! the who-holds-what lock table.
 
 pub mod ast;
 pub mod db;

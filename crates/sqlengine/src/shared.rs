@@ -55,10 +55,11 @@
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar};
+use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
+use swan_pool::lockrank;
 use swan_pool::{CancelToken, ClockHandle, RealClock};
 
 use crate::ast::Statement;
@@ -121,12 +122,12 @@ struct Shared {
 impl Default for Shared {
     fn default() -> Self {
         Shared {
-            catalog: RwLock::default(),
-            udfs: RwLock::default(),
-            optimizer: RwLock::default(),
-            statement_timeout: RwLock::new(None),
-            clock: RwLock::new(RealClock::handle()),
-            table_locks: Mutex::default(),
+            catalog: RwLock::with_rank("catalog", lockrank::CATALOG, Catalog::default()),
+            udfs: RwLock::with_rank("udf_registry", lockrank::UDF_REGISTRY, UdfRegistry::default()),
+            optimizer: RwLock::with_rank("optimizer", lockrank::OPTIMIZER, OptimizerConfig::default()),
+            statement_timeout: RwLock::with_rank("statement_timeout", lockrank::STATEMENT_TIMEOUT, None),
+            clock: RwLock::with_rank("clock", lockrank::CLOCK, RealClock::handle()),
+            table_locks: Mutex::with_rank("table_lock_map", lockrank::TABLE_LOCK_MAP, HashMap::new()),
             txns: Arc::default(),
             wal: None,
             group_commit: false,
@@ -152,7 +153,6 @@ struct QueueState {
     leader: bool,
 }
 
-#[derive(Default)]
 struct CommitQueue {
     state: Mutex<QueueState>,
     /// Signalled when a leader finishes its batch (results are posted
@@ -161,6 +161,18 @@ struct CommitQueue {
     commits: AtomicU64,
     batches: AtomicU64,
     max_batch: AtomicU64,
+}
+
+impl Default for CommitQueue {
+    fn default() -> Self {
+        CommitQueue {
+            state: Mutex::with_rank("commit_queue", lockrank::COMMIT_QUEUE, QueueState::default()),
+            cv: Condvar::new(),
+            commits: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+        }
+    }
 }
 
 impl CommitQueue {
@@ -239,12 +251,20 @@ impl SharedDb {
         let group_commit = wal.as_ref().map_or(false, |w| w.lock().config().group_commit);
         SharedDb {
             inner: Arc::new(Shared {
-                catalog: RwLock::new(catalog),
-                udfs: RwLock::new(udfs),
-                optimizer: RwLock::new(optimizer),
-                statement_timeout: RwLock::new(db.statement_timeout()),
-                clock: RwLock::new(db.clock()),
-                table_locks: Mutex::new(HashMap::new()),
+                catalog: RwLock::with_rank("catalog", lockrank::CATALOG, catalog),
+                udfs: RwLock::with_rank("udf_registry", lockrank::UDF_REGISTRY, udfs),
+                optimizer: RwLock::with_rank("optimizer", lockrank::OPTIMIZER, optimizer),
+                statement_timeout: RwLock::with_rank(
+                    "statement_timeout",
+                    lockrank::STATEMENT_TIMEOUT,
+                    db.statement_timeout(),
+                ),
+                clock: RwLock::with_rank("clock", lockrank::CLOCK, db.clock()),
+                table_locks: Mutex::with_rank(
+                    "table_lock_map",
+                    lockrank::TABLE_LOCK_MAP,
+                    HashMap::new(),
+                ),
                 txns,
                 wal,
                 group_commit,
@@ -494,7 +514,11 @@ impl SharedDb {
             return Ok(());
         }
 
-        let req = Arc::new(CommitRequest { bytes, deltas, done: Mutex::new(None) });
+        let req = Arc::new(CommitRequest {
+            bytes,
+            deltas,
+            done: Mutex::with_rank("commit_done", lockrank::COMMIT_DONE, None),
+        });
         let queue = &self.inner.commits;
         let mut state = queue.state.lock();
         state.pending.push(req.clone());
@@ -505,7 +529,7 @@ impl SharedDb {
             if state.leader {
                 // A leader is in flight; it either took our group or will
                 // be followed by one that does. Wait for its wakeup.
-                state = queue.cv.wait(state).unwrap_or_else(|p| p.into_inner());
+                state = queue.cv.wait(state);
                 continue;
             }
             // Become the leader: drain everything queued so far (our own
@@ -593,7 +617,12 @@ impl SharedDb {
     fn table_lock(&self, name: &str) -> Arc<Mutex<()>> {
         let key = name.to_ascii_lowercase();
         let mut locks = self.inner.table_locks.lock();
-        locks.entry(key).or_default().clone()
+        locks
+            .entry(key)
+            .or_insert_with(|| {
+                Arc::new(Mutex::with_rank("table_writer", lockrank::TABLE_WRITER, ()))
+            })
+            .clone()
     }
 
     /// Names of the current tables (snapshot).

@@ -494,12 +494,22 @@ pub(crate) fn get_u8(buf: &[u8], pos: &mut usize) -> Result<u8> {
     Ok(take(buf, pos, 1)?[0])
 }
 
+/// `take` an exact-size field into an array. `take` already bounds-checked
+/// the slice; the copy keeps decode paths free of panicking casts — a WAL
+/// replay or checkpoint load must answer corruption with `Err`, not abort.
+pub(crate) fn take_array<const N: usize>(buf: &[u8], pos: &mut usize) -> Result<[u8; N]> {
+    let field = take(buf, pos, N)?;
+    let mut out = [0u8; N];
+    out.copy_from_slice(field);
+    Ok(out)
+}
+
 pub(crate) fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
-    Ok(u32::from_le_bytes(take(buf, pos, 4)?.try_into().unwrap()))
+    Ok(u32::from_le_bytes(take_array(buf, pos)?))
 }
 
 pub(crate) fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
-    Ok(u64::from_le_bytes(take(buf, pos, 8)?.try_into().unwrap()))
+    Ok(u64::from_le_bytes(take_array(buf, pos)?))
 }
 
 pub(crate) fn get_str<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a str> {
@@ -531,7 +541,7 @@ pub fn encode_value(buf: &mut Vec<u8>, v: &Value) {
 pub fn decode_value(buf: &[u8], pos: &mut usize, interner: &mut TextInterner) -> Result<Value> {
     match get_u8(buf, pos)? {
         0 => Ok(Value::Null),
-        1 => Ok(Value::Integer(i64::from_le_bytes(take(buf, pos, 8)?.try_into().unwrap()))),
+        1 => Ok(Value::Integer(i64::from_le_bytes(take_array(buf, pos)?))),
         2 => Ok(Value::Real(f64::from_bits(get_u64(buf, pos)?))),
         3 => Ok(Value::Text(interner.intern(get_str(buf, pos)?))),
         _ => Err(codec_err("value tag")),

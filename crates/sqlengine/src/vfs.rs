@@ -57,6 +57,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use swan_pool::{lockrank, ClockHandle, RealClock};
 
 use crate::error::{Error, Result};
 
@@ -197,7 +198,6 @@ enum EntryKind {
     Renamed,
 }
 
-#[derive(Default)]
 struct SimState {
     /// Volatile namespace: what the running process resolves.
     namespace: HashMap<PathBuf, (Ino, EntryKind)>,
@@ -214,6 +214,26 @@ struct SimState {
     faults: Vec<(u64, FaultKind)>,
     crashed: bool,
     sync_delay: Duration,
+    /// Clock the sync delay sleeps on — the engine's `Clock` seam, so a
+    /// `SimClock` sweep covers slow-disk modeling without wall time.
+    clock: ClockHandle,
+}
+
+impl Default for SimState {
+    fn default() -> Self {
+        SimState {
+            namespace: HashMap::new(),
+            inodes: HashMap::new(),
+            durable_ns: HashMap::new(),
+            durable_inodes: HashMap::new(),
+            next_ino: 0,
+            ops: Vec::new(),
+            faults: Vec::new(),
+            crashed: false,
+            sync_delay: Duration::ZERO,
+            clock: RealClock::handle(),
+        }
+    }
 }
 
 /// What the fault gate decided for the current operation.
@@ -262,9 +282,17 @@ impl SimState {
 /// The fault-injecting in-memory [`Vfs`]. Cloning shares the filesystem —
 /// hand clones to [`Database::open_on`](crate::db::Database::open_on) and
 /// keep one for fault control and inspection.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct SimFs {
     state: Arc<Mutex<SimState>>,
+}
+
+impl Default for SimFs {
+    fn default() -> Self {
+        SimFs {
+            state: Arc::new(Mutex::with_rank("sim_fs", lockrank::VFS_SIM, SimState::default())),
+        }
+    }
 }
 
 impl fmt::Debug for SimFs {
@@ -303,9 +331,18 @@ impl SimFs {
     }
 
     /// Sleep this long inside every `sync_data` — lets benches and stress
-    /// tests model a disk whose fsync dominates commit latency.
+    /// tests model a disk whose fsync dominates commit latency. The sleep
+    /// goes through the clock installed by [`SimFs::set_clock`] (real
+    /// time by default).
     pub fn set_sync_delay(&self, delay: Duration) {
         self.state.lock().sync_delay = delay;
+    }
+
+    /// Route the sync delay's sleep through `clock` — with a
+    /// [`SimClock`](swan_pool::SimClock) the slow-disk model runs in
+    /// virtual time, so fault sweeps cover it deterministically.
+    pub fn set_clock(&self, clock: ClockHandle) {
+        self.state.lock().clock = clock;
     }
 
     /// Number of operations performed so far (the sweep bound).
@@ -488,6 +525,7 @@ impl VfsFile for SimFile {
 
     fn sync_data(&mut self) -> Result<()> {
         let delay;
+        let clock;
         {
             let mut st = self.state.lock();
             match st.gate(format!("sync {}", self.path.display()))? {
@@ -513,9 +551,12 @@ impl VfsFile for SimFile {
                 st.durable_ns.insert(path, self.ino);
             }
             delay = st.sync_delay;
+            clock = st.clock.clone();
         }
+        // Off-lock, through the Clock seam: a SimClock advances virtual
+        // time instantly instead of stalling the fault sweep.
         if !delay.is_zero() {
-            std::thread::sleep(delay);
+            clock.sleep(delay);
         }
         Ok(())
     }

@@ -245,8 +245,10 @@ fn read_frame(
     if rest.len() < 8 {
         return None;
     }
-    let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    // Infallible here (length checked above), but a decode path never
+    // panics on input shape: a failed cast reads as a torn tail.
+    let len = u32::from_le_bytes(rest.get(0..4)?.try_into().ok()?) as usize;
+    let crc = u32::from_le_bytes(rest.get(4..8)?.try_into().ok()?);
     let end = 8usize.checked_add(len)?;
     if end > rest.len() {
         return None;

@@ -1,0 +1,151 @@
+//! Runtime lock-order validation (lockdep) exercised at the engine
+//! level. The vendored `parking_lot` shim tracks every ranked lock a
+//! thread holds and panics on rank inversion or a lock-order cycle —
+//! active in debug builds and whenever `SWAN_LOCKDEP=1` (see
+//! ANALYSIS.md for the rank table).
+//!
+//! Three claims are pinned here:
+//! 1. A seeded rank inversion is *detected*, and the panic names both
+//!    locks involved — the report a deadlock hunter actually needs.
+//! 2. The multi-table transaction commit path stays silent at 8 threads:
+//!    the engine sorts table writers before acquiring them, so the
+//!    textual statement order inside a transaction cannot invert ranks.
+//! 3. The leader/follower group-commit path (commit queue, condvar
+//!    hand-off, WAL, sim fs) stays silent at 8 threads.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{lockdep, Mutex};
+use swan_sqlengine::value::Value;
+use swan_sqlengine::{DurabilityConfig, Error, SharedDb, SimFs};
+
+const THREADS: usize = 8;
+const ITERS: usize = 20;
+
+/// Claim 1: acquiring a low-rank lock while holding a high-rank lock
+/// panics, and the message names both lock classes.
+#[test]
+fn seeded_rank_inversion_panics_with_both_lock_names() {
+    if !lockdep::enabled() {
+        // Release build without SWAN_LOCKDEP=1: the validator is compiled
+        // out of the hot path and there is nothing to observe.
+        return;
+    }
+
+    // Unique class names: the lock-order registry is global and
+    // persists across tests in this process.
+    static HIGH: Mutex<u32> = Mutex::with_rank("probe_inversion_high", 700, 0);
+    static LOW: Mutex<u32> = Mutex::with_rank("probe_inversion_low", 7, 0);
+
+    // A fresh thread keeps this thread's held-lock stack out of the
+    // blast radius; unwinding drops the guard and unwinds its stack.
+    let result = std::thread::Builder::new()
+        .name("inversion-probe".into())
+        .spawn(|| {
+            let _outer = HIGH.lock();
+            let _inner = LOW.lock(); // rank 7 under rank 700: must panic
+        })
+        .expect("spawn probe thread")
+        .join();
+
+    let payload = result.expect_err("rank inversion must panic under lockdep");
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .expect("panic payload should be a string");
+    assert!(msg.contains("rank inversion"), "unexpected panic message: {msg}");
+    assert!(
+        msg.contains("probe_inversion_high") && msg.contains("probe_inversion_low"),
+        "panic must name both locks for diagnosability: {msg}"
+    );
+}
+
+/// Claim 2: 8 threads hammer transactions spanning two tables, half of
+/// them writing the tables in the *opposite textual order*. The commit
+/// path acquires table writers in sorted order, so lockdep stays silent
+/// and every increment survives.
+#[test]
+fn sorted_multi_table_commits_stay_silent_at_8_threads() {
+    let db = SharedDb::new();
+    db.execute("CREATE TABLE alpha (id INTEGER PRIMARY KEY, n INTEGER)").unwrap();
+    db.execute("CREATE TABLE beta (id INTEGER PRIMARY KEY, n INTEGER)").unwrap();
+    for t in 0..THREADS {
+        db.execute(&format!("INSERT INTO alpha VALUES ({t}, 0)")).unwrap();
+        db.execute(&format!("INSERT INTO beta VALUES ({t}, 0)")).unwrap();
+    }
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let handle = db.clone();
+            s.spawn(move || {
+                for i in 0..ITERS {
+                    // Alternate the statement order: if lock acquisition
+                    // followed SQL text, threads running (alpha, beta)
+                    // against threads running (beta, alpha) would deadlock
+                    // or trip lockdep. Sorted acquisition makes both safe.
+                    let (first, second) =
+                        if (t + i) % 2 == 0 { ("alpha", "beta") } else { ("beta", "alpha") };
+                    loop {
+                        let mut session = handle.session();
+                        session.execute("BEGIN").unwrap();
+                        session
+                            .execute(&format!("UPDATE {first} SET n = n + 1 WHERE id = {t}"))
+                            .unwrap();
+                        session
+                            .execute(&format!("UPDATE {second} SET n = n + 1 WHERE id = {t}"))
+                            .unwrap();
+                        match session.execute("COMMIT") {
+                            Ok(_) => break,
+                            Err(Error::Conflict(_)) => continue,
+                            Err(e) => panic!("unexpected commit error: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    for table in ["alpha", "beta"] {
+        let r = db.query(&format!("SELECT SUM(n) FROM {table}")).unwrap();
+        assert_eq!(
+            r.scalar(),
+            Some(&Value::Integer((THREADS * ITERS) as i64)),
+            "{table}: transactional increments must all land"
+        );
+    }
+    assert_eq!(lockdep::held_count(), 0, "main thread leaked a lock hold");
+}
+
+/// Claim 3: the leader/follower group-commit path — commit queue mutex,
+/// condvar hand-off to followers, WAL mutex, sim-fs state — runs clean
+/// under lockdep with 8 contending committers and a slow fsync forcing
+/// real batching.
+#[test]
+fn group_commit_stays_silent_at_8_threads() {
+    let fs = SimFs::new();
+    fs.set_sync_delay(Duration::from_micros(200));
+    let path = PathBuf::from("/sim/lockdep_group.wal");
+    let db =
+        SharedDb::open_on(Arc::new(fs.clone()), &path, DurabilityConfig::default()).unwrap();
+    db.execute("CREATE TABLE g (id INTEGER PRIMARY KEY, t INTEGER)").unwrap();
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let session = db.clone();
+            s.spawn(move || {
+                for i in 0..ITERS {
+                    let id = (t * ITERS + i) as i64;
+                    session.execute(&format!("INSERT INTO g VALUES ({id}, {t})")).unwrap();
+                }
+            });
+        }
+    });
+
+    let stats = db.commit_stats();
+    assert_eq!(stats.commits, (THREADS * ITERS) as u64 + 1, "CREATE + every INSERT");
+    assert_eq!(db.row_count("g"), Some(THREADS * ITERS));
+    assert_eq!(lockdep::held_count(), 0, "main thread leaked a lock hold");
+}

@@ -469,6 +469,49 @@ fn group_commit_amortizes_fsyncs_under_contention() {
     }
 }
 
+/// Regression pin for a seam escape `swan-analyze` rule (2) caught:
+/// SimFs's slow-disk model used to call `std::thread::sleep` directly, so
+/// no virtual-clock sweep could cover it — a sync delay always burned
+/// wall time. It now sleeps through the `Clock` seam: on a `SimClock`
+/// an hour of simulated fsync latency advances virtual time instantly.
+#[test]
+fn sync_delay_routes_through_clock_seam() {
+    use std::path::PathBuf;
+    use std::time::{Duration, Instant};
+    use swan_pool::{Clock as _, SimClock};
+    use swan_sqlengine::{DurabilityConfig, SimFs};
+
+    let fs = SimFs::new();
+    let clock = SimClock::handle();
+    fs.set_clock(clock.clone());
+    // A full second per fsync: unmistakable if it ever hits the wall
+    // clock again.
+    fs.set_sync_delay(Duration::from_secs(1));
+    let path = PathBuf::from("/sim/clocked.wal");
+    let wall = Instant::now();
+    let db =
+        SharedDb::open_on(Arc::new(fs.clone()), &path, DurabilityConfig::default()).unwrap();
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)").unwrap();
+    for i in 0..5 {
+        db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+    }
+    assert!(
+        clock.now() >= Duration::from_secs(6),
+        "each commit's fsync must pay the simulated delay in virtual time, got {:?}",
+        clock.now()
+    );
+    assert!(
+        wall.elapsed() < Duration::from_secs(2),
+        "simulated fsync latency must not consume wall time, took {:?}",
+        wall.elapsed()
+    );
+    // The slow-disk model stayed a faithful disk: everything recovers.
+    let db2 =
+        SharedDb::open_on(Arc::new(fs.reboot(false)), &path, DurabilityConfig::default())
+            .unwrap();
+    assert_eq!(db2.row_count("t"), Some(5));
+}
+
 /// The `group_commit: false` escape hatch keeps the PR-4 one-fsync-per-
 /// commit path: exactly one batch per commit, same durability.
 #[test]

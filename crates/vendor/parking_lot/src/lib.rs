@@ -1,27 +1,282 @@
-//! Offline stand-in for the `parking_lot` crate.
+//! Offline stand-in for the `parking_lot` crate, plus a runtime lock-order
+//! validator ("lockdep").
 //!
 //! The build environment has no network access, so this workspace vendors
-//! the tiny subset of `parking_lot` it uses: a [`Mutex`] and an [`RwLock`]
-//! whose `lock()`/`read()`/`write()` return the guard directly (no
-//! poisoning), backed by the std primitives. A poisoned std lock is
+//! the tiny subset of `parking_lot` it uses: a [`Mutex`], an [`RwLock`] and
+//! a [`Condvar`] whose `lock()`/`read()`/`write()` return the guard directly
+//! (no poisoning), backed by the std primitives. A poisoned std lock is
 //! recovered transparently, matching parking_lot's panic-transparent
 //! semantics closely enough for this codebase — in particular, a panic in
 //! one `SharedDb` session can never poison the catalog for its siblings.
+//!
+//! # Lockdep
+//!
+//! Long-lived engine locks are constructed with [`Mutex::with_rank`] /
+//! [`RwLock::with_rank`], which place them in a named, ranked lock class
+//! (the workspace hierarchy lives in `swan_pool::lockrank` and is documented
+//! in `ANALYSIS.md`). When validation is active, every acquisition is
+//! checked against a thread-local stack of currently held locks:
+//!
+//! - **Rank inversion** — acquiring a lock whose rank is *lower* than any
+//!   rank already held panics immediately, before blocking on the inner
+//!   lock, so an ordering bug is a diagnostic instead of a deadlock.
+//!   Same-rank acquisitions are allowed (the per-table writer locks share
+//!   one class and are taken in sorted name order).
+//! - **Order cycles** — every observed "held A while acquiring B" pair is
+//!   recorded as an edge A→B in a global, class-level order graph. An
+//!   acquisition that would close a cycle (B→…→A exists and A is held while
+//!   taking B) panics with the full path, even across threads and runs of
+//!   the same process: it is enough for two orderings to *ever* be observed,
+//!   they do not need to race.
+//!
+//! Validation is on under `cfg(debug_assertions)` (so every `cargo test`
+//! run is a lock-order sweep) and off in release builds; `SWAN_LOCKDEP=1`
+//! forces it on and `SWAN_LOCKDEP=0` forces it off. Untracked locks
+//! (constructed with plain `new`) and the disabled path cost one atomic
+//! load and a branch per acquisition.
 
+use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync;
 
-/// A mutual-exclusion lock without lock poisoning.
-#[derive(Default, Debug)]
+pub mod lockdep {
+    //! Runtime lock-order validation: thread-local held stack + global
+    //! class-level order graph. See the crate docs for the model.
+
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex as StdMutex, OnceLock};
+
+    /// Identity of a ranked lock: a class name shared by all locks created
+    /// at the same construction site, and its rank in the documented
+    /// hierarchy (lower rank = outer lock, acquired first).
+    #[derive(Clone, Copy, Debug)]
+    pub struct LockMeta {
+        pub name: &'static str,
+        pub rank: u32,
+    }
+
+    /// Handle for one tracked acquisition; popped from the held stack when
+    /// released. `0` means the acquisition was not tracked.
+    #[derive(Debug)]
+    pub struct Token(u64);
+
+    impl Token {
+        pub const UNTRACKED: Token = Token(0);
+    }
+
+    /// Whether lock-order validation is active for this process.
+    ///
+    /// `SWAN_LOCKDEP=1` forces it on, `SWAN_LOCKDEP=0` forces it off, and
+    /// when unset it follows `cfg(debug_assertions)`.
+    pub fn enabled() -> bool {
+        static ENABLED: OnceLock<bool> = OnceLock::new();
+        *ENABLED.get_or_init(|| match std::env::var("SWAN_LOCKDEP") {
+            Ok(v) if v == "0" => false,
+            Ok(v) if !v.is_empty() => true,
+            _ => cfg!(debug_assertions),
+        })
+    }
+
+    struct Held {
+        token: u64,
+        class: usize,
+        rank: u32,
+        name: &'static str,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    }
+
+    static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+    /// Global lock-class registry and order graph. Class ids are assigned
+    /// at first acquisition; edges accumulate for the process lifetime.
+    struct Registry {
+        ids: HashMap<&'static str, usize>,
+        names: Vec<&'static str>,
+        ranks: Vec<u32>,
+        /// Adjacency: `edges[a]` holds every class ever acquired while `a`
+        /// was held.
+        edges: Vec<Vec<usize>>,
+    }
+
+    impl Registry {
+        fn intern(&mut self, meta: LockMeta) -> usize {
+            if let Some(&id) = self.ids.get(meta.name) {
+                if self.ranks[id] != meta.rank {
+                    panic!(
+                        "lockdep: lock class '{}' registered with conflicting ranks {} and {}",
+                        meta.name, self.ranks[id], meta.rank
+                    );
+                }
+                return id;
+            }
+            let id = self.names.len();
+            self.ids.insert(meta.name, id);
+            self.names.push(meta.name);
+            self.ranks.push(meta.rank);
+            self.edges.push(Vec::new());
+            id
+        }
+
+        /// Depth-first path search `from -> ... -> to`; returns the class
+        /// path (inclusive of both endpoints) if one exists.
+        fn path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+            let mut stack = vec![(from, 0usize)];
+            let mut trail = vec![from];
+            let mut visited = vec![false; self.names.len()];
+            visited[from] = true;
+            if from == to {
+                return Some(trail);
+            }
+            while let Some((node, next_idx)) = stack.last_mut() {
+                if let Some(&succ) = self.edges[*node].get(*next_idx) {
+                    *next_idx += 1;
+                    if succ == to {
+                        trail.push(succ);
+                        return Some(trail);
+                    }
+                    if !visited[succ] {
+                        visited[succ] = true;
+                        trail.push(succ);
+                        stack.push((succ, 0));
+                    }
+                } else {
+                    stack.pop();
+                    trail.pop();
+                }
+            }
+            None
+        }
+    }
+
+    fn registry() -> &'static StdMutex<Registry> {
+        static REGISTRY: OnceLock<StdMutex<Registry>> = OnceLock::new();
+        REGISTRY.get_or_init(|| {
+            StdMutex::new(Registry {
+                ids: HashMap::new(),
+                names: Vec::new(),
+                ranks: Vec::new(),
+                edges: Vec::new(),
+            })
+        })
+    }
+
+    /// Record an acquisition of `meta`, panicking on a rank inversion or an
+    /// order-graph cycle. Returns the token to pass to [`release`].
+    ///
+    /// `check` is false for `try_*` acquisitions: a non-blocking attempt
+    /// cannot deadlock by itself, but a successful one is still pushed onto
+    /// the held stack so later blocking acquisitions are checked against it.
+    pub(crate) fn acquire(meta: Option<LockMeta>, check: bool) -> Token {
+        let Some(meta) = meta else { return Token::UNTRACKED };
+        if !enabled() {
+            return Token::UNTRACKED;
+        }
+        HELD.try_with(|held| {
+            let mut held = held.borrow_mut();
+            if check {
+                for h in held.iter() {
+                    if meta.rank < h.rank {
+                        panic!(
+                            "lockdep: rank inversion: acquiring '{}' (rank {}) while \
+                             holding '{}' (rank {})",
+                            meta.name, meta.rank, h.name, h.rank
+                        );
+                    }
+                }
+            }
+            let class = record_edges(&held, meta, check);
+            let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+            held.push(Held { token, class, rank: meta.rank, name: meta.name });
+            Token(token)
+        })
+        .unwrap_or(Token::UNTRACKED)
+    }
+
+    /// Intern `meta`'s class and add `held -> meta` edges to the order
+    /// graph, panicking (when `check`) on an edge that closes a cycle.
+    fn record_edges(held: &[Held], meta: LockMeta, check: bool) -> usize {
+        let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+        let class = reg.intern(meta);
+        for h in held {
+            if h.class == class || reg.edges[h.class].contains(&class) {
+                continue;
+            }
+            if check {
+                if let Some(path) = reg.path(class, h.class) {
+                    let chain: Vec<&str> =
+                        path.iter().map(|&c| reg.names[c]).collect();
+                    panic!(
+                        "lockdep: lock-order cycle: acquiring '{}' while holding '{}', \
+                         but the opposite order was already established: {} -> '{}'",
+                        meta.name,
+                        h.name,
+                        chain
+                            .iter()
+                            .map(|n| format!("'{n}'"))
+                            .collect::<Vec<_>>()
+                            .join(" -> "),
+                        meta.name
+                    );
+                }
+            }
+            reg.edges[h.class].push(class);
+        }
+        class
+    }
+
+    /// Pop a tracked acquisition off this thread's held stack. Tolerates
+    /// out-of-order guard drops (searches from the top of the stack).
+    pub(crate) fn release(token: &Token) {
+        if token.0 == 0 {
+            return;
+        }
+        let _ = HELD.try_with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|h| h.token == token.0) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// Number of tracked locks the current thread holds (test helper).
+    pub fn held_count() -> usize {
+        HELD.try_with(|held| held.borrow().len()).unwrap_or(0)
+    }
+}
+
+use lockdep::{LockMeta, Token};
+
+/// A mutual-exclusion lock without lock poisoning, optionally placed in a
+/// ranked lockdep class via [`Mutex::with_rank`].
+#[derive(Default)]
 pub struct Mutex<T: ?Sized> {
+    meta: Option<LockMeta>,
     inner: sync::Mutex<T>,
 }
 
-/// Guard type; identical to the std guard.
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+/// Guard for [`Mutex`]; releases the lock (and its lockdep entry) on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    token: Token,
+    meta: Option<LockMeta>,
+    // `None` only transiently inside `Condvar::wait` and during drop.
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex { meta: None, inner: sync::Mutex::new(value) }
+    }
+
+    /// A mutex tracked by lockdep: all locks constructed with the same
+    /// `name` form one class at rank `rank` in the workspace hierarchy
+    /// (see `ANALYSIS.md`).
+    pub const fn with_rank(name: &'static str, rank: u32, value: T) -> Self {
+        Mutex { meta: Some(LockMeta { name, rank }), inner: sync::Mutex::new(value) }
     }
 
     pub fn into_inner(self) -> T {
@@ -31,15 +286,21 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+        let token = lockdep::acquire(self.meta, true);
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        MutexGuard { token, meta: self.meta, inner: Some(inner) }
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        // A non-blocking acquisition cannot invert an order by itself, but
+        // it is a real hold: push it so later blocking locks are checked.
+        let token = lockdep::acquire(self.meta, false);
+        Some(MutexGuard { token, meta: self.meta, inner: Some(inner) })
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -53,20 +314,66 @@ impl<T> From<T> for Mutex<T> {
     }
 }
 
-/// A reader-writer lock without lock poisoning.
-#[derive(Default, Debug)]
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("Mutex");
+        if let Some(meta) = self.meta {
+            d.field("class", &meta.name).field("rank", &meta.rank);
+        }
+        d.field("inner", &self.inner).finish()
+    }
+}
+
+impl<'a, T: ?Sized> Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("mutex guard accessed while suspended")
+    }
+}
+
+impl<'a, T: ?Sized> DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("mutex guard accessed while suspended")
+    }
+}
+
+impl<'a, T: ?Sized> Drop for MutexGuard<'a, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        lockdep::release(&self.token);
+    }
+}
+
+/// A reader-writer lock without lock poisoning, optionally placed in a
+/// ranked lockdep class via [`RwLock::with_rank`]. Read and write
+/// acquisitions are tracked identically: ordering, not sharing, is what
+/// lockdep validates.
+#[derive(Default)]
 pub struct RwLock<T: ?Sized> {
+    meta: Option<LockMeta>,
     inner: sync::RwLock<T>,
 }
 
-/// Shared-read guard; identical to the std guard.
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
-/// Exclusive-write guard; identical to the std guard.
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    token: Token,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    token: Token,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
-        RwLock { inner: sync::RwLock::new(value) }
+        RwLock { meta: None, inner: sync::RwLock::new(value) }
+    }
+
+    /// An rwlock tracked by lockdep; see [`Mutex::with_rank`].
+    pub const fn with_rank(name: &'static str, rank: u32, value: T) -> Self {
+        RwLock { meta: Some(LockMeta { name, rank }), inner: sync::RwLock::new(value) }
     }
 
     pub fn into_inner(self) -> T {
@@ -76,27 +383,35 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(|p| p.into_inner())
+        let token = lockdep::acquire(self.meta, true);
+        let inner = self.inner.read().unwrap_or_else(|p| p.into_inner());
+        RwLockReadGuard { token, inner }
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(|p| p.into_inner())
+        let token = lockdep::acquire(self.meta, true);
+        let inner = self.inner.write().unwrap_or_else(|p| p.into_inner());
+        RwLockWriteGuard { token, inner }
     }
 
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.inner.try_read() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        let token = lockdep::acquire(self.meta, false);
+        Some(RwLockReadGuard { token, inner })
     }
 
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.inner.try_write() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        let token = lockdep::acquire(self.meta, false);
+        Some(RwLockWriteGuard { token, inner })
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -107,6 +422,115 @@ impl<T: ?Sized> RwLock<T> {
 impl<T> From<T> for RwLock<T> {
     fn from(value: T) -> Self {
         RwLock::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("RwLock");
+        if let Some(meta) = self.meta {
+            d.field("class", &meta.name).field("rank", &meta.rank);
+        }
+        d.field("inner", &self.inner).finish()
+    }
+}
+
+impl<'a, T: ?Sized> Deref for RwLockReadGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T: ?Sized> Drop for RwLockReadGuard<'a, T> {
+    fn drop(&mut self) {
+        lockdep::release(&self.token);
+    }
+}
+
+impl<'a, T: ?Sized> Deref for RwLockWriteGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T: ?Sized> DerefMut for RwLockWriteGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<'a, T: ?Sized> Drop for RwLockWriteGuard<'a, T> {
+    fn drop(&mut self) {
+        lockdep::release(&self.token);
+    }
+}
+
+/// Condition variable paired with the shim [`Mutex`]. `wait` keeps the
+/// lockdep held stack honest: the lock's entry is popped for the duration
+/// of the wait (the mutex really is released) and re-checked + re-pushed
+/// when the wakeup reacquires it.
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let inner = guard
+            .inner
+            .take()
+            .expect("condvar wait on a suspended guard");
+        let meta = guard.meta;
+        lockdep::release(&guard.token);
+        guard.token = Token::UNTRACKED;
+        drop(guard);
+        let inner = self.inner.wait(inner).unwrap_or_else(|p| p.into_inner());
+        let token = lockdep::acquire(meta, true);
+        MutexGuard { token, meta, inner: Some(inner) }
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let inner = guard
+            .inner
+            .take()
+            .expect("condvar wait on a suspended guard");
+        let meta = guard.meta;
+        lockdep::release(&guard.token);
+        guard.token = Token::UNTRACKED;
+        drop(guard);
+        let (inner, timeout) = match self.inner.wait_timeout(inner, dur) {
+            Ok((g, t)) => (g, t.timed_out()),
+            Err(p) => {
+                let (g, t) = p.into_inner();
+                (g, t.timed_out())
+            }
+        };
+        let token = lockdep::acquire(meta, true);
+        (MutexGuard { token, meta, inner: Some(inner) }, timeout)
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish()
     }
 }
 
@@ -155,5 +579,144 @@ mod tests {
         // parking_lot semantics: no poisoning, the lock stays usable.
         *l.write() += 1;
         assert_eq!(*l.read(), 1);
+    }
+
+    #[test]
+    fn ranked_locks_track_held_stack() {
+        if !lockdep::enabled() {
+            return;
+        }
+        let outer = Mutex::with_rank("test_stack_outer", 1, ());
+        let inner = Mutex::with_rank("test_stack_inner", 2, ());
+        assert_eq!(lockdep::held_count(), 0);
+        let a = outer.lock();
+        assert_eq!(lockdep::held_count(), 1);
+        let b = inner.lock();
+        assert_eq!(lockdep::held_count(), 2);
+        // Out-of-order drop keeps the stack consistent.
+        drop(a);
+        assert_eq!(lockdep::held_count(), 1);
+        drop(b);
+        assert_eq!(lockdep::held_count(), 0);
+    }
+
+    #[test]
+    fn rank_inversion_panics_with_both_names() {
+        if !lockdep::enabled() {
+            return;
+        }
+        let low = Mutex::with_rank("test_inv_low", 1, ());
+        let high = Mutex::with_rank("test_inv_high", 2, ());
+        let _g = high.lock();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = low.lock();
+        }))
+        .expect_err("acquiring a lower rank while holding a higher one must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is a formatted message");
+        assert!(msg.contains("test_inv_low"), "message names the acquired lock: {msg}");
+        assert!(msg.contains("test_inv_high"), "message names the held lock: {msg}");
+        assert!(msg.contains("rank inversion"), "message states the violation: {msg}");
+        // The panic happened before the hold was recorded.
+        assert_eq!(lockdep::held_count(), 1);
+    }
+
+    #[test]
+    fn equal_rank_same_class_is_allowed() {
+        if !lockdep::enabled() {
+            return;
+        }
+        // The per-table writer pattern: several locks in one class, taken
+        // in sorted order.
+        let a = Mutex::with_rank("test_sorted_writers", 5, ());
+        let b = Mutex::with_rank("test_sorted_writers", 5, ());
+        let c = Mutex::with_rank("test_sorted_writers", 5, ());
+        let _ga = a.lock();
+        let _gb = b.lock();
+        let _gc = c.lock();
+        assert_eq!(lockdep::held_count(), 3);
+    }
+
+    #[test]
+    fn order_cycle_between_equal_ranks_panics_with_path() {
+        if !lockdep::enabled() {
+            return;
+        }
+        let a = Mutex::with_rank("test_cycle_a", 7, ());
+        let b = Mutex::with_rank("test_cycle_b", 7, ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // establishes a -> b
+        }
+        let _gb = b.lock();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = a.lock(); // b -> a closes the cycle
+        }))
+        .expect_err("closing an order cycle must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is a formatted message");
+        assert!(msg.contains("test_cycle_a") && msg.contains("test_cycle_b"), "{msg}");
+        assert!(msg.contains("cycle"), "{msg}");
+    }
+
+    #[test]
+    fn conflicting_rank_for_one_class_panics() {
+        if !lockdep::enabled() {
+            return;
+        }
+        let a = Mutex::with_rank("test_conflicting_rank", 3, ());
+        let b = Mutex::with_rank("test_conflicting_rank", 4, ());
+        drop(a.lock());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = b.lock();
+        }))
+        .expect_err("one class must have one rank");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is a formatted message");
+        assert!(msg.contains("conflicting ranks"), "{msg}");
+    }
+
+    #[test]
+    fn condvar_wait_keeps_stack_balanced() {
+        use std::sync::Arc;
+        if !lockdep::enabled() {
+            return;
+        }
+        let pair = Arc::new((Mutex::with_rank("test_cv_mutex", 9, false), Condvar::new()));
+        let pair2 = pair.clone();
+        let waker = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        while !*g {
+            g = cv.wait(g);
+        }
+        assert_eq!(lockdep::held_count(), 1, "reacquired lock is tracked");
+        drop(g);
+        assert_eq!(lockdep::held_count(), 0);
+        waker.join().expect("waker thread");
+    }
+
+    #[test]
+    fn try_lock_is_tracked_but_not_checked() {
+        if !lockdep::enabled() {
+            return;
+        }
+        let low = Mutex::with_rank("test_try_low", 1, ());
+        let high = Mutex::with_rank("test_try_high", 2, ());
+        let _gh = high.lock();
+        // try_lock of a lower rank succeeds (it cannot deadlock) ...
+        let gl = low.try_lock().expect("uncontended try_lock");
+        assert_eq!(lockdep::held_count(), 2, "... but the hold is tracked");
+        drop(gl);
     }
 }

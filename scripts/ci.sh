@@ -6,6 +6,11 @@
 #   SWAN_SEED=12345 scripts/ci.sh   # replay a failing property stream
 #
 # Stages:
+#   0. swan-analyze: the workspace seam lints (ANALYSIS.md) — raw
+#      std::fs/clock/thread use outside the Vfs/Clock/pool seams,
+#      panic-family calls on commit/recovery paths, undocumented
+#      `unsafe`, unranked locks. Any finding fails the gate before a
+#      single test runs;
 #   1. tier-1: release build + workspace test suite (ROADMAP contract);
 #   2. the differential harness (crates/sqlengine/tests/parallel_diff.rs)
 #      re-run explicitly with SWAN_THREADS=1 and SWAN_THREADS=8 — the
@@ -31,9 +36,16 @@
 #      serial and 8-thread-parallel and concurrent-session single-flight,
 #      on a virtual clock — no hangs, failed calls never cached, retries
 #      respect the statement deadline, breaker transitions match the
-#      fault script.
+#      fault script;
+#   8. one release-build workspace test pass with SWAN_LOCKDEP=1: the
+#      runtime lock-order validator (rank inversions + order cycles,
+#      normally debug-only) active under the optimized build's real
+#      interleavings.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== swan-analyze: workspace seam lints =="
+cargo run -q -p swan-analyze -- --workspace
 
 echo "== tier-1: release build =="
 cargo build --release
@@ -67,5 +79,8 @@ cargo test -q --test concurrency
 
 echo "== LLM fault-sweep harness (deterministic, virtual clock) =="
 cargo test -q --test llm_fault_sim
+
+echo "== workspace tests @ SWAN_LOCKDEP=1 (release, lock-order validated) =="
+SWAN_LOCKDEP=1 cargo test --workspace -q --release
 
 echo "CI gate passed."

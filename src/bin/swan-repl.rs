@@ -118,11 +118,15 @@ fn main() {
         }
         let sql = std::mem::take(&mut buffer);
         let sql = sql.trim().trim_end_matches(';');
-        let started = std::time::Instant::now();
+        // Through the Clock seam (swan-analyze rule 2): the REPL's
+        // latency display uses the same clock abstraction as the engine.
+        let clock = swan_pool::RealClock::new();
+        let started = swan_pool::Clock::now(&clock);
         match runner.run_sql(sql) {
             Ok(result) => {
                 print_result(&result);
-                eprintln!("({} rows in {:?})", result.rows.len(), started.elapsed());
+                let elapsed = swan_pool::Clock::now(&clock).saturating_sub(started);
+                eprintln!("({} rows in {:?})", result.rows.len(), elapsed);
             }
             Err(e) => eprintln!("error: {e}"),
         }

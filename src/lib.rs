@@ -101,6 +101,17 @@
 //! println!("EX = {:.1}%, F1 = {:.1}%",
 //!          100.0 * eval.overall.accuracy(), 100.0 * eval.average_f1());
 //! ```
+//!
+//! ## Enforced seams
+//!
+//! The Vfs/Clock/pool seams and the workspace lock hierarchy are
+//! machine-checked: `swan-analyze` (`crates/analysis`) lints every
+//! production source for seam violations, unranked locks, undocumented
+//! `unsafe`, and panics on commit/recovery paths, and a runtime lockdep
+//! validator in the `parking_lot` shim panics on lock-rank inversions
+//! and lock-order cycles (on in debug builds and under `SWAN_LOCKDEP=1`).
+//! See `ANALYSIS.md` at the workspace root for the rule catalog and the
+//! full lock-rank table.
 
 pub use swan_core as core;
 pub use swan_data as data;
