@@ -53,6 +53,12 @@ pub const STATEMENT_TIMEOUT: u32 = 53;
 /// The engine clock handle (`RwLock<ClockHandle>`).
 pub const CLOCK: u32 = 54;
 
+/// MVCC commit history + snapshot pins (`shared::Shared.history`).
+/// Above `CATALOG`: `BEGIN` pins the history sequence under the catalog
+/// read lock and installs record their write sets under the catalog
+/// write lock, so history is always the inner lock of the pair.
+pub const MVCC_HISTORY: u32 = 56;
+
 /// Per-query scalar-subquery memo cache (`exec::SubqueryCache`).
 pub const SUBQUERY_CACHE: u32 = 60;
 

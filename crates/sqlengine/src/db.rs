@@ -17,7 +17,15 @@
 //! itself. WAL-backed and in-transaction statements are statement-atomic:
 //! a failed statement restores the pre-statement catalog instead of
 //! leaving partial effects.
+//!
+//! Every write statement additionally reports *which rows* it touched
+//! (the primary keys of inserted/updated/deleted rows, see
+//! [`crate::txn::StmtWrites`]): the per-transaction write sets drive the
+//! compact row-level WAL encodings here and the row-level
+//! first-committer-wins conflict detection on a
+//! [`SharedDb`](crate::shared::SharedDb).
 
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
@@ -34,7 +42,9 @@ use crate::optimizer::OptimizerConfig;
 use crate::parser::{parse_script, parse_statement};
 use crate::plan::RelSchema;
 use crate::storage::{Catalog, Column, Table};
-use crate::txn::{catalog_deltas, commit_records, TableDelta, Txn, TxnManager};
+use crate::txn::{
+    catalog_deltas, commit_records, StmtWrites, TableDelta, Txn, TxnManager, WriteSet,
+};
 use crate::value::{Row, Value};
 use crate::wal::{DurabilityConfig, Wal};
 
@@ -88,6 +98,11 @@ pub struct Database {
     /// Clock the deadlines are armed against — [`RealClock`] normally, a
     /// [`SimClock`](swan_pool::SimClock) in deterministic tests.
     clock: ClockHandle,
+    /// The rows the most recent write statement touched, reported by the
+    /// DML executors and consumed (via [`Database::take_stmt_writes`]) by
+    /// whoever turns the statement into a commit: the transaction's write
+    /// set, the auto-commit WAL encoder, or a `SharedDb` session.
+    stmt_writes: StmtWrites,
 }
 
 impl Default for Database {
@@ -101,6 +116,7 @@ impl Default for Database {
             txn: None,
             statement_timeout: None,
             clock: RealClock::handle(),
+            stmt_writes: StmtWrites::Whole,
         }
     }
 }
@@ -237,6 +253,12 @@ impl Database {
         self.catalog
     }
 
+    /// Take the row write set the last write statement reported,
+    /// resetting to the conservative table-granular default.
+    pub(crate) fn take_stmt_writes(&mut self) -> StmtWrites {
+        std::mem::replace(&mut self.stmt_writes, StmtWrites::Whole)
+    }
+
     pub fn udfs(&self) -> &UdfRegistry {
         &self.udfs
     }
@@ -329,7 +351,9 @@ impl Database {
                     .take()
                     .ok_or_else(|| Error::Txn("COMMIT without an active transaction".into()))?;
                 let deltas = catalog_deltas(txn.written(), &txn.snapshot, &self.catalog);
-                if let Err(e) = self.log_commit(txn.id(), &txn.snapshot, &deltas) {
+                if let Err(e) =
+                    self.log_commit(txn.id(), &txn.snapshot, &deltas, txn.write_sets())
+                {
                     // A commit that could not reach the log must not
                     // stay visible in memory: roll back instead.
                     self.catalog = txn.snapshot;
@@ -359,8 +383,9 @@ impl Database {
             // working table's `Arc` unique and batch INSERTs O(1) per row
             // instead of copy-on-write cloning the table every statement.
             let r = self.apply_statement(stmt)?;
+            let writes = self.take_stmt_writes();
             if let Some(txn) = self.txn.as_mut() {
-                txn.record_write(&target);
+                txn.record_write(&target, writes);
             }
             Ok(r)
         } else if self.wal.is_some() {
@@ -370,10 +395,15 @@ impl Database {
             let base = self.catalog.clone();
             match self.apply_statement(stmt) {
                 Ok(r) => {
+                    let writes = self.take_stmt_writes();
                     let key = target.to_ascii_lowercase();
                     let deltas =
                         catalog_deltas(std::slice::from_ref(&key), &base, &self.catalog);
-                    if let Err(e) = self.log_commit(self.txns.fresh_id(), &base, &deltas) {
+                    let mut write_sets = HashMap::with_capacity(1);
+                    write_sets.insert(key, WriteSet::from_stmt(writes));
+                    if let Err(e) =
+                        self.log_commit(self.txns.fresh_id(), &base, &deltas, &write_sets)
+                    {
                         self.catalog = base;
                         return Err(e);
                     }
@@ -397,13 +427,14 @@ impl Database {
         txn_id: u64,
         base: &Catalog,
         deltas: &[(String, TableDelta)],
+        writes: &HashMap<String, WriteSet>,
     ) -> Result<()> {
         if deltas.is_empty() {
             return Ok(());
         }
         let Some(wal) = &self.wal else { return Ok(()) };
         let mut wal = wal.lock();
-        wal.append(&commit_records(txn_id, base, deltas))?;
+        wal.append(&commit_records(txn_id, base, deltas, writes))?;
         if wal.wants_checkpoint() {
             // Past the commit point: the append fsynced, so the
             // transaction IS durably committed — a failed compaction must
@@ -420,6 +451,10 @@ impl Database {
     /// The raw single-statement executor: no transaction routing, no
     /// durability — exactly the statement's effect on this catalog.
     fn apply_statement(&mut self, stmt: &Statement) -> Result<QueryResult> {
+        // Conservative default: a write that does not report per-row keys
+        // (DDL, tables without a primary key) counts as touching the
+        // whole table. The DML executors overwrite this on success.
+        self.stmt_writes = StmtWrites::Whole;
         match stmt {
             Statement::Begin | Statement::Commit | Statement::Rollback => {
                 // Routed by execute_statement before it gets here; a typed
@@ -505,7 +540,7 @@ impl Database {
         };
 
         // Map the provided column list onto the table's full width.
-        let (width, col_map) = {
+        let (width, col_map, pk_cols) = {
             let table = self.catalog.get_required(&ins.table)?;
             let width = table.width();
             let col_map: Option<Vec<usize>> = if ins.columns.is_empty() {
@@ -519,7 +554,7 @@ impl Database {
                 }
                 Some(map)
             };
-            (width, col_map)
+            (width, col_map, table.primary_key.clone())
         };
 
         // Statement atomicity: a failure part-way through the batch rolls
@@ -527,6 +562,7 @@ impl Database {
         // inside or outside a transaction.
         let table = self.catalog.get_mut(&ins.table)?;
         let start_len = table.len();
+        let mut keys: Vec<Vec<Value>> = Vec::new();
         let insert_all = || -> Result<usize> {
             let mut n = 0;
             for vals in source_rows {
@@ -556,13 +592,23 @@ impl Database {
                         row.into()
                     }
                 };
+                if !pk_cols.is_empty() {
+                    keys.push(pk_cols.iter().map(|&i| row[i].clone()).collect());
+                }
                 table.insert_shared_row(row)?;
                 n += 1;
             }
             Ok(n)
         };
         match insert_all() {
-            Ok(n) => Ok(QueryResult { rows_affected: n, ..Default::default() }),
+            Ok(n) => {
+                self.stmt_writes = if pk_cols.is_empty() {
+                    StmtWrites::Whole
+                } else {
+                    StmtWrites::Rows { keys, inserted: true, reorder: false }
+                };
+                Ok(QueryResult { rows_affected: n, ..Default::default() })
+            }
             Err(e) => {
                 self.catalog.get_mut(&ins.table)?.truncate_rows(start_len);
                 Err(e)
@@ -572,7 +618,7 @@ impl Database {
 
     fn execute_update(&mut self, upd: &crate::ast::Update) -> Result<QueryResult> {
         // Resolve assignment targets and snapshot the evaluation context.
-        let (schema, assign_idx): (RelSchema, Vec<usize>) = {
+        let (schema, assign_idx, pk_cols): (RelSchema, Vec<usize>, Vec<usize>) = {
             let table = self.catalog.get_required(&upd.table)?;
             let schema = RelSchema::qualified(&table.name.clone(), table.column_names());
             let mut idx = Vec::with_capacity(upd.assignments.len());
@@ -581,7 +627,7 @@ impl Database {
                     Error::Unresolved(format!("{}.{}", upd.table, col))
                 })?);
             }
-            (schema, idx)
+            (schema, idx, table.primary_key.clone())
         };
 
         // Compute new rows against an immutable snapshot, then swap in.
@@ -590,6 +636,8 @@ impl Database {
         let ctx = ExecCtx::new(&self.catalog, &self.udfs).with_optimizer(self.optimizer);
         let mut new_rows = snapshot.rows.clone();
         let mut n = 0;
+        let mut keys: Vec<Vec<Value>> = Vec::new();
+        let mut reorder = false;
         for row in &mut new_rows {
             let hit = match &upd.filter {
                 None => true,
@@ -605,6 +653,19 @@ impl Database {
             for ((_, e), &i) in upd.assignments.iter().zip(assign_idx.iter()) {
                 let rc = RowCtx::new(&schema, row);
                 updated[i] = eval(e, &ctx, Some(&rc))?;
+            }
+            if !pk_cols.is_empty() {
+                keys.push(pk_cols.iter().map(|&i| row[i].clone()).collect());
+                let moved = pk_cols
+                    .iter()
+                    .any(|&i| row[i].group_key() != updated[i].group_key());
+                if moved {
+                    // The row leaves its primary key: both keys are part
+                    // of the write set, and the in-place WAL patch can no
+                    // longer reproduce row order.
+                    keys.push(pk_cols.iter().map(|&i| updated[i].clone()).collect());
+                    reorder = true;
+                }
             }
             *row = updated.into();
             n += 1;
@@ -632,6 +693,11 @@ impl Database {
                 return Err(e);
             }
         }
+        self.stmt_writes = if pk_cols.is_empty() {
+            StmtWrites::Whole
+        } else {
+            StmtWrites::Rows { keys, inserted: false, reorder }
+        };
         Ok(QueryResult { rows_affected: n, ..Default::default() })
     }
 
@@ -641,11 +707,13 @@ impl Database {
             RelSchema::qualified(&table.name.clone(), table.column_names())
         };
         // Evaluate the filter against a snapshot to decide which rows go.
-        let keep: Vec<bool> = {
+        let (keep, keys, has_pk): (Vec<bool>, Vec<Vec<Value>>, bool) = {
             let table = self.catalog.get_required(&del.table)?.clone();
+            let pk_cols = table.primary_key.clone();
             let ctx = ExecCtx::new(&self.catalog, &self.udfs)
                 .with_optimizer(self.optimizer);
             let mut keep = Vec::with_capacity(table.rows.len());
+            let mut keys = Vec::new();
             for row in &table.rows {
                 let hit = match &del.filter {
                     None => true,
@@ -655,12 +723,20 @@ impl Database {
                     }
                 };
                 keep.push(!hit);
+                if hit && !pk_cols.is_empty() {
+                    keys.push(pk_cols.iter().map(|&i| row[i].clone()).collect());
+                }
             }
-            keep
+            (keep, keys, !pk_cols.is_empty())
         };
         let table = self.catalog.get_mut(&del.table)?;
         let mut it = keep.iter();
         let removed = table.retain_rows(|_| *it.next().unwrap_or(&true));
+        self.stmt_writes = if has_pk {
+            StmtWrites::Rows { keys, inserted: false, reorder: false }
+        } else {
+            StmtWrites::Whole
+        };
         Ok(QueryResult { rows_affected: removed, ..Default::default() })
     }
 }
@@ -684,6 +760,7 @@ impl Clone for Database {
             txn: self.txn.clone(),
             statement_timeout: self.statement_timeout,
             clock: self.clock.clone(),
+            stmt_writes: self.stmt_writes.clone(),
         }
     }
 }

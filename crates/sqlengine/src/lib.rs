@@ -39,9 +39,18 @@
 //!   statement spans under **snapshot isolation** — `BEGIN` pins an
 //!   O(tables) snapshot, reads see the snapshot plus the session's own
 //!   uncommitted writes, and `COMMIT` installs every written table
-//!   atomically behind a first-committer-wins conflict check over the
-//!   versioned `Arc<Table>` identities (a losing transaction aborts with
-//!   [`Error::Conflict`] and is retried by the caller);
+//!   atomically behind a **row-level first-committer-wins** check:
+//!   every commit records its per-primary-key write set in a bounded
+//!   history, validation intersects the committing transaction's write
+//!   set with every commit since its snapshot, transactions that
+//!   touched **disjoint rows** of the same table rebase and commit
+//!   (no false conflicts), and only true row overlaps — or
+//!   table-granular writes like DDL and writes to PK-less tables —
+//!   abort with an [`Error::Conflict`] that names the overlapping rows
+//!   (the caller retries). A watermark GC truncates the write-set
+//!   history past the oldest live snapshot, so memory stays bounded
+//!   under churn ([`SharedDb::mvcc_stats`] exposes
+//!   [`MvccStats`] for the invariants);
 //! * **crash durability** ([`Database::open`] / [`SharedDb::open`]): every
 //!   commit appends a checksummed `Begin/Delta/Commit` record group to an
 //!   append-only write-ahead log and fsyncs *before* installing; recovery
@@ -154,6 +163,7 @@ pub use error::{Error, Result};
 pub use functions::{ScalarUdf, UdfRegistry};
 pub use optimizer::OptimizerConfig;
 pub use shared::{CommitStats, ScriptOptions, Session, SharedDb};
+pub use txn::MvccStats;
 pub use storage::{Catalog, Column, Table, TableStats};
 pub use value::{Row, Value};
 pub use vfs::{FaultKind, RealFs, SimFs, Torn, Vfs, VfsFile};

@@ -24,10 +24,23 @@
 //!   isolation: `BEGIN` pins an O(tables) snapshot, statements buffer
 //!   writes in a private working catalog (reads see the snapshot plus the
 //!   session's own writes and nothing newer), and `COMMIT` installs every
-//!   written table atomically behind a first-committer-wins version check
-//!   — a conflicting interleaved commit aborts with
-//!   [`Error::Conflict`](crate::error::Error::Conflict) and the caller
-//!   retries. Readers can never observe a half-installed commit.
+//!   written table atomically behind a **row-level** first-committer-wins
+//!   check: each write statement reports the primary keys it touched, and
+//!   commit-time validation intersects the transaction's per-table write
+//!   sets against every commit recorded since its pinned snapshot.
+//!   Transactions that wrote *different rows* of the same table both
+//!   commit (the later one rebases its rows onto the live table); only a
+//!   genuine overlap — the same row, or a table-granular write such as
+//!   DDL or DML on a table without a primary key — aborts with
+//!   [`Error::Conflict`](crate::error::Error::Conflict) (naming the rows)
+//!   and the caller retries. Readers can never observe a half-installed
+//!   commit.
+//! * **Version-chain GC** — the commit history backing row-level
+//!   validation is bounded by a watermark: `BEGIN` pins its snapshot
+//!   sequence, and every commit and transaction end truncates entries at
+//!   or below the oldest live pin, so history memory stays bounded under
+//!   churn while a long-lived snapshot keeps exactly the window it needs
+//!   ([`SharedDb::mvcc_stats`] exposes the chain length and watermark).
 //! * **Durability** — [`SharedDb::open`] (or promoting a
 //!   [`Database::open`] database with [`SharedDb::from_database`]) backs
 //!   every commit with the write-ahead log: the `Begin/Delta/Commit`
@@ -70,10 +83,11 @@ use crate::optimizer::OptimizerConfig;
 use crate::parser::{parse_script, parse_statement};
 use crate::storage::Catalog;
 use crate::txn::{
-    catalog_deltas, commit_group_bytes, conflict_check, TableDelta, Txn, TxnManager,
+    build_row_patch, catalog_deltas, commit_records, rebase_table, validate_table,
+    CommitHistory, MvccStats, TableDelta, Txn, TxnManager, WriteSet,
 };
 use crate::vfs::Vfs;
-use crate::wal::{DurabilityConfig, Wal};
+use crate::wal::{frame_group, DurabilityConfig, Wal, WalRecord};
 
 /// An embedded SQL database shared by many concurrent sessions. Clone the
 /// handle freely — all clones address the same data. In-memory by
@@ -117,6 +131,21 @@ struct Shared {
     /// The group-commit queue: pending framed commit groups plus the
     /// leader flag and wakeup signalling.
     commits: CommitQueue,
+    /// Commit history for row-level conflict validation plus the snapshot
+    /// pins bounding it (see [`CommitHistory`]). Locked *after* the
+    /// catalog (rank `MVCC_HISTORY` > `CATALOG`): `BEGIN` pins under the
+    /// catalog read lock and installs record under the catalog write
+    /// lock, so a snapshot's catalog and its history sequence can never
+    /// disagree.
+    history: Mutex<CommitHistory>,
+    /// Commits that are durable (acknowledged by a group-commit leader)
+    /// but whose catalog install was handed back to the committer and has
+    /// not landed yet. Checkpoints are skipped while this is non-zero: a
+    /// checkpoint image must never miss a commit the log already holds.
+    pending_installs: AtomicU64,
+    /// Batch-size threshold for the install handback (from
+    /// [`DurabilityConfig::handback_deltas`]; `0` disables it).
+    handback_deltas: usize,
 }
 
 impl Default for Shared {
@@ -132,18 +161,46 @@ impl Default for Shared {
             wal: None,
             group_commit: false,
             commits: CommitQueue::default(),
+            history: Mutex::with_rank(
+                "mvcc_history",
+                lockrank::MVCC_HISTORY,
+                CommitHistory::default(),
+            ),
+            pending_installs: AtomicU64::new(0),
+            handback_deltas: 0,
         }
     }
 }
 
 /// One committer's entry in the group-commit queue: its framed
-/// `Begin·Delta*·Commit` bytes, the deltas the leader installs on its
-/// behalf once the batch is durable, and the slot its result comes back
-/// in.
+/// `Begin·Delta*·Commit` bytes, the deltas (and history write sets)
+/// installed once the batch is durable, and the slot its outcome comes
+/// back in.
 struct CommitRequest {
     bytes: Vec<u8>,
     deltas: Vec<(String, TableDelta)>,
-    done: Mutex<Option<Result<()>>>,
+    writes: Vec<(String, WriteSet)>,
+    done: Mutex<Option<CommitOutcome>>,
+}
+
+/// What the group-commit leader posts back to a queued committer.
+enum CommitOutcome {
+    /// The leader finished the whole commit (durability *and* install).
+    Done(Result<()>),
+    /// The group is durable, but the batch was large enough that the
+    /// leader handed the catalog install back: the committer installs its
+    /// own deltas (it still holds its table locks, so the install is as
+    /// safe as the leader's would have been) while the leader moves on.
+    InstallYourself,
+}
+
+/// A fully planned commit: what to install, the pre-encoded WAL records
+/// making it durable (empty for in-memory databases), and the write sets
+/// to record in the commit history.
+struct PreparedCommit {
+    deltas: Vec<(String, TableDelta)>,
+    records: Vec<WalRecord>,
+    writes: Vec<(String, WriteSet)>,
 }
 
 #[derive(Default)]
@@ -161,6 +218,7 @@ struct CommitQueue {
     commits: AtomicU64,
     batches: AtomicU64,
     max_batch: AtomicU64,
+    handback_installs: AtomicU64,
 }
 
 impl Default for CommitQueue {
@@ -171,6 +229,7 @@ impl Default for CommitQueue {
             commits: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
+            handback_installs: AtomicU64::new(0),
         }
     }
 }
@@ -197,6 +256,10 @@ pub struct CommitStats {
     pub batches: u64,
     /// Largest single batch.
     pub max_batch: u64,
+    /// Commits whose catalog install the leader handed back to the
+    /// committer (batch install cost dominated the critical section; see
+    /// [`DurabilityConfig::handback_deltas`]).
+    pub handback_installs: u64,
 }
 
 impl CommitStats {
@@ -248,7 +311,9 @@ impl SharedDb {
         let wal = db.wal_handle();
         let txns = db.txn_manager();
         let catalog = db.catalog().clone();
-        let group_commit = wal.as_ref().map_or(false, |w| w.lock().config().group_commit);
+        let config = wal.as_ref().map(|w| w.lock().config());
+        let group_commit = config.map_or(false, |c| c.group_commit);
+        let handback_deltas = config.map_or(0, |c| c.handback_deltas);
         SharedDb {
             inner: Arc::new(Shared {
                 catalog: RwLock::with_rank("catalog", lockrank::CATALOG, catalog),
@@ -269,6 +334,13 @@ impl SharedDb {
                 wal,
                 group_commit,
                 commits: CommitQueue::default(),
+                history: Mutex::with_rank(
+                    "mvcc_history",
+                    lockrank::MVCC_HISTORY,
+                    CommitHistory::default(),
+                ),
+                pending_installs: AtomicU64::new(0),
+                handback_deltas,
             }),
         }
     }
@@ -281,7 +353,16 @@ impl SharedDb {
             commits: q.commits.load(Ordering::Relaxed),
             batches: q.batches.load(Ordering::Relaxed),
             max_batch: q.max_batch.load(Ordering::Relaxed),
+            handback_installs: q.handback_installs.load(Ordering::Relaxed),
         }
+    }
+
+    /// Observable state of the MVCC commit history: commits sequenced,
+    /// history entries a pinned snapshot is keeping alive, open snapshot
+    /// pins, and the GC watermark. The GC invariant tests assert on this
+    /// (history drains to empty once every snapshot is released).
+    pub fn mvcc_stats(&self) -> MvccStats {
+        self.inner.history.lock().stats()
     }
 
     /// Register a scalar UDF (e.g. an LLM function) for every session.
@@ -340,6 +421,24 @@ impl SharedDb {
     /// A consistent snapshot of the catalog alone (the `BEGIN` pin).
     fn catalog_snapshot(&self) -> Catalog {
         self.inner.catalog.read().clone()
+    }
+
+    /// The `BEGIN` pin: a catalog snapshot plus its commit-history
+    /// sequence, registered as a live pin. Both are taken under the
+    /// catalog read lock, so the sequence covers exactly the commits the
+    /// snapshot contains — validation later checks exactly the rest.
+    /// Every pin must be released with [`unpin_snapshot`]
+    /// (SharedDb::unpin_snapshot) or the history GC stalls.
+    fn begin_snapshot(&self) -> (Catalog, u64) {
+        let catalog = self.inner.catalog.read();
+        let seq = self.inner.history.lock().pin_snapshot();
+        (catalog.clone(), seq)
+    }
+
+    /// Release a `BEGIN` pin, letting the watermark GC truncate history
+    /// entries no remaining snapshot needs.
+    fn unpin_snapshot(&self, seq: u64) {
+        self.inner.history.lock().unpin_snapshot(seq);
     }
 
     /// An interactive session over this database: the handle through
@@ -438,15 +537,34 @@ impl SharedDb {
         db.set_statement_timeout(self.statement_timeout());
         db.set_clock(self.clock());
         let result = db.execute_statement(stmt)?;
+        let stmt_writes = db.take_stmt_writes();
 
         // Install only the target table's new version (or its removal):
         // concurrent writers to *other* tables committed after our
         // snapshot must not be clobbered, so the whole catalog is never
-        // written back.
+        // written back. The table lock covers the whole read-modify-write
+        // cycle, so no conflict validation is needed — but the write set
+        // still goes into the commit history for *transactions* to
+        // validate against.
         let key = target.to_ascii_lowercase();
         let deltas = catalog_deltas(std::slice::from_ref(&key), &base, db.catalog());
         let dropped = matches!(deltas.first(), Some((_, TableDelta::Drop)));
-        self.log_and_install(self.inner.txns.fresh_id(), &base, deltas)?;
+        let mut prepared =
+            PreparedCommit { deltas, records: Vec::new(), writes: Vec::new() };
+        if !prepared.deltas.is_empty() {
+            let mut write_sets = HashMap::with_capacity(1);
+            write_sets.insert(key, WriteSet::from_stmt(stmt_writes));
+            if self.inner.wal.is_some() {
+                prepared.records = commit_records(
+                    self.inner.txns.fresh_id(),
+                    &base,
+                    &prepared.deltas,
+                    &write_sets,
+                );
+            }
+            prepared.writes = write_sets.into_iter().collect();
+        }
+        self.log_and_install(prepared)?;
         if dropped {
             self.prune_table_lock(&target, &lock);
         }
@@ -454,8 +572,9 @@ impl SharedDb {
     }
 
     /// Commit an open transaction: acquire every written table's lock in
-    /// sorted order, run the first-committer-wins conflict check against
-    /// the live catalog, then log + install all deltas atomically.
+    /// sorted order, run the row-level first-committer-wins validation
+    /// against the commit history, rebase row-disjoint writes onto the
+    /// live tables, then log + install all deltas atomically.
     fn commit_txn(&self, txn: &Txn, working: &Catalog) -> Result<()> {
         let deltas = catalog_deltas(txn.written(), &txn.snapshot, working);
         if deltas.is_empty() {
@@ -468,11 +587,90 @@ impl SharedDb {
         let locks: Vec<Arc<Mutex<()>>> = names.iter().map(|n| self.table_lock(n)).collect();
         let _guards: Vec<_> = locks.iter().map(|l| l.lock()).collect();
 
-        {
-            let live = self.inner.catalog.read();
-            conflict_check(txn, &live)?;
+        // Holding every written table's lock freezes their live versions:
+        // any commit that could change them must take the same locks.
+        let live: Vec<Option<Arc<crate::storage::Table>>> = {
+            let catalog = self.inner.catalog.read();
+            deltas.iter().map(|(n, _)| catalog.get(n).cloned()).collect()
+        };
+
+        // Row-level validation: per table, either the live version is
+        // still the snapshot's (clean install), or every commit since the
+        // pinned snapshot is row-disjoint from ours (rebase), or abort.
+        let clean: Vec<bool> = {
+            let history = self.inner.history.lock();
+            deltas
+                .iter()
+                .zip(&live)
+                .map(|((name, _), live_t)| {
+                    validate_table(txn, name, live_t.as_ref(), &history)
+                })
+                .collect::<Result<_>>()?
+        };
+
+        // Plan the installs and WAL records (off every shared lock; we
+        // only hold the table locks). Clean tables install the working
+        // version as-is; dirty-but-disjoint tables rebase their row patch
+        // onto the live table, and the WAL logs exactly that patch.
+        let durable = self.inner.wal.is_some();
+        let mut out_deltas = Vec::with_capacity(deltas.len());
+        let mut records = Vec::new();
+        let mut writes: Vec<(String, WriteSet)> = Vec::with_capacity(deltas.len());
+        if durable {
+            records.push(WalRecord::Begin { txn: txn.id() });
         }
-        self.log_and_install(txn.id(), &txn.snapshot, deltas)
+        for (((name, delta), live_t), is_clean) in
+            deltas.into_iter().zip(live).zip(clean)
+        {
+            let ws = txn.write_set(&name).cloned();
+            if is_clean {
+                if durable {
+                    records.push(WalRecord::Delta {
+                        txn: txn.id(),
+                        delta: crate::txn::wal_delta(
+                            &name,
+                            live_t.as_ref(),
+                            &delta,
+                            ws.as_ref(),
+                        ),
+                    });
+                }
+                out_deltas.push((name.clone(), delta));
+            } else {
+                let live_t = live_t.ok_or_else(|| {
+                    Error::Internal(format!("rebase of '{name}' without a live table"))
+                })?;
+                let working_t = working.get(&name).cloned().ok_or_else(|| {
+                    Error::Internal(format!("rebase of '{name}' without a working table"))
+                })?;
+                let Some(WriteSet::Rows { keys, .. }) = &ws else {
+                    return Err(Error::Internal(format!(
+                        "rebase of '{name}' without a row write set"
+                    )));
+                };
+                let (del_rows, upserts) = build_row_patch(&working_t, keys);
+                let patched = rebase_table(&live_t, &working_t, &del_rows, upserts.clone())?;
+                if durable {
+                    records.push(WalRecord::Delta {
+                        txn: txn.id(),
+                        delta: crate::wal::WalDelta::RowPatch {
+                            table: name.clone(),
+                            deletes: del_rows,
+                            upserts,
+                            new_version: patched.version,
+                        },
+                    });
+                }
+                out_deltas.push((name.clone(), TableDelta::Put(patched)));
+            }
+            if let Some(ws) = ws {
+                writes.push((name, ws));
+            }
+        }
+        if durable {
+            records.push(WalRecord::Commit { txn: txn.id() });
+        }
+        self.log_and_install(PreparedCommit { deltas: out_deltas, records, writes })
     }
 
     /// The commit point shared by auto-commit statements and transaction
@@ -488,28 +686,24 @@ impl SharedDb {
     /// `deltas` (auto-commit holds one; a transaction commit holds its
     /// sorted set), which is what makes the leader's batched install
     /// safe: no two queued groups can touch the same table.
-    fn log_and_install(
-        &self,
-        txn_id: u64,
-        base: &Catalog,
-        deltas: Vec<(String, TableDelta)>,
-    ) -> Result<()> {
+    fn log_and_install(&self, prepared: PreparedCommit) -> Result<()> {
+        let PreparedCommit { deltas, records, writes } = prepared;
         if deltas.is_empty() {
             return Ok(());
         }
         let Some(wal) = self.inner.wal.as_ref() else {
-            // In-memory: no log, just the atomic install.
-            self.install(&deltas);
+            // In-memory: no log, just the atomic install + history entry.
+            self.install_and_record(&deltas, &writes);
             return Ok(());
         };
-        let bytes = commit_group_bytes(txn_id, base, &deltas);
+        let bytes = frame_group(&records);
         if !self.inner.group_commit {
             // PR-4 path: one append + fsync per commit, WAL mutex held
             // across append and install.
             let mut wal = wal.lock();
             wal.append_raw(&bytes)?;
             self.inner.commits.record_batch(1);
-            self.install(&deltas);
+            self.install_and_record(&deltas, &writes);
             self.maybe_checkpoint(&mut wal);
             return Ok(());
         }
@@ -517,14 +711,29 @@ impl SharedDb {
         let req = Arc::new(CommitRequest {
             bytes,
             deltas,
+            writes,
             done: Mutex::with_rank("commit_done", lockrank::COMMIT_DONE, None),
         });
         let queue = &self.inner.commits;
         let mut state = queue.state.lock();
         state.pending.push(req.clone());
         loop {
-            if let Some(result) = req.done.lock().take() {
-                return result;
+            let outcome = req.done.lock().take();
+            if let Some(outcome) = outcome {
+                drop(state);
+                return match outcome {
+                    CommitOutcome::Done(result) => result,
+                    CommitOutcome::InstallYourself => {
+                        // Durable already; finish our own install. We
+                        // still hold our table locks, so nobody observes
+                        // the gap as reordering — and the checkpoint gate
+                        // (`pending_installs`) keeps a checkpoint from
+                        // snapshotting the catalog before we land.
+                        self.install_and_record(&req.deltas, &req.writes);
+                        self.inner.pending_installs.fetch_sub(1, Ordering::SeqCst);
+                        Ok(())
+                    }
+                };
             }
             if state.leader {
                 // A leader is in flight; it either took our group or will
@@ -550,10 +759,13 @@ impl SharedDb {
     }
 
     /// Drive one batch through the log: a single write + fsync for every
-    /// queued group, one catalog write lock for every install, then post
-    /// each committer's result. `append_raw` is all-or-nothing (a failed
-    /// append rolls the file back to the last group boundary), so the
-    /// whole batch shares one outcome.
+    /// queued group, then either install the whole batch under one
+    /// catalog write lock or — when the batch carries enough deltas that
+    /// install cost would dominate the leader's critical section — hand
+    /// each install back to its committer, and post every outcome.
+    /// `append_raw` is all-or-nothing (a failed append rolls the file
+    /// back to the last group boundary), so the whole batch shares one
+    /// durability outcome.
     fn lead_commit(&self, wal: &Arc<Mutex<Wal>>, batch: &[Arc<CommitRequest>]) {
         let mut wal = wal.lock();
         let mut buf = Vec::with_capacity(batch.iter().map(|r| r.bytes.len()).sum());
@@ -561,38 +773,78 @@ impl SharedDb {
             buf.extend_from_slice(&req.bytes);
         }
         let appended = wal.append_raw(&buf);
-        let result = match appended {
+        let handback = match appended {
             Ok(()) => {
-                {
+                // Handback only pays off when someone else is actually
+                // waiting (batch > 1) and the install volume crosses the
+                // configured threshold.
+                let total_deltas: usize = batch.iter().map(|r| r.deltas.len()).sum();
+                let handback = self.inner.handback_deltas > 0
+                    && batch.len() > 1
+                    && total_deltas >= self.inner.handback_deltas;
+                if handback {
+                    // Count the pending installs *before* any committer
+                    // can observe its outcome — and before
+                    // maybe_checkpoint below, which must skip while the
+                    // catalog lags the log.
+                    self.inner
+                        .pending_installs
+                        .fetch_add(batch.len() as u64, Ordering::SeqCst);
+                    self.inner
+                        .commits
+                        .handback_installs
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                } else {
                     let mut catalog = self.inner.catalog.write();
+                    let mut history = self.inner.history.lock();
                     for req in batch {
                         install_into(&mut catalog, &req.deltas);
+                        history.record_commit(req.writes.clone());
                     }
                 }
                 self.inner.commits.record_batch(batch.len());
                 self.maybe_checkpoint(&mut wal);
-                Ok(())
+                Ok(handback)
             }
             Err(e) => Err(e),
         };
         drop(wal);
         for req in batch {
-            *req.done.lock() = Some(result.clone());
+            *req.done.lock() = Some(match &handback {
+                Ok(true) => CommitOutcome::InstallYourself,
+                Ok(false) => CommitOutcome::Done(Ok(())),
+                Err(e) => CommitOutcome::Done(Err(e.clone())),
+            });
         }
     }
 
-    /// Install one commit's deltas under the catalog write lock.
-    fn install(&self, deltas: &[(String, TableDelta)]) {
+    /// Install one commit's deltas and record its write sets in the
+    /// commit history, atomically with respect to snapshotters: the
+    /// history entry is added under the catalog write lock, so a `BEGIN`
+    /// (which pins under the catalog read lock) sees either both the
+    /// commit's tables and its sequence or neither.
+    fn install_and_record(
+        &self,
+        deltas: &[(String, TableDelta)],
+        writes: &[(String, WriteSet)],
+    ) {
         let mut catalog = self.inner.catalog.write();
         install_into(&mut catalog, deltas);
+        self.inner.history.lock().record_commit(writes.to_vec());
     }
 
     /// Compact the log if it outgrew its budget. Past the commit point
     /// (appended, fsynced, installed): a failed compaction must not turn
     /// a committed transaction into a reported failure — a retrying
     /// caller would double-apply it. The log stays long, the next commit
-    /// retries, and an unusable handle poisons itself.
+    /// retries, and an unusable handle poisons itself. Skipped while any
+    /// handed-back install is outstanding: the checkpoint image is taken
+    /// from the catalog, which at that moment is missing commits the log
+    /// already acknowledged — checkpointing would erase them.
     fn maybe_checkpoint(&self, wal: &mut Wal) {
+        if self.inner.pending_installs.load(Ordering::SeqCst) > 0 {
+            return;
+        }
         if wal.wants_checkpoint() {
             let snap = self.inner.catalog.read().clone();
             let _ = wal.checkpoint(&snap);
@@ -653,11 +905,11 @@ impl Drop for LeaderGuard<'_> {
         for req in self.batch {
             let mut done = req.done.lock();
             if done.is_none() {
-                *done = Some(Err(Error::Io(
+                *done = Some(CommitOutcome::Done(Err(Error::Io(
                     "group-commit leader panicked; commit outcome unknown — \
                      reopen the database to recover the durable state"
                         .into(),
-                )));
+                ))));
             }
         }
         let queue = &self.db.inner.commits;
@@ -765,7 +1017,7 @@ impl Session {
                 Ok(r) => last = r,
                 Err(e) => {
                     if script_txn && self.txn.is_some() {
-                        self.txn = None; // roll the script's span back
+                        self.rollback_open_txn(); // roll the script's span back
                     }
                     return Err(e);
                 }
@@ -790,6 +1042,14 @@ impl Session {
         })
     }
 
+    /// Discard an open transaction (if any), releasing its snapshot pin
+    /// so the history GC can advance past it.
+    fn rollback_open_txn(&mut self) {
+        if let Some((txn, _)) = self.txn.take() {
+            self.db.unpin_snapshot(txn.snapshot_seq);
+        }
+    }
+
     /// A single-session database over the transaction's working catalog.
     fn overlay_db(&self, working: &Catalog) -> Database {
         let optimizer = *self.db.inner.optimizer.read();
@@ -808,8 +1068,9 @@ impl Session {
                 if self.txn.is_some() {
                     return Err(Error::Txn("a transaction is already active".into()));
                 }
-                let snapshot = self.db.catalog_snapshot();
-                let txn = self.db.inner.txns.begin(snapshot.clone());
+                let (snapshot, seq) = self.db.begin_snapshot();
+                let mut txn = self.db.inner.txns.begin(snapshot.clone());
+                txn.snapshot_seq = seq;
                 self.txn = Some((txn, snapshot));
                 Ok(QueryResult::default())
             }
@@ -821,13 +1082,17 @@ impl Session {
                 // On conflict the transaction is consumed either way:
                 // first committer won, this session's buffered writes are
                 // discarded, and the caller retries from a fresh BEGIN.
-                self.db.commit_txn(&txn, &working)?;
+                let result = self.db.commit_txn(&txn, &working);
+                self.db.unpin_snapshot(txn.snapshot_seq);
+                result?;
                 Ok(QueryResult::default())
             }
             Statement::Rollback => {
-                self.txn
+                let (txn, _) = self
+                    .txn
                     .take()
                     .ok_or_else(|| Error::Txn("ROLLBACK without an active transaction".into()))?;
+                self.db.unpin_snapshot(txn.snapshot_seq);
                 Ok(QueryResult::default())
             }
             _ => match &mut self.txn {
@@ -843,16 +1108,25 @@ impl Session {
                     let mut db =
                         Database::from_parts(std::mem::take(working), udfs, optimizer);
                     let result = db.execute_statement(stmt);
+                    let writes = db.take_stmt_writes();
                     *working = db.into_catalog();
                     let result = result?;
                     if let Some(target) = stmt.write_target() {
-                        txn.record_write(target);
+                        txn.record_write(target, writes);
                     }
                     Ok(result)
                 }
                 None => self.db.execute_autocommit(stmt),
             },
         }
+    }
+}
+
+impl Drop for Session {
+    /// Rolling back an abandoned transaction also releases its snapshot
+    /// pin — a dropped session must never stall the history watermark.
+    fn drop(&mut self) {
+        self.rollback_open_txn();
     }
 }
 

@@ -302,6 +302,82 @@ impl Table {
             self.pk_index.insert(key, i);
         }
     }
+
+    /// True when the table has a primary key — the precondition for
+    /// row-level write sets; tables without one fall back to
+    /// table-granular conflict detection.
+    pub fn has_primary_key(&self) -> bool {
+        !self.primary_key.is_empty()
+    }
+
+    /// The hashable primary-key identity of a full row of this table, or
+    /// `None` when the table has no primary key.
+    pub fn pk_key_of(&self, row: &[Value]) -> Option<Vec<GroupKey>> {
+        if self.primary_key.is_empty() {
+            return None;
+        }
+        Some(self.primary_key.iter().map(|&i| row[i].group_key()).collect())
+    }
+
+    /// The primary-key cells of a full row (for diagnostics and the WAL's
+    /// row-patch delete encoding). Empty when the table has no PK.
+    pub fn pk_values_of(&self, row: &[Value]) -> Vec<Value> {
+        self.primary_key.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    /// True if a row with this primary-key identity exists.
+    pub fn contains_pk_key(&self, key: &[GroupKey]) -> bool {
+        self.pk_index.contains_key(key)
+    }
+
+    /// Apply a row-level patch: remove every row whose PK is in
+    /// `deletes` (each a tuple of PK cell values), then upsert each row in
+    /// `upserts` in order — replacing in place when the key exists,
+    /// appending otherwise.
+    ///
+    /// This is the **one** definition of patch application: the commit
+    /// path uses it to rebase a transaction's rows onto the live table,
+    /// and WAL replay uses it to apply
+    /// [`RowPatch`](crate::wal::WalDelta::RowPatch) deltas — so the
+    /// installed table and
+    /// the recovered table are byte-identical by construction, row order
+    /// included.
+    pub fn apply_row_patch(&mut self, deletes: &[Row], upserts: Vec<Row>) -> Result<()> {
+        if self.primary_key.is_empty() {
+            return Err(Error::Internal(format!(
+                "row patch applied to table '{}' without a primary key",
+                self.name
+            )));
+        }
+        if !deletes.is_empty() {
+            let mut del: HashSet<Vec<GroupKey>> = HashSet::with_capacity(deletes.len());
+            for key_row in deletes {
+                del.insert(key_row.iter().map(Value::group_key).collect());
+            }
+            let pk = self.primary_key.clone();
+            self.retain_rows(|row| {
+                let key: Vec<GroupKey> = pk.iter().map(|&c| row[c].group_key()).collect();
+                !del.contains(&key)
+            });
+        }
+        for row in upserts {
+            if row.len() != self.columns.len() {
+                return Err(Error::Internal(format!(
+                    "row patch for table '{}' carries a {}-cell row over {} columns",
+                    self.name,
+                    row.len(),
+                    self.columns.len()
+                )));
+            }
+            let key: Vec<GroupKey> =
+                self.primary_key.iter().map(|&i| row[i].group_key()).collect();
+            match self.pk_index.get(&key) {
+                Some(&i) => self.rows[i] = row,
+                None => self.insert_shared_row(row)?,
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The catalog: a name -> table map. Tables are stored behind `Arc` so

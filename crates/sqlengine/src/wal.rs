@@ -21,7 +21,14 @@
 //! * [`WalDelta::Append`] — the pure-INSERT fast path: only the new rows
 //!   are encoded (detected by `Arc` pointer equality against the commit's
 //!   base snapshot, see [`crate::txn::wal_delta`]);
-//! * [`WalDelta::Put`] — a full table image (UPDATE/DELETE/DDL);
+//! * [`WalDelta::RowPatch`] — the row-level UPDATE/DELETE path: only the
+//!   primary keys of deleted rows and the full images of touched rows are
+//!   encoded; replay patches them into the table already recovered
+//!   (deletes first, then in-place upserts — the same
+//!   [`Table::apply_row_patch`] the commit rebase uses, so the installed
+//!   and recovered tables agree by construction);
+//! * [`WalDelta::Put`] — a full table image (DDL, tables without a
+//!   primary key, or writes that reorder rows);
 //! * [`WalDelta::Drop`] — the table was dropped.
 //!
 //! # Checkpoints
@@ -72,11 +79,22 @@ pub struct DurabilityConfig {
     /// (the log mutex is held only by the leader, never by waiters).
     /// Disabling falls back to one append + fsync per commit.
     pub group_commit: bool,
+    /// Group-commit install handback: once a batch carries at least this
+    /// many table deltas, the leader acknowledges durability but hands
+    /// the catalog installs back to the individual committers, keeping
+    /// the leader's critical section to the write + fsync. `0` disables
+    /// handback (the leader always installs the whole batch itself).
+    pub handback_deltas: usize,
 }
 
 impl Default for DurabilityConfig {
     fn default() -> Self {
-        DurabilityConfig { checkpoint_bytes: 4 << 20, sync: true, group_commit: true }
+        DurabilityConfig {
+            checkpoint_bytes: 4 << 20,
+            sync: true,
+            group_commit: true,
+            handback_deltas: 4,
+        }
     }
 }
 
@@ -102,6 +120,12 @@ pub enum WalDelta {
     Append { table: String, rows: Vec<Row>, new_version: u64 },
     /// Remove the table.
     Drop { name: String },
+    /// Row-level patch over the table as already recovered: `deletes`
+    /// holds the primary-key cell tuples of removed rows, `upserts` the
+    /// full images of touched rows (replaced in place when the key
+    /// exists, appended otherwise). The compact UPDATE/DELETE encoding
+    /// produced from a transaction's row write set.
+    RowPatch { table: String, deletes: Vec<Row>, upserts: Vec<Row>, new_version: u64 },
 }
 
 // ---------------------------------------------------------------------------
@@ -140,6 +164,19 @@ fn encode_record(buf: &mut Vec<u8>, rec: &WalRecord) {
                     buf.push(3);
                     put_str(buf, name);
                 }
+                WalDelta::RowPatch { table, deletes, upserts, new_version } => {
+                    buf.push(4);
+                    put_str(buf, table);
+                    put_u64(buf, *new_version);
+                    put_u64(buf, deletes.len() as u64);
+                    for row in deletes {
+                        encode_row(buf, row);
+                    }
+                    put_u64(buf, upserts.len() as u64);
+                    for row in upserts {
+                        encode_row(buf, row);
+                    }
+                }
             }
         }
         WalRecord::Commit { txn } => {
@@ -174,6 +211,21 @@ fn decode_record(buf: &[u8], pos: &mut usize, interner: &mut TextInterner) -> Re
                     WalDelta::Append { table, rows, new_version }
                 }
                 3 => WalDelta::Drop { name: get_str(buf, pos)?.to_string() },
+                4 => {
+                    let table = get_str(buf, pos)?.to_string();
+                    let new_version = get_u64(buf, pos)?;
+                    let nd = get_u64(buf, pos)? as usize;
+                    let mut deletes = Vec::with_capacity(nd.min(1 << 20));
+                    for _ in 0..nd {
+                        deletes.push(decode_row(buf, pos, interner)?);
+                    }
+                    let nu = get_u64(buf, pos)? as usize;
+                    let mut upserts = Vec::with_capacity(nu.min(1 << 20));
+                    for _ in 0..nu {
+                        upserts.push(decode_row(buf, pos, interner)?);
+                    }
+                    WalDelta::RowPatch { table, deletes, upserts, new_version }
+                }
                 _ => return Err(bad("delta tag")),
             };
             Ok(WalRecord::Delta { txn, delta })
@@ -284,6 +336,13 @@ fn apply_delta(catalog: &mut Catalog, delta: WalDelta) -> Result<()> {
         }
         WalDelta::Drop { name } => {
             let _ = catalog.drop_table(&name);
+        }
+        WalDelta::RowPatch { table, deletes, upserts, new_version } => {
+            let base = catalog.get_required(&table)?.clone();
+            let mut t = (*base).clone();
+            t.apply_row_patch(&deletes, upserts)?;
+            t.version = new_version;
+            catalog.put_shared(Arc::new(t));
         }
     }
     Ok(())
@@ -733,6 +792,51 @@ mod tests {
         let rec = Wal::open(&path, DurabilityConfig::default()).unwrap();
         assert_eq!(rec.catalog.row_count("t"), Some(4));
         assert_eq!(rec.catalog.version("t"), Some(5));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn row_patch_delta_replays_updates_and_deletes() {
+        let path = temp_path("rowpatch");
+        {
+            let mut rec = Wal::open(&path, DurabilityConfig::default()).unwrap();
+            // Base: ids 0..4. Patch: delete id 1, rewrite id 2, insert id 9.
+            let deletes: Vec<Row> = vec![vec![Value::Integer(1)].into()];
+            let upserts: Vec<Row> = vec![
+                vec![Value::Integer(2), Value::text("rewritten")].into(),
+                vec![Value::Integer(9), Value::text("fresh")].into(),
+            ];
+            rec.wal
+                .append(&[
+                    WalRecord::Begin { txn: 1 },
+                    WalRecord::Delta {
+                        txn: 1,
+                        delta: WalDelta::Put { table: Arc::new(sample_table(4)) },
+                    },
+                    WalRecord::Commit { txn: 1 },
+                    WalRecord::Begin { txn: 2 },
+                    WalRecord::Delta {
+                        txn: 2,
+                        delta: WalDelta::RowPatch {
+                            table: "t".into(),
+                            deletes,
+                            upserts,
+                            new_version: 9,
+                        },
+                    },
+                    WalRecord::Commit { txn: 2 },
+                ])
+                .unwrap();
+        }
+        let rec = Wal::open(&path, DurabilityConfig::default()).unwrap();
+        assert_eq!(rec.catalog.row_count("t"), Some(4), "4 - 1 deleted + 1 inserted");
+        assert_eq!(rec.catalog.version("t"), Some(9));
+        let t = rec.catalog.get("t").unwrap();
+        // The rewrite lands in place (row order preserved), the insert at
+        // the tail, and the deleted key is gone.
+        let ids: Vec<Option<i64>> = t.rows.iter().map(|r| r[0].as_i64()).collect();
+        assert_eq!(ids, vec![Some(0), Some(2), Some(3), Some(9)]);
+        assert_eq!(t.rows[1][1], Value::text("rewritten"));
         let _ = std::fs::remove_file(&path);
     }
 }

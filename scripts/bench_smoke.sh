@@ -51,6 +51,13 @@ run parallel_scaling
 # batching has regressed.
 run wal_commit
 
+# Row-level conflict detection under contention: 8 committers run
+# transactions against ONE table. The disjoint_rows row must print
+# **0 conflict aborts** (the false-conflict fix — it also asserts this);
+# the same_row control keeps printing a large abort count. Both report
+# commits-per-fsync and leader→committer install handbacks.
+run hot_row_contention
+
 # Model-call-count bench (plain table output, no criterion harness): the
 # filter argument does not apply here.
 echo "== udf_fallback =="

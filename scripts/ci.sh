@@ -17,9 +17,12 @@
 #      env var drives every default-config statement through the serial
 #      and the 8-way morsel-parallel executor respectively, on top of
 #      the harness's own per-test thread configs;
-#   3. the SharedDb concurrency stress suite (including multi-statement
-#      transaction conflict/retry and torn-commit-visibility cases) and
-#      the cross-session llm_map single-flight test;
+#   3. the SharedDb concurrency stress suite (multi-statement
+#      transaction conflict/retry, torn-commit visibility, MVCC
+#      history GC, leader install handback) and the row-level conflict
+#      regression suite (disjoint-PK transactions must not abort), both
+#      under SWAN_LOCKDEP=1, plus the cross-session llm_map
+#      single-flight test;
 #   4. the WAL crash-recovery harness (torn-tail truncation sweep at
 #      every byte offset of the final commit record group, durable
 #      transactions, auto-checkpoint compaction);
@@ -59,8 +62,11 @@ SWAN_THREADS=1 cargo test -q -p swan-sqlengine --test parallel_diff
 echo "== differential harness @ SWAN_THREADS=8 (morsel-parallel engine) =="
 SWAN_THREADS=8 cargo test -q -p swan-sqlengine --test parallel_diff
 
-echo "== SharedDb concurrency + transaction stress =="
-cargo test -q -p swan-sqlengine --test shared_db_stress
+echo "== SharedDb concurrency + transaction stress (lock-order validated) =="
+SWAN_LOCKDEP=1 cargo test -q -p swan-sqlengine --test shared_db_stress
+
+echo "== row-level conflict regression suite (lock-order validated) =="
+SWAN_LOCKDEP=1 cargo test -q -p swan-sqlengine --test row_conflicts
 
 echo "== WAL crash-recovery harness =="
 cargo test -q -p swan-sqlengine --test wal_recovery

@@ -33,8 +33,13 @@
 //!   many concurrent sessions over one database: snapshot reads,
 //!   per-table writer serialization, panic-transparent locks. Sessions
 //!   run **multi-statement transactions** (`BEGIN`/`COMMIT`/`ROLLBACK`)
-//!   under snapshot isolation with first-committer-wins conflict
-//!   detection over versioned `Arc<Table>` identities, and
+//!   under snapshot isolation with **row-level** first-committer-wins
+//!   conflict detection: commits record per-primary-key write sets,
+//!   validation intersects them against every commit since the
+//!   transaction's snapshot, disjoint-row transactions rebase and
+//!   commit (no false conflicts on one hot table) while true row
+//!   overlaps and DDL abort naming the rows, and a watermark GC bounds
+//!   the write-set history to the oldest live snapshot, and
 //!   `Database::open(path)` / `SharedDb::open(path)` add **crash
 //!   durability**: every commit is a checksummed, fsynced write-ahead-log
 //!   record group, recovery replays the intact prefix (torn tails are
