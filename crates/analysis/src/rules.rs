@@ -1,4 +1,4 @@
-//! The six seam rules, an allowlist engine, and `#[cfg(test)]` region
+//! The seven seam rules, an allowlist engine, and `#[cfg(test)]` region
 //! skipping — all operating on the token stream from [`crate::lexer`].
 //!
 //! | rule            | what it enforces                                              |
@@ -9,6 +9,7 @@
 //! | `no-panic-paths`| no `.unwrap()` / `.expect()` / `panic!`-family on commit/recovery files |
 //! | `safety-comment`| every `unsafe` carries a `// SAFETY:` comment within 5 lines  |
 //! | `lock-rank`     | shim `Mutex::new` / `RwLock::new` must be `with_rank` instead |
+//! | `no-row-materialize` | no `materialize_row(..)` calls or `Row::` construction inside columnar kernel modules — rows materialize at the engine boundary only |
 //!
 //! Escape hatch: `// lint: allow(rule-name): justification` on the same
 //! line as the flagged code or the line directly above. The justification
@@ -47,7 +48,13 @@ const RULE_NAMES: &[&str] = &[
     "no-panic-paths",
     "safety-comment",
     "lock-rank",
+    "no-row-materialize",
 ];
+
+/// Columnar kernel modules where `no-row-materialize` applies: code here
+/// operates on column slices; per-row materialization belongs at the
+/// engine boundary (and defeats the point of the columnar layout).
+const COLUMNAR_FILES: &[&str] = &["columnar.rs"];
 
 /// A parsed `// lint: allow(rule): justification` comment.
 struct Allow {
@@ -69,6 +76,7 @@ pub fn analyze_file(rel_path: &str, src: &str) -> Vec<Finding> {
     let is_pool_time = in_pool && file_name == "time.rs";
     let is_vfs = file_name == "vfs.rs";
     let is_critical = CRITICAL_FILES.contains(&file_name);
+    let is_columnar = COLUMNAR_FILES.contains(&file_name);
 
     // Code-only view (indices back into `tokens`) so matchers never trip
     // on comment text, and comments stay available for SAFETY lookups.
@@ -107,6 +115,7 @@ pub fn analyze_file(rel_path: &str, src: &str) -> Vec<Finding> {
         };
         let next_punct = |off: usize, want: &str| ci + off < code.len() && punct(ci + off, want);
         let prev_punct = |want: &str| ci > 0 && punct(ci - 1, want);
+        let prev_is = |want: &str| ci > 0 && ident(ci - 1) == Some(want);
 
         match tok.text.as_str() {
             // ---- fs-seam ------------------------------------------------
@@ -189,6 +198,33 @@ pub fn analyze_file(rel_path: &str, src: &str) -> Vec<Finding> {
                          instead of panicking",
                         tok.text
                     ),
+                );
+            }
+            // ---- no-row-materialize -------------------------------------
+            // The *definition* of `materialize_row` (preceded by `fn`) is
+            // the sanctioned boundary; calls inside kernel code are the
+            // hazard — each one walks every column for one row and
+            // allocates, defeating the columnar layout.
+            "materialize_row"
+                if is_columnar && next_punct(1, "(") && !prev_is("fn") =>
+            {
+                push(
+                    &allows,
+                    "no-row-materialize",
+                    line,
+                    "`materialize_row` call inside a columnar kernel module; operate on \
+                     column slices and materialize rows only at the engine boundary"
+                        .to_string(),
+                );
+            }
+            "Row" if is_columnar && next_punct(1, "::") => {
+                push(
+                    &allows,
+                    "no-row-materialize",
+                    line,
+                    "`Row::` construction inside a columnar kernel module; kernels return \
+                     verdicts/column data, the engine boundary materializes rows"
+                        .to_string(),
                 );
             }
             // ---- safety-comment -----------------------------------------
@@ -460,6 +496,25 @@ mod tests {
             "crates/core/src/udf.rs",
             "fn f() { let m = std::sync::Mutex::new(0); let r = RwLock::with_rank(\"r\", 1, 0); }",
         );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn no_row_materialize_flags_calls_not_definition() {
+        let src = "pub fn materialize_row(i: usize) -> Row { x(i) }\n\
+                   fn k(s: &ColumnSet) { let _ = s.materialize_row(0); let r = Row::from(v); }";
+        let f = run("crates/sqlengine/src/columnar.rs", src);
+        assert_eq!(f.iter().filter(|x| x.rule == "no-row-materialize").count(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.line == 2), "{f:?}");
+        // Outside columnar kernel modules the rule is inert.
+        let f = run("crates/sqlengine/src/exec.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn no_row_materialize_ignores_type_positions() {
+        let src = "pub fn from_rows(rows: &[Row], width: usize) -> Vec<Row> { build(rows) }";
+        let f = run("crates/sqlengine/src/columnar.rs", src);
         assert!(f.is_empty(), "{f:?}");
     }
 

@@ -49,6 +49,7 @@ golden!(
     allowed,
     vfs,
     test_only,
+    columnar,
 );
 
 /// Every fixture on disk must be covered by a golden test above, and
@@ -72,7 +73,7 @@ fn corpus_is_fully_paired() {
 
     const COVERED: &[&str] = &[
         "bad_fs", "bad_clock", "bad_thread", "wal", "bad_unsafe", "bad_lock",
-        "bad_allow", "allowed", "vfs", "test_only",
+        "bad_allow", "allowed", "vfs", "test_only", "columnar",
     ];
     let mut covered: Vec<String> = COVERED.iter().map(|s| s.to_string()).collect();
     covered.sort();

@@ -29,6 +29,7 @@ use swan_pool::lockrank;
 use crate::ast::{
     CompoundOp, Expr, OrderItem, SelectBody, SelectCore, SelectItem, SelectStmt,
 };
+use crate::columnar::{AggKernel, ColumnSet};
 use crate::error::{Error, Result};
 use crate::eval::{bind_columns, eval, BatchableCalls, RowCtx};
 use crate::functions::{is_aggregate, UdfRegistry};
@@ -414,7 +415,8 @@ fn run_core(
         Plan::Parallel { partitions, .. } => *partitions,
         _ => 1,
     };
-    let input = exec_plan(&plan, ctx, outer)?;
+    let (input, cols) = exec_plan_with_columns(&plan, ctx, outer)?;
+    let cols = cols.as_ref();
 
     // Expand the projection into (expr, output column) pairs.
     let projection = expand_projection(&core.projection, &input.schema)?;
@@ -451,7 +453,8 @@ fn run_core(
 
     let (mut rows, mut keys) = if aggregated {
         run_aggregate(
-            core, &projection, having.as_ref(), &order_exprs, &input, ctx, outer, partitions,
+            core, &projection, having.as_ref(), &order_exprs, &input, cols, ctx, outer,
+            partitions,
         )?
     } else {
         project_rows(&projection, &order_exprs, &input, ctx, outer, partitions)?
@@ -720,6 +723,7 @@ fn run_aggregate(
     having: Option<&Expr>,
     order_exprs: &[Expr],
     input: &Relation,
+    cols: Option<&ColInput>,
     ctx: &ExecCtx<'_>,
     outer: Option<&RowCtx<'_>>,
     partitions: usize,
@@ -746,8 +750,38 @@ fn run_aggregate(
         }
         let bound_keys: Vec<Expr> =
             core.group_by.iter().map(|g| bind_columns(g, &input.schema)).collect();
+        // Columnar key path: every grouping key is a plain column of a
+        // scan-backed input — keys come straight from the typed columns
+        // (no row deref, no eval), walking rows in order so first-seen
+        // group numbering is identical to the serial loop at every
+        // thread count.
+        let columnar_keys: Option<Vec<&crate::columnar::ColumnVec>> = cols.and_then(|ci| {
+            bound_keys
+                .iter()
+                .map(|g| match g {
+                    Expr::BoundColumn(i) => ci.set.columns.get(*i),
+                    _ => None,
+                })
+                .collect()
+        });
         let parallel_keys = partitions > 1 && input.rows.len() > 1;
-        if parallel_keys {
+        if let (Some(kcols), Some(ci)) = (columnar_keys, cols) {
+            for ri in 0..input.rows.len() {
+                if ri % CANCEL_CHECK_ROWS == CANCEL_CHECK_ROWS - 1 {
+                    ctx.check_cancel()?;
+                }
+                let src = match &ci.sel {
+                    Some(sel) => sel[ri] as usize,
+                    None => ri,
+                };
+                let key: Vec<GroupKey> = kcols.iter().map(|c| c.group_key_at(src)).collect();
+                let gi = *group_index.entry(key).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[gi].push(ri);
+            }
+        } else if parallel_keys {
             // Phase 1 (parallel): per-morsel key computation.
             let key_chunks = crate::exec_parallel::try_morsels(
                 input.rows.len(),
@@ -845,7 +879,7 @@ fn run_aggregate(
                         };
                         let rep_ctx = RowCtx { schema: &input.schema, row: rep, outer };
                         keep.push(
-                            materialize_and_eval(h, members, input, wctx, &rep_ctx)?
+                            materialize_and_eval(h, members, input, cols, wctx, &rep_ctx)?
                                 .truthiness()
                                 == Some(true),
                         );
@@ -868,7 +902,7 @@ fn run_aggregate(
                     None => &null_row,
                 };
                 let rep_ctx = RowCtx { schema: &input.schema, row: rep, outer };
-                if materialize_and_eval(h, members, input, ctx, &rep_ctx)?.truthiness()
+                if materialize_and_eval(h, members, input, cols, ctx, &rep_ctx)?.truthiness()
                     == Some(true)
                 {
                     out.push(members);
@@ -921,11 +955,11 @@ fn run_aggregate(
                     let rep_ctx = RowCtx { schema: &input.schema, row: rep, outer };
                     let mut out = Vec::with_capacity(projection.len());
                     for (e, _) in projection {
-                        out.push(materialize_and_eval(e, members, input, wctx, &rep_ctx)?);
+                        out.push(materialize_and_eval(e, members, input, cols, wctx, &rep_ctx)?);
                     }
                     if !order_exprs.is_empty() {
                         keys.push(output_sort_keys(order_exprs, projection.len(), &out, &mut |e| {
-                            materialize_and_eval(e, members, input, wctx, &rep_ctx)
+                            materialize_and_eval(e, members, input, cols, wctx, &rep_ctx)
                         })?);
                     }
                     rows.push(out.into());
@@ -953,11 +987,11 @@ fn run_aggregate(
 
         let mut out = Vec::with_capacity(projection.len());
         for (e, _) in projection {
-            out.push(materialize_and_eval(e, members, input, ctx, &rep_ctx)?);
+            out.push(materialize_and_eval(e, members, input, cols, ctx, &rep_ctx)?);
         }
         if !order_exprs.is_empty() {
             keys.push(output_sort_keys(order_exprs, projection.len(), &out, &mut |e| {
-                materialize_and_eval(e, members, input, ctx, &rep_ctx)
+                materialize_and_eval(e, members, input, cols, ctx, &rep_ctx)
             })?);
         }
         rows.push(out.into());
@@ -971,10 +1005,11 @@ fn materialize_and_eval(
     expr: &Expr,
     members: &[usize],
     input: &Relation,
+    cols: Option<&ColInput>,
     ctx: &ExecCtx<'_>,
     rep_ctx: &RowCtx<'_>,
 ) -> Result<Value> {
-    let rewritten = replace_aggregates(expr, members, input, ctx, rep_ctx)?;
+    let rewritten = replace_aggregates(expr, members, input, cols, ctx, rep_ctx)?;
     eval(&rewritten, ctx, Some(rep_ctx))
 }
 
@@ -982,78 +1017,79 @@ fn replace_aggregates(
     expr: &Expr,
     members: &[usize],
     input: &Relation,
+    cols: Option<&ColInput>,
     ctx: &ExecCtx<'_>,
     rep_ctx: &RowCtx<'_>,
 ) -> Result<Expr> {
     Ok(match expr {
         Expr::Function { name, args, distinct, star } if is_aggregate(name) => {
             Expr::Literal(compute_aggregate(
-                name, args, *distinct, *star, members, input, ctx, rep_ctx,
+                name, args, *distinct, *star, members, input, cols, ctx, rep_ctx,
             )?)
         }
         Expr::Binary { op, left, right } => Expr::Binary {
             op: *op,
-            left: Box::new(replace_aggregates(left, members, input, ctx, rep_ctx)?),
-            right: Box::new(replace_aggregates(right, members, input, ctx, rep_ctx)?),
+            left: Box::new(replace_aggregates(left, members, input, cols, ctx, rep_ctx)?),
+            right: Box::new(replace_aggregates(right, members, input, cols, ctx, rep_ctx)?),
         },
         Expr::Unary { op, expr } => Expr::Unary {
             op: *op,
-            expr: Box::new(replace_aggregates(expr, members, input, ctx, rep_ctx)?),
+            expr: Box::new(replace_aggregates(expr, members, input, cols, ctx, rep_ctx)?),
         },
         Expr::Function { name, args, distinct, star } => Expr::Function {
             name: name.clone(),
             args: args
                 .iter()
-                .map(|a| replace_aggregates(a, members, input, ctx, rep_ctx))
+                .map(|a| replace_aggregates(a, members, input, cols, ctx, rep_ctx))
                 .collect::<Result<_>>()?,
             distinct: *distinct,
             star: *star,
         },
         Expr::IsNull { expr, negated } => Expr::IsNull {
-            expr: Box::new(replace_aggregates(expr, members, input, ctx, rep_ctx)?),
+            expr: Box::new(replace_aggregates(expr, members, input, cols, ctx, rep_ctx)?),
             negated: *negated,
         },
         Expr::Like { expr, pattern, negated, glob } => Expr::Like {
-            expr: Box::new(replace_aggregates(expr, members, input, ctx, rep_ctx)?),
-            pattern: Box::new(replace_aggregates(pattern, members, input, ctx, rep_ctx)?),
+            expr: Box::new(replace_aggregates(expr, members, input, cols, ctx, rep_ctx)?),
+            pattern: Box::new(replace_aggregates(pattern, members, input, cols, ctx, rep_ctx)?),
             negated: *negated,
             glob: *glob,
         },
         Expr::Between { expr, low, high, negated } => Expr::Between {
-            expr: Box::new(replace_aggregates(expr, members, input, ctx, rep_ctx)?),
-            low: Box::new(replace_aggregates(low, members, input, ctx, rep_ctx)?),
-            high: Box::new(replace_aggregates(high, members, input, ctx, rep_ctx)?),
+            expr: Box::new(replace_aggregates(expr, members, input, cols, ctx, rep_ctx)?),
+            low: Box::new(replace_aggregates(low, members, input, cols, ctx, rep_ctx)?),
+            high: Box::new(replace_aggregates(high, members, input, cols, ctx, rep_ctx)?),
             negated: *negated,
         },
         Expr::InList { expr, list, negated } => Expr::InList {
-            expr: Box::new(replace_aggregates(expr, members, input, ctx, rep_ctx)?),
+            expr: Box::new(replace_aggregates(expr, members, input, cols, ctx, rep_ctx)?),
             list: list
                 .iter()
-                .map(|e| replace_aggregates(e, members, input, ctx, rep_ctx))
+                .map(|e| replace_aggregates(e, members, input, cols, ctx, rep_ctx))
                 .collect::<Result<_>>()?,
             negated: *negated,
         },
         Expr::Case { operand, branches, else_expr } => Expr::Case {
             operand: match operand {
-                Some(o) => Some(Box::new(replace_aggregates(o, members, input, ctx, rep_ctx)?)),
+                Some(o) => Some(Box::new(replace_aggregates(o, members, input, cols, ctx, rep_ctx)?)),
                 None => None,
             },
             branches: branches
                 .iter()
                 .map(|(w, t)| {
                     Ok((
-                        replace_aggregates(w, members, input, ctx, rep_ctx)?,
-                        replace_aggregates(t, members, input, ctx, rep_ctx)?,
+                        replace_aggregates(w, members, input, cols, ctx, rep_ctx)?,
+                        replace_aggregates(t, members, input, cols, ctx, rep_ctx)?,
                     ))
                 })
                 .collect::<Result<_>>()?,
             else_expr: match else_expr {
-                Some(e) => Some(Box::new(replace_aggregates(e, members, input, ctx, rep_ctx)?)),
+                Some(e) => Some(Box::new(replace_aggregates(e, members, input, cols, ctx, rep_ctx)?)),
                 None => None,
             },
         },
         Expr::Cast { expr, type_name } => Expr::Cast {
-            expr: Box::new(replace_aggregates(expr, members, input, ctx, rep_ctx)?),
+            expr: Box::new(replace_aggregates(expr, members, input, cols, ctx, rep_ctx)?),
             type_name: type_name.clone(),
         },
         // Leaves and subqueries (own scope) pass through.
@@ -1069,6 +1105,7 @@ fn compute_aggregate(
     star: bool,
     members: &[usize],
     input: &Relation,
+    cols: Option<&ColInput>,
     ctx: &ExecCtx<'_>,
     rep_ctx: &RowCtx<'_>,
 ) -> Result<Value> {
@@ -1087,6 +1124,29 @@ fn compute_aggregate(
         .first()
         .ok_or_else(|| Error::Semantic(format!("{name}() requires an argument")))?;
     let arg = bind_columns(arg, &input.schema);
+    // Columnar fast path: a plain column argument over a scan-backed
+    // input runs as a typed loop over the column — no row deref, no
+    // per-cell eval, no gather vector. DISTINCT, GROUP_CONCAT and
+    // type-unstable (Mixed) columns take the row loop below.
+    if !distinct {
+        if let (Some(ci), Expr::BoundColumn(j), Some(kind)) =
+            (cols, &arg, AggKernel::from_name(&upper))
+        {
+            if let Some(col) = ci.set.columns.get(*j) {
+                let result = match &ci.sel {
+                    None => crate::columnar::eval_aggregate(kind, col, members),
+                    Some(sel) => {
+                        let mapped: Vec<usize> =
+                            members.iter().map(|&ri| sel[ri] as usize).collect();
+                        crate::columnar::eval_aggregate(kind, col, &mapped)
+                    }
+                };
+                if let Some(v) = result {
+                    return v;
+                }
+            }
+        }
+    }
     let mut vals = Vec::with_capacity(members.len());
     for &ri in members {
         let rc = RowCtx { schema: &input.schema, row: &input.rows[ri], outer: rep_ctx.outer };
@@ -1191,11 +1251,14 @@ pub fn exec_plan(
             Ok(Relation { schema: RelSchema::new(cols), rows: inner.rows })
         }
 
-        Plan::Filter { input, predicate } => {
-            let mut rel = exec_plan(input, ctx, outer)?;
-            filter_relation(&mut rel, predicate, ctx, outer)?;
-            Ok(rel)
-        }
+        Plan::Filter { input, predicate } => match columnar_filter(input, predicate, ctx)? {
+            Some((rel, _)) => Ok(rel),
+            None => {
+                let mut rel = exec_plan(input, ctx, outer)?;
+                filter_relation(&mut rel, predicate, ctx, outer)?;
+                Ok(rel)
+            }
+        },
 
         Plan::Parallel { input, partitions } => {
             crate::exec_parallel::exec_parallel(input, *partitions, ctx, outer)
@@ -1231,6 +1294,86 @@ pub fn exec_plan(
             exec_join(&l, &r, *kind, on.as_ref(), emit.as_deref(), ctx, outer)
         }
     }
+}
+
+/// Columnar scan state accompanying a [`Relation`] whose rows came
+/// straight from a base-table scan, possibly filtered: the table's cached
+/// column set plus the selection that produced the relation (`None` =
+/// every row, in order). Relation row `k` is column-set row
+/// `sel[k]` (or `k`), which lets aggregation read columns instead of rows.
+pub(crate) struct ColInput {
+    pub(crate) set: Arc<ColumnSet>,
+    pub(crate) sel: Option<Vec<u32>>,
+}
+
+/// Try the vectorized filter path for a `Filter` directly over a base-table
+/// `Scan`: reuse the table's cached column set, run the predicate kernels
+/// over every row, and gather the surviving rows as shared-row clones —
+/// byte-identical to the serial retain loop, in the same order. Returns
+/// `None` when the shape or the predicate is outside kernel coverage; the
+/// caller then runs the row path, which stays authoritative.
+pub(crate) fn columnar_filter(
+    input: &Plan,
+    predicate: &Expr,
+    ctx: &ExecCtx<'_>,
+) -> Result<Option<(Relation, ColInput)>> {
+    if !ctx.optimizer.columnar {
+        return Ok(None);
+    }
+    let Plan::Scan { table, qualifier } = input else {
+        return Ok(None);
+    };
+    let t = ctx.catalog.get_required(table)?;
+    let schema = RelSchema::qualified(qualifier, t.column_names());
+    let bound = bind_columns(predicate, &schema);
+    let set = t.column_set();
+    let Some(verdict) = crate::columnar::eval_predicate(&bound, &set) else {
+        return Ok(None);
+    };
+    ctx.check_cancel()?;
+    let sel = verdict.selected();
+    let rows = sel.iter().map(|&i| t.rows[i as usize].clone()).collect();
+    Ok(Some((Relation { schema, rows }, ColInput { set, sel: Some(sel) })))
+}
+
+/// Execute a plan, also returning the columnar scan state when the plan is
+/// a bare scan or a kernel-supported filter over one (optionally under the
+/// root `Parallel` annotation) — the shapes whose output rows map 1:1 onto
+/// a cached column set. `run_core` hands the state to aggregation, which
+/// then evaluates GROUP BY keys and aggregate loops over columns.
+fn exec_plan_with_columns(
+    plan: &Plan,
+    ctx: &ExecCtx<'_>,
+    outer: Option<&RowCtx<'_>>,
+) -> Result<(Relation, Option<ColInput>)> {
+    if ctx.optimizer.columnar {
+        match plan {
+            Plan::Scan { table, qualifier } => {
+                let t = ctx.catalog.get_required(table)?;
+                let rel = Relation {
+                    schema: RelSchema::qualified(qualifier, t.column_names()),
+                    rows: t.rows.clone(),
+                };
+                return Ok((rel, Some(ColInput { set: t.column_set(), sel: None })));
+            }
+            Plan::Filter { input, predicate } => {
+                if let Some((rel, ci)) = columnar_filter(input, predicate, ctx)? {
+                    return Ok((rel, Some(ci)));
+                }
+            }
+            Plan::Parallel { input, .. } => match &**input {
+                Plan::Scan { .. } => return exec_plan_with_columns(input, ctx, outer),
+                Plan::Filter { input: finput, predicate } => {
+                    if let Some((rel, ci)) = columnar_filter(finput, predicate, ctx)? {
+                        return Ok((rel, Some(ci)));
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    Ok((exec_plan(plan, ctx, outer)?, None))
 }
 
 /// The serial in-place batch filter: survivors are never cloned or moved
@@ -1281,7 +1424,7 @@ pub(crate) fn filter_relation(
 /// refcount traffic — the join only reads them), everything else is
 /// materialized through [`exec_plan`].
 pub(crate) enum JoinInput<'a> {
-    Borrowed { schema: RelSchema, rows: &'a [Row] },
+    Borrowed { schema: RelSchema, rows: &'a [Row], cols: Option<Arc<ColumnSet>> },
     Owned(Relation),
 }
 
@@ -1299,6 +1442,29 @@ impl JoinInput<'_> {
             JoinInput::Owned(rel) => &rel.rows,
         }
     }
+
+    /// The table's cached column set, for scan inputs under the columnar
+    /// toggle: join keys then come from the key column directly instead
+    /// of dereferencing each row.
+    pub(crate) fn cols(&self) -> Option<&Arc<ColumnSet>> {
+        match self {
+            JoinInput::Borrowed { cols, .. } => cols.as_ref(),
+            JoinInput::Owned(_) => None,
+        }
+    }
+
+    /// The single key column for vectorized key extraction, when this
+    /// input is a scan with a cached column set and the key side is one
+    /// direct column index.
+    pub(crate) fn key_column(&self, key: &KeySide) -> Option<&crate::columnar::ColumnVec> {
+        match (self.cols(), key) {
+            (Some(set), KeySide::Direct(idxs)) => match idxs[..] {
+                [i] => set.columns.get(i),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
 }
 
 pub(crate) fn exec_source<'a>(
@@ -1312,6 +1478,7 @@ pub(crate) fn exec_source<'a>(
             Ok(JoinInput::Borrowed {
                 schema: RelSchema::qualified(qualifier, t.column_names()),
                 rows: &t.rows,
+                cols: ctx.optimizer.columnar.then(|| t.column_set()),
             })
         }
         other => Ok(JoinInput::Owned(exec_plan(other, ctx, outer)?)),
@@ -1599,17 +1766,36 @@ fn hash_join(
     // the single-row case (the norm for key/foreign-key joins), so a
     // unique-key build performs zero per-bucket allocations.
     let mut table: FxHashMap<JoinKey, Bucket> = map_with_capacity(build.rows().len());
-    for (ri, row) in build.rows().iter().enumerate() {
-        if ri % CANCEL_CHECK_ROWS == CANCEL_CHECK_ROWS - 1 {
-            ctx.check_cancel()?;
-        }
-        prefetch_row(build.rows(), ri + PREFETCH_AHEAD);
-        if let Some(key) = build_key.key(row, build.schema(), ctx, outer)? {
-            match table.entry(key) {
+    if let Some(col) = build.key_column(&build_key) {
+        // Scan build side with a single direct-column key: read the key
+        // straight out of the table's column vector — no row deref at all.
+        for ri in 0..build.rows().len() {
+            if ri % CANCEL_CHECK_ROWS == CANCEL_CHECK_ROWS - 1 {
+                ctx.check_cancel()?;
+            }
+            let Some(gk) = col.join_key_at(ri) else { continue };
+            match table.entry(JoinKey::One(gk)) {
                 std::collections::hash_map::Entry::Vacant(v) => {
                     v.insert(Bucket::One(ri as u32));
                 }
                 std::collections::hash_map::Entry::Occupied(mut o) => o.get_mut().push(ri as u32),
+            }
+        }
+    } else {
+        for (ri, row) in build.rows().iter().enumerate() {
+            if ri % CANCEL_CHECK_ROWS == CANCEL_CHECK_ROWS - 1 {
+                ctx.check_cancel()?;
+            }
+            prefetch_row(build.rows(), ri + PREFETCH_AHEAD);
+            if let Some(key) = build_key.key(row, build.schema(), ctx, outer)? {
+                match table.entry(key) {
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(Bucket::One(ri as u32));
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        o.get_mut().push(ri as u32)
+                    }
+                }
             }
         }
     }
@@ -1650,6 +1836,27 @@ fn hash_join(
     // residual, inner join (`a JOIN b ON a.x = b.y`): no per-row enum
     // plumbing, just load → hash → emit.
     if kind == PlanJoinKind::Inner && residual.is_none() {
+        // Columnar probe: keys come from the probe table's key column, so
+        // the probe row is only dereferenced on an actual match.
+        if let Some(col) = probe.key_column(&probe_key) {
+            let rows = probe.rows();
+            for pi in 0..rows.len() {
+                if pi % CANCEL_CHECK_ROWS == CANCEL_CHECK_ROWS - 1 {
+                    ctx.check_cancel()?;
+                }
+                let Some(gk) = col.join_key_at(pi) else { continue };
+                if let Some(cands) = table.get(&JoinKey::One(gk)) {
+                    let prow = &rows[pi];
+                    for &ri in cands.as_slice() {
+                        let brow = &build.rows()[ri as usize];
+                        let (lrow, rrow): (&[Value], &[Value]) =
+                            if build_left { (brow, prow) } else { (prow, brow) };
+                        out.push(emission.matched(lrow, rrow));
+                    }
+                }
+            }
+            return Ok(out);
+        }
         if let KeySide::Direct(idxs) = &probe_key {
             if let [pk] = idxs[..] {
                 let rows = probe.rows();

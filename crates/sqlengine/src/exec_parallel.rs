@@ -205,6 +205,13 @@ pub(crate) fn exec_parallel(
         Plan::Parallel { input, partitions: p } => exec_parallel(input, *p, ctx, outer),
 
         Plan::Filter { input, predicate } => {
+            // Columnar filters beat morsel-parallel row evaluation on the
+            // predicate shapes the kernels support: one serial pass over
+            // the key columns, no per-row dispatch. Order is identical to
+            // the serial path by construction (ascending selection).
+            if let Some((rel, _)) = crate::exec::columnar_filter(input, predicate, ctx)? {
+                return Ok(rel);
+            }
             let mut rel = exec_parallel(input, partitions, ctx, outer)?;
             if partitions <= 1 || rel.rows.len() < 2 {
                 filter_relation(&mut rel, predicate, ctx, outer)?;
@@ -290,6 +297,7 @@ fn exec_source_parallel<'a>(
             Ok(JoinInput::Borrowed {
                 schema: RelSchema::qualified(qualifier, t.column_names()),
                 rows: &t.rows,
+                cols: ctx.optimizer.columnar.then(|| t.column_set()),
             })
         }
         other => Ok(JoinInput::Owned(exec_parallel(other, partitions, ctx, outer)?)),
@@ -425,10 +433,22 @@ fn exec_join_parallel(
     }
 
     // Build phase 1 (parallel): every build row's key + hash, in row order.
+    // With a scan input and a single direct-column key, the key comes
+    // straight out of the table's column vector — no row deref per key.
     let build_rows = build.rows();
     let build_schema = build.schema();
+    let build_col = build.key_column(&build_key);
     let key_chunks = try_morsels(build_rows.len(), partitions, ctx, |range, wctx| {
         let mut keys = Vec::with_capacity(range.len());
+        if let Some(col) = build_col {
+            for ri in range {
+                keys.push(col.join_key_at(ri).map(|k| {
+                    let k = JoinKey::One(k);
+                    (fx_hash(&k), k)
+                }));
+            }
+            return Ok(keys);
+        }
         for (off, row) in build_rows[range.clone()].iter().enumerate() {
             prefetch_row(build_rows, range.start + off + PREFETCH_AHEAD);
             keys.push(match build_key.key(row, build_schema, wctx, outer)? {
@@ -474,12 +494,16 @@ fn exec_join_parallel(
     let probe_rows = probe.rows();
     let probe_schema = probe.schema();
     let right_w = right.schema().len();
+    let probe_col = probe.key_column(&probe_key);
     let chunks = try_morsels(probe_rows.len(), partitions, ctx, |range, wctx| {
         let mut out = Vec::new();
         let mut scratch: Vec<Value> = Vec::with_capacity(full_schema.len());
         for (off, prow) in probe_rows[range.clone()].iter().enumerate() {
             prefetch_row(probe_rows, range.start + off + PREFETCH_AHEAD);
-            let key = probe_key.key(prow, probe_schema, wctx, outer)?;
+            let key = match probe_col {
+                Some(col) => col.join_key_at(range.start + off).map(JoinKey::One),
+                None => probe_key.key(prow, probe_schema, wctx, outer)?,
+            };
             let mut matched = false;
             if let Some(key) = key {
                 let h = fx_hash(&key);

@@ -19,6 +19,16 @@
 //!   hash joins build on the smaller side, and INNER-join chains are
 //!   reordered by catalog row-count statistics — see `PERF.md` for the
 //!   representation notes and measured numbers;
+//! * **columnar execution** ([`columnar`], [`OptimizerConfig::columnar`],
+//!   default on; `SWAN_COLUMNAR=0` flips the default): each table lazily
+//!   caches typed column vectors with validity bitmaps (dictionary-encoded
+//!   text, raw `i64`/`f64`/bool), and supported scan predicates, GROUP BY
+//!   keys, hash-join keys and plain-column aggregates run as
+//!   word-at-a-time Kleene-logic / tight-loop kernels over the column
+//!   slices, materializing `Row`s lazily only at the engine boundary.
+//!   `columnar: false` is bit-for-bit the row path, and the differential
+//!   harness pins columnar ≡ row at 1 and 8 threads (PERF.md, "Columnar
+//!   execution", for the measured 1.7–2.2× scan/aggregate speedups);
 //! * **morsel-driven parallel execution** ([`exec_parallel`]): the
 //!   optimizer annotates large plans with `Plan::Parallel { partitions }`
 //!   from catalog row counts, and filters, partitioned hash-join
@@ -139,6 +149,7 @@
 //! the who-holds-what lock table.
 
 pub mod ast;
+pub mod columnar;
 pub mod db;
 pub mod display;
 pub mod error;

@@ -60,6 +60,15 @@ pub struct OptimizerConfig {
     ///
     /// [`Catalog::row_count`]: crate::storage::Catalog::row_count
     pub parallel_threshold: usize,
+    /// Use the columnar execution path ([`crate::columnar`]): scans serve
+    /// cached typed column vectors, filters over base tables run as
+    /// vectorized three-valued-logic kernels, GROUP BY keys, hash-join
+    /// keys and `COUNT`/`SUM`/`AVG`/`MIN`/`MAX` read columns directly,
+    /// and rows materialize lazily at the engine boundary. `false`
+    /// reproduces the row-at-a-time engine bit-for-bit (the differential
+    /// oracle). Defaults to the `SWAN_COLUMNAR` environment variable
+    /// (unset or anything but `0` = on).
+    pub columnar: bool,
 }
 
 /// Default for [`OptimizerConfig::parallel_threshold`]: roughly four
@@ -77,8 +86,17 @@ impl Default for OptimizerConfig {
             batch_expensive_udfs: true,
             threads: 0,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            columnar: default_columnar(),
         }
     }
+}
+
+/// Default for [`OptimizerConfig::columnar`]: the `SWAN_COLUMNAR`
+/// environment variable, read once per process (`0` = off, anything else
+/// or unset = on). The CI harness flips it to pin both representations.
+fn default_columnar() -> bool {
+    static COLUMNAR: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *COLUMNAR.get_or_init(|| std::env::var("SWAN_COLUMNAR").map_or(true, |v| v != "0"))
 }
 
 /// A column the SELECT level reads: `(qualifier, name)`, matched

@@ -48,6 +48,12 @@ pub struct Table {
     /// transaction-commit install. Equal (name, version) pairs imply equal
     /// contents — the identity the commit-time conflict check relies on.
     pub version: u64,
+    /// Lazily-built column-major view of `rows`
+    /// ([`crate::columnar::ColumnSet`]), shared with every executor that
+    /// scans this table version. Invalidated (`take`) by every row or
+    /// schema mutation; a clone carries the cache along, which stays
+    /// valid because the rows are cloned with it.
+    columnar: std::sync::OnceLock<Arc<crate::columnar::ColumnSet>>,
 }
 
 /// Structural equality: same name, schema, primary key, version and
@@ -118,7 +124,20 @@ impl Table {
             primary_key,
             pk_index: HashMap::new(),
             version: 0,
+            columnar: std::sync::OnceLock::new(),
         })
+    }
+
+    /// The column-major view of this table version, built on first use and
+    /// cached until the next mutation. Executors hold the returned `Arc`
+    /// for the duration of a scan, so a concurrent copy-on-write of the
+    /// table never invalidates a view mid-query.
+    pub fn column_set(&self) -> Arc<crate::columnar::ColumnSet> {
+        self.columnar
+            .get_or_init(|| {
+                Arc::new(crate::columnar::ColumnSet::from_rows(&self.rows, self.columns.len()))
+            })
+            .clone()
     }
 
     /// Number of columns.
@@ -181,6 +200,7 @@ impl Table {
             }
             self.pk_index.insert(key, self.rows.len());
         }
+        self.columnar.take();
         self.rows.push(row);
         Ok(())
     }
@@ -215,6 +235,7 @@ impl Table {
                 "cannot add NOT NULL column to a non-empty table".into(),
             ));
         }
+        self.columnar.take();
         self.col_index.insert(column.name.to_ascii_lowercase(), self.columns.len());
         self.columns.push(column);
         for row in &mut self.rows {
@@ -232,6 +253,7 @@ impl Table {
         let idx = self
             .column_index(name)
             .ok_or_else(|| Error::NotFound(format!("{}.{}", self.name, name)))?;
+        self.columnar.take();
         self.columns.remove(idx);
         for row in &mut self.rows {
             let mut narrowed = row.to_vec();
@@ -271,11 +293,13 @@ impl Table {
                 self.pk_index.remove(&key);
             }
         }
+        self.columnar.take();
         self.rows.truncate(keep_len);
     }
 
     /// Remove all rows (and the PK index) while keeping the schema.
     pub fn clear_rows(&mut self) {
+        self.columnar.take();
         self.rows.clear();
         self.pk_index.clear();
     }
@@ -286,6 +310,7 @@ impl Table {
         self.rows.retain(|r| keep(r));
         let removed = before - self.rows.len();
         if removed > 0 {
+            self.columnar.take();
             self.rebuild_pk_index();
         }
         removed
@@ -343,6 +368,7 @@ impl Table {
     /// the recovered table are byte-identical by construction, row order
     /// included.
     pub fn apply_row_patch(&mut self, deletes: &[Row], upserts: Vec<Row>) -> Result<()> {
+        self.columnar.take();
         if self.primary_key.is_empty() {
             return Err(Error::Internal(format!(
                 "row patch applied to table '{}' without a primary key",
@@ -441,6 +467,9 @@ impl Catalog {
             .ok_or_else(|| Error::NotFound(name.to_string()))?;
         let table = Arc::make_mut(arc);
         table.version += 1;
+        // The caller is about to mutate: drop the columnar cache now so a
+        // stale view can never be served against the modified rows.
+        table.columnar.take();
         Ok(table)
     }
 

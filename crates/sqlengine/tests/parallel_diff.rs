@@ -26,6 +26,12 @@
 //! for an LLM call; the parallel engine must return the same rows and
 //! never evaluate more distinct argument tuples than the serial engine).
 //!
+//! A second differential axis pins **columnar ≡ row** execution: every
+//! generated query also runs with `OptimizerConfig::columnar` off (the
+//! reference row path) and on, at 1 and 8 threads, under the same
+//! equivalence contract — plus a NULL-heavy generator that stresses the
+//! validity bitmaps, Kleene kernels and NULL-never-joins rules.
+//!
 //! Reproducibility: case streams honour `SWAN_SEED` (see the proptest
 //! shim); a failure prints the seed to replay it.
 
@@ -197,7 +203,10 @@ fn assert_equivalent(sql: &str, threads: usize, serial: &QueryResult, parallel: 
 }
 
 /// Run `sql` serially and at every parallel thread count over fresh,
-/// identically-populated databases; assert equivalence.
+/// identically-populated databases; assert equivalence. Then run the
+/// columnar ≡ row axis: the row path (`columnar: false`) is the
+/// reference, and the columnar kernels must agree byte-for-byte at 1
+/// and 8 threads.
 fn diff_query(domain: usize, rows: &[(i64, i64, String)], sql: &str) {
     let mut serial_db = domain_db(domain, rows);
     serial_db.set_optimizer(serial_config());
@@ -208,6 +217,23 @@ fn diff_query(domain: usize, rows: &[(i64, i64, String)], sql: &str) {
         let parallel =
             par_db.query(sql).unwrap_or_else(|e| panic!("{threads}-thread {sql}: {e}"));
         assert_equivalent(sql, threads, &serial, &parallel);
+    }
+
+    let run_columnar = |threads: usize, columnar: bool| -> QueryResult {
+        let mut db = domain_db(domain, rows);
+        db.set_optimizer(OptimizerConfig {
+            threads,
+            parallel_threshold: 1,
+            columnar,
+            ..Default::default()
+        });
+        db.query(sql)
+            .unwrap_or_else(|e| panic!("columnar={columnar} {threads}-thread {sql}: {e}"))
+    };
+    let row_ref = run_columnar(1, false);
+    for &threads in &[1usize, 8] {
+        let columnar = run_columnar(threads, true);
+        assert_equivalent(sql, threads, &row_ref, &columnar);
     }
 }
 
@@ -384,6 +410,78 @@ proptest! {
         let serial = run(serial_config());
         for &threads in THREAD_COUNTS {
             prop_assert_eq!(&serial, &run(parallel_config(threads)), "threads {}", threads);
+        }
+    }
+
+    /// Columnar ≡ row on NULL-heavy tables: every column type carries a
+    /// validity bitmap, and the kernels' three-valued logic, aggregate
+    /// NULL-skipping and join NULL-never-matches rules must agree with
+    /// the row evaluator on tables where NULLs dominate — at 1 and 8
+    /// threads.
+    #[test]
+    fn columnar_matches_row_on_null_heavy_tables(
+        cells in proptest::collection::vec(
+            (0u8..8, any::<i64>(), -8i64..8, 0usize..5), 4..60),
+        shape in 0usize..9,
+        threshold in -4i64..4,
+    ) {
+        // ~half of every nullable column is NULL; `t` mixes plain and
+        // numeric strings (text→number coercion in kernels), `r` carries
+        // -0.0 and fractions, `b` is 0/1 so it classifies as a Bool
+        // column with a validity bitmap.
+        const TEXTS: &[&str] = &["a", "b", "3", "-1.5", ""];
+        let build = || {
+            let mut db = Database::new();
+            db.execute(
+                "CREATE TABLE n (id INTEGER PRIMARY KEY, i INTEGER, r REAL, t TEXT, b INTEGER)",
+            )
+            .unwrap();
+            let tbl = db.catalog_mut().get_mut("n").unwrap();
+            for (row_id, (nulls, raw, small, ti)) in cells.iter().enumerate() {
+                let i = if nulls & 1 == 0 { Value::Integer(raw % 5) } else { Value::Null };
+                let r = if nulls & 2 == 0 {
+                    let f = if *small == 0 { -0.0 } else { *small as f64 / 2.0 };
+                    Value::Real(f)
+                } else {
+                    Value::Null
+                };
+                let t = if nulls & 4 == 0 { Value::text(TEXTS[*ti]) } else { Value::Null };
+                let b = if raw % 3 == 0 { Value::Null } else { Value::Integer(raw.rem_euclid(2)) };
+                tbl.insert_row(vec![Value::Integer(row_id as i64), i, r, t, b]).unwrap();
+            }
+            db
+        };
+        let sql = match shape {
+            0 => format!("SELECT id, i FROM n WHERE i > {threshold}"),
+            1 => "SELECT id FROM n WHERE t = 'a' OR i IS NULL".to_string(),
+            2 => format!(
+                "SELECT id FROM n WHERE i BETWEEN {threshold} AND {} ORDER BY id",
+                threshold + 3
+            ),
+            3 => "SELECT COUNT(*), COUNT(i), SUM(i), AVG(r), MIN(t), MAX(t), SUM(t) FROM n"
+                .to_string(),
+            4 => "SELECT b, COUNT(*), SUM(r) FROM n GROUP BY b".to_string(),
+            5 => "SELECT i, COUNT(r), AVG(i) FROM n GROUP BY i ORDER BY 1".to_string(),
+            6 => "SELECT a.id, c.id FROM n a JOIN n c ON a.i = c.i ORDER BY a.id, c.id"
+                .to_string(),
+            7 => "SELECT id FROM n WHERE i IN (1, 2, NULL)".to_string(),
+            _ => format!("SELECT id FROM n WHERE NOT (i > {threshold} AND b = 1)"),
+        };
+        let run = |threads: usize, columnar: bool| -> QueryResult {
+            let mut db = build();
+            db.set_optimizer(OptimizerConfig {
+                threads,
+                parallel_threshold: 1,
+                columnar,
+                ..Default::default()
+            });
+            db.query(&sql)
+                .unwrap_or_else(|e| panic!("columnar={columnar} {threads}-thread {sql}: {e}"))
+        };
+        let row_ref = run(1, false);
+        for &threads in &[1usize, 8] {
+            let columnar = run(threads, true);
+            assert_equivalent(&sql, threads, &row_ref, &columnar);
         }
     }
 }

@@ -31,6 +31,14 @@ run() {
 run engine_micro
 run join_scaling
 
+# Columnar vs row execution pairs (filter+project, SUM/GROUP BY, the sf1
+# hash join, filtered top-k): each workload prints a _columnar and a _row
+# variant; the pairwise ratio is the columnar speedup. Reference ratios
+# live in crates/sqlengine/PERF.md ("Columnar execution") — if a
+# _columnar row stops beating its _row twin, the kernels have regressed
+# or stopped engaging.
+run columnar_scan
+
 # Morsel-driven parallel execution across the thread matrix: each
 # workload prints t1 (serial engine) through t8 rows. Compare within a
 # workload — CPU-bound speedup is bounded by `nproc`, the latency-bound

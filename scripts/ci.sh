@@ -33,7 +33,10 @@
 #      dir-sync-fails-then-crash schedule), asserting recovery is always
 #      a clean prefix of acknowledged commits;
 #   6. the golden SQL suite (tests/slt/*.slt), each file executed on the
-#      serial and the 8-thread engine with byte-identical output;
+#      serial and the 8-thread engine with byte-identical output — then
+#      the slt suite and the differential harness again with
+#      SWAN_COLUMNAR=0 and =1, so both the columnar kernels and the
+#      bit-for-bit row fallback stay pinned to the same goldens;
 #   7. the LLM fault-sweep harness (tests/llm_fault_sim.rs): every
 #      ModelFault kind injected at every call index of a fixed workload,
 #      serial and 8-thread-parallel and concurrent-session single-flight,
@@ -77,7 +80,15 @@ cargo test -q -p swan-sqlengine --test crash_sim
 echo "== golden SQL suite @ 1 and 8 threads =="
 cargo test -q -p swan-sqlengine --test slt
 
-echo "== binary row codec round-trip properties =="
+echo "== columnar execution off/on: golden SQL suite =="
+SWAN_COLUMNAR=0 cargo test -q -p swan-sqlengine --test slt
+SWAN_COLUMNAR=1 cargo test -q -p swan-sqlengine --test slt
+
+echo "== columnar execution off/on: differential harness =="
+SWAN_COLUMNAR=0 cargo test -q -p swan-sqlengine --test parallel_diff
+SWAN_COLUMNAR=1 cargo test -q -p swan-sqlengine --test parallel_diff
+
+echo "== binary row + column codec round-trip properties =="
 cargo test -q -p swan-sqlengine --test prop_codec
 
 echo "== cross-session llm_map single-flight =="

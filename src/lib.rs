@@ -14,7 +14,16 @@
 //!   interned text (`Value::Text(Arc<str>)`), shared rows
 //!   (`Row = Arc<[Value]>`), statistics-driven join ordering, and
 //!   column-pruned join emission — see `crates/sqlengine/PERF.md` for the
-//!   measured speedups. Expensive UDF calls execute **batched**: at every
+//!   measured speedups. Scans additionally execute **columnar**
+//!   (`OptimizerConfig::columnar`, default on; `SWAN_COLUMNAR=0`
+//!   disables): tables cache typed column vectors with validity bitmaps
+//!   and dictionary-encoded text, filter predicates evaluate as
+//!   word-at-a-time three-valued-logic bitmap kernels, GROUP BY /
+//!   hash-join keys and plain-column aggregates read the columns
+//!   directly, and rows materialize lazily at the engine boundary —
+//!   1.7–2.2× on scan-heavy shapes with the row path preserved
+//!   bit-for-bit as the `columnar: false` fallback (PERF.md, "Columnar
+//!   execution"). Expensive UDF calls execute **batched**: at every
 //!   operator (projection, WHERE, HAVING, join ON) the engine collects
 //!   the distinct argument tuples of its input batch and issues one
 //!   `ScalarUdf::invoke_batch` instead of one call per row, so `llm_map`
