@@ -36,9 +36,19 @@ impl Finding {
 
 /// Commit/recovery-path files where the `no-panic-paths` rule applies.
 /// These are the files a crash-consistency bug would live in; a panic
-/// there can tear a commit in half.
-const CRITICAL_FILES: &[&str] =
-    &["wal.rs", "txn.rs", "storage.rs", "db.rs", "shared.rs", "vfs.rs"];
+/// there can tear a commit in half. The paged store (pager, B-tree,
+/// buffer pool) sits on the checkpoint/recovery path, so it qualifies.
+const CRITICAL_FILES: &[&str] = &[
+    "wal.rs",
+    "txn.rs",
+    "storage.rs",
+    "db.rs",
+    "shared.rs",
+    "vfs.rs",
+    "pager.rs",
+    "btree.rs",
+    "bufpool.rs",
+];
 
 /// All rule names, for validating `allow(...)` entries.
 const RULE_NAMES: &[&str] = &[
@@ -469,6 +479,19 @@ mod tests {
         assert_eq!(f.iter().filter(|x| x.rule == "no-panic-paths").count(), 3, "{f:?}");
         let f = run("crates/sqlengine/src/parser.rs", src);
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn no_panic_paths_covers_the_paged_store() {
+        let src = "fn f() { x.unwrap(); }";
+        for file in ["pager.rs", "btree.rs", "bufpool.rs"] {
+            let f = run(&format!("crates/sqlengine/src/{file}"), src);
+            assert_eq!(
+                f.iter().filter(|x| x.rule == "no-panic-paths").count(),
+                1,
+                "{file}: {f:?}"
+            );
+        }
     }
 
     #[test]

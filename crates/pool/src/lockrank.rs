@@ -34,6 +34,18 @@ pub const COMMIT_QUEUE: u32 = 20;
 /// across checkpoints; may take the catalog and VFS locks below it.
 pub const WAL: u32 = 30;
 
+/// The paged-storage core (`pager::Pager.inner`: page file handle, slot
+/// map, free list, per-table tree roots). Taken under the WAL lock when
+/// commits apply deltas to the B-trees and when checkpoints flush dirty
+/// pages; takes the buffer pool and the VFS below it. Never taken while
+/// holding `CATALOG` or `MVCC_HISTORY`.
+pub const PAGER: u32 = 32;
+
+/// The page buffer pool (`bufpool::BufferPool`): frame table, pin counts,
+/// clock hand, eviction stats. Taken under `PAGER`; evicting a dirty
+/// frame issues a page write, so the VFS lock sits below it.
+pub const BUF_POOL: u32 = 34;
+
 /// SimFs shared state (fault plan, file images). Leaf of the I/O stack:
 /// taken by VFS operations issued under the WAL lock.
 pub const VFS_SIM: u32 = 40;

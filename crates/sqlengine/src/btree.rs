@@ -1,0 +1,953 @@
+//! # B-tree tables, heap chains and overflow blobs over slotted pages
+//!
+//! The on-disk structures of the paged store ([`crate::pager`]):
+//!
+//! * **B-tree** pages for tables with a primary key: leaves hold
+//!   `(key, seq, row)` cells sorted by encoded-key order and are linked
+//!   left-to-right (`next` pointer in the leaf header) so range scans and
+//!   full materialization walk the leaf chain without re-descending;
+//!   interior pages hold separator keys. Page ids are **stable** — the
+//!   shadow-slot scheme in the pager gives crash atomicity without
+//!   relocating pages, so leaf links never go stale.
+//! * **Heap** chains for tables without a primary key: append-only page
+//!   chains of `(seq, row)` cells.
+//! * **Overflow** chains for cells whose row bytes exceed
+//!   [`MAX_INLINE_VAL`]: the cell stores the chain head, the row bytes
+//!   span linked overflow pages.
+//!
+//! Keys are the `storage::encode_value` image of the row's primary-key
+//! values (count-prefixed, like `encode_row`). [`cmp_keys`] compares two
+//! encoded keys by decoding scalars in lockstep with **exactly**
+//! `Value::sort_cmp` semantics (NULL < numerics-as-f64, NaN last among
+//! numerics < text in byte order) — the same total order the executor
+//! uses, and an equality that coincides with `Value::group_key`, which is
+//! what makes tree upserts agree with the in-memory `pk_index`.
+//!
+//! Every cell carries a `seq`: a sparse, monotone insertion stamp. An
+//! upsert of an existing key keeps the old cell's `seq`; materializing a
+//! table sorts by `seq`, which reproduces the in-memory row order —
+//! in-place updates stay in place, appends append — byte-identically.
+//!
+//! Deletes remove cells without rebalancing: an underfull (even empty)
+//! leaf stays linked and is simply skipped by scans. That trades space
+//! for a drastically simpler structure; `Put` deltas (whole-table
+//! rewrites) rebuild the tree compactly.
+
+use std::cmp::Ordering;
+
+use crate::bufpool::PageRef;
+use crate::error::{Error, Result};
+use crate::pager::PAGE_PAYLOAD;
+use crate::storage::{get_u32, get_u64, get_u8, put_u32, put_u64, take, take_array};
+
+/// Page types stored in the page header.
+pub(crate) const PT_LEAF: u8 = 1;
+pub(crate) const PT_INTERIOR: u8 = 2;
+pub(crate) const PT_HEAP: u8 = 3;
+pub(crate) const PT_OVERFLOW: u8 = 4;
+
+/// Nil page id (page ids start at 1).
+pub(crate) const NIL: u64 = 0;
+
+/// Row bytes above this spill to an overflow chain.
+pub(crate) const MAX_INLINE_VAL: usize = 1024;
+
+/// Largest encoded key a cell may carry: an overflow cell
+/// (`flag + klen + key + seq + total + start`) must always fit a leaf
+/// page on its own, so splits can never fail.
+pub(crate) const MAX_KEY: usize = PAGE_PAYLOAD - LEAF_HDR - CELL_FIXED - 12;
+
+const LEAF_HDR: usize = 8 + 2; // next + ncells (heap pages reuse this layout)
+const INTERIOR_HDR: usize = 2 + 8; // ncells + first child
+const OVERFLOW_HDR: usize = 8 + 4; // next + len
+const CELL_FIXED: usize = 1 + 2 + 8; // flag + klen + seq
+
+/// The page access surface the tree layer needs; implemented by the
+/// pager's buffer-pool-backed I/O context. `read` returns a *pinned*
+/// page — tree operations keep their whole descent path pinned, which is
+/// what makes the pool's pin accounting load-bearing.
+pub(crate) trait PageStore {
+    fn read(&mut self, id: u64) -> Result<PageRef>;
+    fn write(&mut self, id: u64, typ: u8, data: Vec<u8>) -> Result<()>;
+    fn alloc(&mut self) -> Result<u64>;
+    fn free(&mut self, id: u64) -> Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// Encoded-key comparison
+// ---------------------------------------------------------------------------
+
+enum Scalar<'a> {
+    Null,
+    Num(f64),
+    Text(&'a [u8]),
+}
+
+fn next_scalar<'a>(buf: &'a [u8], pos: &mut usize) -> Result<Scalar<'a>> {
+    match get_u8(buf, pos)? {
+        0 => Ok(Scalar::Null),
+        1 => Ok(Scalar::Num(i64::from_le_bytes(take_array(buf, pos)?) as f64)),
+        2 => Ok(Scalar::Num(f64::from_bits(u64::from_le_bytes(take_array(buf, pos)?)))),
+        3 => {
+            let n = get_u32(buf, pos)? as usize;
+            Ok(Scalar::Text(take(buf, pos, n)?))
+        }
+        t => Err(Error::Internal(format!("btree: unknown value tag {t} in key"))),
+    }
+}
+
+/// Compare two encoded keys with `Value::sort_cmp` semantics, without
+/// materializing values.
+pub(crate) fn cmp_keys(a: &[u8], b: &[u8]) -> Result<Ordering> {
+    let (mut pa, mut pb) = (0usize, 0usize);
+    let na = get_u32(a, &mut pa)?;
+    let nb = get_u32(b, &mut pb)?;
+    for _ in 0..na.min(nb) {
+        let va = next_scalar(a, &mut pa)?;
+        let vb = next_scalar(b, &mut pb)?;
+        let ord = match (va, vb) {
+            (Scalar::Null, Scalar::Null) => Ordering::Equal,
+            (Scalar::Null, _) => Ordering::Less,
+            (_, Scalar::Null) => Ordering::Greater,
+            (Scalar::Text(x), Scalar::Text(y)) => x.cmp(y),
+            (Scalar::Text(_), _) => Ordering::Greater,
+            (_, Scalar::Text(_)) => Ordering::Less,
+            (Scalar::Num(x), Scalar::Num(y)) => x.partial_cmp(&y).unwrap_or(
+                // NaNs sort after every other numeric, equal to each other
+                // — exactly `Value::sort_cmp`.
+                match (x.is_nan(), y.is_nan()) {
+                    (true, true) => Ordering::Equal,
+                    (true, false) => Ordering::Greater,
+                    (false, true) => Ordering::Less,
+                    (false, false) => Ordering::Equal,
+                },
+            ),
+        };
+        if ord != Ordering::Equal {
+            return Ok(ord);
+        }
+    }
+    Ok(na.cmp(&nb))
+}
+
+// ---------------------------------------------------------------------------
+// Cell / node codecs
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+enum CellVal {
+    Inline(Vec<u8>),
+    Overflow { total: u32, start: u64 },
+}
+
+#[derive(Clone)]
+struct Cell {
+    key: Vec<u8>,
+    seq: u64,
+    val: CellVal,
+}
+
+impl Cell {
+    fn size(&self) -> usize {
+        CELL_FIXED
+            + self.key.len()
+            + 4
+            + match &self.val {
+                CellVal::Inline(v) => v.len(),
+                CellVal::Overflow { .. } => 8,
+            }
+    }
+}
+
+struct Leaf {
+    next: u64,
+    cells: Vec<Cell>,
+}
+
+impl Leaf {
+    fn size(&self) -> usize {
+        LEAF_HDR + self.cells.iter().map(Cell::size).sum::<usize>()
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size());
+        put_u64(&mut out, self.next);
+        out.extend_from_slice(&(self.cells.len() as u16).to_le_bytes());
+        for c in &self.cells {
+            match &c.val {
+                CellVal::Inline(v) => {
+                    out.push(0);
+                    out.extend_from_slice(&(c.key.len() as u16).to_le_bytes());
+                    out.extend_from_slice(&c.key);
+                    put_u64(&mut out, c.seq);
+                    put_u32(&mut out, v.len() as u32);
+                    out.extend_from_slice(v);
+                }
+                CellVal::Overflow { total, start } => {
+                    out.push(1);
+                    out.extend_from_slice(&(c.key.len() as u16).to_le_bytes());
+                    out.extend_from_slice(&c.key);
+                    put_u64(&mut out, c.seq);
+                    put_u32(&mut out, *total);
+                    put_u64(&mut out, *start);
+                }
+            }
+        }
+        out
+    }
+
+    fn decode(data: &[u8]) -> Result<Leaf> {
+        let mut pos = 0usize;
+        let next = get_u64(data, &mut pos)?;
+        let n = u16::from_le_bytes(take_array(data, &mut pos)?) as usize;
+        let mut cells = Vec::with_capacity(n);
+        for _ in 0..n {
+            let flag = get_u8(data, &mut pos)?;
+            let klen = u16::from_le_bytes(take_array(data, &mut pos)?) as usize;
+            let key = take(data, &mut pos, klen)?.to_vec();
+            let seq = get_u64(data, &mut pos)?;
+            let val = match flag {
+                0 => {
+                    let vlen = get_u32(data, &mut pos)? as usize;
+                    CellVal::Inline(take(data, &mut pos, vlen)?.to_vec())
+                }
+                1 => {
+                    let total = get_u32(data, &mut pos)?;
+                    let start = get_u64(data, &mut pos)?;
+                    CellVal::Overflow { total, start }
+                }
+                f => return Err(Error::Internal(format!("btree: bad cell flag {f}"))),
+            };
+            cells.push(Cell { key, seq, val });
+        }
+        Ok(Leaf { next, cells })
+    }
+}
+
+struct Interior {
+    first: u64,
+    cells: Vec<(Vec<u8>, u64)>,
+}
+
+impl Interior {
+    fn size(&self) -> usize {
+        INTERIOR_HDR + self.cells.iter().map(|(k, _)| 2 + k.len() + 8).sum::<usize>()
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size());
+        out.extend_from_slice(&(self.cells.len() as u16).to_le_bytes());
+        put_u64(&mut out, self.first);
+        for (k, c) in &self.cells {
+            out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+            out.extend_from_slice(k);
+            put_u64(&mut out, *c);
+        }
+        out
+    }
+
+    fn decode(data: &[u8]) -> Result<Interior> {
+        let mut pos = 0usize;
+        let n = u16::from_le_bytes(take_array(data, &mut pos)?) as usize;
+        let first = get_u64(data, &mut pos)?;
+        let mut cells = Vec::with_capacity(n);
+        for _ in 0..n {
+            let klen = u16::from_le_bytes(take_array(data, &mut pos)?) as usize;
+            let key = take(data, &mut pos, klen)?.to_vec();
+            let child = get_u64(data, &mut pos)?;
+            cells.push((key, child));
+        }
+        Ok(Interior { first, cells })
+    }
+
+    /// Child to descend into for `key`: the last child whose separator is
+    /// <= key (or `first` when key sorts before every separator).
+    fn child_for(&self, key: &[u8]) -> Result<(usize, u64)> {
+        let mut idx = 0usize; // 0 = first, i+1 = cells[i]
+        let mut child = self.first;
+        for (i, (sep, c)) in self.cells.iter().enumerate() {
+            if cmp_keys(key, sep)? == Ordering::Less {
+                break;
+            }
+            idx = i + 1;
+            child = *c;
+        }
+        Ok((idx, child))
+    }
+}
+
+fn expect_type(page: &PageRef, id: u64, want: u8) -> Result<()> {
+    if page.buf.typ != want {
+        return Err(Error::Internal(format!(
+            "btree: page {id} has type {}, expected {want}",
+            page.buf.typ
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Overflow chains
+// ---------------------------------------------------------------------------
+
+const OVERFLOW_CAP: usize = PAGE_PAYLOAD - OVERFLOW_HDR;
+
+fn overflow_write(io: &mut dyn PageStore, bytes: &[u8]) -> Result<u64> {
+    // Allocate the chain first so each page can point at its successor.
+    let npages = bytes.len().div_ceil(OVERFLOW_CAP).max(1);
+    let mut ids = Vec::with_capacity(npages);
+    for _ in 0..npages {
+        ids.push(io.alloc()?);
+    }
+    for (i, chunk) in bytes.chunks(OVERFLOW_CAP).enumerate() {
+        let next = ids.get(i + 1).copied().unwrap_or(NIL);
+        let mut data = Vec::with_capacity(OVERFLOW_HDR + chunk.len());
+        put_u64(&mut data, next);
+        put_u32(&mut data, chunk.len() as u32);
+        data.extend_from_slice(chunk);
+        io.write(ids[i], PT_OVERFLOW, data)?;
+    }
+    ids.first()
+        .copied()
+        .ok_or_else(|| Error::Internal("btree: empty overflow chain".into()))
+}
+
+fn overflow_read(io: &mut dyn PageStore, start: u64, total: u32) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(total as usize);
+    let mut id = start;
+    while id != NIL {
+        let page = io.read(id)?;
+        expect_type(&page, id, PT_OVERFLOW)?;
+        let data = &page.buf.data;
+        let mut pos = 0usize;
+        let next = get_u64(data, &mut pos)?;
+        let len = get_u32(data, &mut pos)? as usize;
+        out.extend_from_slice(take(data, &mut pos, len)?);
+        if out.len() > total as usize {
+            return Err(Error::Internal("btree: overflow chain longer than cell total".into()));
+        }
+        id = next;
+    }
+    if out.len() != total as usize {
+        return Err(Error::Internal(format!(
+            "btree: overflow chain holds {} bytes, cell says {total}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+fn overflow_free(io: &mut dyn PageStore, start: u64) -> Result<()> {
+    let mut id = start;
+    while id != NIL {
+        let next = {
+            let page = io.read(id)?;
+            expect_type(&page, id, PT_OVERFLOW)?;
+            let mut pos = 0usize;
+            get_u64(&page.buf.data, &mut pos)?
+        };
+        io.free(id)?;
+        id = next;
+    }
+    Ok(())
+}
+
+fn make_val(io: &mut dyn PageStore, bytes: &[u8]) -> Result<CellVal> {
+    if bytes.len() <= MAX_INLINE_VAL {
+        Ok(CellVal::Inline(bytes.to_vec()))
+    } else {
+        let start = overflow_write(io, bytes)?;
+        Ok(CellVal::Overflow { total: bytes.len() as u32, start })
+    }
+}
+
+fn free_val(io: &mut dyn PageStore, val: &CellVal) -> Result<()> {
+    if let CellVal::Overflow { start, .. } = val {
+        overflow_free(io, *start)?;
+    }
+    Ok(())
+}
+
+fn read_val(io: &mut dyn PageStore, val: &CellVal) -> Result<Vec<u8>> {
+    match val {
+        CellVal::Inline(v) => Ok(v.clone()),
+        CellVal::Overflow { total, start } => overflow_read(io, *start, *total),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// B-tree operations
+// ---------------------------------------------------------------------------
+
+enum Ins {
+    Done { replaced: bool },
+    Split { sep: Vec<u8>, right: u64, replaced: bool },
+}
+
+/// Upsert `(key, seq, val)` into the tree rooted at `root` (`NIL` =
+/// empty). Returns the (possibly new) root and whether an existing key
+/// was replaced — a replace keeps the **old** cell's `seq`, so updated
+/// rows keep their insertion position.
+pub(crate) fn tree_insert(
+    io: &mut dyn PageStore,
+    root: u64,
+    key: &[u8],
+    seq: u64,
+    val: &[u8],
+) -> Result<(u64, bool)> {
+    if key.len() > MAX_KEY {
+        return Err(Error::Internal(format!(
+            "btree: encoded primary key of {} bytes exceeds the {MAX_KEY}-byte page limit",
+            key.len()
+        )));
+    }
+    if root == NIL {
+        let id = io.alloc()?;
+        let cell = Cell { key: key.to_vec(), seq, val: make_val(io, val)? };
+        let leaf = Leaf { next: NIL, cells: vec![cell] };
+        io.write(id, PT_LEAF, leaf.encode())?;
+        return Ok((id, false));
+    }
+    match insert_rec(io, root, key, seq, val)? {
+        Ins::Done { replaced } => Ok((root, replaced)),
+        Ins::Split { sep, right, replaced } => {
+            let new_root = io.alloc()?;
+            let node = Interior { first: root, cells: vec![(sep, right)] };
+            io.write(new_root, PT_INTERIOR, node.encode())?;
+            Ok((new_root, replaced))
+        }
+    }
+}
+
+fn insert_rec(
+    io: &mut dyn PageStore,
+    id: u64,
+    key: &[u8],
+    seq: u64,
+    val: &[u8],
+) -> Result<Ins> {
+    let page = io.read(id)?;
+    match page.buf.typ {
+        PT_LEAF => {
+            let mut leaf = Leaf::decode(&page.buf.data)?;
+            drop(page);
+            let mut pos = leaf.cells.len();
+            let mut replaced = false;
+            for (i, c) in leaf.cells.iter().enumerate() {
+                match cmp_keys(key, &c.key)? {
+                    Ordering::Less => {
+                        pos = i;
+                        break;
+                    }
+                    Ordering::Equal => {
+                        pos = i;
+                        replaced = true;
+                        break;
+                    }
+                    Ordering::Greater => {}
+                }
+            }
+            if replaced {
+                let old = std::mem::replace(
+                    &mut leaf.cells[pos].val,
+                    make_val(io, val)?,
+                );
+                free_val(io, &old)?;
+                // Keep the old seq: an update stays at its row position.
+            } else {
+                let cell = Cell { key: key.to_vec(), seq, val: make_val(io, val)? };
+                leaf.cells.insert(pos, cell);
+            }
+            if leaf.size() <= PAGE_PAYLOAD {
+                io.write(id, PT_LEAF, leaf.encode())?;
+                return Ok(Ins::Done { replaced });
+            }
+            // Split: move the byte-balanced tail into a fresh right leaf.
+            let mid = split_point(&leaf.cells);
+            let right_cells: Vec<Cell> = leaf.cells.split_off(mid);
+            let right_id = io.alloc()?;
+            let sep = right_cells
+                .first()
+                .map(|c| c.key.clone())
+                .ok_or_else(|| Error::Internal("btree: empty split".into()))?;
+            let right = Leaf { next: leaf.next, cells: right_cells };
+            leaf.next = right_id;
+            io.write(right_id, PT_LEAF, right.encode())?;
+            io.write(id, PT_LEAF, leaf.encode())?;
+            Ok(Ins::Split { sep, right: right_id, replaced })
+        }
+        PT_INTERIOR => {
+            let node = Interior::decode(&page.buf.data)?;
+            let (slot, child) = node.child_for(key)?;
+            // Hold the interior page pinned across the child recursion —
+            // the descent path stays resident under eviction pressure.
+            let result = insert_rec(io, child, key, seq, val)?;
+            let (sep, right, replaced) = match result {
+                Ins::Done { replaced } => {
+                    drop(page);
+                    return Ok(Ins::Done { replaced });
+                }
+                Ins::Split { sep, right, replaced } => (sep, right, replaced),
+            };
+            let mut node = Interior::decode(&page.buf.data)?;
+            drop(page);
+            node.cells.insert(slot, (sep, right));
+            if node.size() <= PAGE_PAYLOAD {
+                io.write(id, PT_INTERIOR, node.encode())?;
+                return Ok(Ins::Done { replaced });
+            }
+            // Interior split: the median separator moves up.
+            let mid = node.cells.len() / 2;
+            let mut right_cells = node.cells.split_off(mid);
+            let (up_key, up_child) = right_cells.remove(0);
+            let right_id = io.alloc()?;
+            let right_node = Interior { first: up_child, cells: right_cells };
+            io.write(right_id, PT_INTERIOR, right_node.encode())?;
+            io.write(id, PT_INTERIOR, node.encode())?;
+            Ok(Ins::Split { sep: up_key, right: right_id, replaced })
+        }
+        t => Err(Error::Internal(format!("btree: unexpected page type {t} in tree"))),
+    }
+}
+
+/// Byte-balanced split point: the smallest prefix holding at least half
+/// the cell bytes (always leaving both sides non-empty).
+fn split_point(cells: &[Cell]) -> usize {
+    let total: usize = cells.iter().map(Cell::size).sum();
+    let mut acc = 0usize;
+    for (i, c) in cells.iter().enumerate() {
+        acc += c.size();
+        if acc * 2 >= total {
+            return (i + 1).min(cells.len() - 1).max(1);
+        }
+    }
+    (cells.len() / 2).max(1)
+}
+
+/// Delete `key`; returns whether a cell was removed. Leaves are never
+/// rebalanced.
+pub(crate) fn tree_delete(io: &mut dyn PageStore, root: u64, key: &[u8]) -> Result<bool> {
+    if root == NIL {
+        return Ok(false);
+    }
+    let leaf_id = find_leaf(io, root, key)?;
+    let page = io.read(leaf_id)?;
+    let mut leaf = Leaf::decode(&page.buf.data)?;
+    drop(page);
+    for i in 0..leaf.cells.len() {
+        if cmp_keys(key, &leaf.cells[i].key)? == Ordering::Equal {
+            let cell = leaf.cells.remove(i);
+            free_val(io, &cell.val)?;
+            io.write(leaf_id, PT_LEAF, leaf.encode())?;
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Point lookup: the row bytes for `key`, if present. Serving reads the
+/// materialized tables, so outside tests this is only a consistency
+/// oracle for the on-disk structure.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn tree_lookup(
+    io: &mut dyn PageStore,
+    root: u64,
+    key: &[u8],
+) -> Result<Option<Vec<u8>>> {
+    if root == NIL {
+        return Ok(None);
+    }
+    let leaf_id = find_leaf(io, root, key)?;
+    let page = io.read(leaf_id)?;
+    let leaf = Leaf::decode(&page.buf.data)?;
+    drop(page);
+    for c in &leaf.cells {
+        if cmp_keys(key, &c.key)? == Ordering::Equal {
+            return Ok(Some(read_val(io, &c.val)?));
+        }
+    }
+    Ok(None)
+}
+
+fn find_leaf(io: &mut dyn PageStore, root: u64, key: &[u8]) -> Result<u64> {
+    let mut id = root;
+    // Pin the whole descent path until the leaf is found.
+    let mut path: Vec<PageRef> = Vec::new();
+    loop {
+        let page = io.read(id)?;
+        match page.buf.typ {
+            PT_LEAF => return Ok(id),
+            PT_INTERIOR => {
+                let node = Interior::decode(&page.buf.data)?;
+                let (_, child) = node.child_for(key)?;
+                path.push(page);
+                id = child;
+            }
+            t => return Err(Error::Internal(format!("btree: unexpected page type {t}"))),
+        }
+    }
+}
+
+fn leftmost_leaf(io: &mut dyn PageStore, root: u64) -> Result<u64> {
+    let mut id = root;
+    loop {
+        let page = io.read(id)?;
+        match page.buf.typ {
+            PT_LEAF => return Ok(id),
+            PT_INTERIOR => {
+                let node = Interior::decode(&page.buf.data)?;
+                let first = node.first;
+                drop(page);
+                id = first;
+            }
+            t => return Err(Error::Internal(format!("btree: unexpected page type {t}"))),
+        }
+    }
+}
+
+/// Walk every cell in key order along the leaf chain, yielding
+/// `(seq, row bytes)`.
+pub(crate) fn tree_scan_all(
+    io: &mut dyn PageStore,
+    root: u64,
+    out: &mut Vec<(u64, Vec<u8>)>,
+) -> Result<()> {
+    if root == NIL {
+        return Ok(());
+    }
+    let mut id = leftmost_leaf(io, root)?;
+    while id != NIL {
+        let page = io.read(id)?;
+        expect_type(&page, id, PT_LEAF)?;
+        let leaf = Leaf::decode(&page.buf.data)?;
+        drop(page);
+        for c in &leaf.cells {
+            out.push((c.seq, read_val(io, &c.val)?));
+        }
+        id = leaf.next;
+    }
+    Ok(())
+}
+
+/// Leaf-linked range scan: every `(seq, row bytes)` whose key lies within
+/// the given (inclusive/exclusive) bounds, in key order. Descends once to
+/// the lower-bound leaf, then follows `next` links. Like [`tree_lookup`],
+/// only tests read through this today.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn tree_scan_range(
+    io: &mut dyn PageStore,
+    root: u64,
+    lower: Option<(&[u8], bool)>,
+    upper: Option<(&[u8], bool)>,
+    out: &mut Vec<(u64, Vec<u8>)>,
+) -> Result<()> {
+    if root == NIL {
+        return Ok(());
+    }
+    let mut id = match lower {
+        Some((key, _)) => find_leaf(io, root, key)?,
+        None => leftmost_leaf(io, root)?,
+    };
+    while id != NIL {
+        let page = io.read(id)?;
+        expect_type(&page, id, PT_LEAF)?;
+        let leaf = Leaf::decode(&page.buf.data)?;
+        drop(page);
+        for c in &leaf.cells {
+            if let Some((lo, incl)) = lower {
+                match cmp_keys(c.key.as_slice(), lo)? {
+                    Ordering::Less => continue,
+                    Ordering::Equal if !incl => continue,
+                    _ => {}
+                }
+            }
+            if let Some((hi, incl)) = upper {
+                match cmp_keys(c.key.as_slice(), hi)? {
+                    Ordering::Greater => return Ok(()),
+                    Ordering::Equal if !incl => return Ok(()),
+                    _ => {}
+                }
+            }
+            out.push((c.seq, read_val(io, &c.val)?));
+        }
+        id = leaf.next;
+    }
+    Ok(())
+}
+
+/// Free every page of the tree (interior, leaf and overflow).
+pub(crate) fn tree_free(io: &mut dyn PageStore, root: u64) -> Result<()> {
+    if root == NIL {
+        return Ok(());
+    }
+    let page = io.read(root)?;
+    match page.buf.typ {
+        PT_LEAF => {
+            let leaf = Leaf::decode(&page.buf.data)?;
+            drop(page);
+            for c in &leaf.cells {
+                free_val(io, &c.val)?;
+            }
+        }
+        PT_INTERIOR => {
+            let node = Interior::decode(&page.buf.data)?;
+            drop(page);
+            tree_free(io, node.first)?;
+            for (_, child) in &node.cells {
+                tree_free(io, *child)?;
+            }
+        }
+        t => return Err(Error::Internal(format!("btree: unexpected page type {t}"))),
+    }
+    io.free(root)
+}
+
+// ---------------------------------------------------------------------------
+// Heap chains (tables without a primary key)
+// ---------------------------------------------------------------------------
+
+/// Append `(seq, row bytes)` to the heap chain, returning the (possibly
+/// new) `(head, tail)`.
+pub(crate) fn heap_append(
+    io: &mut dyn PageStore,
+    head: u64,
+    tail: u64,
+    seq: u64,
+    val: &[u8],
+) -> Result<(u64, u64)> {
+    let cell_val = make_val(io, val)?;
+    let cell = Cell { key: Vec::new(), seq, val: cell_val };
+    if head == NIL {
+        let id = io.alloc()?;
+        let leaf = Leaf { next: NIL, cells: vec![cell] };
+        io.write(id, PT_HEAP, leaf.encode())?;
+        return Ok((id, id));
+    }
+    let page = io.read(tail)?;
+    expect_type(&page, tail, PT_HEAP)?;
+    let mut leaf = Leaf::decode(&page.buf.data)?;
+    drop(page);
+    leaf.cells.push(cell);
+    if leaf.size() <= PAGE_PAYLOAD {
+        io.write(tail, PT_HEAP, leaf.encode())?;
+        return Ok((head, tail));
+    }
+    let cell = leaf
+        .cells
+        .pop()
+        .ok_or_else(|| Error::Internal("btree: heap append underflow".into()))?;
+    let new_tail = io.alloc()?;
+    leaf.next = new_tail;
+    io.write(tail, PT_HEAP, leaf.encode())?;
+    let fresh = Leaf { next: NIL, cells: vec![cell] };
+    io.write(new_tail, PT_HEAP, fresh.encode())?;
+    Ok((head, new_tail))
+}
+
+/// Walk the heap chain in append order, yielding `(seq, row bytes)`.
+pub(crate) fn heap_scan(
+    io: &mut dyn PageStore,
+    head: u64,
+    out: &mut Vec<(u64, Vec<u8>)>,
+) -> Result<()> {
+    let mut id = head;
+    while id != NIL {
+        let page = io.read(id)?;
+        expect_type(&page, id, PT_HEAP)?;
+        let leaf = Leaf::decode(&page.buf.data)?;
+        drop(page);
+        for c in &leaf.cells {
+            out.push((c.seq, read_val(io, &c.val)?));
+        }
+        id = leaf.next;
+    }
+    Ok(())
+}
+
+/// Free the whole heap chain (and its overflow blobs).
+pub(crate) fn heap_free(io: &mut dyn PageStore, head: u64) -> Result<()> {
+    let mut id = head;
+    while id != NIL {
+        let page = io.read(id)?;
+        expect_type(&page, id, PT_HEAP)?;
+        let leaf = Leaf::decode(&page.buf.data)?;
+        drop(page);
+        for c in &leaf.cells {
+            free_val(io, &c.val)?;
+        }
+        io.free(id)?;
+        id = leaf.next;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bufpool::BufferPool;
+    use crate::pager::PageBuf;
+    use crate::value::Value;
+    use std::sync::Arc;
+
+    /// In-memory `PageStore`: a buffer pool big enough that every page
+    /// stays resident, so `lookup` never misses and no page file exists.
+    struct MemStore {
+        pool: Arc<BufferPool>,
+        next: u64,
+    }
+
+    impl MemStore {
+        fn new() -> MemStore {
+            MemStore { pool: BufferPool::new(1 << 16), next: 1 }
+        }
+    }
+
+    impl PageStore for MemStore {
+        fn read(&mut self, id: u64) -> Result<PageRef> {
+            self.pool
+                .lookup(id)
+                .ok_or_else(|| Error::Internal(format!("memstore: page {id} not resident")))
+        }
+
+        fn write(&mut self, id: u64, typ: u8, data: Vec<u8>) -> Result<()> {
+            self.pool.update(id, Arc::new(PageBuf { typ, data }));
+            Ok(())
+        }
+
+        fn alloc(&mut self) -> Result<u64> {
+            let id = self.next;
+            self.next += 1;
+            Ok(id)
+        }
+
+        fn free(&mut self, id: u64) -> Result<()> {
+            self.pool.drop_page(id)
+        }
+    }
+
+    /// Single-column integer key in the on-disk encoding.
+    fn key(n: i64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1);
+        crate::storage::encode_value(&mut buf, &Value::Integer(n));
+        buf
+    }
+
+    /// A multi-leaf tree holding keys `0, 2, 4, .. < 2n` (odd keys are
+    /// deliberately absent) with distinguishable ~100-byte values.
+    fn build(io: &mut MemStore, n: i64) -> u64 {
+        let mut root = NIL;
+        for i in 0..n {
+            let k = i * 2;
+            let val = format!("{k}:{:y>90}", k);
+            let (r, replaced) = tree_insert(io, root, &key(k), i as u64, val.as_bytes()).unwrap();
+            assert!(!replaced);
+            root = r;
+        }
+        root
+    }
+
+    #[test]
+    fn lookup_hits_present_keys_and_misses_absent_ones() {
+        let mut io = MemStore::new();
+        let root = build(&mut io, 500);
+        assert!(io.next > 3, "500 ~100-byte cells must split across pages");
+        for k in [0i64, 2, 498, 650, 998] {
+            let got = tree_lookup(&mut io, root, &key(k)).unwrap().expect("present key");
+            assert!(got.starts_with(format!("{k}:").as_bytes()), "wrong row for key {k}");
+        }
+        for k in [-2i64, 1, 499, 1000] {
+            assert!(tree_lookup(&mut io, root, &key(k)).unwrap().is_none(), "phantom key {k}");
+        }
+        assert!(tree_lookup(&mut io, NIL, &key(0)).unwrap().is_none(), "empty tree");
+    }
+
+    #[test]
+    fn lookup_follows_overflow_chains() {
+        let mut io = MemStore::new();
+        let big = vec![0xabu8; MAX_INLINE_VAL * 3 + 17];
+        let (root, _) = tree_insert(&mut io, NIL, &key(1), 0, &big).unwrap();
+        // Surround it so the leaf holds inline neighbours too.
+        let (root, _) = tree_insert(&mut io, root, &key(0), 1, b"left").unwrap();
+        let (root, _) = tree_insert(&mut io, root, &key(2), 2, b"right").unwrap();
+        assert_eq!(tree_lookup(&mut io, root, &key(1)).unwrap().unwrap(), big);
+        assert_eq!(tree_lookup(&mut io, root, &key(2)).unwrap().unwrap(), b"right");
+    }
+
+    /// The keys a range scan returns, decoded back to the even integers
+    /// the fixture inserted (via their seq: key = 2 * seq).
+    fn scan_keys(
+        io: &mut MemStore,
+        root: u64,
+        lower: Option<(i64, bool)>,
+        upper: Option<(i64, bool)>,
+    ) -> Vec<i64> {
+        let lo_key = lower.map(|(k, incl)| (key(k), incl));
+        let hi_key = upper.map(|(k, incl)| (key(k), incl));
+        let mut out = Vec::new();
+        tree_scan_range(
+            io,
+            root,
+            lo_key.as_ref().map(|(k, incl)| (k.as_slice(), *incl)),
+            hi_key.as_ref().map(|(k, incl)| (k.as_slice(), *incl)),
+            &mut out,
+        )
+        .unwrap();
+        out.iter().map(|(seq, _)| *seq as i64 * 2).collect()
+    }
+
+    #[test]
+    fn range_scan_respects_bounds_across_leaves() {
+        let mut io = MemStore::new();
+        let root = build(&mut io, 500); // keys 0..=998 step 2, many leaves
+        let every: Vec<i64> = (0..500).map(|i| i * 2).collect();
+
+        assert_eq!(scan_keys(&mut io, root, None, None), every, "unbounded = full scan");
+        assert_eq!(
+            scan_keys(&mut io, root, Some((100, true)), Some((110, true))),
+            vec![100, 102, 104, 106, 108, 110]
+        );
+        assert_eq!(
+            scan_keys(&mut io, root, Some((100, false)), Some((110, false))),
+            vec![102, 104, 106, 108],
+            "exclusive bounds drop both endpoints"
+        );
+        assert_eq!(
+            scan_keys(&mut io, root, Some((99, true)), Some((111, true))),
+            vec![100, 102, 104, 106, 108, 110],
+            "bounds between keys clamp to the interior"
+        );
+        assert_eq!(scan_keys(&mut io, root, Some((990, true)), None), vec![990, 992, 994, 996, 998]);
+        assert_eq!(scan_keys(&mut io, root, None, Some((4, true))), vec![0, 2, 4]);
+        assert_eq!(scan_keys(&mut io, root, Some((400, true)), Some((2, true))), Vec::<i64>::new());
+        assert_eq!(scan_keys(&mut io, NIL, None, None), Vec::<i64>::new(), "empty tree");
+    }
+
+    #[test]
+    fn range_scan_sees_updates_and_deletes() {
+        let mut io = MemStore::new();
+        let mut root = build(&mut io, 100);
+        let (r, replaced) = tree_insert(&mut io, root, &key(40), 999, b"updated").unwrap();
+        root = r;
+        assert!(replaced);
+        assert!(tree_delete(&mut io, root, &key(42)).unwrap());
+
+        let mut out = Vec::new();
+        tree_scan_range(
+            &mut io,
+            root,
+            Some((key(38).as_slice(), true)),
+            Some((key(44).as_slice(), true)),
+            &mut out,
+        )
+        .unwrap();
+        let rows: Vec<&[u8]> = out.iter().map(|(_, v)| v.as_slice()).collect();
+        assert_eq!(out.len(), 3, "38, 40 (updated), 44 — 42 deleted");
+        assert!(rows[0].starts_with(b"38:"));
+        assert_eq!(rows[1], b"updated");
+        assert!(rows[2].starts_with(b"44:"));
+        // The replace kept the original seq, so scan order is by key while
+        // the seq still names the original insertion slot.
+        assert_eq!(out[1].0, 20, "update must keep the old cell's seq");
+    }
+}

@@ -1,0 +1,418 @@
+//! # Page buffer pool
+//!
+//! A fixed-capacity cache of page buffers sitting between the B-tree /
+//! heap layer ([`crate::btree`]) and the paged file ([`crate::pager`]).
+//! Frames are keyed by page id and carry a **pin count** and a **dirty
+//! flag**:
+//!
+//! * a *pinned* frame (`pin > 0`) is structurally exempt from eviction —
+//!   the clock sweep skips it, and if every frame is pinned the pool
+//!   **overcommits** (grows past capacity) rather than evicting or
+//!   failing, so a deep tree descent can never lose a page out from
+//!   under itself;
+//! * a *dirty* frame holds the authoritative image of its page; evicting
+//!   one hands the buffer back to the caller (the pager), which writes
+//!   it to the page's shadow slot **without fsync** — durability comes
+//!   only from the next checkpoint's fsync + meta flip;
+//! * eviction is **clock** (second chance): each lookup sets the frame's
+//!   reference bit, the sweep clears bits until it finds an unpinned,
+//!   unreferenced victim.
+//!
+//! The pool's lock is ranked `BUF_POOL` (34): taken under the pager lock
+//! (32), above the VFS leaf (40), so a dirty eviction may issue a page
+//! write while the pool decision is already made. All pool state is
+//! deterministic — frames live in a plain `Vec` in insertion order and
+//! the clock hand advances deterministically — so the SimFs fault sweep
+//! sees identical op sequences on every run.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use swan_pool::lockrank;
+
+use crate::error::{Error, Result};
+use crate::pager::PageBuf;
+
+/// Default pool capacity in pages (1 MiB of 4 KiB pages).
+pub const DEFAULT_POOL_PAGES: usize = 256;
+
+/// Counters exposed for tests, the eviction-pressure crash-sim schedule,
+/// and `PERF.md` numbers. `evicted_pinned` is asserted zero everywhere —
+/// the clock sweep cannot select a pinned frame by construction, and the
+/// counter exists so tests state that invariant positively.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Lookups served from a resident frame.
+    pub hits: u64,
+    /// Lookups that required a page-file read.
+    pub misses: u64,
+    /// Frames evicted by the clock sweep.
+    pub evictions: u64,
+    /// Evictions whose frame was dirty (image handed back for a shadow
+    /// write).
+    pub dirty_evictions: u64,
+    /// Inserts that grew the pool past capacity because every frame was
+    /// pinned.
+    pub overcommits: u64,
+    /// Evictions of a pinned frame. Always zero; tests assert it.
+    pub evicted_pinned: u64,
+}
+
+struct Frame {
+    id: u64,
+    buf: Arc<PageBuf>,
+    dirty: bool,
+    pin: u32,
+    referenced: bool,
+    /// Dead frames (freed pages) are reusable slots.
+    live: bool,
+}
+
+struct PoolState {
+    frames: Vec<Frame>,
+    map: HashMap<u64, usize>,
+    free_slots: Vec<usize>,
+    hand: usize,
+    cap: usize,
+    stats: PoolStats,
+}
+
+/// A dirty frame handed back by an eviction: the caller must write it to
+/// the page's shadow slot before the image is lost.
+pub(crate) struct Evicted {
+    pub id: u64,
+    pub buf: Arc<PageBuf>,
+}
+
+/// The pool itself; shared as `Arc<BufferPool>` so [`PageRef`] guards can
+/// unpin on drop.
+pub struct BufferPool {
+    inner: Mutex<PoolState>,
+}
+
+/// A pinned page: holds the frame's buffer and keeps the frame pinned
+/// until dropped.
+pub(crate) struct PageRef {
+    pool: Arc<BufferPool>,
+    id: u64,
+    pub buf: Arc<PageBuf>,
+}
+
+impl Drop for PageRef {
+    fn drop(&mut self) {
+        let mut st = self.pool.inner.lock();
+        if let Some(&slot) = st.map.get(&self.id) {
+            if let Some(f) = st.frames.get_mut(slot) {
+                f.pin = f.pin.saturating_sub(1);
+            }
+        }
+    }
+}
+
+impl BufferPool {
+    pub fn new(cap: usize) -> Arc<BufferPool> {
+        let cap = cap.max(2);
+        Arc::new(BufferPool {
+            inner: Mutex::with_rank(
+                "buf_pool",
+                lockrank::BUF_POOL,
+                PoolState {
+                    frames: Vec::new(),
+                    map: HashMap::new(),
+                    free_slots: Vec::new(),
+                    hand: 0,
+                    cap,
+                    stats: PoolStats::default(),
+                },
+            ),
+        })
+    }
+
+    /// Look up a resident page, pinning it. `None` = miss (caller reads
+    /// the page file and calls [`BufferPool::insert`]).
+    pub(crate) fn lookup(self: &Arc<Self>, id: u64) -> Option<PageRef> {
+        let mut st = self.inner.lock();
+        let slot = match st.map.get(&id) {
+            Some(&s) => s,
+            None => {
+                st.stats.misses += 1;
+                return None;
+            }
+        };
+        st.stats.hits += 1;
+        let f = st.frames.get_mut(slot)?;
+        f.pin += 1;
+        f.referenced = true;
+        let buf = f.buf.clone();
+        Some(PageRef { pool: self.clone(), id, buf })
+    }
+
+    /// Insert a freshly-read page, pinned once. Returns the guard plus a
+    /// dirty victim if the insert had to evict one.
+    pub(crate) fn insert(
+        self: &Arc<Self>,
+        id: u64,
+        buf: Arc<PageBuf>,
+        dirty: bool,
+    ) -> (PageRef, Option<Evicted>) {
+        let mut st = self.inner.lock();
+        let evicted = st.place(id, buf.clone(), dirty, 1);
+        (PageRef { pool: self.clone(), id, buf }, evicted)
+    }
+
+    /// Install a new image for `id` (insert-or-replace), marking the frame
+    /// dirty. Returns a dirty victim if installing required an eviction.
+    pub(crate) fn update(&self, id: u64, buf: Arc<PageBuf>) -> Option<Evicted> {
+        let mut st = self.inner.lock();
+        if let Some(&slot) = st.map.get(&id) {
+            if let Some(f) = st.frames.get_mut(slot) {
+                f.buf = buf;
+                f.dirty = true;
+                f.referenced = true;
+                return None;
+            }
+        }
+        st.place(id, buf, true, 0)
+    }
+
+    /// Drop a freed page's frame. Erroring on a pinned frame keeps the
+    /// pin invariant honest: the tree layer must release its guards
+    /// before freeing a page.
+    pub(crate) fn drop_page(&self, id: u64) -> Result<()> {
+        let mut st = self.inner.lock();
+        if let Some(slot) = st.map.remove(&id) {
+            if let Some(f) = st.frames.get_mut(slot) {
+                if f.pin > 0 {
+                    st.map.insert(id, slot);
+                    return Err(Error::Internal(format!(
+                        "buffer pool: freeing pinned page {id}"
+                    )));
+                }
+                f.live = false;
+                f.dirty = false;
+            }
+            st.free_slots.push(slot);
+        }
+        Ok(())
+    }
+
+    /// Snapshot every dirty frame's image (sorted by page id, so
+    /// checkpoint flush order is deterministic). Flags are NOT cleared —
+    /// a checkpoint flush may fail mid-loop, and a page whose shadow
+    /// write never happened must stay dirty for the retry. Pair with
+    /// [`Self::clear_dirty`] once the flip is durable.
+    pub(crate) fn dirty_snapshot(&self) -> Vec<(u64, Arc<PageBuf>)> {
+        let st = self.inner.lock();
+        let mut out: Vec<(u64, Arc<PageBuf>)> = Vec::new();
+        for f in st.frames.iter() {
+            if f.live && f.dirty {
+                out.push((f.id, f.buf.clone()));
+            }
+        }
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Mark every frame clean — called only after a checkpoint's meta
+    /// rename is durable. Sound because the pager is exclusive under the
+    /// WAL mutex: nothing can dirty a frame between the snapshot flush
+    /// and this clear.
+    pub(crate) fn clear_dirty(&self) {
+        let mut st = self.inner.lock();
+        for f in st.frames.iter_mut() {
+            f.dirty = false;
+        }
+    }
+
+    /// Forget every frame (table rebuild / recovery reset).
+    pub(crate) fn clear(&self) {
+        let mut st = self.inner.lock();
+        st.frames.clear();
+        st.map.clear();
+        st.free_slots.clear();
+        st.hand = 0;
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Resident live frames (tests).
+    pub fn resident(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether `id` is resident without touching pins or stats (tests).
+    pub fn contains(&self, id: u64) -> bool {
+        self.inner.lock().map.contains_key(&id)
+    }
+}
+
+impl PoolState {
+    /// Place a page into a frame: reuse a dead slot, grow under capacity,
+    /// otherwise clock-evict (pinned frames are skipped; if everything is
+    /// pinned the pool overcommits). Returns the dirty victim, if any.
+    fn place(&mut self, id: u64, buf: Arc<PageBuf>, dirty: bool, pin: u32) -> Option<Evicted> {
+        if let Some(&slot) = self.map.get(&id) {
+            // Already resident (racing insert after a stale miss): replace
+            // in place so the frame vector never holds two images of one
+            // page.
+            if let Some(f) = self.frames.get_mut(slot) {
+                f.buf = buf;
+                f.dirty = f.dirty || dirty;
+                f.pin += pin;
+                f.referenced = true;
+                return None;
+            }
+        }
+        let frame = Frame { id, buf, dirty, pin, referenced: true, live: true };
+        if let Some(slot) = self.free_slots.pop() {
+            if let Some(f) = self.frames.get_mut(slot) {
+                *f = frame;
+                self.map.insert(id, slot);
+                return None;
+            }
+        }
+        if self.frames.len() < self.cap {
+            self.frames.push(frame);
+            self.map.insert(id, self.frames.len() - 1);
+            return None;
+        }
+        match self.clock_victim() {
+            Some(slot) => {
+                self.stats.evictions += 1;
+                let victim = match self.frames.get_mut(slot) {
+                    Some(v) => std::mem::replace(v, frame),
+                    None => {
+                        // Unreachable by construction; recover by growing.
+                        self.stats.overcommits += 1;
+                        self.frames.push(frame);
+                        self.map.insert(id, self.frames.len() - 1);
+                        return None;
+                    }
+                };
+                self.map.remove(&victim.id);
+                self.map.insert(id, slot);
+                let evicted = (victim.live && victim.dirty)
+                    .then(|| Evicted { id: victim.id, buf: victim.buf });
+                if evicted.is_some() {
+                    self.stats.dirty_evictions += 1;
+                }
+                evicted
+            }
+            None => {
+                // Every frame is pinned: grow rather than evict a pinned
+                // page (the `evicted_pinned` counter stays zero forever).
+                self.stats.overcommits += 1;
+                self.frames.push(frame);
+                self.map.insert(id, self.frames.len() - 1);
+                None
+            }
+        }
+    }
+
+    /// Second-chance clock sweep: at most two passes (the first clears
+    /// reference bits), skipping pinned frames. `None` = all pinned.
+    fn clock_victim(&mut self) -> Option<usize> {
+        let n = self.frames.len();
+        if n == 0 {
+            return None;
+        }
+        for _ in 0..(2 * n) {
+            let slot = self.hand;
+            self.hand = (self.hand + 1) % n;
+            let f = self.frames.get_mut(slot)?;
+            if f.pin > 0 {
+                continue;
+            }
+            if f.live && f.referenced {
+                f.referenced = false;
+                continue;
+            }
+            return Some(slot);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(tag: u8) -> Arc<PageBuf> {
+        Arc::new(PageBuf { typ: 1, data: vec![tag; 16] })
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let pool = BufferPool::new(4);
+        assert!(pool.lookup(7).is_none());
+        let (g, ev) = pool.insert(7, buf(1), false);
+        assert!(ev.is_none());
+        drop(g);
+        let g = pool.lookup(7).expect("resident");
+        assert_eq!(g.buf.data, vec![1; 16]);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn eviction_skips_pinned_and_hands_back_dirty() {
+        let pool = BufferPool::new(2);
+        let (pinned, _) = pool.insert(1, buf(1), true); // stays pinned
+        let (g2, _) = pool.insert(2, buf(2), true);
+        drop(g2);
+        // Pool full; inserting page 3 must evict page 2 (page 1 is pinned).
+        let (g3, ev) = pool.insert(3, buf(3), false);
+        let ev = ev.expect("dirty victim handed back");
+        assert_eq!(ev.id, 2);
+        assert!(pool.contains(1), "pinned page survives pressure");
+        assert!(!pool.contains(2));
+        drop(g3);
+        drop(pinned);
+        let s = pool.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.dirty_evictions, 1);
+        assert_eq!(s.evicted_pinned, 0);
+    }
+
+    #[test]
+    fn all_pinned_overcommits_instead_of_evicting() {
+        let pool = BufferPool::new(2);
+        let g1 = pool.insert(1, buf(1), false).0;
+        let g2 = pool.insert(2, buf(2), false).0;
+        let g3 = pool.insert(3, buf(3), false).0;
+        assert!(pool.contains(1) && pool.contains(2) && pool.contains(3));
+        let s = pool.stats();
+        assert_eq!(s.overcommits, 1);
+        assert_eq!(s.evictions, 0);
+        drop((g1, g2, g3));
+    }
+
+    #[test]
+    fn dirty_snapshot_is_sorted_and_survives_until_cleared() {
+        let pool = BufferPool::new(8);
+        pool.update(5, buf(5));
+        pool.update(2, buf(2));
+        pool.insert(9, buf(9), true);
+        let dirty: Vec<u64> = pool.dirty_snapshot().into_iter().map(|(id, _)| id).collect();
+        assert_eq!(dirty, vec![2, 5, 9]);
+        // A snapshot is non-destructive: a failed flush retries the
+        // same set.
+        let again: Vec<u64> = pool.dirty_snapshot().into_iter().map(|(id, _)| id).collect();
+        assert_eq!(again, vec![2, 5, 9]);
+        pool.clear_dirty();
+        assert!(pool.dirty_snapshot().is_empty());
+    }
+
+    #[test]
+    fn drop_page_refuses_pinned() {
+        let pool = BufferPool::new(4);
+        let g = pool.insert(1, buf(1), false).0;
+        assert!(pool.drop_page(1).is_err());
+        drop(g);
+        assert!(pool.drop_page(1).is_ok());
+        assert!(!pool.contains(1));
+    }
+}

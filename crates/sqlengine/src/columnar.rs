@@ -841,7 +841,7 @@ fn col_truthiness(col: &ColumnVec, len: usize) -> Verdict {
         ColumnData::Text { dict, ids } => {
             let lut: Vec<Option<bool>> = dict
                 .iter()
-                .map(|s| s.trim().parse::<f64>().ok().map(|v| v != 0.0))
+                .map(|s| crate::value::parse_text_f64(s).map(|v| v != 0.0))
                 .collect();
             for (i, &id) in ids.iter().enumerate() {
                 if col.validity.get(i) {
@@ -1113,7 +1113,7 @@ fn agg_text(
             // distinct string via the dictionary.
             let lut: Vec<f64> = dict
                 .iter()
-                .map(|s| s.trim().parse::<f64>().ok().unwrap_or(0.0))
+                .map(|s| crate::value::parse_text_f64(s).unwrap_or(0.0))
                 .collect();
             let (mut acc, mut n) = (0.0, 0usize);
             for &i in members {

@@ -263,6 +263,21 @@ impl Database {
         &self.udfs
     }
 
+    /// Force a checkpoint now (durable databases only; no-op in memory).
+    /// With the pager enabled this flushes only the pages dirtied since
+    /// the last checkpoint — O(dirty), not O(database).
+    pub fn checkpoint(&self) -> Result<()> {
+        let Some(wal) = &self.wal else { return Ok(()) };
+        wal.lock().checkpoint(&self.catalog)
+    }
+
+    /// Page-store counters: durable epoch, allocated pages, buffer-pool
+    /// hit/miss/eviction stats. `None` without a pager (in-memory
+    /// database or `SWAN_PAGER=0`).
+    pub fn pager_stats(&self) -> Option<crate::pager::PagerStats> {
+        self.wal.as_ref().and_then(|w| w.lock().pager_stats())
+    }
+
     /// Execute one statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
         let stmt = parse_statement(sql)?;

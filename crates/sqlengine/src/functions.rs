@@ -118,9 +118,9 @@ pub fn eval_builtin(name: &str, args: &[Value]) -> Option<Result<Value>> {
                     .map(Value::Integer)
                     .ok_or_else(|| Error::Arithmetic("ABS overflow".into())),
                 Value::Real(r) => Ok(Value::Real(r.abs())),
-                Value::Text(s) => match s.trim().parse::<f64>() {
-                    Ok(v) => Ok(Value::Real(v.abs())),
-                    Err(_) => Ok(Value::Real(0.0)),
+                Value::Text(s) => match crate::value::parse_text_f64(s) {
+                    Some(v) => Ok(Value::Real(v.abs())),
+                    None => Ok(Value::Real(0.0)),
                 },
             },
         },

@@ -67,6 +67,21 @@
 //!   replays the longest intact prefix, truncates torn tails, and
 //!   auto-checkpoints compact the log past a configurable size
 //!   ([`DurabilityConfig`]) — see [`wal`] and [`txn`];
+//! * **paged on-disk storage** ([`pager`], [`btree`], [`bufpool`];
+//!   [`DurabilityConfig::paged`], default on, `SWAN_PAGER=0` flips it):
+//!   durable state lives in 4 KiB slotted pages (id/epoch/type/CRC
+//!   header, double-slot shadow paging) behind a buffer pool with
+//!   pinned-page accounting and clock eviction; tables with a primary
+//!   key are B-trees keyed by the encoded pk, commits apply row patches
+//!   as tree upserts, and a checkpoint flushes only **dirty** pages —
+//!   O(changes), not O(database) — before committing the slot flip
+//!   through an atomically renamed meta file. The planner serves
+//!   `WHERE pk = ?` as an index point probe, pk ranges as ordered
+//!   B-tree-order scans and `ORDER BY pk LIMIT k` without sorting
+//!   ([`OptimizerConfig::index_scan`]); `SWAN_PAGER=0` is bit-for-bit
+//!   the legacy whole-image engine, and `tests/paged_storage.rs`
+//!   asserts the O(k·pages) checkpoint byte bound (PERF.md, "Paged
+//!   storage", for the measured ~870× point-probe speedup on 1M rows);
 //! * **group commit** (on by default, [`DurabilityConfig::group_commit`]):
 //!   concurrent [`SharedDb`] committers enqueue their framed record
 //!   groups and one leader appends the whole batch with a **single
@@ -149,6 +164,8 @@
 //! the who-holds-what lock table.
 
 pub mod ast;
+pub mod btree;
+pub mod bufpool;
 pub mod columnar;
 pub mod db;
 pub mod display;
@@ -160,6 +177,7 @@ pub mod functions;
 pub mod hash;
 pub mod lexer;
 pub mod optimizer;
+pub mod pager;
 pub mod parser;
 pub mod plan;
 pub mod shared;
@@ -172,7 +190,9 @@ pub mod wal;
 pub use db::{Database, QueryResult};
 pub use error::{Error, Result};
 pub use functions::{ScalarUdf, UdfRegistry};
+pub use bufpool::PoolStats;
 pub use optimizer::OptimizerConfig;
+pub use pager::PagerStats;
 pub use shared::{CommitStats, ScriptOptions, Session, SharedDb};
 pub use txn::MvccStats;
 pub use storage::{Catalog, Column, Table, TableStats};

@@ -69,6 +69,16 @@ pub struct OptimizerConfig {
     /// oracle). Defaults to the `SWAN_COLUMNAR` environment variable
     /// (unset or anything but `0` = on).
     pub columnar: bool,
+    /// Rewrite `Filter(Scan)` to `Filter(IndexScan)` when the predicate
+    /// pins the primary key to literals: all-column equality becomes an
+    /// O(1) hash probe, a range on the first PK column becomes an
+    /// O(log n + k) binary search — `WHERE pk = ?` and
+    /// `WHERE pk BETWEEN ? AND ?` stop scanning the table. The full
+    /// predicate stays in the filter above, so the rewrite never changes
+    /// results. Defaults to the `SWAN_PAGER` environment variable (unset
+    /// or anything but `0` = on), so `SWAN_PAGER=0` reproduces the
+    /// scan-only planner bit-for-bit.
+    pub index_scan: bool,
 }
 
 /// Default for [`OptimizerConfig::parallel_threshold`]: roughly four
@@ -87,6 +97,7 @@ impl Default for OptimizerConfig {
             threads: 0,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             columnar: default_columnar(),
+            index_scan: default_index_scan(),
         }
     }
 }
@@ -97,6 +108,15 @@ impl Default for OptimizerConfig {
 fn default_columnar() -> bool {
     static COLUMNAR: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *COLUMNAR.get_or_init(|| std::env::var("SWAN_COLUMNAR").map_or(true, |v| v != "0"))
+}
+
+/// Default for [`OptimizerConfig::index_scan`]: the `SWAN_PAGER`
+/// environment variable, read once per process (`0` = off, anything else
+/// or unset = on) — the same switch that gates the paged storage layer,
+/// so one variable flips the whole PR's behavior for differential runs.
+fn default_index_scan() -> bool {
+    static INDEX_SCAN: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *INDEX_SCAN.get_or_init(|| std::env::var("SWAN_PAGER").map_or(true, |v| v != "0"))
 }
 
 /// A column the SELECT level reads: `(qualifier, name)`, matched
@@ -119,6 +139,7 @@ pub fn optimize(
     let plan = if config.pushdown { pushdown(plan, provider)? } else { plan };
     let plan = if config.reorder_joins { reorder_joins(plan, provider)? } else { plan };
     let plan = if config.order_expensive_last { order_filters(plan, udfs) } else { plan };
+    let plan = if config.index_scan { index_scans(plan, provider) } else { plan };
     let plan = match (config.prune_columns, needed) {
         (true, Some(needed)) => prune_columns(plan, Some(needed.to_vec()), provider)?,
         _ => plan,
@@ -163,6 +184,9 @@ fn parallelize(
 fn plan_input_rows(plan: &Plan, provider: &dyn SchemaProvider) -> usize {
     match plan {
         Plan::Scan { table, .. } => provider.table_rows(table).unwrap_or(usize::MAX),
+        // An index scan reads O(matches), not O(table) — never worth
+        // morsel fan-out on its own.
+        Plan::IndexScan { .. } => 0,
         Plan::Derived { .. } => usize::MAX,
         Plan::Join { left, right, .. } => {
             plan_input_rows(left, provider).max(plan_input_rows(right, provider))
@@ -259,9 +283,10 @@ fn push_predicate_into(
             all.extend(conjuncts);
             push_predicate_into(*input, all, provider)
         }
-        // `Parallel` never exists while pushdown runs (the parallelize
-        // rule is last), but the match stays total for safety.
+        // `Parallel` and `IndexScan` never exist while pushdown runs
+        // (those rules come later), but the match stays total for safety.
         leaf @ (Plan::Scan { .. }
+        | Plan::IndexScan { .. }
         | Plan::Derived { .. }
         | Plan::Permute { .. }
         | Plan::Batch { .. }
@@ -764,6 +789,174 @@ pub fn expr_cost(e: &Expr, udfs: &UdfRegistry) -> u8 {
     cost
 }
 
+// ---- rule 7: primary-key index scans ------------------------------------
+
+/// Rewrite `Filter(pred, Scan(t))` to `Filter(pred, IndexScan(t, bounds))`
+/// when `pred`'s conjuncts pin `t`'s primary key to non-NULL literals.
+/// Runs after pushdown and filter ordering (so filters sit directly on
+/// their scans) and before parallelization. The predicate is kept whole:
+/// the index probe only narrows the row set the filter inspects, so the
+/// rewrite is unconditionally sound — any probe imprecision (group-key
+/// equality being coarser than SQL `=`, NULLs under a sole upper bound)
+/// is re-checked row by row.
+fn index_scans(plan: Plan, provider: &dyn SchemaProvider) -> Plan {
+    match plan {
+        Plan::Filter { input, predicate } => {
+            let input = index_scans(*input, provider);
+            if let Plan::Scan { table, qualifier } = &input {
+                if let Some(bounds) = pk_bounds(&predicate, table, qualifier, provider) {
+                    return Plan::Filter {
+                        input: Box::new(Plan::IndexScan {
+                            table: table.clone(),
+                            qualifier: qualifier.clone(),
+                            bounds,
+                        }),
+                        predicate,
+                    };
+                }
+            }
+            Plan::Filter { input: Box::new(input), predicate }
+        }
+        Plan::Join { left, right, kind, on, emit } => Plan::Join {
+            left: Box::new(index_scans(*left, provider)),
+            right: Box::new(index_scans(*right, provider)),
+            kind,
+            on,
+            emit,
+        },
+        Plan::Batch { input, calls } => {
+            Plan::Batch { input: Box::new(index_scans(*input, provider)), calls }
+        }
+        Plan::Permute { input, mapping } => {
+            Plan::Permute { input: Box::new(index_scans(*input, provider)), mapping }
+        }
+        Plan::Parallel { input, partitions } => {
+            Plan::Parallel { input: Box::new(index_scans(*input, provider)), partitions }
+        }
+        other => other,
+    }
+}
+
+/// Extract primary-key bounds from a predicate's top-level conjuncts.
+/// All PK columns pinned by equality → `Point`; otherwise any comparison
+/// or non-negated BETWEEN on the *first* PK column → `Range` (an
+/// equality there doubles as an inclusive two-sided bound). Only
+/// conjuncts of the shape `col op literal` / `literal op col` with a
+/// non-NULL literal participate; everything else is left to the filter.
+fn pk_bounds(
+    predicate: &Expr,
+    table: &str,
+    qualifier: &str,
+    provider: &dyn SchemaProvider,
+) -> Option<crate::plan::IndexBounds> {
+    use crate::plan::IndexBounds;
+    let pk = provider.table_primary_key(table)?;
+    // Which PK position (if any) a column expression names on this scan.
+    let pk_pos = |e: &Expr| -> Option<usize> {
+        let Expr::Column { table: q, name } = e else { return None };
+        if q.as_deref().is_some_and(|q| !q.eq_ignore_ascii_case(qualifier)) {
+            return None;
+        }
+        pk.iter().position(|p| p.eq_ignore_ascii_case(name))
+    };
+    fn lit(e: &Expr) -> Option<&Value> {
+        match e {
+            Expr::Literal(v) if !v.is_null() => Some(v),
+            _ => None,
+        }
+    }
+    let mut eq: Vec<Option<Value>> = vec![None; pk.len()];
+    let mut lower: Option<(Value, bool)> = None;
+    let mut upper: Option<(Value, bool)> = None;
+    // Keep the tighter of two same-side bounds (sort_cmp agrees with SQL
+    // comparison on non-NULL values, so "tighter" is well-defined); on a
+    // tie the exclusive bound wins.
+    let tighten_lower = |cur: &mut Option<(Value, bool)>, v: &Value, incl: bool| {
+        let replace = match cur {
+            None => true,
+            Some((old, old_incl)) => match v.sort_cmp(old) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Equal => *old_incl && !incl,
+                std::cmp::Ordering::Less => false,
+            },
+        };
+        if replace {
+            *cur = Some((v.clone(), incl));
+        }
+    };
+    let tighten_upper = |cur: &mut Option<(Value, bool)>, v: &Value, incl: bool| {
+        let replace = match cur {
+            None => true,
+            Some((old, old_incl)) => match v.sort_cmp(old) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => *old_incl && !incl,
+                std::cmp::Ordering::Greater => false,
+            },
+        };
+        if replace {
+            *cur = Some((v.clone(), incl));
+        }
+    };
+    for c in split_conjuncts(predicate) {
+        match &c {
+            Expr::Binary { op, left, right } => {
+                // Normalize to `col op lit`, flipping the operator when
+                // the literal is on the left.
+                let (pos, v, op) = match (pk_pos(left), lit(right)) {
+                    (Some(p), Some(v)) => (p, v, *op),
+                    _ => match (lit(left), pk_pos(right)) {
+                        (Some(v), Some(p)) => {
+                            let flipped = match *op {
+                                BinaryOp::Lt => BinaryOp::Gt,
+                                BinaryOp::LtEq => BinaryOp::GtEq,
+                                BinaryOp::Gt => BinaryOp::Lt,
+                                BinaryOp::GtEq => BinaryOp::LtEq,
+                                other => other,
+                            };
+                            (p, v, flipped)
+                        }
+                        _ => continue,
+                    },
+                };
+                match op {
+                    BinaryOp::Eq => {
+                        if eq[pos].is_none() {
+                            eq[pos] = Some(v.clone());
+                        }
+                        if pos == 0 {
+                            tighten_lower(&mut lower, v, true);
+                            tighten_upper(&mut upper, v, true);
+                        }
+                    }
+                    BinaryOp::Gt if pos == 0 => tighten_lower(&mut lower, v, false),
+                    BinaryOp::GtEq if pos == 0 => tighten_lower(&mut lower, v, true),
+                    BinaryOp::Lt if pos == 0 => tighten_upper(&mut upper, v, false),
+                    BinaryOp::LtEq if pos == 0 => tighten_upper(&mut upper, v, true),
+                    _ => {}
+                }
+            }
+            Expr::Between { expr, low, high, negated: false } => {
+                if pk_pos(expr) == Some(0) {
+                    if let (Some(lo), Some(hi)) = (lit(low), lit(high)) {
+                        tighten_lower(&mut lower, lo, true);
+                        tighten_upper(&mut upper, hi, true);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if eq.iter().all(Option::is_some) {
+        return Some(IndexBounds::Point {
+            key: eq.into_iter().map(|v| v.expect("checked")).collect(),
+        });
+    }
+    if lower.is_some() || upper.is_some() {
+        return Some(IndexBounds::Range { lower, upper });
+    }
+    None
+}
+
 // ---- rule 5: batched expensive-call marking -----------------------------
 
 /// Insert [`Plan::Batch`] nodes under filters that call expensive UDFs.
@@ -918,7 +1111,7 @@ mod tests {
     use super::*;
     use crate::ast::{SelectBody, Statement};
     use crate::parser::{parse_expression, parse_statement};
-    use crate::plan::{plan_from, ColRef};
+    use crate::plan::{plan_from, ColRef, IndexBounds};
     use std::sync::Arc;
 
     /// Two small tables (a: 1000 rows, b: 10 rows) plus a large `fact`
@@ -1212,5 +1405,168 @@ mod tests {
             predicate: parse_expression("f.grp = 1").unwrap(),
         };
         assert!(estimate_rows(&filtered, &Fixture) < estimate_rows(&scan, &Fixture));
+    }
+
+    // ---- rule 7: primary-key index scans ------------------------------
+
+    /// Fixture where `k` has a single-column PK (id) and `kk` a composite
+    /// PK (a, b). `a`/`b` etc. stay PK-less so the other tests' plans are
+    /// untouched by rule 7.
+    struct PkFixture;
+
+    impl SchemaProvider for PkFixture {
+        fn table_columns(&self, name: &str) -> Result<Vec<String>> {
+            match name {
+                "k" => Ok(vec!["id".into(), "v".into()]),
+                "kk" => Ok(vec!["a".into(), "b".into(), "v".into()]),
+                other => Err(crate::error::Error::NotFound(other.into())),
+            }
+        }
+
+        fn table_rows(&self, name: &str) -> Option<usize> {
+            match name {
+                "k" | "kk" => Some(1000),
+                _ => None,
+            }
+        }
+
+        fn table_primary_key(&self, table: &str) -> Option<Vec<String>> {
+            match table {
+                "k" => Some(vec!["id".into()]),
+                "kk" => Some(vec!["a".into(), "b".into()]),
+                _ => None,
+            }
+        }
+    }
+
+    fn pk_opt(sql: &str) -> Plan {
+        let cfg = OptimizerConfig { index_scan: true, ..Default::default() };
+        optimize(plan_of(sql), &UdfRegistry::new(), &cfg, &PkFixture, None).unwrap()
+    }
+
+    /// Unwrap `Filter(IndexScan)` — the rewrite must always keep the full
+    /// predicate above the index scan.
+    fn index_bounds_of(plan: Plan) -> IndexBounds {
+        let Plan::Filter { input, .. } = plan else {
+            panic!("predicate must stay above the index scan: {plan:?}")
+        };
+        let Plan::IndexScan { bounds, .. } = *input else {
+            panic!("expected IndexScan under the filter: {input:?}")
+        };
+        bounds
+    }
+
+    #[test]
+    fn pk_equality_becomes_point_probe() {
+        let bounds = index_bounds_of(pk_opt("SELECT * FROM k WHERE id = 42"));
+        assert_eq!(bounds, IndexBounds::Point { key: vec![Value::Integer(42)] });
+    }
+
+    #[test]
+    fn pk_comparisons_become_range() {
+        let bounds = index_bounds_of(pk_opt("SELECT * FROM k WHERE id > 10 AND id <= 20"));
+        assert_eq!(
+            bounds,
+            IndexBounds::Range {
+                lower: Some((Value::Integer(10), false)),
+                upper: Some((Value::Integer(20), true)),
+            }
+        );
+    }
+
+    #[test]
+    fn pk_between_is_inclusive_both_sides() {
+        let bounds = index_bounds_of(pk_opt("SELECT * FROM k WHERE id BETWEEN 5 AND 9"));
+        assert_eq!(
+            bounds,
+            IndexBounds::Range {
+                lower: Some((Value::Integer(5), true)),
+                upper: Some((Value::Integer(9), true)),
+            }
+        );
+    }
+
+    #[test]
+    fn flipped_literal_side_normalized() {
+        // `10 < id` is the same lower bound as `id > 10`.
+        let bounds = index_bounds_of(pk_opt("SELECT * FROM k WHERE 10 < id"));
+        assert_eq!(
+            bounds,
+            IndexBounds::Range { lower: Some((Value::Integer(10), false)), upper: None }
+        );
+    }
+
+    #[test]
+    fn redundant_bounds_keep_the_tighter_one() {
+        let bounds =
+            index_bounds_of(pk_opt("SELECT * FROM k WHERE id >= 3 AND id > 3 AND id < 100"));
+        // Exclusive wins the tie on the lower side.
+        assert_eq!(
+            bounds,
+            IndexBounds::Range {
+                lower: Some((Value::Integer(3), false)),
+                upper: Some((Value::Integer(100), false)),
+            }
+        );
+    }
+
+    #[test]
+    fn composite_pk_full_equality_is_point() {
+        let bounds = index_bounds_of(pk_opt("SELECT * FROM kk WHERE b = 2 AND a = 1"));
+        assert_eq!(
+            bounds,
+            IndexBounds::Point { key: vec![Value::Integer(1), Value::Integer(2)] }
+        );
+    }
+
+    #[test]
+    fn composite_pk_prefix_equality_is_range_on_first_column() {
+        // Only `a` pinned: probe the first PK column as an inclusive range.
+        let bounds = index_bounds_of(pk_opt("SELECT * FROM kk WHERE a = 7"));
+        assert_eq!(
+            bounds,
+            IndexBounds::Range {
+                lower: Some((Value::Integer(7), true)),
+                upper: Some((Value::Integer(7), true)),
+            }
+        );
+    }
+
+    #[test]
+    fn non_pk_predicate_not_rewritten() {
+        let opt = pk_opt("SELECT * FROM k WHERE v = 42");
+        let Plan::Filter { input, .. } = opt else { panic!("got {opt:?}") };
+        assert!(matches!(*input, Plan::Scan { .. }), "got {input:?}");
+    }
+
+    #[test]
+    fn null_literal_never_bounds() {
+        // `id = NULL` matches nothing at runtime, but the rewrite must not
+        // turn it into a probe for a NULL key.
+        let opt = pk_opt("SELECT * FROM k WHERE id = NULL");
+        let Plan::Filter { input, .. } = opt else { panic!("got {opt:?}") };
+        assert!(matches!(*input, Plan::Scan { .. }), "got {input:?}");
+    }
+
+    #[test]
+    fn index_scan_disabled_reproduces_scan_plan() {
+        let cfg = OptimizerConfig { index_scan: false, ..Default::default() };
+        let p = plan_of("SELECT * FROM k WHERE id = 42");
+        let opt = optimize(p, &UdfRegistry::new(), &cfg, &PkFixture, None).unwrap();
+        let Plan::Filter { input, .. } = opt else { panic!("got {opt:?}") };
+        assert!(matches!(*input, Plan::Scan { .. }), "got {input:?}");
+    }
+
+    #[test]
+    fn qualified_alias_still_matches_pk() {
+        let bounds = index_bounds_of(pk_opt("SELECT * FROM k t WHERE t.id = 5"));
+        assert_eq!(bounds, IndexBounds::Point { key: vec![Value::Integer(5)] });
+    }
+
+    #[test]
+    fn negated_between_not_rewritten() {
+        let opt = pk_opt("SELECT * FROM k WHERE id NOT BETWEEN 5 AND 9");
+        let Plan::Filter { input, .. } = opt else { panic!("got {opt:?}") };
+        assert!(matches!(*input, Plan::Scan { .. }), "got {input:?}");
     }
 }

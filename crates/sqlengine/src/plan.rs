@@ -17,6 +17,13 @@ pub trait SchemaProvider {
     fn table_columns(&self, table: &str) -> Result<Vec<String>>;
     /// `None` when the table (or its cardinality) is unknown.
     fn table_rows(&self, table: &str) -> Option<usize>;
+    /// Primary-key column names in key order; `None` when the table is
+    /// unknown or has no primary key. Drives the optimizer's
+    /// [`Plan::IndexScan`] rewrite; the default (no keys) simply
+    /// disables it.
+    fn table_primary_key(&self, _table: &str) -> Option<Vec<String>> {
+        None
+    }
 }
 
 /// A column of a relation schema: optional qualifier (table alias) + name.
@@ -125,6 +132,15 @@ impl RelSchema {
 pub enum Plan {
     /// Base-table scan. `qualifier` is the alias (or table name).
     Scan { table: String, qualifier: String },
+    /// Primary-key index scan: emit only the rows the `bounds` select,
+    /// in base-table row order (so the output is byte-identical to a
+    /// filtered full scan). Rewritten from `Filter(Scan)` by the
+    /// optimizer when the predicate pins the primary key to literals;
+    /// the full predicate is **kept** in a Filter above — the index
+    /// probe may be a superset of SQL equality (`Point`) or include
+    /// NULLs under a sole upper bound (`Range`), and re-filtering makes
+    /// the rewrite unconditionally sound.
+    IndexScan { table: String, qualifier: String, bounds: IndexBounds },
     /// Derived table: a subquery in FROM, re-qualified by its alias.
     Derived { query: Box<SelectStmt>, qualifier: String },
     /// Join of two plans. RIGHT joins have been normalized to LEFT.
@@ -172,6 +188,26 @@ pub enum Plan {
     Empty,
 }
 
+/// How a [`Plan::IndexScan`] probes the primary key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexBounds {
+    /// Every PK column pinned to a literal: one O(1) hash probe on the
+    /// unique PK index ([`Table::pk_row_index`]). `key` is in PK-column
+    /// order.
+    ///
+    /// [`Table::pk_row_index`]: crate::storage::Table::pk_row_index
+    Point { key: Vec<crate::value::Value> },
+    /// A range over the **first** PK column: binary search on the
+    /// PK-sorted row permutation ([`Table::pk_range`]). Each bound is
+    /// `(literal, inclusive)`; `None` means unbounded on that side.
+    ///
+    /// [`Table::pk_range`]: crate::storage::Table::pk_range
+    Range {
+        lower: Option<(crate::value::Value, bool)>,
+        upper: Option<(crate::value::Value, bool)>,
+    },
+}
+
 /// Join kinds after normalization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlanJoinKind {
@@ -184,7 +220,7 @@ impl Plan {
     /// The output schema of this plan, resolved against `provider`.
     pub fn schema(&self, provider: &dyn SchemaProvider) -> Result<RelSchema> {
         match self {
-            Plan::Scan { table, qualifier } => {
+            Plan::Scan { table, qualifier } | Plan::IndexScan { table, qualifier, .. } => {
                 Ok(RelSchema::qualified(qualifier, provider.table_columns(table)?))
             }
             Plan::Derived { query, qualifier } => {

@@ -365,6 +365,13 @@ impl SharedDb {
         self.inner.history.lock().stats()
     }
 
+    /// Page-store counters: durable epoch, allocated pages, buffer-pool
+    /// hit/miss/eviction stats. `None` without a pager (in-memory
+    /// database or `SWAN_PAGER=0`).
+    pub fn pager_stats(&self) -> Option<crate::pager::PagerStats> {
+        self.inner.wal.as_ref().and_then(|w| w.lock().pager_stats())
+    }
+
     /// Register a scalar UDF (e.g. an LLM function) for every session.
     pub fn register_udf(&self, udf: Arc<dyn ScalarUdf>) {
         self.inner.udfs.write().register(udf);

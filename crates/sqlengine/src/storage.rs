@@ -54,6 +54,12 @@ pub struct Table {
     /// schema mutation; a clone carries the cache along, which stays
     /// valid because the rows are cloned with it.
     columnar: std::sync::OnceLock<Arc<crate::columnar::ColumnSet>>,
+    /// Lazily-built row permutation sorted by primary-key value
+    /// ([`Value::sort_cmp`] lexicographic over the PK columns, ties by
+    /// row index). Serves `Plan::IndexScan` range probes and
+    /// ORDER-BY-pk-LIMIT early stops without sorting the whole table.
+    /// Same invalidation discipline as `columnar`.
+    ordered_pk: std::sync::OnceLock<Arc<Vec<u32>>>,
 }
 
 /// Structural equality: same name, schema, primary key, version and
@@ -125,7 +131,15 @@ impl Table {
             pk_index: HashMap::new(),
             version: 0,
             columnar: std::sync::OnceLock::new(),
+            ordered_pk: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Drop every derived cache; every row or schema mutation must call
+    /// this before (or immediately after) touching `rows`.
+    fn invalidate_caches(&mut self) {
+        self.columnar.take();
+        self.ordered_pk.take();
     }
 
     /// The column-major view of this table version, built on first use and
@@ -200,7 +214,7 @@ impl Table {
             }
             self.pk_index.insert(key, self.rows.len());
         }
-        self.columnar.take();
+        self.invalidate_caches();
         self.rows.push(row);
         Ok(())
     }
@@ -217,11 +231,79 @@ impl Table {
 
     /// Look up a row by primary-key values (for point queries and tests).
     pub fn find_by_pk(&self, key_values: &[Value]) -> Option<&Row> {
+        self.pk_row_index(key_values).map(|i| &self.rows[i as usize])
+    }
+
+    /// The row index holding the given primary-key tuple, via the unique
+    /// hash index — the `Plan::IndexScan` point probe. Key identity is
+    /// [`Value::group_key`], a superset of SQL equality, so a probe hit
+    /// still passes through the predicate filter above the scan.
+    pub fn pk_row_index(&self, key_values: &[Value]) -> Option<u32> {
         if self.primary_key.is_empty() || key_values.len() != self.primary_key.len() {
             return None;
         }
         let key: Vec<GroupKey> = key_values.iter().map(Value::group_key).collect();
-        self.pk_index.get(&key).map(|&i| &self.rows[i])
+        self.pk_index.get(&key).map(|&i| i as u32)
+    }
+
+    /// The row permutation sorted by primary-key value (ties by row
+    /// index), or `None` for tables without a primary key. Built on
+    /// first use, cached until the next mutation.
+    pub fn ordered_pk(&self) -> Option<Arc<Vec<u32>>> {
+        if self.primary_key.is_empty() {
+            return None;
+        }
+        Some(
+            self.ordered_pk
+                .get_or_init(|| {
+                    let pk = &self.primary_key;
+                    let mut idx: Vec<u32> = (0..self.rows.len() as u32).collect();
+                    idx.sort_unstable_by(|&a, &b| {
+                        let (ra, rb) = (&self.rows[a as usize], &self.rows[b as usize]);
+                        pk.iter()
+                            .map(|&c| ra[c].sort_cmp(&rb[c]))
+                            .find(|o| *o != std::cmp::Ordering::Equal)
+                            .unwrap_or_else(|| a.cmp(&b))
+                    });
+                    Arc::new(idx)
+                })
+                .clone(),
+        )
+    }
+
+    /// Row indices (in ascending row order, so an index scan's output is
+    /// byte-identical to a filtered full scan) whose **first** primary-key
+    /// column lies within `lower`/`upper`, each `(value, inclusive)`.
+    /// O(log n + k) via binary search over [`Self::ordered_pk`]. The
+    /// bounds use [`Value::sort_cmp`], which agrees with SQL comparison
+    /// wherever SQL comparison is non-NULL, so the result is exact for
+    /// non-NULL bounds (NULL cells sort below every bound and SQL
+    /// comparison excludes them too — except under a sole upper bound,
+    /// where they are included and the filter above removes them).
+    pub fn pk_range(
+        &self,
+        lower: Option<(&Value, bool)>,
+        upper: Option<(&Value, bool)>,
+    ) -> Option<Vec<u32>> {
+        let ord = self.ordered_pk()?;
+        let col = self.primary_key[0];
+        let lo = match lower {
+            None => 0,
+            Some((v, incl)) => ord.partition_point(|&i| {
+                let c = self.rows[i as usize][col].sort_cmp(v);
+                c == std::cmp::Ordering::Less || (!incl && c == std::cmp::Ordering::Equal)
+            }),
+        };
+        let hi = match upper {
+            None => ord.len(),
+            Some((v, incl)) => ord.partition_point(|&i| {
+                let c = self.rows[i as usize][col].sort_cmp(v);
+                c == std::cmp::Ordering::Less || (incl && c == std::cmp::Ordering::Equal)
+            }),
+        };
+        let mut out: Vec<u32> = if lo < hi { ord[lo..hi].to_vec() } else { Vec::new() };
+        out.sort_unstable();
+        Some(out)
     }
 
     /// Add a column to the schema, filling existing rows with NULL
@@ -235,7 +317,7 @@ impl Table {
                 "cannot add NOT NULL column to a non-empty table".into(),
             ));
         }
-        self.columnar.take();
+        self.invalidate_caches();
         self.col_index.insert(column.name.to_ascii_lowercase(), self.columns.len());
         self.columns.push(column);
         for row in &mut self.rows {
@@ -253,7 +335,7 @@ impl Table {
         let idx = self
             .column_index(name)
             .ok_or_else(|| Error::NotFound(format!("{}.{}", self.name, name)))?;
-        self.columnar.take();
+        self.invalidate_caches();
         self.columns.remove(idx);
         for row in &mut self.rows {
             let mut narrowed = row.to_vec();
@@ -293,13 +375,13 @@ impl Table {
                 self.pk_index.remove(&key);
             }
         }
-        self.columnar.take();
+        self.invalidate_caches();
         self.rows.truncate(keep_len);
     }
 
     /// Remove all rows (and the PK index) while keeping the schema.
     pub fn clear_rows(&mut self) {
-        self.columnar.take();
+        self.invalidate_caches();
         self.rows.clear();
         self.pk_index.clear();
     }
@@ -310,7 +392,7 @@ impl Table {
         self.rows.retain(|r| keep(r));
         let removed = before - self.rows.len();
         if removed > 0 {
-            self.columnar.take();
+            self.invalidate_caches();
             self.rebuild_pk_index();
         }
         removed
@@ -368,7 +450,7 @@ impl Table {
     /// the recovered table are byte-identical by construction, row order
     /// included.
     pub fn apply_row_patch(&mut self, deletes: &[Row], upserts: Vec<Row>) -> Result<()> {
-        self.columnar.take();
+        self.invalidate_caches();
         if self.primary_key.is_empty() {
             return Err(Error::Internal(format!(
                 "row patch applied to table '{}' without a primary key",
@@ -469,7 +551,7 @@ impl Catalog {
         table.version += 1;
         // The caller is about to mutate: drop the columnar cache now so a
         // stale view can never be served against the modified rows.
-        table.columnar.take();
+        table.invalidate_caches();
         Ok(table)
     }
 
@@ -526,6 +608,14 @@ impl crate::plan::SchemaProvider for Catalog {
 
     fn table_rows(&self, table: &str) -> Option<usize> {
         self.row_count(table)
+    }
+
+    fn table_primary_key(&self, table: &str) -> Option<Vec<String>> {
+        let t = self.get(table)?;
+        if t.primary_key.is_empty() {
+            return None;
+        }
+        Some(t.primary_key.iter().map(|&i| t.columns[i].name.clone()).collect())
     }
 }
 

@@ -84,6 +84,18 @@ impl IntoText for &String {
     }
 }
 
+/// The single definition of SQL text→number coercion (SQLite affinity):
+/// surrounding whitespace is ignored, the rest must match Rust's full
+/// `f64` grammar (so `"+5"`, `".5"`, `"5."`, `"1e309"` → `inf`, and the
+/// case-insensitive `"inf"`/`"NaN"` spellings all parse; `"1_000"`,
+/// `"0x10"`, and `""` do not). Every site that decides whether a string
+/// is a number — [`Value::as_f64`], truthiness, negation, and the
+/// columnar kernels' per-dictionary-entry LUTs — must route through this
+/// helper so the row and vectorized paths can never disagree.
+pub fn parse_text_f64(s: &str) -> Option<f64> {
+    s.trim().parse::<f64>().ok()
+}
+
 impl Value {
     /// Build a text value from anything stringy.
     pub fn text(s: impl IntoText) -> Self {
@@ -112,7 +124,7 @@ impl Value {
         match self {
             Value::Integer(i) => Some(*i as f64),
             Value::Real(r) => Some(*r),
-            Value::Text(s) => s.trim().parse::<f64>().ok(),
+            Value::Text(s) => parse_text_f64(s),
             Value::Null => None,
         }
     }
@@ -342,10 +354,8 @@ impl Value {
                 .ok_or_else(|| Error::Arithmetic("integer overflow in negation".into())),
             Value::Real(r) => Ok(Value::Real(-r)),
             Value::Text(s) => {
-                let v = s
-                    .trim()
-                    .parse::<f64>()
-                    .map_err(|_| Error::Type(format!("cannot negate text '{s}'")))?;
+                let v = parse_text_f64(s)
+                    .ok_or_else(|| Error::Type(format!("cannot negate text '{s}'")))?;
                 Ok(Value::Real(-v))
             }
         }

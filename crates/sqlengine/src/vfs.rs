@@ -65,6 +65,10 @@ use crate::error::{Error, Result};
 pub trait VfsFile: Send {
     /// Write the whole buffer at `offset`, extending the file as needed.
     fn write_all_at(&mut self, offset: u64, data: &[u8]) -> Result<()>;
+    /// Read exactly `len` bytes at `offset`. A read past end-of-file is an
+    /// error, not a short read: the paged store only ever reads page slots
+    /// it has written, so a short read means corruption.
+    fn read_exact_at(&mut self, offset: u64, len: usize) -> Result<Vec<u8>>;
     /// Truncate (or extend with zeros) to exactly `len` bytes.
     fn set_len(&mut self, len: u64) -> Result<()>;
     /// Flush file contents to durable storage — the acknowledgment point.
@@ -106,6 +110,13 @@ impl VfsFile for RealFile {
     fn write_all_at(&mut self, offset: u64, data: &[u8]) -> Result<()> {
         self.0.seek(SeekFrom::Start(offset)).map_err(io_err)?;
         self.0.write_all(data).map_err(io_err)
+    }
+
+    fn read_exact_at(&mut self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.0.seek(SeekFrom::Start(offset)).map_err(io_err)?;
+        let mut buf = vec![0u8; len];
+        self.0.read_exact(&mut buf).map_err(io_err)?;
+        Ok(buf)
     }
 
     fn set_len(&mut self, len: u64) -> Result<()> {
@@ -511,6 +522,28 @@ impl VfsFile for SimFile {
             }
             buf[offset..end].copy_from_slice(&data[..keep]);
         })
+    }
+
+    fn read_exact_at(&mut self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let mut st = self.state.lock();
+        let desc = format!("read {} @{offset} +{len}", self.path.display());
+        match st.gate(desc)? {
+            Gate::Proceed => {}
+            // A failed or crashed read returns nothing; reads have no
+            // durable side effects to tear.
+            Gate::Fail | Gate::Crash(_) => return Err(st.injected("read")),
+        }
+        let buf = st.inodes.get(&self.ino).map(Vec::as_slice).unwrap_or(&[]);
+        let start = offset as usize;
+        let end = start.checked_add(len).ok_or_else(|| Error::Io("read offset overflow".into()))?;
+        if end > buf.len() {
+            return Err(Error::Io(format!(
+                "short read: {} @{offset} +{len} beyond EOF ({})",
+                self.path.display(),
+                buf.len()
+            )));
+        }
+        Ok(buf[start..end].to_vec())
     }
 
     fn set_len(&mut self, len: u64) -> Result<()> {

@@ -55,6 +55,7 @@ use std::sync::Arc;
 use std::sync::OnceLock;
 
 use crate::error::{Error, Result};
+use crate::pager::Pager;
 use crate::storage::{
     decode_row, decode_table, encode_row, encode_table, get_str, get_u32, get_u64, get_u8,
     put_str, put_u32, put_u64, Catalog, Table, TextInterner,
@@ -85,6 +86,21 @@ pub struct DurabilityConfig {
     /// the leader's critical section to the write + fsync. `0` disables
     /// handback (the leader always installs the whole batch itself).
     pub handback_deltas: usize,
+    /// Keep durable state in the paged store ([`crate::pager`]): commits
+    /// maintain on-disk B-trees and checkpoints flush only dirty pages —
+    /// O(dirty), not O(database). Disabled, checkpoints rewrite the full
+    /// catalog image (the legacy format). The default follows
+    /// `SWAN_PAGER` (`0` disables; anything else — or unset — enables).
+    pub paged: bool,
+    /// Buffer-pool capacity in pages for the paged store.
+    pub pool_pages: usize,
+}
+
+/// Process-wide default for [`DurabilityConfig::paged`], read from
+/// `SWAN_PAGER` once (same pattern as the columnar default).
+fn default_paged() -> bool {
+    static PAGED: OnceLock<bool> = OnceLock::new();
+    *PAGED.get_or_init(|| std::env::var("SWAN_PAGER").map(|v| v != "0").unwrap_or(true))
 }
 
 impl Default for DurabilityConfig {
@@ -94,6 +110,8 @@ impl Default for DurabilityConfig {
             sync: true,
             group_commit: true,
             handback_deltas: 4,
+            paged: default_paged(),
+            pool_pages: crate::bufpool::DEFAULT_POOL_PAGES,
         }
     }
 }
@@ -108,6 +126,11 @@ pub enum WalRecord {
     Commit { txn: u64 },
     /// Full-database image; replay resets the catalog to these tables.
     Checkpoint { tables: Vec<Arc<Table>> },
+    /// Paged-store checkpoint marker: durable state up to here lives in
+    /// the page/meta files at this epoch ([`crate::pager`]); only records
+    /// after the marker replay. Replaying one with the pager disabled is
+    /// a loud error — the log does not contain the data.
+    PagedCheckpoint { epoch: u64 },
 }
 
 /// A committed transaction's effect on one table.
@@ -190,6 +213,10 @@ fn encode_record(buf: &mut Vec<u8>, rec: &WalRecord) {
                 encode_table(buf, t);
             }
         }
+        WalRecord::PagedCheckpoint { epoch } => {
+            buf.push(5);
+            put_u64(buf, *epoch);
+        }
     }
 }
 
@@ -239,6 +266,7 @@ fn decode_record(buf: &[u8], pos: &mut usize, interner: &mut TextInterner) -> Re
             }
             Ok(WalRecord::Checkpoint { tables })
         }
+        5 => Ok(WalRecord::PagedCheckpoint { epoch: get_u64(buf, pos)? }),
         _ => Err(bad("record tag")),
     }
 }
@@ -247,7 +275,7 @@ fn decode_record(buf: &[u8], pos: &mut usize, interner: &mut TextInterner) -> Re
 // CRC32 (IEEE) — table-driven, built once
 // ---------------------------------------------------------------------------
 
-fn crc32(data: &[u8]) -> u32 {
+pub(crate) fn crc32(data: &[u8]) -> u32 {
     static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
     let table = TABLE.get_or_init(|| {
         let mut t = [0u32; 256];
@@ -353,13 +381,76 @@ fn apply_delta(catalog: &mut Catalog, delta: WalDelta) -> Result<()> {
 /// Uncommitted trailing transactions are discarded — exactly the rollback
 /// a crash before the commit record implies.
 pub fn replay(records: Vec<WalRecord>) -> Result<Catalog> {
-    let mut catalog = Catalog::new();
+    if let Some(WalRecord::PagedCheckpoint { epoch }) = records
+        .iter()
+        .find(|r| matches!(r, WalRecord::PagedCheckpoint { .. }))
+    {
+        return Err(Error::Io(format!(
+            "wal: paged checkpoint marker (epoch {epoch}) in the log but the pager \
+             is disabled — the data lives in the page files, not the log; reopen \
+             with paged durability (unset SWAN_PAGER)"
+        )));
+    }
+    replay_tail(records, Catalog::new(), None)
+}
+
+/// Paged-mode recovery: reconcile the WAL's checkpoint marker with the
+/// durable meta epoch, materialize the catalog from the trees, and replay
+/// only the genuine tail (applying it to the trees too, so they stay
+/// current). Returns the catalog and whether the log must be normalized
+/// (rewritten to a bare marker) before accepting appends.
+fn replay_paged(
+    records: Vec<WalRecord>,
+    pager: &Pager,
+) -> Result<(Catalog, bool)> {
+    let meta_epoch = pager.epoch();
+    // The *last* marker governs; anything before it is a stale prefix.
+    let marker = records.iter().enumerate().rev().find_map(|(i, r)| match r {
+        WalRecord::PagedCheckpoint { epoch } => Some((i, *epoch)),
+        _ => None,
+    });
+    if let Some((_, epoch)) = marker {
+        if epoch > meta_epoch {
+            return Err(Error::Io(format!(
+                "wal: checkpoint marker epoch {epoch} is ahead of the page-store \
+                 meta epoch {meta_epoch} — the meta file was lost or rolled back"
+            )));
+        }
+    }
+    match marker {
+        // Marker matches the meta: the records after it are the live tail.
+        Some((i, epoch)) if epoch == meta_epoch => {
+            let catalog = pager.materialize_catalog()?;
+            let tail = records.into_iter().skip(i + 1).collect();
+            Ok((replay_tail(tail, catalog, Some(pager))?, false))
+        }
+        // Marker behind the meta (or none at all while a meta exists): a
+        // crash hit between the meta flip and the WAL swap. The whole
+        // checkpoint ran under the WAL lock, so every record in this log
+        // was already folded into the trees the meta made durable — the
+        // meta alone is the truth, and the stale log must be normalized.
+        _ if meta_epoch > 0 => Ok((pager.materialize_catalog()?, true)),
+        // No meta yet: a fresh database or a pre-pager log (migration).
+        // Legacy replay recovers the catalog; the trees are built
+        // incrementally as the deltas apply, or — if anything in the old
+        // format trips them up — by rebuild at the first checkpoint.
+        _ => Ok((replay_tail(records, Catalog::new(), Some(pager))?, false)),
+    }
+}
+
+/// The committed-transaction replay loop over `records`, starting from
+/// `catalog`. With a pager, committed deltas also apply to the trees;
+/// tree failures degrade to rebuild mode rather than failing recovery
+/// (the commits are durable in the log — they must not be lost).
+fn replay_tail(
+    records: Vec<WalRecord>,
+    mut catalog: Catalog,
+    pager: Option<&Pager>,
+) -> Result<Catalog> {
     let mut pending: HashMap<u64, Vec<WalDelta>> = HashMap::new();
     for rec in records {
         match rec {
             WalRecord::Begin { txn } => {
-                // A fresh Begin supersedes any stale deltas under a reused
-                // id (possible when a crash discarded an earlier attempt).
                 pending.insert(txn, Vec::new());
             }
             WalRecord::Delta { txn, delta } => {
@@ -368,6 +459,11 @@ pub fn replay(records: Vec<WalRecord>) -> Result<Catalog> {
             WalRecord::Commit { txn } => {
                 if let Some(deltas) = pending.remove(&txn) {
                     for d in deltas {
+                        if let Some(p) = pager {
+                            if p.apply_delta(&d).is_err() {
+                                p.set_rebuild();
+                            }
+                        }
                         apply_delta(&mut catalog, d)?;
                     }
                 }
@@ -377,10 +473,55 @@ pub fn replay(records: Vec<WalRecord>) -> Result<Catalog> {
                 for t in tables {
                     catalog.put_shared(t);
                 }
+                // The legacy image supersedes whatever the trees held.
+                if let Some(p) = pager {
+                    p.set_rebuild();
+                }
+            }
+            WalRecord::PagedCheckpoint { .. } => {
+                // `replay_paged` already consumed the governing marker;
+                // a stray one here cannot carry data — ignore it.
             }
         }
     }
     Ok(catalog)
+}
+
+/// Apply a just-appended (already durable) frame buffer's committed
+/// deltas to the paged store. Never fails — the commit is acknowledged
+/// territory, so any tree trouble flips the pager to rebuild mode and
+/// the next checkpoint recaptures everything from the catalog.
+fn apply_frames_to_pager(pager: &Pager, buf: &[u8]) {
+    let mut interner = TextInterner::new();
+    let mut pending: HashMap<u64, Vec<WalDelta>> = HashMap::new();
+    let mut at = 0usize;
+    while let Some((rec, next)) = read_frame(buf, at, &mut interner) {
+        at = next;
+        match rec {
+            WalRecord::Begin { txn } => {
+                pending.insert(txn, Vec::new());
+            }
+            WalRecord::Delta { txn, delta } => {
+                pending.entry(txn).or_default().push(delta);
+            }
+            WalRecord::Commit { txn } => {
+                if let Some(deltas) = pending.remove(&txn) {
+                    for d in deltas {
+                        if pager.apply_delta(&d).is_err() {
+                            pager.set_rebuild();
+                            return;
+                        }
+                    }
+                }
+            }
+            WalRecord::Checkpoint { .. } | WalRecord::PagedCheckpoint { .. } => {}
+        }
+    }
+    if at != buf.len() {
+        // A buffer this process just framed should decode in full; if it
+        // somehow does not, degrade rather than diverge.
+        pager.set_rebuild();
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -395,6 +536,10 @@ pub struct Wal {
     path: PathBuf,
     len: u64,
     config: DurabilityConfig,
+    /// The paged store ([`DurabilityConfig::paged`]). Lives under the WAL
+    /// mutex: commits apply their deltas to the trees right after the
+    /// fsync, checkpoints flush dirty pages instead of rewriting images.
+    pager: Option<Pager>,
     /// Set when an I/O failure left the handle in a state where further
     /// appends could silently lose acknowledged commits (a partial frame
     /// that could not be rolled back, a post-rename reopen failure that
@@ -463,23 +608,35 @@ impl Wal {
                 WalRecord::Begin { txn }
                 | WalRecord::Delta { txn, .. }
                 | WalRecord::Commit { txn } => *txn,
-                WalRecord::Checkpoint { .. } => 0,
+                WalRecord::Checkpoint { .. } | WalRecord::PagedCheckpoint { .. } => 0,
             })
             .max()
             .unwrap_or(0);
-        let catalog = replay(records)?;
-        Ok(Recovered {
-            wal: Wal {
-                vfs,
-                file,
-                path,
-                len: good as u64,
-                config,
-                poisoned: false,
-            },
-            catalog,
-            max_txn,
-        })
+        let (catalog, pager, normalize) = if config.paged {
+            let pager = Pager::open(vfs.clone(), &path, config.pool_pages)?;
+            let (catalog, normalize) = replay_paged(records, &pager)?;
+            (catalog, Some(pager), normalize)
+        } else {
+            (replay(records)?, None, false)
+        };
+        let mut wal = Wal {
+            vfs,
+            file,
+            path,
+            len: good as u64,
+            config,
+            pager,
+            poisoned: false,
+        };
+        if normalize {
+            // The log predates the durable meta (crash between the meta
+            // flip and the WAL swap). Its records are already folded into
+            // the trees, but appending after them would make the *next*
+            // recovery replay that stale tail on top of the meta —
+            // finish the interrupted swap before accepting appends.
+            wal.swap_to_marker()?;
+        }
+        Ok(Recovered { wal, catalog, max_txn })
     }
 
     /// Bytes currently in the log.
@@ -528,6 +685,13 @@ impl Wal {
         match wrote {
             Ok(()) => {
                 self.len += buf.len() as u64;
+                if let Some(pager) = &self.pager {
+                    // The frames are durable — the commit is already
+                    // acknowledged territory, so tree maintenance must
+                    // not fail it. Any hiccup flips the pager to rebuild
+                    // mode (next checkpoint rebuilds from the catalog).
+                    apply_frames_to_pager(pager, buf);
+                }
                 Ok(())
             }
             Err(e) => {
@@ -541,22 +705,71 @@ impl Wal {
         }
     }
 
-    /// True once the log has outgrown the configured checkpoint budget.
+    /// True once the log has reached the configured checkpoint budget.
+    /// `>=`, not `>`: a log landing exactly on the budget checkpoints too
+    /// (the strict form let it sit at the boundary forever).
     pub fn wants_checkpoint(&self) -> bool {
-        self.len > self.config.checkpoint_bytes
+        self.len >= self.config.checkpoint_bytes
     }
 
-    /// Compact the log to a single checkpoint image of `catalog`: write a
-    /// sibling `.tmp` file, fsync it, and atomically rename it over the
-    /// log. On return the log holds exactly one checkpoint record.
+    /// Page-store counters (pool hits/misses/evictions, epoch), when the
+    /// pager is enabled.
+    pub fn pager_stats(&self) -> Option<crate::pager::PagerStats> {
+        self.pager.as_ref().map(Pager::stats)
+    }
+
+    /// Compact the log. With the pager enabled this is the incremental
+    /// path: flush dirty pages + flip the meta (O(dirty pages)), then
+    /// swap the log for a bare [`WalRecord::PagedCheckpoint`] marker.
+    /// Without it, write a full catalog image — O(database). Either way
+    /// the swap uses tmp + fsync + rename + dir-sync; on return the log
+    /// holds exactly one record.
     pub fn checkpoint(&mut self, catalog: &Catalog) -> Result<()> {
+        if let Some(pager) = &self.pager {
+            // A retryable pager failure leaves durable state at the old
+            // epoch with all retry state intact — no poison. But if the
+            // meta rename landed and only its directory sync failed, the
+            // new meta is ambiguously durable while this log still holds
+            // pre-checkpoint records: a commit acknowledged now would be
+            // silently discarded by a recovery that trusts the surviving
+            // meta, so the log must poison (same contract as a failed
+            // dir sync in [`Self::swap_log`]).
+            let epoch = match pager.checkpoint(catalog) {
+                Ok(epoch) => epoch,
+                Err(e @ crate::pager::CheckpointError::Ambiguous(_)) => {
+                    self.poisoned = true;
+                    return Err(e.into_error());
+                }
+                Err(e) => return Err(e.into_error()),
+            };
+            return self.swap_log(&WalRecord::PagedCheckpoint { epoch });
+        }
         let tables: Vec<Arc<Table>> = catalog
             .table_names()
             .iter()
             .filter_map(|n| catalog.get(n).cloned())
             .collect();
+        self.swap_log(&WalRecord::Checkpoint { tables })
+    }
+
+    /// Rewrite the log to a marker at the pager's current epoch (finishes
+    /// an interrupted checkpoint swap found during recovery).
+    fn swap_to_marker(&mut self) -> Result<()> {
+        let epoch = match &self.pager {
+            Some(p) => p.epoch(),
+            None => {
+                return Err(Error::Internal(
+                    "wal: marker normalization without a pager".into(),
+                ))
+            }
+        };
+        self.swap_log(&WalRecord::PagedCheckpoint { epoch })
+    }
+
+    /// Atomically replace the log with a single record.
+    fn swap_log(&mut self, record: &WalRecord) -> Result<()> {
         let mut buf = Vec::new();
-        frame(&WalRecord::Checkpoint { tables }, &mut buf);
+        frame(record, &mut buf);
 
         let mut tmp_name = self.path.clone().into_os_string();
         tmp_name.push(".tmp");
@@ -610,6 +823,13 @@ mod tests {
             std::thread::current().id()
         ));
         let _ = std::fs::remove_file(&p);
+        // The paged store keeps siblings next to the log; stale ones from
+        // a previous run would be a different database.
+        for suffix in [".pages", ".meta"] {
+            let mut s = p.clone().into_os_string();
+            s.push(suffix);
+            let _ = std::fs::remove_file(PathBuf::from(s));
+        }
         p
     }
 
@@ -624,6 +844,23 @@ mod tests {
             t.insert_row(vec![(i as i64).into(), format!("row-{i}").into()]).unwrap();
         }
         t
+    }
+
+    /// A log landing *exactly* on `checkpoint_bytes` must checkpoint
+    /// (`>=`): the old strict `>` let a log that hit the budget on the
+    /// nose sit at the boundary forever, never reclaiming it.
+    #[test]
+    fn checkpoint_triggers_exactly_at_the_byte_budget() {
+        let path = temp_path("ckpt-boundary");
+        let mut rec = Wal::open(&path, DurabilityConfig::default()).unwrap();
+        rec.wal.append(&[WalRecord::Begin { txn: 1 }, WalRecord::Commit { txn: 1 }]).unwrap();
+        let len = rec.wal.len;
+        assert!(len > 0);
+        rec.wal.config.checkpoint_bytes = len + 1;
+        assert!(!rec.wal.wants_checkpoint(), "one byte under budget: no checkpoint yet");
+        rec.wal.config.checkpoint_bytes = len;
+        assert!(rec.wal.wants_checkpoint(), "exactly at budget: must checkpoint");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -169,11 +169,14 @@ fn check_recovery(fs: &SimFs, config: DurabilityConfig, allowed: &[&String], ctx
     }
 }
 
-/// Sweep every fault kind through every operation index of the serial
-/// schedule under `config`.
+/// Sweep every fault kind through every operation index of the standard
+/// commit schedule under `config`.
 fn sweep_serial(config: DurabilityConfig, ctx: &str) {
-    let steps = commit_steps();
+    sweep_steps(config, &commit_steps(), ctx);
+}
 
+/// Sweep every fault kind through every operation index of `steps`.
+fn sweep_steps(config: DurabilityConfig, steps: &[&str], ctx: &str) {
     // Baseline: no fault. Sizes the sweep and sanity-checks the end state.
     let baseline = run_serial(config, &steps, &[]);
     assert!(!baseline.any_failed, "{ctx}: baseline must run clean");
@@ -221,6 +224,58 @@ fn fault_sweep_over_commit_schedule() {
 fn fault_sweep_over_checkpoint_schedule() {
     let config = DurabilityConfig { checkpoint_bytes: 200, ..Default::default() };
     sweep_serial(config, "checkpoint");
+}
+
+/// A schedule whose rows span several pages: wide text bodies make the
+/// B-tree working set larger than the pool, so checkpoints must evict
+/// mid-apply (dirty victims land in their shadow slots).
+fn eviction_steps() -> Vec<String> {
+    let mut steps =
+        vec!["CREATE TABLE blob (id INTEGER PRIMARY KEY, body TEXT)".to_string()];
+    for i in 0..10i64 {
+        // ~1 KB per row: four rows overflow a 4 KiB page.
+        steps.push(format!("INSERT INTO blob VALUES ({i}, '{:x>1000}')", i));
+    }
+    steps.push("UPDATE blob SET body = 'small' WHERE id = 3".to_string());
+    steps.push("DELETE FROM blob WHERE id = 7".to_string());
+    steps
+}
+
+/// Eviction-pressure schedule: a two-frame buffer pool under a working
+/// set several pages wide. Every checkpoint streams tree pages through
+/// the tiny pool, so clock eviction runs constantly while faults land on
+/// every operation — a dirty victim whose shadow write is lost, or a
+/// pinned page wrongly evicted, shows up as a torn recovery. The clean
+/// baseline then pins the accounting: evictions really happened, and no
+/// pinned frame was ever chosen.
+#[test]
+fn fault_sweep_under_eviction_pressure() {
+    // Pin `paged: true` so the sweep keeps its meaning under SWAN_PAGER=0
+    // CI runs (a 2-frame pool is only interesting with a pool).
+    let config = DurabilityConfig {
+        checkpoint_bytes: 2048,
+        pool_pages: 2,
+        paged: true,
+        ..Default::default()
+    };
+    let steps = eviction_steps();
+    let steps: Vec<&str> = steps.iter().map(String::as_str).collect();
+    sweep_steps(config, &steps, "eviction");
+
+    let fs = SimFs::new();
+    let mut db = open_sim(&fs, config).unwrap();
+    for step in &steps {
+        db.execute_script(step).unwrap();
+    }
+    let stats = db.pager_stats().expect("pager pinned on above");
+    assert!(
+        stats.pool.evictions > 0,
+        "a 2-frame pool under a multi-page working set must evict: {stats:?}"
+    );
+    assert_eq!(
+        stats.pool.evicted_pinned, 0,
+        "pinned pages must never be eviction victims: {stats:?}"
+    );
 }
 
 /// Two-fault schedule: a checkpoint's directory sync fails transiently

@@ -484,7 +484,76 @@ proptest! {
             assert_equivalent(&sql, threads, &row_ref, &columnar);
         }
     }
+
+    /// Text→number coercion parity on adversarial spellings: the columnar
+    /// truthiness and SUM/AVG kernels parse each dictionary entry once
+    /// through `parse_text_f64` — the same helper `Value::as_f64` uses —
+    /// and this generator throws every numeric-ish edge the `f64` grammar
+    /// distinguishes (signs, bare dots, inf/NaN spellings, overflow to
+    /// ±inf, underscores/hex/empty strings that must NOT parse) at both
+    /// paths. Any parser divergence shows up as a row or aggregate diff.
+    #[test]
+    fn columnar_matches_row_on_adversarial_numeric_text(
+        picks in proptest::collection::vec(
+            (0usize..ADVERSARIAL_TEXTS.len(), 0i64..4, any::<bool>()), 3..48),
+        shape in 0usize..6,
+    ) {
+        let build = || {
+            let mut db = Database::new();
+            db.execute("CREATE TABLE adv (id INTEGER PRIMARY KEY, g INTEGER, t TEXT)")
+                .unwrap();
+            let tbl = db.catalog_mut().get_mut("adv").unwrap();
+            for (row_id, (ti, g, null)) in picks.iter().enumerate() {
+                let t = if *null { Value::Null } else { Value::text(ADVERSARIAL_TEXTS[*ti]) };
+                tbl.insert_row(vec![Value::Integer(row_id as i64), Value::Integer(*g), t])
+                    .unwrap();
+            }
+            db
+        };
+        let sql = match shape {
+            // Truthiness kernel: text is true iff it parses non-zero.
+            0 => "SELECT id FROM adv WHERE t".to_string(),
+            1 => "SELECT id FROM adv WHERE NOT t".to_string(),
+            // SUM/AVG text kernel: non-numeric text counts as 0.0, and
+            // inf/NaN must poison the accumulator identically.
+            2 => "SELECT g, COUNT(*), SUM(t), AVG(t) FROM adv GROUP BY g ORDER BY g"
+                .to_string(),
+            3 => "SELECT COUNT(t), SUM(t), AVG(t), MIN(t), MAX(t) FROM adv".to_string(),
+            // Comparison against a numeric literal (text→number affinity
+            // in the compare kernel).
+            4 => "SELECT id FROM adv WHERE t > 0 ORDER BY id".to_string(),
+            _ => "SELECT t, COUNT(*) FROM adv GROUP BY t ORDER BY 2, 1".to_string(),
+        };
+        let run = |threads: usize, columnar: bool| -> QueryResult {
+            let mut db = build();
+            db.set_optimizer(OptimizerConfig {
+                threads,
+                parallel_threshold: 1,
+                columnar,
+                ..Default::default()
+            });
+            db.query(&sql)
+                .unwrap_or_else(|e| panic!("columnar={columnar} {threads}-thread {sql}: {e}"))
+        };
+        let row_ref = run(1, false);
+        for &threads in &[1usize, 8] {
+            let columnar = run(threads, true);
+            assert_equivalent(&sql, threads, &row_ref, &columnar);
+        }
+    }
 }
+
+/// Numeric-ish strings chosen to disagree under *almost*-equivalent
+/// parsers: Rust's `f64` grammar accepts leading `+`, bare-dot forms,
+/// case-insensitive `inf`/`infinity`/`NaN` and overflows `1e309` to
+/// `inf`, while rejecting `1_000`, hex, lone exponents and whitespace-only
+/// strings. A LUT that, say, trimmed differently or used `as_i64` first
+/// would diverge on at least one of these.
+const ADVERSARIAL_TEXTS: &[&str] = &[
+    "+5", "-0.0", "0.0", ".5", "5.", "+.5", "-.5", " 42\t", "1e309", "-1e309", "1e-320",
+    "9007199254740993", " inf ", "-inf", "Infinity", "NaN", "-nan", "1_000", "0x10", "", " ",
+    "1e", "e1", "- 5", "++5", "5 .", "abc",
+];
 
 /// An expensive UDF whose `invoke_batch` always fails: the statement
 /// prefetch answers nothing, so per-row invokes inside workers are the

@@ -48,6 +48,18 @@ run columnar_scan
 # ratios, morsel execution has regressed.
 run parallel_scaling
 
+# Primary-key serving on 1M rows: each shape (point probe, 64-row
+# BETWEEN, pk ORDER BY LIMIT 10) prints an _index and a _scan variant;
+# the pairwise ratio is the index-scan speedup. The bench itself asserts
+# the >=10x point-probe floor and the O(k)-pages incremental-checkpoint
+# bound, so a disengaged planner rewrite fails the run outright.
+# Reference ratios live in crates/sqlengine/PERF.md ("Paged storage").
+# Zero-regression floors for the pre-pager engine: the hash_join_sf1
+# pair in columnar_scan, the wal_commit batch/checkpoint rows and the
+# columnar_scan pairs must hold their PERF.md numbers — the paged store
+# must cost the in-memory serving path nothing.
+run point_lookup
+
 # WAL durability: commit latency vs transaction batch size (the fsync +
 # record framing amortize over the batch), auto-commit baseline,
 # checkpoint cost, 10k-row recovery, and the contended group-commit case

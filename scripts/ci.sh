@@ -88,6 +88,22 @@ echo "== columnar execution off/on: differential harness =="
 SWAN_COLUMNAR=0 cargo test -q -p swan-sqlengine --test parallel_diff
 SWAN_COLUMNAR=1 cargo test -q -p swan-sqlengine --test parallel_diff
 
+echo "== paged storage off/on: golden SQL suite =="
+SWAN_PAGER=0 cargo test -q -p swan-sqlengine --test slt
+SWAN_PAGER=1 cargo test -q -p swan-sqlengine --test slt
+
+echo "== paged storage off/on: differential harness =="
+SWAN_PAGER=0 cargo test -q -p swan-sqlengine --test parallel_diff
+SWAN_PAGER=1 cargo test -q -p swan-sqlengine --test parallel_diff
+
+echo "== paged storage off/on: crash-simulation harness =="
+SWAN_PAGER=0 cargo test -q -p swan-sqlengine --test crash_sim
+SWAN_PAGER=1 cargo test -q -p swan-sqlengine --test crash_sim
+
+echo "== paged storage off/on: integration suite =="
+SWAN_PAGER=0 cargo test -q -p swan-sqlengine --test paged_storage
+SWAN_PAGER=1 cargo test -q -p swan-sqlengine --test paged_storage
+
 echo "== binary row + column codec round-trip properties =="
 cargo test -q -p swan-sqlengine --test prop_codec
 
